@@ -1,0 +1,63 @@
+//! ABL-NB: tile-size tuning ablation (paper §7.2): nb = 320 delivered the
+//! best GPU performance and nb = 192 the best CPU performance among the
+//! tested tile sizes.
+//!
+//! Sweeps nb for both targets with the analytic model (paper-scale n) and
+//! cross-checks the GPU ranking with the discrete-event simulator at a
+//! reduced tile count.
+//!
+//! ```sh
+//! cargo run --release -p polar-bench --bin ablation_tile_size
+//! ```
+
+use polar_runtime::{simulate, SchedulingMode};
+use polar_sim::dag::{qdwh_graph, Grid, QdwhGraphSpec};
+use polar_sim::machine::{ClusterModel, ExecTarget, NodeSpec};
+use polar_sim::{estimate_qdwh_time, Implementation, ILL_CONDITIONED_PROFILE};
+
+fn main() {
+    let (it_qr, it_chol) = ILL_CONDITIONED_PROFILE;
+    let summit = NodeSpec::summit();
+    let n = 100_000usize;
+    let sizes = [64usize, 128, 192, 256, 320, 448, 640];
+
+    println!("# ABL-NB: tile-size ablation, analytic model, 1 Summit node, n = {n}");
+    println!("# {:>5} | {:>12} | {:>12}", "nb", "GPU Tflop/s", "CPU Tflop/s");
+    let mut best_gpu = (0usize, 0.0f64);
+    let mut best_cpu = (0usize, 0.0f64);
+    for &nb in &sizes {
+        let gpu = estimate_qdwh_time(&summit, 1, Implementation::SlateGpu, n, nb, it_qr, it_chol);
+        let cpu = estimate_qdwh_time(&summit, 1, Implementation::SlateCpu, n, nb, it_qr, it_chol);
+        if gpu.tflops > best_gpu.1 {
+            best_gpu = (nb, gpu.tflops);
+        }
+        if cpu.tflops > best_cpu.1 {
+            best_cpu = (nb, cpu.tflops);
+        }
+        println!("  {:>5} | {:>12.2} | {:>12.3}", nb, gpu.tflops, cpu.tflops);
+    }
+    println!("# best GPU tile: nb = {} (paper: 320); best CPU tile: nb = {} (paper: 192)", best_gpu.0, best_cpu.0);
+
+    // DES cross-check: fixed matrix, varying tile size changes both task
+    // granularity and count (kept small: the DAG grows as (n/nb)^3)
+    println!("\n# DES cross-check (n = 6400, 1 Summit node, GPU target):");
+    println!("# {:>5} | {:>10} | {:>8}", "nb", "makespan s", "tasks");
+    for &nb in &[128usize, 320, 640] {
+        let t = 6400 / nb;
+        let g = qdwh_graph(&QdwhGraphSpec {
+            t,
+            nb,
+            scalar_bytes: 8,
+            grid: Grid::squarest(2),
+            it_qr,
+            it_chol,
+        });
+        let model = ClusterModel::slate(summit.clone(), 1, ExecTarget::GpuAccelerated, nb);
+        let s = simulate(&g, &model, SchedulingMode::TaskBased);
+        println!("  {:>5} | {:>10.3} | {:>8}", nb, s.makespan, s.tasks);
+    }
+    println!("# note: at this reduced n the DES optimum shifts to smaller tiles —");
+    println!("# with few tiles per device, parallelism beats per-tile rate. The");
+    println!("# paper's nb = 320 is the large-n (paper-scale) optimum, as the");
+    println!("# analytic sweep above shows.");
+}

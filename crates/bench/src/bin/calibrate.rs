@@ -1,0 +1,24 @@
+use polar_sim::*;
+use polar_sim::machine::NodeSpec;
+fn main(){
+    let s = NodeSpec::summit();
+    for nodes in [1usize,4,8,16,32] {
+        let n = 65_000*(nodes as f64).sqrt() as usize + 65_000;
+        for n in [40_000usize, 80_000, 130_000, 200_000, 260_000] {
+            let g = estimate_qdwh_time(&s, nodes, Implementation::SlateGpu, n, 320, 3, 3);
+            let c = estimate_qdwh_time(&s, nodes, Implementation::SlateCpu, n, 192, 3, 3);
+            let sc = estimate_qdwh_time(&s, nodes, Implementation::ScaLapack, n, 192, 3, 3);
+            println!("summit nodes={nodes:2} n={n:6}: gpu={:8.2} cpu={:6.3} scal={:6.3} speedup={:5.1} [gpu breakdown: comp={:.0}s panel={:.0}s net={:.0}s stage={:.0}s total={:.0}s]",
+                g.tflops, c.tflops, sc.tflops, g.tflops/sc.tflops, g.compute_seconds, g.panel_seconds, g.network_seconds, g.staging_seconds, g.seconds);
+        }
+        let _ = n;
+    }
+    let f = NodeSpec::frontier();
+    for nodes in [1usize,2,4,8,16] {
+        for n in [50_000usize, 100_000, 175_000] {
+            let g = estimate_qdwh_time(&f, nodes, Implementation::SlateGpu, n, 320, 3, 3);
+            println!("frontier nodes={nodes:2} n={n:6}: gpu={:8.2} TF (comp={:.0} panel={:.0} net={:.0} stage={:.0} tot={:.0})",
+                g.tflops, g.compute_seconds, g.panel_seconds, g.network_seconds, g.staging_seconds, g.seconds);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! FIG2A/FIG2B/FIG3A/FIG3B: Summit performance comparison at a fixed node
+//! count (paper Figs. 2-3): Tflop/s vs matrix size for the three series
+//! (SLATE GPU, SLATE CPU, ScaLAPACK), plus the speedup column that yields
+//! the paper's 18x / 13x headline numbers.
+//!
+//! ```sh
+//! cargo run --release -p polar-bench --bin fig2_summit -- --nodes 1   # Fig. 2a
+//! cargo run --release -p polar-bench --bin fig2_summit -- --nodes 8   # Fig. 2b
+//! cargo run --release -p polar-bench --bin fig2_summit -- --nodes 16  # Fig. 3a
+//! cargo run --release -p polar-bench --bin fig2_summit -- --nodes 32  # Fig. 3b
+//! ```
+
+use polar_bench::{csv_row, perf_sweep, Args, CsvOut};
+use polar_sim::machine::NodeSpec;
+use polar_sim::{estimate_qdwh_time, Implementation, ILL_CONDITIONED_PROFILE};
+
+fn main() {
+    let args = Args::parse();
+    let nodes = args.get("--nodes", 1usize);
+    let (it_qr, it_chol) = ILL_CONDITIONED_PROFILE;
+    let summit = NodeSpec::summit();
+
+    let fig = match nodes {
+        1 => "2a",
+        8 => "2b",
+        16 => "3a",
+        32 => "3b",
+        _ => "custom",
+    };
+    println!(
+        "# Fig. {fig} reproduction: {nodes} Summit node(s) ({} P9 cores, {} V100 GPUs)",
+        nodes * summit.cpu_cores,
+        nodes * summit.gpus
+    );
+    println!(
+        "# {:>8} | {:>11} {:>11} {:>11} | {:>9}",
+        "n", "SLATE-GPU", "SLATE-CPU", "ScaLAPACK", "GPU/SCA"
+    );
+
+    let mut csv = CsvOut::create(
+        &format!("fig_summit_{nodes}nodes"),
+        &["n", "slate_gpu_tflops", "slate_cpu_tflops", "scalapack_tflops", "speedup"],
+    )
+    .ok();
+    let mut best_speedup: f64 = 0.0;
+    for n in perf_sweep() {
+        let gpu = estimate_qdwh_time(&summit, nodes, Implementation::SlateGpu, n, 320, it_qr, it_chol);
+        let cpu = estimate_qdwh_time(&summit, nodes, Implementation::SlateCpu, n, 192, it_qr, it_chol);
+        let sca = estimate_qdwh_time(&summit, nodes, Implementation::ScaLapack, n, 192, it_qr, it_chol);
+        let speedup = gpu.tflops / sca.tflops;
+        best_speedup = best_speedup.max(speedup);
+        println!(
+            "  {:>8} | {:>11.2} {:>11.3} {:>11.3} | {:>8.1}x",
+            n, gpu.tflops, cpu.tflops, sca.tflops, speedup
+        );
+        if let Some(c) = csv.as_mut() {
+            csv_row!(c, n, gpu.tflops, cpu.tflops, sca.tflops, speedup);
+        }
+    }
+    if let Some(c) = &csv {
+        println!("# series written to {}", c.path.display());
+    }
+    println!("# max speedup at {nodes} node(s): {best_speedup:.1}x");
+    println!("# paper: up to 18x on 1 and 4 nodes, ~13x on 8 nodes; SLATE-CPU ~ ScaLAPACK.");
+}

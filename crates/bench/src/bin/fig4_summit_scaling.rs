@@ -1,0 +1,55 @@
+//! FIG4: SLATE-GPU QDWH scalability across Summit node counts (paper
+//! Fig. 4): Tflop/s vs matrix size, one curve per node count. Shows the
+//! paper's observation: limited strong scaling at fixed n, good weak
+//! scaling at the largest size per node count.
+//!
+//! ```sh
+//! cargo run --release -p polar-bench --bin fig4_summit_scaling
+//! ```
+
+use polar_bench::{perf_sweep, CsvOut};
+use polar_sim::machine::NodeSpec;
+use polar_sim::{estimate_qdwh_time, Implementation, ILL_CONDITIONED_PROFILE};
+
+fn main() {
+    let (it_qr, it_chol) = ILL_CONDITIONED_PROFILE;
+    let summit = NodeSpec::summit();
+    let node_counts = [1usize, 2, 4, 8, 16, 32];
+
+    println!("# Fig. 4 reproduction: SLATE-GPU QDWH scalability on Summit (Tflop/s)");
+    print!("# {:>8} |", "n");
+    for nc in node_counts {
+        print!(" {:>8}", format!("{nc} node"));
+    }
+    println!();
+
+    let mut csv = CsvOut::create(
+        "fig4_summit_scaling",
+        &["n", "nodes1", "nodes2", "nodes4", "nodes8", "nodes16", "nodes32"],
+    )
+    .ok();
+    for n in perf_sweep() {
+        print!("  {n:>8} |");
+        let mut row = vec![format!("{n}")];
+        for nodes in node_counts {
+            let r = estimate_qdwh_time(&summit, nodes, Implementation::SlateGpu, n, 320, it_qr, it_chol);
+            print!(" {:>8.1}", r.tflops);
+            row.push(format!("{}", r.tflops));
+        }
+        println!();
+        if let Some(c) = csv.as_mut() {
+            c.row(&row);
+        }
+    }
+
+
+    // strong-scaling summary at a fixed mid-size problem
+    let n_fixed = 100_000;
+    let t1 = estimate_qdwh_time(&summit, 1, Implementation::SlateGpu, n_fixed, 320, it_qr, it_chol).seconds;
+    println!("\n# strong scaling at n = {n_fixed} (speedup vs 1 node; ideal = nodes):");
+    for nodes in node_counts {
+        let t = estimate_qdwh_time(&summit, nodes, Implementation::SlateGpu, n_fixed, 320, it_qr, it_chol).seconds;
+        println!("#   {nodes:>2} nodes: {:>5.2}x (efficiency {:>5.1}%)", t1 / t, 100.0 * t1 / t / nodes as f64);
+    }
+    println!("# paper: strong scalability limited; good weak scalability at the largest sizes.");
+}

@@ -1,0 +1,54 @@
+//! FIG6: SLATE QDWH scalability across Frontier node counts (paper
+//! Fig. 6): Tflop/s vs matrix size per node count, rates increasing with
+//! both node count and matrix size.
+//!
+//! ```sh
+//! cargo run --release -p polar-bench --bin fig6_frontier_scaling
+//! ```
+
+use polar_bench::CsvOut;
+use polar_sim::machine::NodeSpec;
+use polar_sim::{estimate_qdwh_time, Implementation, ILL_CONDITIONED_PROFILE};
+
+fn main() {
+    let (it_qr, it_chol) = ILL_CONDITIONED_PROFILE;
+    let frontier = NodeSpec::frontier();
+    let node_counts = [1usize, 2, 4, 8, 16];
+
+    println!("# Fig. 6 reproduction: SLATE-GPU QDWH scalability on Frontier (Tflop/s)");
+    print!("# {:>8} |", "n");
+    for nc in node_counts {
+        print!(" {:>8}", format!("{nc} node"));
+    }
+    println!();
+
+    let mut csv = CsvOut::create(
+        "fig6_frontier_scaling",
+        &["n", "nodes1", "nodes2", "nodes4", "nodes8", "nodes16"],
+    )
+    .ok();
+    for n in [25_000usize, 50_000, 75_000, 100_000, 125_000, 150_000, 175_000] {
+        print!("  {n:>8} |");
+        let mut row = vec![format!("{n}")];
+        for nodes in node_counts {
+            let r = estimate_qdwh_time(&frontier, nodes, Implementation::SlateGpu, n, 320, it_qr, it_chol);
+            print!(" {:>8.1}", r.tflops);
+            row.push(format!("{}", r.tflops));
+        }
+        println!();
+        if let Some(c) = csv.as_mut() {
+            c.row(&row);
+        }
+    }
+
+    println!("\n# monotonicity checks (paper: rate grows with nodes and with n):");
+    let mut ok = true;
+    for (i, nodes) in node_counts.iter().enumerate().skip(1) {
+        let prev = estimate_qdwh_time(&frontier, node_counts[i - 1], Implementation::SlateGpu, 175_000, 320, it_qr, it_chol);
+        let cur = estimate_qdwh_time(&frontier, *nodes, Implementation::SlateGpu, 175_000, 320, it_qr, it_chol);
+        if cur.tflops <= prev.tflops {
+            ok = false;
+        }
+    }
+    println!("#   rate increases with node count at n = 175k: {ok}");
+}

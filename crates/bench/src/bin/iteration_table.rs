@@ -1,0 +1,59 @@
+//! TAB-ITER: iteration counts vs condition number (paper §4 / §7.2
+//! in-text): ill-conditioned (kappa = 1e16) needs the worst-case six
+//! iterations — 3 QR + 3 Cholesky with the paper's l0 formula — while
+//! well-conditioned inputs need ~2 Cholesky and no QR iterations.
+//!
+//! ```sh
+//! cargo run --release -p polar-bench --bin iteration_table [-- --n 256]
+//! ```
+
+use polar_bench::Args;
+use polar_gen::{generate, MatrixSpec, SigmaDistribution};
+use polar_qdwh::{qdwh, L0Strategy, QdwhOptions};
+
+fn main() {
+    let args = Args::parse();
+    let n = args.get("--n", 256usize);
+
+    println!("# TAB-ITER reproduction: QDWH iteration profile vs condition number (n = {n})");
+    println!(
+        "# {:>9} | {:>22} | {:>22} | {:>6}",
+        "kappa", "paper l0: it (qr/chol)", "tight l0: it (qr/chol)", "<=6?"
+    );
+
+    for &kappa in &[1.0f64, 10.0, 1e2, 1e4, 1e6, 1e8, 1e10, 1e13, 1e16] {
+        let spec = MatrixSpec {
+            m: n,
+            n,
+            cond: kappa,
+            distribution: SigmaDistribution::Geometric,
+            seed: 2023,
+        };
+        let (a, _) = generate::<f64>(&spec);
+
+        let paper = qdwh(
+            &a,
+            &QdwhOptions {
+                l0_strategy: L0Strategy::PaperFormula,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let tight = qdwh(&a, &QdwhOptions::default()).unwrap();
+
+        println!(
+            "  {:>9.0e} | {:>10} ({}/{})       | {:>10} ({}/{})       | {:>6}",
+            kappa,
+            paper.info.iterations,
+            paper.info.qr_iterations,
+            paper.info.chol_iterations,
+            tight.info.iterations,
+            tight.info.qr_iterations,
+            tight.info.chol_iterations,
+            paper.info.iterations <= 6 && tight.info.iterations <= 6,
+        );
+    }
+
+    println!("# paper: kappa=1e16 -> six iterations (3 QR + 3 Cholesky, matching the");
+    println!("#        paper-formula seed); well-conditioned -> 2 Cholesky, 0 QR.");
+}

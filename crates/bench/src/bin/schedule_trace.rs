@@ -1,0 +1,53 @@
+//! Export a Chrome-tracing JSON of a simulated QDWH schedule — open the
+//! output in `chrome://tracing` or https://ui.perfetto.dev to *see* the
+//! task-based pipeline (and, side by side, the fork-join bubbles the
+//! paper's §3 complains about).
+//!
+//! ```sh
+//! cargo run --release -p polar-bench --bin schedule_trace -- \
+//!     --tiles 12 --nodes 1 [--fork-join] [--out trace.json]
+//! ```
+
+use polar_bench::Args;
+use polar_runtime::{simulate_traced, write_chrome_trace, SchedulingMode};
+use polar_sim::dag::{qdwh_graph, Grid, QdwhGraphSpec};
+use polar_sim::machine::{ClusterModel, ExecTarget, NodeSpec};
+use polar_sim::ILL_CONDITIONED_PROFILE;
+
+fn main() {
+    let args = Args::parse();
+    let t = args.get("--tiles", 12usize);
+    let nodes = args.get("--nodes", 1usize);
+    let fork_join = args.flag("--fork-join");
+    let out: String = args.get("--out", String::from("schedule_trace.json"));
+
+    let (it_qr, it_chol) = ILL_CONDITIONED_PROFILE;
+    let summit = NodeSpec::summit();
+    let ranks = nodes * summit.slate_ranks_per_node;
+    let g = qdwh_graph(&QdwhGraphSpec {
+        t,
+        nb: 320,
+        scalar_bytes: 8,
+        grid: Grid::squarest(ranks),
+        it_qr,
+        it_chol,
+    });
+    let model = ClusterModel::slate(summit, nodes, ExecTarget::CpuOnly, 320);
+    let mode = if fork_join {
+        SchedulingMode::ForkJoin
+    } else {
+        SchedulingMode::TaskBased
+    };
+    let (stats, events) = simulate_traced(&g, &model, mode);
+    let file = std::fs::File::create(&out).expect("create trace file");
+    write_chrome_trace(&events, std::io::BufWriter::new(file)).expect("write trace");
+    println!(
+        "wrote {} events to {out} ({:?}, {} tiles/side, {nodes} node(s)): makespan {:.3}s, {} messages",
+        events.len(),
+        mode,
+        t,
+        stats.makespan,
+        stats.messages
+    );
+    println!("open in chrome://tracing or ui.perfetto.dev — rows are (rank, slot).");
+}

@@ -1,0 +1,111 @@
+//! Shared helpers for the figure-regeneration harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one figure (or in-text table) of
+//! the paper; see DESIGN.md §4 for the experiment index and EXPERIMENTS.md
+//! for recorded paper-vs-measured outcomes.
+
+use polar_gen::{MatrixSpec, SigmaDistribution};
+
+/// Parse `--key value` style arguments (tiny, dependency-free).
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    pub fn parse() -> Self {
+        Self {
+            raw: std::env::args().skip(1).collect(),
+        }
+    }
+
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.raw
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    pub fn flag(&self, key: &str) -> bool {
+        self.raw.iter().any(|a| a == key)
+    }
+}
+
+/// The paper's benchmark matrix: ill-conditioned, κ = 1e16, geometric
+/// spectrum (§7.1).
+pub fn paper_matrix_spec(n: usize, seed: u64) -> MatrixSpec {
+    MatrixSpec {
+        m: n,
+        n,
+        cond: 1e16,
+        distribution: SigmaDistribution::Geometric,
+        seed,
+    }
+}
+
+/// Default numerical sweep sizes, scaled for a laptop-class run; pass
+/// `--max-n` to the binaries to extend.
+pub fn accuracy_sweep(max_n: usize) -> Vec<usize> {
+    [128usize, 192, 256, 384, 512, 768, 1024, 1536, 2048]
+        .into_iter()
+        .filter(|&n| n <= max_n)
+        .collect()
+}
+
+/// Paper-scale performance sweep (the analytic model has no size limit).
+pub fn perf_sweep() -> Vec<usize> {
+    vec![
+        20_000, 40_000, 60_000, 80_000, 100_000, 130_000, 160_000, 200_000, 250_000, 300_000,
+    ]
+}
+
+/// CSV artifact writer: every figure harness mirrors its stdout series to
+/// `results/<name>.csv` so the data can be re-plotted downstream.
+pub struct CsvOut {
+    file: std::io::BufWriter<std::fs::File>,
+    pub path: std::path::PathBuf,
+}
+
+impl CsvOut {
+    /// Create `results/<name>.csv` (directory created on demand) and write
+    /// the header row.
+    pub fn create(name: &str, header: &[&str]) -> std::io::Result<Self> {
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut file = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        use std::io::Write;
+        writeln!(file, "{}", header.join(","))?;
+        Ok(Self { file, path })
+    }
+
+    pub fn row(&mut self, fields: &[String]) {
+        use std::io::Write;
+        let _ = writeln!(self.file, "{}", fields.join(","));
+    }
+}
+
+/// Format helper for CSV rows.
+#[macro_export]
+macro_rules! csv_row {
+    ($csv:expr, $($v:expr),+ $(,)?) => {
+        $csv.row(&[$(format!("{}", $v)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_respects_cap() {
+        assert_eq!(accuracy_sweep(512), vec![128, 192, 256, 384, 512]);
+    }
+
+    #[test]
+    fn paper_spec_is_ill_conditioned() {
+        let s = paper_matrix_spec(100, 1);
+        assert_eq!(s.cond, 1e16);
+    }
+}

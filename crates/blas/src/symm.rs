@@ -1,0 +1,279 @@
+//! Hermitian rank-k update and symmetrization helpers.
+
+use crate::PAR_THRESHOLD_FLOPS;
+use polar_matrix::{MatMut, MatRef, Op, Uplo};
+use polar_scalar::{Real, Scalar};
+
+/// Hermitian rank-k update on the `uplo` triangle of `C`:
+///
+/// * `op = NoTrans`:   `C := alpha * A * A^H + beta * C` (`A` is `n x k`);
+/// * `op = ConjTrans`: `C := alpha * A^H * A + beta * C` (`A` is `k x n`).
+///
+/// `alpha` and `beta` are real, as in BLAS `herk`. Only the `uplo` triangle
+/// of `C` is referenced or written.
+///
+/// QDWH uses this to form `Z = I + c * A^H A` for the Cholesky-based
+/// iteration (Eq. (2); Algorithm 1 line 40 prints `-c`, but `Z` must be
+/// `I + c A^H A` to be positive definite — we follow Eq. (2)).
+pub fn herk<S: Scalar>(
+    uplo: Uplo,
+    op: Op,
+    alpha: S::Real,
+    a: MatRef<'_, S>,
+    beta: S::Real,
+    c: MatMut<'_, S>,
+) {
+    assert!(op != Op::Trans || !S::IS_COMPLEX, "herk takes NoTrans or ConjTrans");
+    let n = c.nrows();
+    assert_eq!(c.ncols(), n, "herk: C must be square");
+    let k = match op {
+        Op::NoTrans => {
+            assert_eq!(a.nrows(), n, "herk: A rows mismatch");
+            a.ncols()
+        }
+        _ => {
+            assert_eq!(a.ncols(), n, "herk: A cols mismatch");
+            a.nrows()
+        }
+    };
+    herk_par(uplo, op, alpha, a, beta, c, 0, k);
+}
+
+/// Recursive parallel driver: splits the output columns; `j0` is the global
+/// column offset of this block of `C` (needed to find the triangle edge).
+fn herk_par<S: Scalar>(
+    uplo: Uplo,
+    op: Op,
+    alpha: S::Real,
+    a: MatRef<'_, S>,
+    beta: S::Real,
+    c: MatMut<'_, S>,
+    j0: usize,
+    k: usize,
+) {
+    let ncols = c.ncols();
+    let work = c.nrows().saturating_mul(ncols).saturating_mul(k.max(1)) / 2;
+    if work <= PAR_THRESHOLD_FLOPS || ncols <= 4 {
+        herk_seq(uplo, op, alpha, a, beta, c, j0, k);
+        return;
+    }
+    let h = ncols / 2;
+    let (c1, c2) = c.split_at_col(h);
+    rayon::join(
+        || herk_par(uplo, op, alpha, a, beta, c1, j0, k),
+        || herk_par(uplo, op, alpha, a, beta, c2, j0 + h, k),
+    );
+}
+
+fn herk_seq<S: Scalar>(
+    uplo: Uplo,
+    op: Op,
+    alpha: S::Real,
+    a: MatRef<'_, S>,
+    beta: S::Real,
+    mut c: MatMut<'_, S>,
+    j0: usize,
+    k: usize,
+) {
+    let n_total = c.nrows();
+    for jl in 0..c.ncols() {
+        let j = j0 + jl; // global column index in C
+        // triangle row range for this column
+        let (lo, hi) = match uplo {
+            Uplo::Upper => (0usize, j + 1),
+            Uplo::Lower => (j, n_total),
+        };
+        // beta pass
+        {
+            let cj = c.col_mut(jl);
+            if beta == S::Real::ZERO {
+                for x in &mut cj[lo..hi] {
+                    *x = S::ZERO;
+                }
+            } else if beta != S::Real::ONE {
+                for x in &mut cj[lo..hi] {
+                    *x = x.mul_real(beta);
+                }
+            }
+        }
+        if alpha == S::Real::ZERO || k == 0 {
+            continue;
+        }
+        match op {
+            Op::ConjTrans | Op::Trans => {
+                // C[i,j] += alpha * a_i^H a_j (columns of A are contiguous)
+                let aj = a.col(j);
+                for i in lo..hi {
+                    let ai = a.col(i);
+                    let mut acc = S::ZERO;
+                    if S::IS_COMPLEX {
+                        for (x, y) in ai.iter().zip(aj) {
+                            acc += x.conj() * *y;
+                        }
+                    } else {
+                        for (x, y) in ai.iter().zip(aj) {
+                            acc += *x * *y;
+                        }
+                    }
+                    let cur = c.at(i, jl);
+                    c.set(i, jl, cur + acc.mul_real(alpha));
+                }
+            }
+            Op::NoTrans => {
+                // C[i,j] += alpha * sum_l A[i,l] conj(A[j,l]): axpy over i
+                for l in 0..k {
+                    let factor = a.at(j, l).conj().mul_real(alpha);
+                    if factor == S::ZERO {
+                        continue;
+                    }
+                    let al = a.col(l);
+                    let cj = c.col_mut(jl);
+                    for i in lo..hi {
+                        cj[i] += factor * al[i];
+                    }
+                }
+            }
+        }
+        // enforce an exactly-real diagonal as BLAS herk does
+        if S::IS_COMPLEX && j >= lo && j < hi {
+            let d = c.at(j, jl);
+            c.set(j, jl, S::from_real(d.re()));
+        }
+    }
+}
+
+/// Fill the opposite triangle so the `uplo` triangle's content defines a
+/// full Hermitian matrix, and average the diagonal to be exactly real.
+pub fn mirror_triangle<S: Scalar>(uplo: Uplo, mut c: MatMut<'_, S>) {
+    let n = c.nrows();
+    assert_eq!(c.ncols(), n);
+    for j in 0..n {
+        for i in 0..j {
+            match uplo {
+                Uplo::Upper => {
+                    let v = c.at(i, j);
+                    c.set(j, i, v.conj());
+                }
+                Uplo::Lower => {
+                    let v = c.at(j, i);
+                    c.set(i, j, v.conj());
+                }
+            }
+        }
+    }
+}
+
+/// In-place Hermitian symmetrization: `H := (H + H^H) / 2`.
+///
+/// Applied to the polar factor `H = U_p^H A` after Algorithm 1 line 52, as
+/// is standard for QDWH implementations (POLAR does the same).
+pub fn symmetrize<S: Scalar>(mut h: MatMut<'_, S>) {
+    let n = h.nrows();
+    assert_eq!(h.ncols(), n, "symmetrize: square only");
+    let half = S::Real::ONE / (S::Real::ONE + S::Real::ONE);
+    for j in 0..n {
+        for i in 0..j {
+            let v = (h.at(i, j) + h.at(j, i).conj()).mul_real(half);
+            h.set(i, j, v);
+            h.set(j, i, v.conj());
+        }
+        let d = h.at(j, j);
+        h.set(j, j, S::from_real(d.re()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_ref;
+    use polar_matrix::Matrix;
+    use polar_scalar::Complex64;
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Matrix<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Matrix::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn herk_vs_gemm(uplo: Uplo, op: Op, n: usize, k: usize) {
+        let a = match op {
+            Op::NoTrans => rand_mat(n, k, 7),
+            _ => rand_mat(k, n, 7),
+        };
+        let c0 = rand_mat(n, n, 8);
+        let mut c_herk = c0.clone();
+        herk(uplo, op, 1.25, a.as_ref(), 0.75, c_herk.as_mut());
+
+        let mut c_gemm = c0.clone();
+        let opb = if op == Op::NoTrans { Op::Trans } else { Op::NoTrans };
+        let opa = op;
+        gemm_ref(opa, opb, 1.25, a.as_ref(), a.as_ref(), 0.75, c_gemm.as_mut());
+        // compare only the computed triangle
+        for j in 0..n {
+            for i in 0..n {
+                let in_tri = match uplo {
+                    Uplo::Upper => i <= j,
+                    Uplo::Lower => i >= j,
+                };
+                if in_tri {
+                    assert!(
+                        (c_herk[(i, j)] - c_gemm[(i, j)]).abs() < 1e-11,
+                        "({i},{j}) {uplo:?} {op:?}"
+                    );
+                } else {
+                    assert_eq!(c_herk[(i, j)], c0[(i, j)], "other triangle untouched");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn herk_matches_gemm_all_variants() {
+        for uplo in [Uplo::Upper, Uplo::Lower] {
+            for op in [Op::NoTrans, Op::Trans] {
+                herk_vs_gemm(uplo, op, 13, 9);
+                herk_vs_gemm(uplo, op, 9, 13);
+            }
+        }
+    }
+
+    #[test]
+    fn herk_parallel_sizes() {
+        herk_vs_gemm(Uplo::Lower, Op::Trans, 120, 80);
+        herk_vs_gemm(Uplo::Upper, Op::NoTrans, 120, 80);
+    }
+
+    #[test]
+    fn herk_complex_real_diagonal() {
+        let a = Matrix::from_fn(3, 5, |i, j| Complex64::new(i as f64 - 1.0, j as f64 + 0.5));
+        let mut c = Matrix::<Complex64>::zeros(5, 5);
+        herk(Uplo::Upper, Op::ConjTrans, 1.0, a.as_ref(), 0.0, c.as_mut());
+        for j in 0..5 {
+            assert_eq!(c[(j, j)].im, 0.0, "diagonal must be exactly real");
+            assert!(c[(j, j)].re >= 0.0, "A^H A diagonal is nonnegative");
+        }
+    }
+
+    #[test]
+    fn symmetrize_produces_hermitian() {
+        let mut h = Matrix::from_fn(4, 4, |i, j| Complex64::new((i * j) as f64, i as f64 - j as f64 + 0.3));
+        symmetrize(h.as_mut());
+        for j in 0..4 {
+            for i in 0..4 {
+                assert_eq!(h[(i, j)], h[(j, i)].conj());
+            }
+            assert_eq!(h[(j, j)].im, 0.0);
+        }
+    }
+
+    #[test]
+    fn mirror_triangle_copies_conjugate() {
+        let mut c = Matrix::<Complex64>::zeros(3, 3);
+        c[(0, 2)] = Complex64::new(1.0, 2.0);
+        c[(0, 0)] = Complex64::from_real(5.0);
+        mirror_triangle(Uplo::Upper, c.as_mut());
+        assert_eq!(c[(2, 0)], Complex64::new(1.0, -2.0));
+    }
+}

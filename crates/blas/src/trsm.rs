@@ -1,0 +1,440 @@
+//! Triangular solve and triangular multiply.
+
+use crate::gemm::gemm;
+use crate::PAR_THRESHOLD_FLOPS;
+use polar_matrix::{Diag, MatMut, MatRef, Matrix, Op, Side, Uplo};
+use polar_scalar::Scalar;
+
+/// Effective element of `op(A)` for a triangular `A` stored in `uplo`.
+#[inline]
+fn tri_at<S: Scalar>(a: MatRef<'_, S>, op: Op, i: usize, j: usize) -> S {
+    match op {
+        Op::NoTrans => a.at(i, j),
+        Op::Trans => a.at(j, i),
+        Op::ConjTrans => a.at(j, i).conj(),
+    }
+}
+
+/// Triangle of `op(A)` given the storage triangle of `A`.
+#[inline]
+fn effective_uplo(uplo: Uplo, op: Op) -> Uplo {
+    match op {
+        Op::NoTrans => uplo,
+        Op::Trans | Op::ConjTrans => uplo.flip(),
+    }
+}
+
+/// Triangular solve, BLAS `trsm`:
+///
+/// * `side = Left`:  solve `op(A) * X = alpha * B`;
+/// * `side = Right`: solve `X * op(A) = alpha * B`;
+///
+/// `X` overwrites `B`. `A` is triangular (`uplo` triangle referenced,
+/// `diag` selects implicit unit diagonal).
+///
+/// The QDWH Cholesky iteration applies two right-side solves with the
+/// Cholesky factor `L` to form `A_k := A_{k-1} Z^{-1}` without inverting.
+pub fn trsm<S: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    op: Op,
+    diag: Diag,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatMut<'_, S>,
+) {
+    assert_eq!(a.nrows(), a.ncols(), "trsm: A must be square");
+    match side {
+        Side::Left => {
+            assert_eq!(a.nrows(), b.nrows(), "trsm: dim mismatch");
+            trsm_left_par(uplo, op, diag, alpha, a, b);
+        }
+        Side::Right => {
+            assert_eq!(a.nrows(), b.ncols(), "trsm: dim mismatch");
+            trsm_right_par(uplo, op, diag, alpha, a, b);
+        }
+    }
+}
+
+/// Left solves are independent per column of `B`: split columns in parallel.
+fn trsm_left_par<S: Scalar>(
+    uplo: Uplo,
+    op: Op,
+    diag: Diag,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatMut<'_, S>,
+) {
+    let m = b.nrows();
+    let n = b.ncols();
+    if m.saturating_mul(m).saturating_mul(n) / 2 > PAR_THRESHOLD_FLOPS && n > 1 {
+        let h = n / 2;
+        let (b1, b2) = b.split_at_col(h);
+        rayon::join(
+            || trsm_left_par(uplo, op, diag, alpha, a, b1),
+            || trsm_left_par(uplo, op, diag, alpha, a, b2),
+        );
+        return;
+    }
+    trsm_left_seq(uplo, op, diag, alpha, a, b);
+}
+
+fn trsm_left_seq<S: Scalar>(
+    uplo: Uplo,
+    op: Op,
+    diag: Diag,
+    alpha: S,
+    a: MatRef<'_, S>,
+    mut b: MatMut<'_, S>,
+) {
+    let m = b.nrows();
+    let eff = effective_uplo(uplo, op);
+    for j in 0..b.ncols() {
+        let bj = b.col_mut(j);
+        if alpha != S::ONE {
+            for x in bj.iter_mut() {
+                *x *= alpha;
+            }
+        }
+        match eff {
+            // forward substitution
+            Uplo::Lower => {
+                for k in 0..m {
+                    if diag == Diag::NonUnit {
+                        bj[k] *= tri_at(a, op, k, k).recip();
+                    }
+                    let xk = bj[k];
+                    if xk != S::ZERO {
+                        match op {
+                            Op::NoTrans => {
+                                // contiguous column segment of A
+                                let ak = &a.col(k)[k + 1..m];
+                                for (bi, &aik) in bj[k + 1..m].iter_mut().zip(ak) {
+                                    *bi -= xk * aik;
+                                }
+                            }
+                            _ => {
+                                for i in k + 1..m {
+                                    bj[i] -= xk * tri_at(a, op, i, k);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // back substitution
+            Uplo::Upper => {
+                for k in (0..m).rev() {
+                    if diag == Diag::NonUnit {
+                        bj[k] *= tri_at(a, op, k, k).recip();
+                    }
+                    let xk = bj[k];
+                    if xk != S::ZERO {
+                        match op {
+                            Op::NoTrans => {
+                                let ak = &a.col(k)[..k];
+                                for (bi, &aik) in bj[..k].iter_mut().zip(ak) {
+                                    *bi -= xk * aik;
+                                }
+                            }
+                            _ => {
+                                for i in 0..k {
+                                    bj[i] -= xk * tri_at(a, op, i, k);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Right solves are independent per row of `B`: split rows in parallel.
+fn trsm_right_par<S: Scalar>(
+    uplo: Uplo,
+    op: Op,
+    diag: Diag,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatMut<'_, S>,
+) {
+    let m = b.nrows();
+    let n = b.ncols();
+    if n.saturating_mul(n).saturating_mul(m) / 2 > PAR_THRESHOLD_FLOPS && m > 8 {
+        let h = m / 2;
+        let (b1, b2) = b.split_at_row(h);
+        rayon::join(
+            || trsm_right_par(uplo, op, diag, alpha, a, b1),
+            || trsm_right_par(uplo, op, diag, alpha, a, b2),
+        );
+        return;
+    }
+    trsm_right_seq(uplo, op, diag, alpha, a, b);
+}
+
+fn trsm_right_seq<S: Scalar>(
+    uplo: Uplo,
+    op: Op,
+    diag: Diag,
+    alpha: S,
+    a: MatRef<'_, S>,
+    mut b: MatMut<'_, S>,
+) {
+    let n = b.ncols();
+    let eff = effective_uplo(uplo, op);
+    if alpha != S::ONE {
+        for j in 0..n {
+            for x in b.col_mut(j) {
+                *x *= alpha;
+            }
+        }
+    }
+    // X * T = B with T = op(A):
+    //   T upper: ascending j — X[:,j] = (B[:,j] - sum_{l<j} X[:,l] T[l,j]) / T[j,j]
+    //   T lower: descending j — X[:,j] = (B[:,j] - sum_{l>j} X[:,l] T[l,j]) / T[j,j]
+    let cols: Box<dyn Iterator<Item = usize>> = match eff {
+        Uplo::Upper => Box::new(0..n),
+        Uplo::Lower => Box::new((0..n).rev()),
+    };
+    for j in cols {
+        let range: Box<dyn Iterator<Item = usize>> = match eff {
+            Uplo::Upper => Box::new(0..j),
+            Uplo::Lower => Box::new(j + 1..n),
+        };
+        for l in range {
+            let t = tri_at(a, op, l, j);
+            if t == S::ZERO {
+                continue;
+            }
+            // B[:,j] -= X[:,l] * t
+            for i in 0..b.nrows() {
+                let v = b.at(i, j) - b.at(i, l) * t;
+                b.set(i, j, v);
+            }
+        }
+        if diag == Diag::NonUnit {
+            let d = tri_at(a, op, j, j).recip();
+            for x in b.col_mut(j) {
+                *x *= d;
+            }
+        }
+    }
+}
+
+/// Triangular matrix multiply, BLAS `trmm`: `B := alpha * op(A) * B`
+/// (`side = Left`) or `B := alpha * B * op(A)` (`side = Right`).
+///
+/// Correctness-oriented implementation: materializes the triangle of
+/// `op(A)` into a dense temporary and delegates to [`gemm`]. Used only on
+/// verification paths (factorization residuals, condition estimation
+/// tests), never in the QDWH hot loop.
+pub fn trmm<S: Scalar>(
+    side: Side,
+    uplo: Uplo,
+    op: Op,
+    diag: Diag,
+    alpha: S,
+    a: MatRef<'_, S>,
+    mut b: MatMut<'_, S>,
+) {
+    assert_eq!(a.nrows(), a.ncols(), "trmm: A must be square");
+    let n = a.nrows();
+    let mut t = Matrix::<S>::zeros(n, n);
+    for j in 0..n {
+        for i in 0..n {
+            let in_tri = match uplo {
+                Uplo::Upper => i <= j,
+                Uplo::Lower => i >= j,
+            };
+            if i == j {
+                t[(i, j)] = if diag == Diag::Unit { S::ONE } else { a.at(i, j) };
+            } else if in_tri {
+                t[(i, j)] = a.at(i, j);
+            }
+        }
+    }
+    let bc = b.as_ref().to_owned();
+    match side {
+        Side::Left => gemm(op, Op::NoTrans, alpha, t.as_ref(), bc.as_ref(), S::ZERO, b.rb()),
+        Side::Right => gemm(Op::NoTrans, op, alpha, bc.as_ref(), t.as_ref(), S::ZERO, b.rb()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_ref;
+    use polar_matrix::Matrix;
+    use polar_scalar::Complex64;
+
+    fn rand_tri(n: usize, uplo: Uplo, seed: u64) -> Matrix<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        Matrix::from_fn(n, n, |i, j| {
+            let in_tri = match uplo {
+                Uplo::Upper => i <= j,
+                Uplo::Lower => i >= j,
+            };
+            if i == j {
+                3.0 + next().abs() // well away from singular
+            } else if in_tri {
+                next()
+            } else {
+                f64::NAN // must never be referenced
+            }
+        })
+    }
+
+    fn check_trsm(side: Side, uplo: Uplo, op: Op, diag: Diag, m: usize, n: usize) {
+        let asize = if side == Side::Left { m } else { n };
+        let a = rand_tri(asize, uplo, 5);
+        let b0 = Matrix::from_fn(m, n, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let mut x = b0.clone();
+        trsm(side, uplo, op, diag, 2.0, a.as_ref(), x.as_mut());
+        assert!(!x.has_non_finite(), "NaN leaked from unreferenced triangle");
+
+        // reconstruct: op(A)*X (left) or X*op(A) (right) == 2*B0
+        let mut t = Matrix::<f64>::zeros(asize, asize);
+        for j in 0..asize {
+            for i in 0..asize {
+                let in_tri = match uplo {
+                    Uplo::Upper => i <= j,
+                    Uplo::Lower => i >= j,
+                };
+                if in_tri {
+                    t[(i, j)] = if i == j && diag == Diag::Unit { 1.0 } else { a[(i, j)] };
+                }
+            }
+        }
+        let mut recon = Matrix::<f64>::zeros(m, n);
+        match side {
+            Side::Left => gemm_ref(op, Op::NoTrans, 1.0, t.as_ref(), x.as_ref(), 0.0, recon.as_mut()),
+            Side::Right => gemm_ref(Op::NoTrans, op, 1.0, x.as_ref(), t.as_ref(), 0.0, recon.as_mut()),
+        }
+        for j in 0..n {
+            for i in 0..m {
+                assert!(
+                    (recon[(i, j)] - 2.0 * b0[(i, j)]).abs() < 1e-9,
+                    "{side:?} {uplo:?} {op:?} {diag:?} at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_all_variants() {
+        for side in [Side::Left, Side::Right] {
+            for uplo in [Uplo::Upper, Uplo::Lower] {
+                for op in [Op::NoTrans, Op::Trans] {
+                    for diag in [Diag::NonUnit, Diag::Unit] {
+                        check_trsm(side, uplo, op, diag, 9, 7);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_parallel_sizes() {
+        check_trsm(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, 96, 150);
+        check_trsm(Side::Right, Uplo::Lower, Op::Trans, Diag::NonUnit, 150, 96);
+    }
+
+    #[test]
+    fn trsm_complex_conj_trans() {
+        let n = 6;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i > j {
+                Complex64::default()
+            } else if i == j {
+                Complex64::new(2.0 + i as f64, 1.0)
+            } else {
+                Complex64::new(0.3 * (i as f64 - j as f64), 0.7)
+            }
+        });
+        let b0 = Matrix::from_fn(n, 4, |i, j| Complex64::new(i as f64, j as f64));
+        let mut x = b0.clone();
+        let one = Complex64::from_real(1.0);
+        trsm(Side::Left, Uplo::Upper, Op::ConjTrans, Diag::NonUnit, one, a.as_ref(), x.as_mut());
+        // verify A^H X = B0
+        let mut recon = Matrix::<Complex64>::zeros(n, 4);
+        gemm_ref(Op::ConjTrans, Op::NoTrans, one, a.as_ref(), x.as_ref(), Complex64::default(), recon.as_mut());
+        for j in 0..4 {
+            for i in 0..n {
+                assert!((recon[(i, j)] - b0[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trmm_matches_dense_multiply() {
+        let a = rand_tri(5, Uplo::Upper, 9);
+        let b0 = Matrix::from_fn(5, 3, |i, j| (i + j) as f64);
+        let mut b = b0.clone();
+        trmm(Side::Left, Uplo::Upper, Op::NoTrans, Diag::NonUnit, 1.0, a.as_ref(), b.as_mut());
+        for j in 0..3 {
+            for i in 0..5 {
+                let mut acc = 0.0;
+                for l in i..5 {
+                    acc += a[(i, l)] * b0[(l, j)];
+                }
+                assert!((b[(i, j)] - acc).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn trmm_right_side() {
+        let a = rand_tri(4, Uplo::Lower, 10);
+        let b0 = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64 - 5.0);
+        let mut b = b0.clone();
+        trmm(Side::Right, Uplo::Lower, Op::NoTrans, Diag::NonUnit, 2.0, a.as_ref(), b.as_mut());
+        for j in 0..4 {
+            for i in 0..3 {
+                let mut acc = 0.0;
+                for l in j..4 {
+                    acc += b0[(i, l)] * a[(l, j)];
+                }
+                assert!((b[(i, j)] - 2.0 * acc).abs() < 1e-12, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn trmm_unit_diag() {
+        let mut a = rand_tri(3, Uplo::Upper, 11);
+        // poison the diagonal: Unit must ignore it
+        for i in 0..3 {
+            a[(i, i)] = f64::NAN;
+        }
+        let b0 = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        let mut b = b0.clone();
+        trmm(Side::Left, Uplo::Upper, Op::NoTrans, Diag::Unit, 1.0, a.as_ref(), b.as_mut());
+        assert!(!b.has_non_finite(), "unit diagonal must not be referenced");
+    }
+
+    #[test]
+    fn trsm_alpha_zero_yields_zero() {
+        let a = rand_tri(5, Uplo::Lower, 12);
+        let mut b = Matrix::from_fn(5, 3, |i, j| (i + j) as f64 + 1.0);
+        trsm(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, 0.0, a.as_ref(), b.as_mut());
+        for j in 0..3 {
+            for i in 0..5 {
+                assert_eq!(b[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_identity_is_noop() {
+        let a = Matrix::<f64>::identity(4, 4);
+        let b0 = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let mut b = b0.clone();
+        trsm(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, 1.0, a.as_ref(), b.as_mut());
+        assert_eq!(b, b0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests for the BLAS kernels: algebraic identities that
+//! must hold for random shapes and contents.
+
+use polar_blas::{add, gemm, gemm_ref, herk, norm, scale, trsm};
+use polar_matrix::{Diag, MatMut, Matrix, Norm, Op, Side, Uplo};
+use proptest::prelude::*;
+
+fn mat(m: usize, n: usize) -> impl Strategy<Value = Matrix<f64>> {
+    proptest::collection::vec(-10.0f64..10.0, m * n)
+        .prop_map(move |v| Matrix::from_col_major(m, n, v))
+}
+
+fn dims3() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..20, 1usize..20, 1usize..20)
+}
+
+fn max_abs_diff(a: &Matrix<f64>, b: &Matrix<f64>) -> f64 {
+    let mut d = 0.0f64;
+    for j in 0..a.ncols() {
+        for i in 0..a.nrows() {
+            d = d.max((a[(i, j)] - b[(i, j)]).abs());
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_matches_reference((m, n, k) in dims3(), seed in 0u64..1000) {
+        let a = Matrix::from_fn(m, k, |i, j| ((i * 31 + j * 17 + seed as usize) % 13) as f64 - 6.0);
+        let b = Matrix::from_fn(k, n, |i, j| ((i * 7 + j * 3 + seed as usize) % 11) as f64 - 5.0);
+        let mut c1 = Matrix::from_fn(m, n, |i, j| (i + j) as f64);
+        let mut c2 = c1.clone();
+        gemm_ref(Op::NoTrans, Op::NoTrans, 1.5, a.as_ref(), b.as_ref(), -0.5, c1.as_mut());
+        gemm(Op::NoTrans, Op::NoTrans, 1.5, a.as_ref(), b.as_ref(), -0.5, c2.as_mut());
+        prop_assert!(max_abs_diff(&c1, &c2) < 1e-10);
+    }
+
+    #[test]
+    fn gemm_identity_is_noop(a in (1usize..15, 1usize..15).prop_flat_map(|(m, n)| mat(m, n))) {
+        let m = a.nrows();
+        let id = Matrix::<f64>::identity(m, m);
+        let mut c = Matrix::zeros(m, a.ncols());
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, id.as_ref(), a.as_ref(), 0.0, c.as_mut());
+        prop_assert!(max_abs_diff(&c, &a) < 1e-13);
+    }
+
+    #[test]
+    fn gemm_is_linear_in_alpha(a in mat(9, 7), b in mat(7, 5), alpha in -3.0f64..3.0) {
+        let mut c1 = Matrix::zeros(9, 5);
+        let mut c2 = Matrix::zeros(9, 5);
+        gemm(Op::NoTrans, Op::NoTrans, alpha, a.as_ref(), b.as_ref(), 0.0, c1.as_mut());
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c2.as_mut());
+        scale(alpha, c2.as_mut());
+        prop_assert!(max_abs_diff(&c1, &c2) < 1e-9);
+    }
+
+    #[test]
+    fn transpose_product_identity(a in mat(8, 6), b in mat(6, 4)) {
+        // (A B)^T == B^T A^T
+        let mut ab = Matrix::zeros(8, 4);
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, ab.as_mut());
+        let abt = ab.transposed(Op::Trans);
+        let mut btat = Matrix::zeros(4, 8);
+        gemm(Op::Trans, Op::Trans, 1.0, b.as_ref(), a.as_ref(), 0.0, btat.as_mut());
+        prop_assert!(max_abs_diff(&abt, &btat) < 1e-10);
+    }
+
+    #[test]
+    fn norm_one_is_inf_of_transpose(a in (1usize..15, 1usize..15).prop_flat_map(|(m, n)| mat(m, n))) {
+        let at = a.transposed(Op::Trans);
+        let n1: f64 = norm(Norm::One, a.as_ref());
+        let ninf: f64 = norm(Norm::Inf, at.as_ref());
+        prop_assert!((n1 - ninf).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_scaling_homogeneous(a in mat(6, 6), s in 0.0f64..5.0) {
+        let mut b = a.clone();
+        scale(s, b.as_mut());
+        for which in [Norm::One, Norm::Inf, Norm::Fro, Norm::Max] {
+            let na: f64 = norm(which, a.as_ref());
+            let nb: f64 = norm(which, b.as_ref());
+            prop_assert!((nb - s * na).abs() <= 1e-10 * (1.0 + na), "{which:?}");
+        }
+    }
+
+    #[test]
+    fn trsm_then_trmm_roundtrip(n in 1usize..12, nrhs in 1usize..8, seed in 0u64..100) {
+        // L X = B, then L X should reproduce B
+        let l = Matrix::from_fn(n, n, |i, j| {
+            if i > j {
+                (((i * 13 + j * 7 + seed as usize) % 9) as f64 - 4.0) * 0.2
+            } else if i == j {
+                2.0 + (i % 3) as f64
+            } else {
+                0.0
+            }
+        });
+        let b0 = Matrix::from_fn(n, nrhs, |i, j| (i * 2 + j) as f64 - 3.0);
+        let mut x = b0.clone();
+        trsm(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, 1.0, l.as_ref(), x.as_mut());
+        let mut recon = Matrix::zeros(n, nrhs);
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, l.as_ref(), x.as_ref(), 0.0, recon.as_mut());
+        prop_assert!(max_abs_diff(&recon, &b0) < 1e-8);
+    }
+
+    #[test]
+    fn herk_triangle_agrees_with_full_product(n in 1usize..12, k in 1usize..12) {
+        let a = Matrix::from_fn(k, n, |i, j| ((i * 5 + j * 11) % 7) as f64 - 3.0);
+        let mut c = Matrix::zeros(n, n);
+        herk(Uplo::Lower, Op::Trans, 1.0, a.as_ref(), 0.0, c.as_mut());
+        let mut full = Matrix::zeros(n, n);
+        gemm(Op::Trans, Op::NoTrans, 1.0, a.as_ref(), a.as_ref(), 0.0, full.as_mut());
+        for j in 0..n {
+            for i in j..n {
+                prop_assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-10);
+            }
+        }
+        // Gram matrix diagonal is nonnegative
+        for j in 0..n {
+            prop_assert!(c[(j, j)] >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn add_is_affine(a in mat(5, 5), b in mat(5, 5), alpha in -2.0f64..2.0, beta in -2.0f64..2.0) {
+        let mut out = b.clone();
+        add(alpha, a.as_ref(), beta, out.as_mut());
+        for j in 0..5 {
+            for i in 0..5 {
+                let expect = alpha * a[(i, j)] + beta * b[(i, j)];
+                prop_assert!((out[(i, j)] - expect).abs() < 1e-12);
+            }
+        }
+    }
+}
+
+#[test]
+fn gemm_accepts_views_with_offset() {
+    // kernels must honor ld != rows (views into larger matrices)
+    let big = Matrix::<f64>::from_fn(10, 10, |i, j| (i * 10 + j) as f64);
+    let a = big.view(2, 3, 4, 4);
+    let b = big.view(1, 1, 4, 2);
+    let mut c = Matrix::zeros(4, 2);
+    gemm(Op::NoTrans, Op::NoTrans, 1.0, a, b, 0.0, c.as_mut());
+    let mut expect = Matrix::zeros(4, 2);
+    let ao = a.to_owned();
+    let bo = b.to_owned();
+    gemm_ref(
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        ao.as_ref(),
+        bo.as_ref(),
+        0.0,
+        expect.as_mut(),
+    );
+    assert!(max_abs_diff(&c, &expect) < 1e-12);
+}
+
+#[allow(dead_code)]
+fn unused_matmut_lint_guard(_: MatMut<'_, f64>) {}

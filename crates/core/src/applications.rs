@@ -1,0 +1,385 @@
+//! Applications built on the polar decomposition (paper §3 and §8):
+//! the QDWH-SVD solver and the QDWH-eig spectral divide-and-conquer
+//! symmetric eigensolver (the "partial EVD building block" named as
+//! future work).
+
+use crate::options::QdwhOptions;
+use crate::qdwh_impl::{qdwh, QdwhError};
+use polar_blas::{gemm, symmetrize};
+use polar_lapack::{geqrf, jacobi_eig, orgqr};
+use polar_matrix::{Matrix, Op};
+use polar_scalar::{Real, Scalar};
+use std::ops::ControlFlow;
+
+/// SVD computed through the polar decomposition (§3):
+/// `A = U_p H`, `H = V Λ V^H`  ⇒  `A = (U_p V) Λ V^H = U Σ V^H`.
+#[derive(Debug, Clone)]
+pub struct QdwhSvd<S: Scalar> {
+    pub u: Matrix<S>,
+    pub sigma: Vec<S::Real>,
+    pub v: Matrix<S>,
+    /// QDWH iterations spent in the polar stage.
+    pub polar_iterations: usize,
+}
+
+/// Compute the thin SVD of `A` (`m >= n`) via QDWH-PD + Hermitian EVD.
+pub fn qdwh_svd<S: Scalar>(
+    a: &Matrix<S>,
+    opts: &QdwhOptions,
+) -> Result<QdwhSvd<S>, QdwhError> {
+    let n = a.ncols();
+    let mut pd_opts = opts.clone();
+    pd_opts.compute_h = true;
+    let pd = qdwh(a, &pd_opts)?;
+    let eig = jacobi_eig(&pd.h)?;
+    // U = U_p V
+    let mut u = Matrix::<S>::zeros(a.nrows(), n);
+    gemm(Op::NoTrans, Op::NoTrans, S::ONE, pd.u.as_ref(), eig.vectors.as_ref(), S::ZERO, u.as_mut());
+    // singular values = eigenvalues of H (clamp tiny negatives from roundoff)
+    let sigma: Vec<S::Real> = eig
+        .values
+        .iter()
+        .map(|&l| if l < S::Real::ZERO { S::Real::ZERO } else { l })
+        .collect();
+    Ok(QdwhSvd {
+        u,
+        sigma,
+        v: eig.vectors,
+        polar_iterations: pd.info.iterations,
+    })
+}
+
+/// Hermitian eigendecomposition by QDWH spectral divide and conquer
+/// (Nakatsukasa & Higham 2013; the paper's §8 names partial EVD on top of
+/// QDWH as the targeted extension).
+///
+/// Splits the spectrum at a shift `sigma` using the polar factor of
+/// `A - sigma I`: `P = (U_p + I)/2` is the orthogonal projector onto the
+/// invariant subspace of eigenvalues `>= sigma`; the two deflated blocks
+/// recurse, with a Jacobi base case.
+#[derive(Debug, Clone)]
+pub struct QdwhEig<S: Scalar> {
+    pub values: Vec<S::Real>,
+    pub vectors: Matrix<S>,
+    /// Total QDWH polar decompositions performed across the recursion.
+    pub polar_count: usize,
+}
+
+/// Base-case size below which the recursion hands off to Jacobi.
+const EIG_BASE: usize = 24;
+
+pub fn qdwh_eig<S: Scalar>(
+    a: &Matrix<S>,
+    opts: &QdwhOptions,
+) -> Result<QdwhEig<S>, QdwhError> {
+    if !a.is_square() {
+        return Err(QdwhError::Shape("qdwh_eig requires a square Hermitian matrix"));
+    }
+    let n = a.nrows();
+    let mut vectors = Matrix::<S>::identity(n, n);
+    let mut values = vec![S::Real::ZERO; n];
+    let mut polar_count = 0usize;
+    eig_recurse(a, &mut vectors, &mut values, 0, opts, &mut polar_count, 0)?;
+    // global descending sort with vector permutation
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| values[j].partial_cmp(&values[i]).unwrap());
+    let sorted_vals: Vec<S::Real> = order.iter().map(|&j| values[j]).collect();
+    let mut sorted_vecs = Matrix::<S>::zeros(n, n);
+    for (newj, &oldj) in order.iter().enumerate() {
+        for i in 0..n {
+            sorted_vecs[(i, newj)] = vectors[(i, oldj)];
+        }
+    }
+    Ok(QdwhEig {
+        values: sorted_vals,
+        vectors: sorted_vecs,
+        polar_count,
+    })
+}
+
+/// Recursive splitter. `block` is the Hermitian submatrix in the basis of
+/// columns `col0..col0+k` of `vectors`; on return those columns hold the
+/// eigenvectors and `values[col0..col0+k]` the eigenvalues.
+fn eig_recurse<S: Scalar>(
+    block: &Matrix<S>,
+    vectors: &mut Matrix<S>,
+    values: &mut [S::Real],
+    col0: usize,
+    opts: &QdwhOptions,
+    polar_count: &mut usize,
+    depth: usize,
+) -> Result<(), QdwhError> {
+    let k = block.nrows();
+    if k == 0 {
+        return Ok(());
+    }
+    if k <= EIG_BASE || depth > 40 {
+        return base_case(block, vectors, values, col0);
+    }
+    match try_split(block, opts, polar_count)? {
+        ControlFlow::Break(()) => base_case(block, vectors, values, col0),
+        ControlFlow::Continue((v1, a1, v2, a2)) => {
+            let k1 = a1.nrows();
+            // rotate the global basis: cols [col0, col0+k) * [v1 v2]
+            rotate_basis(vectors, col0, k, &v1, &v2);
+            eig_recurse(&a1, vectors, values, col0, opts, polar_count, depth + 1)?;
+            eig_recurse(&a2, vectors, values, col0 + k1, opts, polar_count, depth + 1)?;
+            Ok(())
+        }
+    }
+}
+
+fn base_case<S: Scalar>(
+    block: &Matrix<S>,
+    vectors: &mut Matrix<S>,
+    values: &mut [S::Real],
+    col0: usize,
+) -> Result<(), QdwhError> {
+    let k = block.nrows();
+    let eig = jacobi_eig(block)?;
+    // global vectors: cols[col0..col0+k] *= eig.vectors
+    rotate_basis(vectors, col0, k, &eig.vectors, &Matrix::zeros(k, 0));
+    values[col0..col0 + k].copy_from_slice(&eig.values);
+    Ok(())
+}
+
+/// `vectors[:, col0..col0+k] := vectors[:, col0..col0+k] * [w1 w2]`.
+fn rotate_basis<S: Scalar>(
+    vectors: &mut Matrix<S>,
+    col0: usize,
+    k: usize,
+    w1: &Matrix<S>,
+    w2: &Matrix<S>,
+) {
+    let n = vectors.nrows();
+    let old = vectors.submatrix_owned(0, col0, n, k);
+    let k1 = w1.ncols();
+    {
+        let out1 = vectors.view_mut(0, col0, n, k1);
+        gemm(Op::NoTrans, Op::NoTrans, S::ONE, old.as_ref(), w1.as_ref(), S::ZERO, out1);
+    }
+    if w2.ncols() > 0 {
+        let out2 = vectors.view_mut(0, col0 + k1, n, w2.ncols());
+        gemm(Op::NoTrans, Op::NoTrans, S::ONE, old.as_ref(), w2.as_ref(), S::ZERO, out2);
+    }
+}
+
+type SplitResult<S> = ControlFlow<(), (Matrix<S>, Matrix<S>, Matrix<S>, Matrix<S>)>;
+
+/// Crate-internal view of one divide step for the partial-spectrum module:
+/// `Some((V1, A1, V2, A2))` on a productive split (`A1` carries the
+/// eigenvalues above the shift), `None` when the block is unsplittable.
+pub(crate) fn split_spectrum<S: Scalar>(
+    a: &Matrix<S>,
+    opts: &QdwhOptions,
+    polar_count: &mut usize,
+) -> Result<Option<(Matrix<S>, Matrix<S>, Matrix<S>, Matrix<S>)>, QdwhError> {
+    match try_split(a, opts, polar_count)? {
+        ControlFlow::Break(()) => Ok(None),
+        ControlFlow::Continue(parts) => Ok(Some(parts)),
+    }
+}
+
+/// One divide step: returns `(V1, A1, V2, A2)` with `A1 = V1^H A V1`
+/// (eigenvalues above the shift) and `A2 = V2^H A V2`, or `Break` when no
+/// productive split exists (clustered spectrum).
+fn try_split<S: Scalar>(
+    a: &Matrix<S>,
+    opts: &QdwhOptions,
+    polar_count: &mut usize,
+) -> Result<SplitResult<S>, QdwhError> {
+    let k = a.nrows();
+    // shift: median of the diagonal — cheap and effective for splitting
+    let mut diag: Vec<S::Real> = (0..k).map(|i| a[(i, i)].re()).collect();
+    diag.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    let sigma = diag[k / 2];
+
+    // polar factor of A - sigma I
+    let mut shifted = a.clone();
+    for i in 0..k {
+        shifted[(i, i)] -= S::from_real(sigma);
+    }
+    let mut pd_opts = opts.clone();
+    pd_opts.compute_h = false;
+    let pd = match qdwh(&shifted, &pd_opts) {
+        Ok(pd) => pd,
+        // shift landed on an eigenvalue (singular input) — give up on
+        // splitting this block
+        Err(_) => return Ok(ControlFlow::Break(())),
+    };
+    *polar_count += 1;
+
+    // P = (U_p + I)/2, projector rank = #eigenvalues >= sigma
+    let mut p = pd.u;
+    for i in 0..k {
+        p[(i, i)] += S::ONE;
+    }
+    let half = S::Real::ONE / S::Real::TWO;
+    for j in 0..k {
+        for i in 0..k {
+            p[(i, j)] = p[(i, j)].mul_real(half);
+        }
+    }
+    let trace: S::Real = (0..k).map(|i| p[(i, i)].re()).sum();
+    let k1 = trace.to_f64().round() as usize;
+    if k1 == 0 || k1 >= k {
+        return Ok(ControlFlow::Break(()));
+    }
+
+    // randomized range finder: B = P * Omega, QR -> [V1 V2]
+    let mut rng_state = 0x9E3779B97F4A7C15u64 ^ (k as u64);
+    let omega = Matrix::<S>::from_fn(k, k, |_, _| {
+        rng_state = rng_state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let v = ((rng_state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+        S::from_f64(v)
+    });
+    let mut b = Matrix::<S>::zeros(k, k);
+    gemm(Op::NoTrans, Op::NoTrans, S::ONE, p.as_ref(), omega.as_ref(), S::ZERO, b.as_mut());
+    // make trailing columns span the complement: B2 = (I - P) Omega2 = Omega2 - P Omega2
+    for j in k1..k {
+        for i in 0..k {
+            b[(i, j)] = omega[(i, j)] - b[(i, j)];
+        }
+    }
+    let f = geqrf(&mut b);
+    let q = orgqr(&b, &f);
+    let v1 = q.submatrix_owned(0, 0, k, k1);
+    let v2 = q.submatrix_owned(0, k1, k, k - k1);
+
+    // deflated blocks A_i = V_i^H A V_i
+    let a1 = congruence(a, &v1);
+    let a2 = congruence(a, &v2);
+
+    // validate the split: the off-diagonal coupling must be negligible
+    let mut av1 = Matrix::<S>::zeros(k, k1);
+    gemm(Op::NoTrans, Op::NoTrans, S::ONE, a.as_ref(), v1.as_ref(), S::ZERO, av1.as_mut());
+    let mut coupling = Matrix::<S>::zeros(k - k1, k1);
+    gemm(Op::ConjTrans, Op::NoTrans, S::ONE, v2.as_ref(), av1.as_ref(), S::ZERO, coupling.as_mut());
+    let c_norm: S::Real = polar_blas::norm(polar_matrix::Norm::Fro, coupling.as_ref());
+    let a_norm: S::Real = polar_blas::norm(polar_matrix::Norm::Fro, a.as_ref());
+    let tol = S::Real::EPSILON.sqrt() * (S::Real::ONE + a_norm);
+    if c_norm > tol {
+        return Ok(ControlFlow::Break(()));
+    }
+
+    Ok(ControlFlow::Continue((v1, a1, v2, a2)))
+}
+
+/// `V^H A V`, symmetrized.
+fn congruence<S: Scalar>(a: &Matrix<S>, v: &Matrix<S>) -> Matrix<S> {
+    let k = a.nrows();
+    let r = v.ncols();
+    let mut av = Matrix::<S>::zeros(k, r);
+    gemm(Op::NoTrans, Op::NoTrans, S::ONE, a.as_ref(), v.as_ref(), S::ZERO, av.as_mut());
+    let mut out = Matrix::<S>::zeros(r, r);
+    gemm(Op::ConjTrans, Op::NoTrans, S::ONE, v.as_ref(), av.as_ref(), S::ZERO, out.as_mut());
+    symmetrize(out.as_mut());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_blas::{add, norm};
+    use polar_gen::{generate, MatrixSpec, SigmaDistribution};
+    use polar_matrix::Norm;
+
+    #[test]
+    fn qdwh_svd_matches_generator_spectrum() {
+        let spec = MatrixSpec {
+            m: 30,
+            n: 20,
+            cond: 1e6,
+            distribution: SigmaDistribution::Geometric,
+            seed: 1,
+        };
+        let (a, sigma) = generate::<f64>(&spec);
+        let svd = qdwh_svd(&a, &QdwhOptions::default()).unwrap();
+        for (c, e) in svd.sigma.iter().zip(&sigma) {
+            assert!((c - e).abs() < 1e-10 * (1.0 + e), "{c} vs {e}");
+        }
+        // reconstruction A = U diag(sigma) V^H
+        let mut us = svd.u.clone();
+        for j in 0..20 {
+            for i in 0..30 {
+                us[(i, j)] = us[(i, j)] * svd.sigma[j];
+            }
+        }
+        let mut recon = Matrix::<f64>::zeros(30, 20);
+        gemm(Op::NoTrans, Op::ConjTrans, 1.0, us.as_ref(), svd.v.as_ref(), 0.0, recon.as_mut());
+        let mut diff = recon;
+        add(-1.0, a.as_ref(), 1.0, diff.as_mut());
+        let err: f64 = norm(Norm::Fro, diff.as_ref());
+        assert!(err < 1e-11, "||USV^H - A|| = {err}");
+    }
+
+    fn rand_sym(n: usize, seed: u64) -> Matrix<f64> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let g = Matrix::from_fn(n, n, |_, _| next());
+        Matrix::from_fn(n, n, |i, j| (g[(i, j)] + g[(j, i)]) / 2.0)
+    }
+
+    #[test]
+    fn qdwh_eig_matches_jacobi() {
+        let a = rand_sym(60, 2);
+        let sdc = qdwh_eig(&a, &QdwhOptions::default()).unwrap();
+        let direct = jacobi_eig(&a).unwrap();
+        for (x, y) in sdc.values.iter().zip(&direct.values) {
+            assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+        // residual ||A V - V L||
+        let n = 60;
+        let mut av = Matrix::<f64>::zeros(n, n);
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), sdc.vectors.as_ref(), 0.0, av.as_mut());
+        let mut vl = sdc.vectors.clone();
+        for j in 0..n {
+            for i in 0..n {
+                vl[(i, j)] *= sdc.values[j];
+            }
+        }
+        let mut diff = av;
+        add(-1.0, vl.as_ref(), 1.0, diff.as_mut());
+        let res: f64 = norm(Norm::Fro, diff.as_ref());
+        let scale: f64 = norm(Norm::Fro, a.as_ref());
+        assert!(res < 1e-9 * (1.0 + scale), "residual {res}");
+        // it actually divided (at least one polar call above base size)
+        assert!(sdc.polar_count >= 1);
+    }
+
+    #[test]
+    fn qdwh_eig_small_block_uses_jacobi() {
+        let a = rand_sym(8, 3);
+        let sdc = qdwh_eig(&a, &QdwhOptions::default()).unwrap();
+        assert_eq!(sdc.polar_count, 0);
+        let direct = jacobi_eig(&a).unwrap();
+        for (x, y) in sdc.values.iter().zip(&direct.values) {
+            assert!((x - y).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn qdwh_eig_rejects_rectangular() {
+        let a = Matrix::<f64>::zeros(3, 5);
+        assert!(qdwh_eig(&a, &QdwhOptions::default()).is_err());
+    }
+
+    #[test]
+    fn qdwh_eig_vectors_orthonormal() {
+        let a = rand_sym(40, 5);
+        let sdc = qdwh_eig(&a, &QdwhOptions::default()).unwrap();
+        let mut vhv = Matrix::<f64>::zeros(40, 40);
+        gemm(Op::ConjTrans, Op::NoTrans, 1.0, sdc.vectors.as_ref(), sdc.vectors.as_ref(), 0.0, vhv.as_mut());
+        for j in 0..40 {
+            for i in 0..40 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((vhv[(i, j)] - expect).abs() < 1e-10);
+            }
+        }
+    }
+}

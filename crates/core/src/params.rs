@@ -1,0 +1,154 @@
+//! The dynamically-weighted Halley parameters (Algorithm 1 lines 23–27).
+//!
+//! Given the running lower bound `l` on the smallest singular value of the
+//! current iterate, the weights `(a, b, c)` are chosen so the rational map
+//! `x (a + b x^2) / (1 + c x^2)` maximally inflates the interval `[l, 1]`
+//! toward 1 — this is what gives QDWH its condition-adaptive cubic
+//! convergence (Nakatsukasa, Bai & Gygi 2010).
+
+use polar_scalar::Real;
+
+/// One iteration's weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HalleyParams<R> {
+    pub a: R,
+    pub b: R,
+    pub c: R,
+}
+
+/// Compute `(a, b, c)` from the current bound `l` (Algorithm 1 lines 23–26).
+pub fn halley_parameters<R: Real>(l: R) -> HalleyParams<R> {
+    let one = R::ONE;
+    let two = R::TWO;
+    let four = two * two;
+    let eight = four * two;
+    let l2 = l * l;
+    // dd = cbrt(4 (1 - l^2) / l^4)
+    let dd = (four * (one - l2) / (l2 * l2)).cbrt();
+    let sqd = (one + dd).sqrt();
+    // a = sqd + sqrt(8 - 4 dd + 8 (2 - l^2) / (l^2 sqd)) / 2
+    let inner = eight - four * dd + eight * (two - l2) / (l2 * sqd);
+    let a = sqd + inner.sqrt() / two;
+    let b = (a - one) * (a - one) / four;
+    let c = a + b - one;
+    HalleyParams { a, b, c }
+}
+
+/// Advance the singular-value lower bound (Algorithm 1 line 27):
+/// `l_{k+1} = l_k (a + b l_k^2) / (1 + c l_k^2)`.
+pub fn update_ell<R: Real>(l: R, p: HalleyParams<R>) -> R {
+    let l2 = l * l;
+    // the map is monotone into (l, 1]; clamp against roundoff overshoot
+    let next = l * (p.a + p.b * l2) / (R::ONE + p.c * l2);
+    next.min(R::ONE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn limit_is_halley() {
+        // As l -> 1, (a, b, c) -> (3, 1, 3): the classical Halley weights.
+        let p = halley_parameters(1.0f64 - 1e-14);
+        assert!((p.a - 3.0).abs() < 1e-5, "a = {}", p.a);
+        assert!((p.b - 1.0).abs() < 1e-5);
+        assert!((p.c - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn small_ell_gives_large_c() {
+        // Ill-conditioned start (l ~ 1e-16) must land on the QR path (c > 100).
+        let p = halley_parameters(1e-16f64);
+        assert!(p.c > 100.0, "c = {}", p.c);
+        assert!(p.a > 0.0 && p.b > 0.0);
+    }
+
+    #[test]
+    fn ell_is_monotone_and_bounded() {
+        let mut l = 1e-12f64;
+        for _ in 0..20 {
+            let p = halley_parameters(l);
+            let next = update_ell(l, p);
+            if l < 1.0 {
+                assert!(next > l, "l must strictly increase below 1: {l} -> {next}");
+            }
+            assert!(next <= 1.0);
+            l = next;
+        }
+        assert!((l - 1.0).abs() < 1e-10, "l converges to 1, got {l}");
+    }
+
+    #[test]
+    fn six_iterations_suffice_for_kappa_1e16() {
+        // The paper/theory bound: from l0 = 1e-16, |l - 1| < 5 eps within
+        // six parameter updates (double precision).
+        let mut l = 1e-16f64;
+        let mut iters = 0;
+        while (l - 1.0).abs() >= 5.0 * f64::EPSILON && iters < 10 {
+            let p = halley_parameters(l);
+            l = update_ell(l, p);
+            iters += 1;
+        }
+        assert!(iters <= 6, "needed {iters} iterations");
+    }
+
+    fn count_split(l0: f64) -> (usize, usize) {
+        let mut l = l0;
+        let mut qr = 0;
+        let mut chol = 0;
+        while (l - 1.0).abs() >= 5.0 * f64::EPSILON && qr + chol < 12 {
+            let p = halley_parameters(l);
+            if p.c > 100.0 {
+                qr += 1;
+            } else {
+                chol += 1;
+            }
+            l = update_ell(l, p);
+        }
+        (qr, chol)
+    }
+
+    #[test]
+    fn iteration_split_at_kappa_1e16() {
+        // With the paper's sqrt(n)-deflated l0 estimate (~1e-17 at
+        // kappa = 1e16, n ~ 100) the split is exactly the 3 QR + 3
+        // Cholesky the paper reports (§7.2).
+        assert_eq!(count_split(1e-17), (3, 3));
+        // With a tight sigma_min estimate (l0 = 0.9e-16) the same
+        // worst-case total of 6 holds, shifted to 2 QR + 4 Cholesky.
+        let (qr, chol) = count_split(0.9e-16);
+        assert_eq!(qr + chol, 6);
+        assert_eq!(qr, 2);
+    }
+
+    #[test]
+    fn well_conditioned_needs_no_qr() {
+        // kappa <= ~20 (l0 >= ~0.05): Cholesky-only, as §4 claims for
+        // well-conditioned matrices.
+        let (qr, chol) = count_split(0.9);
+        assert_eq!(qr, 0);
+        assert_eq!(chol, 2); // the paper's "two Cholesky-based" count
+        let (qr10, _) = count_split(0.09); // kappa = 10, tight estimate
+        assert_eq!(qr10, 0);
+    }
+
+    #[test]
+    fn f32_parameters_finite() {
+        let p = halley_parameters(1e-7f32);
+        assert!(p.a.is_finite() && p.b.is_finite() && p.c.is_finite());
+        assert!(p.c > 100.0);
+    }
+
+    #[test]
+    fn weights_satisfy_invariants() {
+        // For all l in (0, 1]: a > 0, b >= 0, c = a + b - 1, and the map
+        // sends l below 1 (fixed point at 1: (a + b)/(1 + c) = 1).
+        for &l in &[1e-16, 1e-8, 1e-3, 0.1, 0.5, 0.9, 0.999] {
+            let p = halley_parameters(l);
+            assert!((p.c - (p.a + p.b - 1.0)).abs() < 1e-9 * p.c.max(1.0));
+            let fixed = (p.a + p.b) / (1.0 + p.c);
+            assert!((fixed - 1.0).abs() < 1e-12, "map fixed point at 1");
+        }
+    }
+}

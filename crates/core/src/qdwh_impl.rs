@@ -1,0 +1,669 @@
+//! The QDWH driver — Algorithm 1 of the paper, line by line.
+
+use crate::options::{IterationKind, IterationPath, QdwhOptions};
+use crate::params::{halley_parameters, update_ell};
+use polar_blas::{add, gemm, herk, norm, scale_real, symmetrize, trsm};
+use polar_lapack::{geqrf, norm2est, orgqr, potrf, tr_sigma_min_est, trcondest, tsqr, LapackError};
+use polar_matrix::{Diag, Matrix, Norm, Op, Side, Uplo};
+use polar_scalar::{Real, Scalar};
+
+/// Errors from the QDWH driver.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QdwhError {
+    /// `m < n`: transpose the input (the polar decomposition of `A^H` is
+    /// `H U_p^H` reversed).
+    Shape(&'static str),
+    /// A factorization inside an iteration failed.
+    Lapack(LapackError),
+    /// Non-finite values appeared (NaN/Inf input or breakdown).
+    NonFinite { iteration: usize },
+    /// The iteration cap was hit before the convergence test passed.
+    NoConvergence { iterations: usize },
+}
+
+impl From<LapackError> for QdwhError {
+    fn from(e: LapackError) -> Self {
+        QdwhError::Lapack(e)
+    }
+}
+
+impl std::fmt::Display for QdwhError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QdwhError::Shape(m) => write!(f, "shape error: {m}"),
+            QdwhError::Lapack(e) => write!(f, "factorization error: {e}"),
+            QdwhError::NonFinite { iteration } => {
+                write!(f, "non-finite values at iteration {iteration}")
+            }
+            QdwhError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QdwhError {}
+
+/// Per-run telemetry: what the benchmark harness and the experiment
+/// reports consume.
+#[derive(Debug, Clone)]
+pub struct QdwhInfo<R> {
+    /// Two-norm estimate `alpha` used for the initial scaling (line 11).
+    pub alpha: R,
+    /// Condition-estimate-derived lower bound `l_0` (line 19).
+    pub l0: R,
+    /// Total iterations.
+    pub iterations: usize,
+    /// QR-based iterations (Eq. (1)).
+    pub qr_iterations: usize,
+    /// Cholesky-based iterations (Eq. (2)).
+    pub chol_iterations: usize,
+    /// The kind of each iteration in order.
+    pub kinds: Vec<IterationKind>,
+    /// `||A_k - A_{k-1}||_F` per iteration (line 48).
+    pub convergence_history: Vec<R>,
+    /// Floating-point operation estimate from the paper's complexity
+    /// formula (§4), in real flops.
+    pub flops_estimate: f64,
+}
+
+impl<R: Real> QdwhInfo<R> {
+    /// Orthogonality error of a computed factor: `||I - U^H U||_F / sqrt(n)`
+    /// (the paper's Fig. 1a metric).
+    pub fn orthogonality_error<S: Scalar<Real = R>>(&self, u: &Matrix<S>) -> R {
+        orthogonality_error(u)
+    }
+}
+
+/// `||I - U^H U||_F / sqrt(n)` (Fig. 1a metric), available standalone.
+pub fn orthogonality_error<S: Scalar>(u: &Matrix<S>) -> S::Real {
+    let n = u.ncols();
+    if n == 0 {
+        return S::Real::ZERO;
+    }
+    let mut g = Matrix::<S>::identity(n, n);
+    gemm(Op::ConjTrans, Op::NoTrans, -S::ONE, u.as_ref(), u.as_ref(), S::ONE, g.as_mut());
+    let fro: S::Real = norm(Norm::Fro, g.as_ref());
+    fro / S::Real::from_usize(n).sqrt()
+}
+
+/// Result of [`qdwh`]: `A = U_p H` plus run telemetry.
+#[derive(Debug, Clone)]
+pub struct PolarDecomposition<S: Scalar> {
+    /// Unitary (orthonormal-columns) polar factor, `m x n`.
+    pub u: Matrix<S>,
+    /// Hermitian positive-semidefinite factor, `n x n` (empty when
+    /// `compute_h` is off).
+    pub h: Matrix<S>,
+    pub info: QdwhInfo<S::Real>,
+}
+
+impl<S: Scalar> PolarDecomposition<S> {
+    /// Backward error `||A - U_p H||_F / ||A||_F` (the paper's Fig. 1b
+    /// metric). Requires `compute_h`.
+    pub fn backward_error(&self, a: &Matrix<S>) -> S::Real {
+        let mut recon = a.clone();
+        // recon := U H - A
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            S::ONE,
+            self.u.as_ref(),
+            self.h.as_ref(),
+            -S::ONE,
+            recon.as_mut(),
+        );
+        let err: S::Real = norm(Norm::Fro, recon.as_ref());
+        let scale: S::Real = norm(Norm::Fro, a.as_ref());
+        if scale == S::Real::ZERO {
+            err
+        } else {
+            err / scale
+        }
+    }
+}
+
+/// QDWH-based polar decomposition (Algorithm 1). `A` is `m x n`, `m >= n`.
+pub fn qdwh<S: Scalar>(
+    a: &Matrix<S>,
+    opts: &QdwhOptions,
+) -> Result<PolarDecomposition<S>, QdwhError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    if m < n {
+        return Err(QdwhError::Shape("qdwh requires m >= n"));
+    }
+    if n == 0 {
+        return Ok(PolarDecomposition {
+            u: Matrix::zeros(m, 0),
+            h: Matrix::zeros(0, 0),
+            info: empty_info(),
+        });
+    }
+    if a.has_non_finite() {
+        return Err(QdwhError::NonFinite { iteration: 0 });
+    }
+
+    let eps = S::Real::EPSILON;
+    let five_eps = S::Real::from_f64(5.0) * eps;
+    // tolerance on ||A_k - A_{k-1}||_F: cube root of 5 eps (line 22),
+    // appropriate for a cubically convergent method.
+    let conv_tol = five_eps.cbrt();
+
+    // ---- line 8: keep A for the final H = U^H A ----
+    let a_copy = a.clone();
+
+    // ---- lines 10-13: two-norm estimate and scaling ----
+    let est = norm2est(a);
+    let alpha = est.estimate;
+    if alpha == S::Real::ZERO {
+        // zero matrix: U = leading identity block, H = 0
+        return Ok(PolarDecomposition {
+            u: Matrix::identity(m, n),
+            h: Matrix::zeros(n, n),
+            info: empty_info(),
+        });
+    }
+    let mut x = a.clone();
+    scale_real::<S>(alpha.recip(), x.as_mut());
+
+    // ---- lines 14-19: condition estimate -> l0 ----
+    let l0 = match opts.l0_override {
+        Some(v) => S::Real::from_f64(v),
+        None => {
+            let strategy = match opts.l0_strategy {
+                // the LU route only applies to square inputs (no LU
+                // condition estimate for rectangular A); fall back to QR
+                crate::options::L0Strategy::LuFormula if m != n => {
+                    crate::options::L0Strategy::PaperFormula
+                }
+                s => s,
+            };
+            let raw = match strategy {
+                crate::options::L0Strategy::SigmaMinPowerIteration => {
+                    // sigma_min(A_0) = sigma_min(R), estimated tightly by
+                    // inverse power iteration; scaled by 0.9 so roundoff
+                    // and estimator slack keep it a lower bound.
+                    let mut w1 = x.clone();
+                    let _f = geqrf(&mut w1);
+                    tr_sigma_min_est(&w1) * S::Real::from_f64(0.9)
+                }
+                crate::options::L0Strategy::PaperFormula => {
+                    let mut w1 = x.clone();
+                    let _f = geqrf(&mut w1);
+                    let rcond = trcondest(&w1); // 1/(||R||_1 ||R^{-1}||_1)
+                    let anorm_scaled: S::Real = norm(Norm::One, x.as_ref());
+                    anorm_scaled * rcond / S::Real::from_usize(n).sqrt()
+                }
+                crate::options::L0Strategy::LuFormula => {
+                    // §4 stage (1), LU route: getrf + gecondest
+                    let anorm_scaled: S::Real = norm(Norm::One, x.as_ref());
+                    let rcond = match polar_lapack::getrf(&x) {
+                        Ok(f) => polar_lapack::gecondest(&f, anorm_scaled),
+                        Err((f, _)) => polar_lapack::gecondest(&f, anorm_scaled),
+                    };
+                    anorm_scaled * rcond / S::Real::from_usize(n).sqrt()
+                }
+            };
+            // clamp into (~eps^2, 1): l0 = 0 would stall the weights
+            let floor = eps * eps;
+            raw.max(floor).min(S::Real::ONE - eps)
+        }
+    };
+
+    // ---- lines 21-50: the dynamically weighted Halley iteration ----
+    let mut ell = l0;
+    let mut conv = S::Real::from_f64(100.0);
+    let mut info = QdwhInfo {
+        alpha,
+        l0,
+        iterations: 0,
+        qr_iterations: 0,
+        chol_iterations: 0,
+        kinds: Vec::new(),
+        convergence_history: Vec::new(),
+        flops_estimate: 0.0,
+    };
+    let mut x_prev = Matrix::<S>::zeros(m, n);
+
+    while conv >= conv_tol || (ell - S::Real::ONE).abs() >= five_eps {
+        if info.iterations >= opts.max_iterations {
+            return Err(QdwhError::NoConvergence {
+                iterations: info.iterations,
+            });
+        }
+        info.iterations += 1;
+
+        let p = halley_parameters(ell);
+        ell = update_ell(ell, p);
+
+        let use_qr = match opts.path {
+            IterationPath::Auto => p.c.to_f64() > opts.qr_switch_threshold,
+            IterationPath::ForceQr => true,
+            IterationPath::ForceCholesky => false,
+        };
+
+        x_prev.copy_from(&x);
+
+        if use_qr {
+            qr_iteration(&mut x, p.a, p.b, p.c, opts)?;
+            info.qr_iterations += 1;
+            info.kinds.push(IterationKind::QrBased);
+        } else {
+            chol_iteration(&mut x, p.a, p.b, p.c)?;
+            info.chol_iterations += 1;
+            info.kinds.push(IterationKind::CholeskyBased);
+        }
+
+        if x.has_non_finite() {
+            return Err(QdwhError::NonFinite {
+                iteration: info.iterations,
+            });
+        }
+
+        // ---- lines 47-48: conv = ||X_k - X_{k-1}||_F ----
+        let mut diff = x_prev.clone();
+        add(S::ONE, x.as_ref(), -S::ONE, diff.as_mut());
+        conv = norm(Norm::Fro, diff.as_ref());
+        info.convergence_history.push(conv);
+    }
+
+    // paper §4 complexity formula (square-matrix form, real flops)
+    let nf = n as f64;
+    let tf = polar_blas::flops::type_factor(S::IS_COMPLEX);
+    info.flops_estimate = tf
+        * ((4.0 / 3.0) * nf.powi(3)
+            + (8.0 + 2.0 / 3.0) * nf.powi(3) * info.qr_iterations as f64
+            + (4.0 + 1.0 / 3.0) * nf.powi(3) * info.chol_iterations as f64
+            + 2.0 * nf.powi(3));
+
+    // ---- line 52: H = U^H A, then symmetrize ----
+    let h = if opts.compute_h {
+        let mut h = Matrix::<S>::zeros(n, n);
+        gemm(Op::ConjTrans, Op::NoTrans, S::ONE, x.as_ref(), a_copy.as_ref(), S::ZERO, h.as_mut());
+        symmetrize(h.as_mut());
+        h
+    } else {
+        Matrix::zeros(0, 0)
+    };
+
+    Ok(PolarDecomposition { u: x, h, info })
+}
+
+fn empty_info<R: Real>() -> QdwhInfo<R> {
+    QdwhInfo {
+        alpha: R::ZERO,
+        l0: R::ZERO,
+        iterations: 0,
+        qr_iterations: 0,
+        chol_iterations: 0,
+        kinds: Vec::new(),
+        convergence_history: Vec::new(),
+        flops_estimate: 0.0,
+    }
+}
+
+/// QR-based iteration (Eq. (1); Algorithm 1 lines 30-36):
+///
+/// ```text
+/// [Q1; Q2] R = [sqrt(c) X; I]
+/// X := (b/c) X + (1/sqrt(c)) (a - b/c) Q1 Q2^H
+/// ```
+fn qr_iteration<S: Scalar>(
+    x: &mut Matrix<S>,
+    a: S::Real,
+    b: S::Real,
+    c: S::Real,
+    opts: &QdwhOptions,
+) -> Result<(), QdwhError> {
+    let m = x.nrows();
+    let n = x.ncols();
+    let sqrt_c = c.sqrt();
+
+    // W = [sqrt(c) X; I]
+    let mut top = x.clone();
+    scale_real::<S>(sqrt_c, top.as_mut());
+    let w0 = Matrix::vstack(&top, &Matrix::identity(n, n));
+
+    // thin QR and explicit Q (lines 31-32)
+    let q = if opts.use_tsqr {
+        tsqr(&w0).0
+    } else {
+        let mut w = w0;
+        let f = if opts.exploit_structure {
+            polar_lapack::geqrf_stacked(m, &mut w)
+        } else {
+            geqrf(&mut w)
+        };
+        orgqr(&w, &f)
+    };
+    let q1 = q.submatrix_owned(0, 0, m, n);
+    let q2 = q.submatrix_owned(m, 0, n, n);
+
+    // X := theta Q1 Q2^H + beta X, theta = (a - b/c)/sqrt(c), beta = b/c
+    let beta = b / c;
+    let theta = (a - beta) / sqrt_c;
+    gemm(
+        Op::NoTrans,
+        Op::ConjTrans,
+        S::from_real(theta),
+        q1.as_ref(),
+        q2.as_ref(),
+        S::from_real(beta),
+        x.as_mut(),
+    );
+    Ok(())
+}
+
+/// Cholesky-based iteration (Eq. (2); Algorithm 1 lines 38-44):
+///
+/// ```text
+/// Z = I + c X^H X;  Z = L L^H
+/// X := (b/c) X_prev + (a - b/c) (X Z^{-1})
+/// ```
+///
+/// (`X Z^{-1}` via two right-side triangular solves with `L`.)
+fn chol_iteration<S: Scalar>(
+    x: &mut Matrix<S>,
+    a: S::Real,
+    b: S::Real,
+    c: S::Real,
+) -> Result<(), QdwhError> {
+    let n = x.ncols();
+    let x_prev = x.clone();
+
+    // Z = I + c X^H X (Eq. (2); the paper's line 40 prints "-c", which
+    // would make Z indefinite — Eq. (2) is the consistent form).
+    let mut z = Matrix::<S>::identity(n, n);
+    herk(Uplo::Lower, Op::ConjTrans, c, x.as_ref(), S::Real::ONE, z.as_mut());
+    potrf(Uplo::Lower, &mut z)?;
+
+    // X := X L^{-H} L^{-1}
+    trsm(Side::Right, Uplo::Lower, Op::ConjTrans, Diag::NonUnit, S::ONE, z.as_ref(), x.as_mut());
+    trsm(Side::Right, Uplo::Lower, Op::NoTrans, Diag::NonUnit, S::ONE, z.as_ref(), x.as_mut());
+
+    // X := (b/c) X_prev + (a - b/c) X   (line 44)
+    let beta = b / c;
+    let theta = a - beta;
+    add(S::from_real(beta), x_prev.as_ref(), S::from_real(theta), x.as_mut());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_gen::{generate, MatrixSpec, SigmaDistribution};
+    use polar_scalar::{Complex32, Complex64};
+
+    fn check_polar<S: Scalar>(a: &Matrix<S>, opts: &QdwhOptions, tol: S::Real) -> PolarDecomposition<S> {
+        let pd = qdwh(a, opts).expect("qdwh converged");
+        let orth = orthogonality_error(&pd.u);
+        assert!(orth <= tol, "orthogonality error {orth:?}");
+        if opts.compute_h {
+            let berr = pd.backward_error(a);
+            assert!(berr <= tol, "backward error {berr:?}");
+            // H Hermitian
+            for j in 0..pd.h.ncols() {
+                for i in 0..pd.h.nrows() {
+                    assert!(
+                        (pd.h[(i, j)] - pd.h[(j, i)].conj()).abs() <= tol,
+                        "H not Hermitian"
+                    );
+                }
+            }
+        }
+        pd
+    }
+
+    #[test]
+    fn well_conditioned_double() {
+        let (a, _) = generate::<f64>(&MatrixSpec::well_conditioned(60, 1));
+        let pd = check_polar(&a, &QdwhOptions::default(), 1e-13);
+        // well-conditioned (§4): no QR iterations, few Cholesky ones
+        assert_eq!(pd.info.qr_iterations, 0, "kinds: {:?}", pd.info.kinds);
+        assert!(pd.info.chol_iterations <= 4);
+    }
+
+    #[test]
+    fn ill_conditioned_double_iteration_split() {
+        let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(80, 2));
+        let pd = check_polar(&a, &QdwhOptions::default(), 1e-12);
+        // the paper's worst-case bound: at most six iterations total.
+        // With our tight sigma_min seed the split is 2 QR + 4 Cholesky;
+        // the paper's sqrt(n)-deflated estimate gives 3 + 3 (see the
+        // paper_formula_seed test below).
+        assert!(pd.info.iterations <= 6, "iterations = {}", pd.info.iterations);
+        assert!(
+            (2..=3).contains(&pd.info.qr_iterations),
+            "kinds: {:?}",
+            pd.info.kinds
+        );
+        assert!((3..=4).contains(&pd.info.chol_iterations));
+    }
+
+    #[test]
+    fn lu_formula_seed_works() {
+        // §4 stage (1) offers LU+gecondest as the alternative condition
+        // estimate; it must give the same qualitative behavior as QR
+        let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(48, 21));
+        let opts = QdwhOptions {
+            l0_strategy: crate::options::L0Strategy::LuFormula,
+            ..Default::default()
+        };
+        let pd = check_polar(&a, &opts, 1e-12);
+        assert!(pd.info.iterations <= 7);
+        assert!(pd.info.qr_iterations >= 2);
+
+        // rectangular inputs silently take the QR route
+        let spec = MatrixSpec {
+            m: 40,
+            n: 20,
+            cond: 1e6,
+            distribution: SigmaDistribution::Geometric,
+            seed: 22,
+        };
+        let (rect, _) = generate::<f64>(&spec);
+        let pd = check_polar(&rect, &opts, 1e-12);
+        assert!(pd.info.iterations <= 7);
+    }
+
+    #[test]
+    fn ill_conditioned_paper_formula_seed() {
+        // The literal Algorithm 1 l0 formula underestimates sigma_min by
+        // ~sqrt(n), reproducing the paper's reported 3 QR + 3 Cholesky
+        // split at kappa = 1e16.
+        let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(80, 2));
+        let opts = QdwhOptions {
+            l0_strategy: crate::options::L0Strategy::PaperFormula,
+            ..Default::default()
+        };
+        let pd = check_polar(&a, &opts, 1e-12);
+        assert!(pd.info.iterations <= 7, "iterations = {}", pd.info.iterations);
+        assert_eq!(pd.info.qr_iterations, 3, "kinds: {:?}", pd.info.kinds);
+    }
+
+    #[test]
+    fn rectangular_input() {
+        let spec = MatrixSpec {
+            m: 90,
+            n: 40,
+            cond: 1e8,
+            distribution: SigmaDistribution::Geometric,
+            seed: 3,
+        };
+        let (a, _) = generate::<f64>(&spec);
+        let pd = check_polar(&a, &QdwhOptions::default(), 1e-12);
+        assert_eq!(pd.u.nrows(), 90);
+        assert_eq!(pd.u.ncols(), 40);
+        assert_eq!(pd.h.nrows(), 40);
+    }
+
+    #[test]
+    fn all_four_types() {
+        let n = 24;
+        let (a64, _) = generate::<f64>(&MatrixSpec::well_conditioned(n, 4));
+        check_polar(&a64, &QdwhOptions::default(), 1e-13);
+
+        let (az, _) = generate::<Complex64>(&MatrixSpec::well_conditioned(n, 5));
+        check_polar(&az, &QdwhOptions::default(), 1e-13);
+
+        // single precision: generate in f64, convert, relax tolerance
+        let (a, _) = generate::<f64>(&MatrixSpec::well_conditioned(n, 6));
+        let a32 = Matrix::<f32>::from_fn(n, n, |i, j| a[(i, j)] as f32);
+        check_polar(&a32, &QdwhOptions::default(), 2e-5f32);
+
+        let (az64, _) = generate::<Complex64>(&MatrixSpec::well_conditioned(n, 7));
+        let ac32 = Matrix::<Complex32>::from_fn(n, n, |i, j| {
+            Complex32::new(az64[(i, j)].re as f32, az64[(i, j)].im as f32)
+        });
+        check_polar(&ac32, &QdwhOptions::default(), 2e-5f32);
+    }
+
+    #[test]
+    fn identity_input_converges_immediately() {
+        let a = Matrix::<f64>::identity(10, 10);
+        let pd = check_polar(&a, &QdwhOptions::default(), 1e-13);
+        // the matrix converges instantly; the l-bound needs a couple of
+        // updates to certify |l - 1| < 5 eps
+        assert!(pd.info.iterations <= 3, "iterations = {}", pd.info.iterations);
+        // U = I, H = I
+        for i in 0..10 {
+            assert!((pd.u[(i, i)] - 1.0).abs() < 1e-13);
+            assert!((pd.h[(i, i)] - 1.0).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn zero_matrix_special_case() {
+        let a = Matrix::<f64>::zeros(5, 3);
+        let pd = qdwh(&a, &QdwhOptions::default()).unwrap();
+        assert_eq!(pd.info.iterations, 0);
+        let fro: f64 = norm(Norm::Fro, pd.h.as_ref());
+        assert_eq!(fro, 0.0);
+        assert!(orthogonality_error(&pd.u) < 1e-15);
+    }
+
+    #[test]
+    fn wide_input_rejected() {
+        let a = Matrix::<f64>::zeros(3, 5);
+        assert!(matches!(
+            qdwh(&a, &QdwhOptions::default()),
+            Err(QdwhError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn nan_input_rejected() {
+        let mut a = Matrix::<f64>::identity(4, 4);
+        a[(1, 2)] = f64::NAN;
+        assert!(matches!(
+            qdwh(&a, &QdwhOptions::default()),
+            Err(QdwhError::NonFinite { iteration: 0 })
+        ));
+    }
+
+    #[test]
+    fn force_qr_path_still_converges() {
+        let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(40, 8));
+        let opts = QdwhOptions {
+            path: IterationPath::ForceQr,
+            ..Default::default()
+        };
+        let pd = check_polar(&a, &opts, 1e-12);
+        assert_eq!(pd.info.chol_iterations, 0);
+    }
+
+    #[test]
+    fn structured_qr_matches_general_path() {
+        let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(50, 23));
+        let structured = qdwh(&a, &QdwhOptions::default()).unwrap();
+        let general = qdwh(
+            &a,
+            &QdwhOptions {
+                exploit_structure: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(structured.info.iterations, general.info.iterations);
+        let mut d = structured.u.clone();
+        add(-1.0, general.u.as_ref(), 1.0, d.as_mut());
+        let err: f64 = norm(Norm::Fro, d.as_ref());
+        assert!(err < 1e-13, "structure exploitation changed U by {err}");
+    }
+
+    #[test]
+    fn tsqr_path_matches_flat_qr() {
+        let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(50, 9));
+        let flat = qdwh(&a, &QdwhOptions::default()).unwrap();
+        let opts = QdwhOptions {
+            use_tsqr: true,
+            ..Default::default()
+        };
+        let tsqr_pd = check_polar(&a, &opts, 1e-12);
+        // same iteration profile; factors equal up to roundoff
+        assert_eq!(flat.info.iterations, tsqr_pd.info.iterations);
+        let mut diff = flat.u.clone();
+        add(-1.0, tsqr_pd.u.as_ref(), 1.0, diff.as_mut());
+        let d: f64 = norm(Norm::Fro, diff.as_ref());
+        assert!(d < 1e-10, "U factors diverged: {d}");
+    }
+
+    #[test]
+    fn h_is_positive_semidefinite() {
+        let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(30, 10));
+        let pd = qdwh(&a, &QdwhOptions::default()).unwrap();
+        let eig = polar_lapack::jacobi_eig(&pd.h).unwrap();
+        let lmax = eig.values[0];
+        for &l in &eig.values {
+            assert!(l >= -1e-12 * lmax.max(1.0), "negative eigenvalue {l}");
+        }
+    }
+
+    #[test]
+    fn h_eigenvalues_are_singular_values() {
+        let spec = MatrixSpec {
+            m: 20,
+            n: 20,
+            cond: 1e3,
+            distribution: SigmaDistribution::Geometric,
+            seed: 11,
+        };
+        let (a, sigma) = generate::<f64>(&spec);
+        let pd = qdwh(&a, &QdwhOptions::default()).unwrap();
+        let eig = polar_lapack::jacobi_eig(&pd.h).unwrap();
+        for (l, s) in eig.values.iter().zip(&sigma) {
+            assert!((l - s).abs() < 1e-11 * (1.0 + s), "{l} vs {s}");
+        }
+    }
+
+    #[test]
+    fn factor_only_skips_h() {
+        let (a, _) = generate::<f64>(&MatrixSpec::well_conditioned(16, 12));
+        let pd = qdwh(&a, &QdwhOptions::factor_only()).unwrap();
+        assert_eq!(pd.h.nrows(), 0);
+        assert!(orthogonality_error(&pd.u) < 1e-13);
+    }
+
+    #[test]
+    fn flops_estimate_matches_formula() {
+        let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(32, 13));
+        let pd = qdwh(&a, &QdwhOptions::default()).unwrap();
+        let n = 32f64;
+        let expect = (4.0 / 3.0) * n.powi(3)
+            + (8.0 + 2.0 / 3.0) * n.powi(3) * pd.info.qr_iterations as f64
+            + (4.0 + 1.0 / 3.0) * n.powi(3) * pd.info.chol_iterations as f64
+            + 2.0 * n.powi(3);
+        assert_eq!(pd.info.flops_estimate, expect);
+    }
+
+    #[test]
+    fn convergence_history_is_decreasing_tail() {
+        let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(40, 14));
+        let pd = qdwh(&a, &QdwhOptions::default()).unwrap();
+        let h = &pd.info.convergence_history;
+        assert_eq!(h.len(), pd.info.iterations);
+        // cubic convergence: the last step must be tiny
+        assert!(*h.last().unwrap() < 1e-8);
+    }
+}

@@ -1,0 +1,247 @@
+//! Blocked Cholesky factorization (`potrf`) and positive-definite solve
+//! (`posv`) — the engine of the Cholesky-based QDWH iteration (Eq. (2)).
+
+use crate::{LapackError, DEFAULT_BLOCK};
+use polar_blas::{herk, trsm};
+use polar_matrix::{Diag, MatMut, Matrix, Op, Side, Uplo};
+use polar_scalar::{Real, Scalar};
+
+/// Unblocked lower Cholesky of the leading block (LAPACK `potf2`).
+/// `offset` is the global row/column index of this block, used only for
+/// the error report.
+fn potf2_lower<S: Scalar>(mut a: MatMut<'_, S>, offset: usize) -> Result<(), LapackError> {
+    let n = a.nrows();
+    for j in 0..n {
+        // d = A[j,j] - sum_{l<j} |A[j,l]|^2
+        let mut d = a.at(j, j).re();
+        for l in 0..j {
+            d -= a.at(j, l).abs_sq();
+        }
+        if !(d > S::Real::ZERO) || !d.is_finite() {
+            return Err(LapackError::NotPositiveDefinite(offset + j + 1));
+        }
+        let djj = d.sqrt();
+        a.set(j, j, S::from_real(djj));
+        // column update: A[j+1.., j] = (A[j+1.., j] - A[j+1.., 0..j] A[j, 0..j]^H) / djj
+        for l in 0..j {
+            let f = a.at(j, l).conj();
+            if f == S::ZERO {
+                continue;
+            }
+            for i in j + 1..n {
+                let v = a.at(i, j) - a.at(i, l) * f;
+                a.set(i, j, v);
+            }
+        }
+        let inv = djj.recip();
+        for i in j + 1..n {
+            let v = a.at(i, j).mul_real(inv);
+            a.set(i, j, v);
+        }
+    }
+    Ok(())
+}
+
+/// Blocked Cholesky factorization of a Hermitian positive-definite matrix,
+/// LAPACK `potrf`. Only the `uplo` triangle of `a` is referenced; on exit
+/// it holds the Cholesky factor (`A = L L^H` for `Lower`).
+///
+/// `Upper` is routed through the lower algorithm on the conjugate
+/// transpose (QDWH only needs `Lower`).
+pub fn potrf<S: Scalar>(uplo: Uplo, a: &mut Matrix<S>) -> Result<(), LapackError> {
+    assert!(a.is_square(), "potrf: square matrices only");
+    match uplo {
+        Uplo::Lower => potrf_lower(a, DEFAULT_BLOCK),
+        Uplo::Upper => {
+            let mut at = a.transposed(Op::ConjTrans);
+            potrf_lower(&mut at, DEFAULT_BLOCK)?;
+            // write back U = L^H into the upper triangle
+            let n = a.nrows();
+            for j in 0..n {
+                for i in 0..=j {
+                    a[(i, j)] = at[(j, i)].conj();
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+fn potrf_lower<S: Scalar>(a: &mut Matrix<S>, nb: usize) -> Result<(), LapackError> {
+    let n = a.nrows();
+    let nb = nb.max(1);
+    let mut k = 0;
+    while k < n {
+        let kb = nb.min(n - k);
+        // diagonal block
+        potf2_lower(a.view_mut(k, k, kb, kb), k)?;
+        if k + kb < n {
+            let rest = n - k - kb;
+            // panel solve: A[k+kb.., k..k+kb] := A[k+kb.., k..k+kb] * L_kk^{-H}
+            {
+                let (diag_block, panel);
+                let all = a.as_mut().submatrix(k, k, n - k, kb);
+                let (top, bottom) = all.split_at_row(kb);
+                diag_block = top;
+                panel = bottom;
+                trsm(
+                    Side::Right,
+                    Uplo::Lower,
+                    Op::ConjTrans,
+                    Diag::NonUnit,
+                    S::ONE,
+                    diag_block.as_ref(),
+                    panel,
+                );
+            }
+            // trailing update: A22 -= panel * panel^H
+            let panel_owned = a.submatrix_owned(k + kb, k, rest, kb);
+            let trailing = a.view_mut(k + kb, k + kb, rest, rest);
+            herk(
+                Uplo::Lower,
+                Op::NoTrans,
+                -S::Real::ONE,
+                panel_owned.as_ref(),
+                S::Real::ONE,
+                trailing,
+            );
+        }
+        k += kb;
+    }
+    Ok(())
+}
+
+/// Positive-definite solve, LAPACK `posv`: factors `A = L L^H` in place
+/// (lower) and overwrites `B` with `A^{-1} B`.
+pub fn posv<S: Scalar>(a: &mut Matrix<S>, b: &mut Matrix<S>) -> Result<(), LapackError> {
+    assert_eq!(a.nrows(), b.nrows(), "posv: dim mismatch");
+    potrf(Uplo::Lower, a)?;
+    // L y = B, then L^H x = y
+    trsm(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, S::ONE, a.as_ref(), b.as_mut());
+    trsm(Side::Left, Uplo::Lower, Op::ConjTrans, Diag::NonUnit, S::ONE, a.as_ref(), b.as_mut());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_blas::{gemm, norm};
+    use polar_matrix::Norm;
+    use polar_scalar::Complex64;
+
+    fn rand_spd(n: usize, seed: u64) -> Matrix<f64> {
+        let mut s = seed | 1;
+        let g = Matrix::from_fn(n, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        });
+        // A = G G^T + n I: SPD with margin
+        let mut a = Matrix::identity(n, n);
+        polar_blas::scale(n as f64, a.as_mut());
+        gemm(Op::NoTrans, Op::Trans, 1.0, g.as_ref(), g.as_ref(), 1.0, a.as_mut());
+        a
+    }
+
+    fn rand_hpd(n: usize, seed: u64) -> Matrix<Complex64> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let g = Matrix::from_fn(n, n, |_, _| Complex64::new(next(), next()));
+        let mut a = Matrix::identity(n, n);
+        polar_blas::scale(Complex64::from_real(2.0 * n as f64), a.as_mut());
+        gemm(
+            Op::NoTrans,
+            Op::ConjTrans,
+            Complex64::from_real(1.0),
+            g.as_ref(),
+            g.as_ref(),
+            Complex64::from_real(1.0),
+            a.as_mut(),
+        );
+        a
+    }
+
+    fn check_llh<S: Scalar>(a0: &Matrix<S>, tol: S::Real) {
+        let n = a0.nrows();
+        let mut a = a0.clone();
+        potrf(Uplo::Lower, &mut a).expect("potrf failed on SPD input");
+        // zero upper strict triangle to extract L
+        let l = Matrix::from_fn(n, n, |i, j| if i >= j { a[(i, j)] } else { S::ZERO });
+        let mut recon = Matrix::<S>::zeros(n, n);
+        gemm(Op::NoTrans, Op::ConjTrans, S::ONE, l.as_ref(), l.as_ref(), S::ZERO, recon.as_mut());
+        let mut diff = recon;
+        polar_blas::add(-S::ONE, a0.as_ref(), S::ONE, diff.as_mut());
+        let err: S::Real = norm(Norm::Fro, diff.as_ref());
+        let scale: S::Real = norm(Norm::Fro, a0.as_ref());
+        assert!(err <= tol * scale, "||LL^H - A|| = {err:?}");
+    }
+
+    #[test]
+    fn potrf_small_and_blocked() {
+        check_llh(&rand_spd(5, 1), 1e-13);
+        check_llh(&rand_spd(100, 2), 1e-12); // crosses block boundary
+    }
+
+    #[test]
+    fn potrf_complex_hpd() {
+        check_llh(&rand_hpd(40, 3), 1e-12);
+    }
+
+    #[test]
+    fn potrf_upper_matches_lower() {
+        let a0 = rand_spd(20, 4);
+        let mut lo = a0.clone();
+        let mut up = a0.clone();
+        potrf(Uplo::Lower, &mut lo).unwrap();
+        potrf(Uplo::Upper, &mut up).unwrap();
+        for j in 0..20 {
+            for i in 0..=j {
+                assert!((up[(i, j)] - lo[(j, i)]).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let mut a = Matrix::<f64>::identity(4, 4);
+        a[(2, 2)] = -1.0;
+        let err = potrf(Uplo::Lower, &mut a).unwrap_err();
+        assert_eq!(err, LapackError::NotPositiveDefinite(3));
+    }
+
+    #[test]
+    fn potrf_rejects_nan() {
+        let mut a = Matrix::<f64>::identity(3, 3);
+        a[(1, 1)] = f64::NAN;
+        assert!(potrf(Uplo::Lower, &mut a).is_err());
+    }
+
+    #[test]
+    fn posv_solves() {
+        let a0 = rand_spd(30, 5);
+        let x_true = Matrix::from_fn(30, 3, |i, j| (i + j) as f64 * 0.1 - 1.0);
+        let mut b = Matrix::<f64>::zeros(30, 3);
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, a0.as_ref(), x_true.as_ref(), 0.0, b.as_mut());
+        let mut a = a0.clone();
+        posv(&mut a, &mut b).unwrap();
+        let mut diff = b;
+        polar_blas::add(-1.0, x_true.as_ref(), 1.0, diff.as_mut());
+        let err: f64 = norm(Norm::Fro, diff.as_ref());
+        assert!(err < 1e-9, "posv error {err}");
+    }
+
+    #[test]
+    fn posv_identity() {
+        let mut a = Matrix::<f64>::identity(6, 6);
+        let b0 = Matrix::from_fn(6, 2, |i, j| (i * 2 + j) as f64);
+        let mut b = b0.clone();
+        posv(&mut a, &mut b).unwrap();
+        for j in 0..2 {
+            for i in 0..6 {
+                assert!((b[(i, j)] - b0[(i, j)]).abs() < 1e-14);
+            }
+        }
+    }
+}

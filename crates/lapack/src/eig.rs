@@ -1,0 +1,231 @@
+//! Hermitian eigendecomposition by the classical two-sided Jacobi method.
+//!
+//! Used for the QDWH-SVD application (paper §3: `A = U_p H`, then
+//! `H = V Λ V^H` gives the SVD) and to verify positive semidefiniteness of
+//! the computed polar factor `H` in tests.
+
+use crate::LapackError;
+use polar_matrix::Matrix;
+use polar_scalar::{Real, Scalar};
+
+/// Eigendecomposition `A = V diag(lambda) V^H` of a Hermitian matrix,
+/// eigenvalues descending.
+#[derive(Debug, Clone)]
+pub struct EigDecomposition<S: Scalar> {
+    pub values: Vec<S::Real>,
+    pub vectors: Matrix<S>,
+    pub sweeps: usize,
+}
+
+/// Jacobi eigensolver for a Hermitian `A` (only requires `A ≈ A^H`; the
+/// strictly-upper triangle is trusted).
+pub fn jacobi_eig<S: Scalar>(a: &Matrix<S>) -> Result<EigDecomposition<S>, LapackError> {
+    let n = a.nrows();
+    if !a.is_square() {
+        return Err(LapackError::Shape("jacobi_eig requires a square matrix"));
+    }
+    let mut h = a.clone();
+    let mut v = Matrix::<S>::identity(n, n);
+    let eps = S::Real::EPSILON;
+
+    // off-diagonal magnitude reference
+    let mut ref_scale = S::Real::ZERO;
+    for j in 0..n {
+        for i in 0..n {
+            ref_scale = ref_scale.max(h[(i, j)].abs());
+        }
+    }
+    let tol = eps * ref_scale * S::Real::from_usize(n.max(1));
+    const MAX_SWEEPS: usize = 40;
+
+    let mut sweeps = 0;
+    if ref_scale > S::Real::ZERO {
+        for sweep in 0..MAX_SWEEPS {
+            sweeps = sweep + 1;
+            let mut rotated = false;
+            for p in 0..n {
+                for q in p + 1..n {
+                    let apq = h[(p, q)];
+                    let abs_apq = apq.abs();
+                    if abs_apq <= tol {
+                        continue;
+                    }
+                    rotated = true;
+                    let app = h[(p, p)].re();
+                    let aqq = h[(q, q)].re();
+                    // conjugate phase: column q is scaled by e^{-i phi} to
+                    // realify the 2x2 block before the real rotation
+                    let beta = apq.conj().mul_real(abs_apq.recip()); // e^{-i phi}
+                    let zeta = (aqq - app) / (S::Real::TWO * abs_apq);
+                    let t = zeta.sign1() / (zeta.abs() + (S::Real::ONE + zeta * zeta).sqrt());
+                    let cs = (S::Real::ONE + t * t).sqrt().recip();
+                    let sn = t * cs;
+
+                    // H := J^H H J with J embedding
+                    // [[cs, sn], [-beta sn, beta cs]] at (p, q).
+                    // column update: [H_p, H_q] := [H_p, H_q] J
+                    for i in 0..n {
+                        let xp = h[(i, p)];
+                        let xq = h[(i, q)];
+                        let bq = beta * xq;
+                        h[(i, p)] = xp.mul_real(cs) - bq.mul_real(sn);
+                        h[(i, q)] = xp.mul_real(sn) + bq.mul_real(cs);
+                    }
+                    // row update: rows p, q := J^H applied from the left
+                    for jcol in 0..n {
+                        let rp = h[(p, jcol)];
+                        let rq = h[(q, jcol)];
+                        let bq = beta.conj() * rq;
+                        h[(p, jcol)] = rp.mul_real(cs) - bq.mul_real(sn);
+                        h[(q, jcol)] = rp.mul_real(sn) + bq.mul_real(cs);
+                    }
+                    // force the (p,q) pair to exact symmetry/reality
+                    h[(q, p)] = h[(p, q)].conj();
+                    h[(p, p)] = S::from_real(h[(p, p)].re());
+                    h[(q, q)] = S::from_real(h[(q, q)].re());
+                    // accumulate V := V J
+                    for i in 0..n {
+                        let xp = v[(i, p)];
+                        let xq = v[(i, q)];
+                        let bq = beta * xq;
+                        v[(i, p)] = xp.mul_real(cs) - bq.mul_real(sn);
+                        v[(i, q)] = xp.mul_real(sn) + bq.mul_real(cs);
+                    }
+                }
+            }
+            if !rotated {
+                break;
+            }
+            if sweep + 1 == MAX_SWEEPS {
+                return Err(LapackError::NoConvergence { sweeps: MAX_SWEEPS });
+            }
+        }
+    }
+
+    // sort eigenpairs descending
+    let mut order: Vec<usize> = (0..n).collect();
+    let raw: Vec<S::Real> = (0..n).map(|j| h[(j, j)].re()).collect();
+    order.sort_by(|&i, &j| raw[j].partial_cmp(&raw[i]).unwrap());
+    let values: Vec<S::Real> = order.iter().map(|&j| raw[j]).collect();
+    let mut vectors = Matrix::<S>::zeros(n, n);
+    for (newj, &oldj) in order.iter().enumerate() {
+        for i in 0..n {
+            vectors[(i, newj)] = v[(i, oldj)];
+        }
+    }
+
+    Ok(EigDecomposition {
+        values,
+        vectors,
+        sweeps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_blas::{add, gemm, norm};
+    use polar_matrix::{Norm, Op};
+    use polar_scalar::Complex64;
+
+    fn check_eig<S: Scalar>(a: &Matrix<S>, tol: S::Real) -> EigDecomposition<S> {
+        let n = a.nrows();
+        let e = jacobi_eig(a).expect("eig converged");
+        // descending
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        // V unitary
+        let mut vhv = Matrix::<S>::zeros(n, n);
+        gemm(Op::ConjTrans, Op::NoTrans, S::ONE, e.vectors.as_ref(), e.vectors.as_ref(), S::ZERO, vhv.as_mut());
+        for j in 0..n {
+            for i in 0..n {
+                let expect = if i == j { S::ONE } else { S::ZERO };
+                assert!((vhv[(i, j)] - expect).abs() <= tol);
+            }
+        }
+        // A V = V diag(lambda)
+        let mut av = Matrix::<S>::zeros(n, n);
+        gemm(Op::NoTrans, Op::NoTrans, S::ONE, a.as_ref(), e.vectors.as_ref(), S::ZERO, av.as_mut());
+        let mut vl = e.vectors.clone();
+        for j in 0..n {
+            let l = e.values[j];
+            for i in 0..n {
+                vl[(i, j)] = vl[(i, j)].mul_real(l);
+            }
+        }
+        let mut diff = av;
+        add(-S::ONE, vl.as_ref(), S::ONE, diff.as_mut());
+        let err: S::Real = norm(Norm::Fro, diff.as_ref());
+        let scale: S::Real = norm(Norm::Fro, a.as_ref());
+        assert!(err <= tol * (S::Real::ONE + scale), "||AV - VL|| = {err:?}");
+        e
+    }
+
+    fn rand_sym(n: usize, seed: u64) -> Matrix<f64> {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let g = Matrix::from_fn(n, n, |_, _| next());
+        Matrix::from_fn(n, n, |i, j| (g[(i, j)] + g[(j, i)]) / 2.0)
+    }
+
+    #[test]
+    fn eig_random_symmetric() {
+        check_eig(&rand_sym(20, 1), 1e-11);
+    }
+
+    #[test]
+    fn eig_diagonal_exact() {
+        let a = Matrix::from_fn(5, 5, |i, j| if i == j { (5 - i) as f64 } else { 0.0 });
+        let e = check_eig(&a, 1e-13);
+        for (k, &v) in e.values.iter().enumerate() {
+            assert!((v - (5 - k) as f64).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn eig_hermitian_complex() {
+        let n = 10;
+        let mut s = 4u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let g = Matrix::from_fn(n, n, |_, _| Complex64::new(next(), next()));
+        let a = Matrix::from_fn(n, n, |i, j| (g[(i, j)] + g[(j, i)].conj()).mul_real(0.5));
+        let e = check_eig(&a, 1e-11);
+        // eigenvalues of a Hermitian matrix are real — returned as reals
+        assert_eq!(e.values.len(), n);
+    }
+
+    #[test]
+    fn eig_trace_preserved() {
+        let a = rand_sym(12, 7);
+        let e = jacobi_eig(&a).unwrap();
+        let trace: f64 = (0..12).map(|i| a[(i, i)]).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eig_psd_gram_matrix_nonnegative() {
+        // G^T G is PSD: all eigenvalues >= 0 (up to roundoff)
+        let g = rand_sym(8, 9);
+        let mut a = Matrix::<f64>::zeros(8, 8);
+        gemm(Op::Trans, Op::NoTrans, 1.0, g.as_ref(), g.as_ref(), 0.0, a.as_mut());
+        let e = jacobi_eig(&a).unwrap();
+        for &v in &e.values {
+            assert!(v >= -1e-10);
+        }
+    }
+
+    #[test]
+    fn eig_zero_matrix() {
+        let a = Matrix::<f64>::zeros(4, 4);
+        let e = jacobi_eig(&a).unwrap();
+        assert!(e.values.iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,230 @@
+//! Partial-pivoting LU factorization (`getrf`) and solve (`getrs`).
+//!
+//! QDWH's general condition-number estimator (`gecondest`, §6.3) evaluates
+//! `||A^{-1}||_1` through solves with these factors.
+
+use crate::LapackError;
+use polar_blas::trsm;
+use polar_matrix::{Diag, Matrix, Op, Side, Uplo};
+use polar_scalar::{Real, Scalar};
+
+/// LU factors: `P A = L U` packed in a single matrix (unit-lower `L`
+/// below the diagonal, `U` on and above), plus the pivot row swaps.
+#[derive(Debug, Clone)]
+pub struct LuFactors<S: Scalar> {
+    /// Packed `L\U` storage.
+    pub lu: Matrix<S>,
+    /// `ipiv[k] = r` means rows `k` and `r` were swapped at step `k`
+    /// (LAPACK convention, 0-based).
+    pub ipiv: Vec<usize>,
+}
+
+/// Right-looking partial-pivoting LU, LAPACK `getrf` (unblocked; used on
+/// moderate sizes by the condition estimator and tests).
+///
+/// Returns an error carrying the pivot index if an exactly-zero pivot is
+/// hit (the factorization is still completed, as in LAPACK).
+pub fn getrf<S: Scalar>(a: &Matrix<S>) -> Result<LuFactors<S>, (LuFactors<S>, LapackError)> {
+    let mut lu = a.clone();
+    let m = lu.nrows();
+    let n = lu.ncols();
+    let k = m.min(n);
+    let mut ipiv = vec![0usize; k];
+    let mut first_zero: Option<usize> = None;
+
+    for j in 0..k {
+        // find pivot in column j, rows j..m
+        let mut p = j;
+        let mut pmax = lu[(j, j)].abs1();
+        for i in j + 1..m {
+            let v = lu[(i, j)].abs1();
+            if v > pmax {
+                pmax = v;
+                p = i;
+            }
+        }
+        ipiv[j] = p;
+        if p != j {
+            for c in 0..n {
+                let t = lu[(j, c)];
+                lu[(j, c)] = lu[(p, c)];
+                lu[(p, c)] = t;
+            }
+        }
+        let piv = lu[(j, j)];
+        if piv.abs1() == S::Real::ZERO {
+            first_zero.get_or_insert(j + 1);
+            continue; // leave the zero column; trailing update is a no-op
+        }
+        let inv = piv.recip();
+        for i in j + 1..m {
+            let lij = lu[(i, j)] * inv;
+            lu[(i, j)] = lij;
+        }
+        // trailing update A[j+1.., j+1..] -= L[j+1.., j] * U[j, j+1..]
+        for c in j + 1..n {
+            let ujc = lu[(j, c)];
+            if ujc == S::ZERO {
+                continue;
+            }
+            for i in j + 1..m {
+                let v = lu[(i, c)] - lu[(i, j)] * ujc;
+                lu[(i, c)] = v;
+            }
+        }
+    }
+    let f = LuFactors { lu, ipiv };
+    match first_zero {
+        None => Ok(f),
+        Some(k) => {
+            let err = LapackError::SingularPivot(k);
+            Err((f, err))
+        }
+    }
+}
+
+/// Apply the pivot sequence to `B` (forward for solves with `A`, backward
+/// for `A^H`), LAPACK `laswp`.
+fn apply_pivots<S: Scalar>(ipiv: &[usize], b: &mut Matrix<S>, forward: bool) {
+    let order: Box<dyn Iterator<Item = usize>> = if forward {
+        Box::new(0..ipiv.len())
+    } else {
+        Box::new((0..ipiv.len()).rev())
+    };
+    for kidx in order {
+        let p = ipiv[kidx];
+        if p != kidx {
+            for c in 0..b.ncols() {
+                let t = b[(kidx, c)];
+                b[(kidx, c)] = b[(p, c)];
+                b[(p, c)] = t;
+            }
+        }
+    }
+}
+
+/// Solve `op(A) X = B` from LU factors, LAPACK `getrs`. `X` overwrites `B`.
+pub fn getrs<S: Scalar>(op: Op, f: &LuFactors<S>, b: &mut Matrix<S>) {
+    let n = f.lu.nrows();
+    assert!(f.lu.is_square(), "getrs: square systems only");
+    assert_eq!(b.nrows(), n, "getrs: dim mismatch");
+    match op {
+        Op::NoTrans => {
+            // P A = L U  =>  A x = b  <=>  L U x = P b
+            apply_pivots(&f.ipiv, b, true);
+            trsm(Side::Left, Uplo::Lower, Op::NoTrans, Diag::Unit, S::ONE, f.lu.as_ref(), b.as_mut());
+            trsm(Side::Left, Uplo::Upper, Op::NoTrans, Diag::NonUnit, S::ONE, f.lu.as_ref(), b.as_mut());
+        }
+        Op::Trans | Op::ConjTrans => {
+            // A^H x = b  <=>  U^H L^H P x = b
+            trsm(Side::Left, Uplo::Upper, op, Diag::NonUnit, S::ONE, f.lu.as_ref(), b.as_mut());
+            trsm(Side::Left, Uplo::Lower, op, Diag::Unit, S::ONE, f.lu.as_ref(), b.as_mut());
+            apply_pivots(&f.ipiv, b, false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_blas::{gemm, norm};
+    use polar_matrix::Norm;
+    use polar_scalar::Complex64;
+
+    fn rand_mat(n: usize, seed: u64) -> Matrix<f64> {
+        let mut s = seed | 1;
+        Matrix::from_fn(n, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn getrf_reconstructs_pa() {
+        let n = 25;
+        let a = rand_mat(n, 31);
+        let f = getrf(&a).unwrap();
+        // build L, U, and P A
+        let l = Matrix::from_fn(n, n, |i, j| {
+            if i > j {
+                f.lu[(i, j)]
+            } else if i == j {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let u = Matrix::from_fn(n, n, |i, j| if i <= j { f.lu[(i, j)] } else { 0.0 });
+        let mut pa = a.clone();
+        apply_pivots(&f.ipiv, &mut pa, true);
+        let mut lu = Matrix::<f64>::zeros(n, n);
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, l.as_ref(), u.as_ref(), 0.0, lu.as_mut());
+        let mut diff = lu;
+        polar_blas::add(-1.0, pa.as_ref(), 1.0, diff.as_mut());
+        let err: f64 = norm(Norm::Fro, diff.as_ref());
+        assert!(err < 1e-12, "||LU - PA|| = {err}");
+    }
+
+    #[test]
+    fn getrs_solves_both_ops() {
+        let n = 20;
+        let a = rand_mat(n, 7);
+        let f = getrf(&a).unwrap();
+        let x_true = Matrix::from_fn(n, 2, |i, j| (i as f64 - 3.0) * (j as f64 + 1.0) * 0.1);
+        for op in [Op::NoTrans, Op::Trans] {
+            let mut b = Matrix::<f64>::zeros(n, 2);
+            gemm(op, Op::NoTrans, 1.0, a.as_ref(), x_true.as_ref(), 0.0, b.as_mut());
+            getrs(op, &f, &mut b);
+            let mut diff = b;
+            polar_blas::add(-1.0, x_true.as_ref(), 1.0, diff.as_mut());
+            let err: f64 = norm(Norm::Fro, diff.as_ref());
+            assert!(err < 1e-9, "{op:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn getrs_complex_conj_trans() {
+        let n = 12;
+        let mut s = 5u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a = Matrix::from_fn(n, n, |_, _| Complex64::new(next(), next()));
+        let f = getrf(&a).unwrap();
+        let x_true = Matrix::from_fn(n, 1, |i, _| Complex64::new(i as f64, -1.0));
+        let one = Complex64::from_real(1.0);
+        let mut b = Matrix::<Complex64>::zeros(n, 1);
+        gemm(Op::ConjTrans, Op::NoTrans, one, a.as_ref(), x_true.as_ref(), Complex64::default(), b.as_mut());
+        getrs(Op::ConjTrans, &f, &mut b);
+        for i in 0..n {
+            assert!((b[(i, 0)] - x_true[(i, 0)]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn getrf_flags_singular() {
+        let mut a = rand_mat(6, 9);
+        // zero out a column => exact singularity
+        for i in 0..6 {
+            a[(i, 3)] = 0.0;
+        }
+        match getrf(&a) {
+            Err((_, LapackError::SingularPivot(_))) => {}
+            other => panic!("expected singular pivot, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn getrf_pivots_large_entries() {
+        // matrix requiring pivoting: tiny leading entry
+        let a = Matrix::from_rows(&[&[1e-20, 1.0], &[1.0, 1.0]]);
+        let f = getrf(&a).unwrap();
+        assert_eq!(f.ipiv[0], 1, "must pivot the large row up");
+        let mut b = Matrix::from_rows(&[&[1.0], &[2.0]]);
+        getrs(Op::NoTrans, &f, &mut b);
+        // solution of [[0,1],[1,1]] approx: x ≈ [1, 1]
+        assert!(f64::abs(b[(0, 0)] - 1.0) < 1e-9);
+        assert!(f64::abs(b[(1, 0)] - 1.0) < 1e-9);
+    }
+}

@@ -1,0 +1,286 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! Serves two roles in the reproduction:
+//! * ground truth / generator support — the test-matrix generator of §7.1
+//!   builds `A = U Σ V^H`, and tests validate spectra with this solver;
+//! * the **SVD-based polar decomposition baseline** of §3
+//!   (`A = U Σ V^H  =>  U_p = U V^H, H = V Σ V^H`), the algorithm QDWH is
+//!   compared against in the related-work discussion.
+
+use crate::LapackError;
+use polar_blas::{dotc, nrm2};
+use polar_matrix::Matrix;
+use polar_scalar::{Real, Scalar};
+
+/// Thin SVD `A = U diag(sigma) V^H` with `U: m x n`, `V: n x n`,
+/// `sigma` descending and nonnegative.
+#[derive(Debug, Clone)]
+pub struct SvdDecomposition<S: Scalar> {
+    pub u: Matrix<S>,
+    pub sigma: Vec<S::Real>,
+    pub v: Matrix<S>,
+    /// Jacobi sweeps used.
+    pub sweeps: usize,
+}
+
+/// One-sided Jacobi SVD of `A` (`m >= n` required; transpose beforehand
+/// otherwise).
+pub fn jacobi_svd<S: Scalar>(a: &Matrix<S>) -> Result<SvdDecomposition<S>, LapackError> {
+    let m = a.nrows();
+    let n = a.ncols();
+    if m < n {
+        return Err(LapackError::Shape("jacobi_svd requires m >= n"));
+    }
+    let mut work = a.clone();
+    let mut v = Matrix::<S>::identity(n, n);
+    let eps = S::Real::EPSILON;
+    let tol = eps * S::Real::from_usize(m.max(1)).sqrt();
+    const MAX_SWEEPS: usize = 30;
+
+    let mut sweeps = 0;
+    for sweep in 0..MAX_SWEEPS {
+        sweeps = sweep + 1;
+        let mut rotated = false;
+        for p in 0..n {
+            for q in p + 1..n {
+                // 2x2 Gram block of columns p, q
+                let app = nrm2::<S>(work.col(p));
+                let aqq = nrm2::<S>(work.col(q));
+                let apq = dotc(work.col(p), work.col(q));
+                let abs_apq = apq.abs();
+                if abs_apq <= tol * app * aqq {
+                    continue;
+                }
+                rotated = true;
+                // conjugate phase of the coupling: with b = |b| e^{i phi},
+                // scaling column q by e^{-i phi} makes the Gram block real,
+                // after which the classical real Jacobi angle applies.
+                let beta = apq.conj().mul_real(abs_apq.recip()); // e^{-i phi}
+                let a_sq = app * app;
+                let c_sq = aqq * aqq;
+                let zeta = (c_sq - a_sq) / (S::Real::TWO * abs_apq);
+                let t = zeta.sign1() / (zeta.abs() + (S::Real::ONE + zeta * zeta).sqrt());
+                let cs = (S::Real::ONE + t * t).sqrt().recip();
+                let sn = t * cs;
+
+                // columns [p q] *= J, J = [[cs, sn], [-e^{i phi} sn, e^{i phi} cs]]
+                rotate_columns(&mut work, p, q, cs, sn, beta);
+                rotate_columns(&mut v, p, q, cs, sn, beta);
+            }
+        }
+        if !rotated {
+            break;
+        }
+        if sweep + 1 == MAX_SWEEPS {
+            return Err(LapackError::NoConvergence { sweeps: MAX_SWEEPS });
+        }
+    }
+
+    // extract sigma and U
+    let mut order: Vec<usize> = (0..n).collect();
+    let sig_raw: Vec<S::Real> = (0..n).map(|j| nrm2::<S>(work.col(j))).collect();
+    order.sort_by(|&i, &j| sig_raw[j].partial_cmp(&sig_raw[i]).unwrap());
+
+    let mut u = Matrix::<S>::zeros(m, n);
+    let mut sigma = Vec::with_capacity(n);
+    let mut v_sorted = Matrix::<S>::zeros(n, n);
+    let null_tol = eps * sig_raw.iter().cloned().fold(S::Real::ZERO, S::Real::max)
+        * S::Real::from_usize(m.max(1));
+    let mut null_cols = Vec::new();
+    for (newj, &oldj) in order.iter().enumerate() {
+        let s = sig_raw[oldj];
+        sigma.push(s);
+        if s > null_tol && s > S::Real::ZERO {
+            let inv = s.recip();
+            for i in 0..m {
+                u[(i, newj)] = work[(i, oldj)].mul_real(inv);
+            }
+        } else {
+            null_cols.push(newj);
+        }
+        for i in 0..n {
+            v_sorted[(i, newj)] = v[(i, oldj)];
+        }
+    }
+    // Complete U's null columns to an orthonormal set by Gram-Schmidt
+    // against the already-set columns (sigma = 0 annihilates them in the
+    // product, but callers rely on U^H U = I).
+    if !null_cols.is_empty() {
+        let mut filled = vec![true; n];
+        for &j in &null_cols {
+            filled[j] = false;
+        }
+        let mut candidate = 0usize;
+        for &jnull in &null_cols {
+            'candidates: while candidate < m {
+                // start from e_candidate, orthogonalize twice (CGS2)
+                // against every already-filled column
+                let mut col = vec![S::ZERO; m];
+                col[candidate] = S::ONE;
+                candidate += 1;
+                for _ in 0..2 {
+                    for j2 in 0..n {
+                        if !filled[j2] {
+                            continue;
+                        }
+                        let proj = dotc(u.col(j2), &col);
+                        for i in 0..m {
+                            col[i] -= u[(i, j2)] * proj;
+                        }
+                    }
+                }
+                let norm_c = nrm2::<S>(&col);
+                if norm_c > S::Real::from_f64(0.1) {
+                    let inv = norm_c.recip();
+                    for i in 0..m {
+                        u[(i, jnull)] = col[i].mul_real(inv);
+                    }
+                    filled[jnull] = true;
+                    break 'candidates;
+                }
+            }
+        }
+    }
+
+    Ok(SvdDecomposition {
+        u,
+        sigma,
+        v: v_sorted,
+        sweeps,
+    })
+}
+
+/// Apply the 2x2 unitary `J = [[cs, sn], [-beta sn, beta cs]]` to columns
+/// `(p, q)` of `a` from the right.
+fn rotate_columns<S: Scalar>(
+    a: &mut Matrix<S>,
+    p: usize,
+    q: usize,
+    cs: S::Real,
+    sn: S::Real,
+    beta: S,
+) {
+    let m = a.nrows();
+    for i in 0..m {
+        let xp = a[(i, p)];
+        let xq = a[(i, q)];
+        let bq = beta * xq;
+        a[(i, p)] = xp.mul_real(cs) - bq.mul_real(sn);
+        a[(i, q)] = xp.mul_real(sn) + bq.mul_real(cs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_blas::{add, gemm, norm};
+    use polar_matrix::{Norm, Op};
+    use polar_scalar::Complex64;
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Matrix<f64> {
+        let mut s = seed | 1;
+        Matrix::from_fn(m, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn check_svd<S: Scalar>(a: &Matrix<S>, tol: S::Real) {
+        let (m, n) = (a.nrows(), a.ncols());
+        let svd = jacobi_svd(a).expect("svd converged");
+        // sigma descending, nonnegative
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        assert!(svd.sigma.iter().all(|&s| s >= S::Real::ZERO));
+        // U^H U = I
+        let mut uhu = Matrix::<S>::zeros(n, n);
+        gemm(Op::ConjTrans, Op::NoTrans, S::ONE, svd.u.as_ref(), svd.u.as_ref(), S::ZERO, uhu.as_mut());
+        for j in 0..n {
+            for i in 0..n {
+                let expect = if i == j { S::ONE } else { S::ZERO };
+                assert!((uhu[(i, j)] - expect).abs() <= tol, "UhU({i},{j})");
+            }
+        }
+        // V^H V = I
+        let mut vhv = Matrix::<S>::zeros(n, n);
+        gemm(Op::ConjTrans, Op::NoTrans, S::ONE, svd.v.as_ref(), svd.v.as_ref(), S::ZERO, vhv.as_mut());
+        for j in 0..n {
+            for i in 0..n {
+                let expect = if i == j { S::ONE } else { S::ZERO };
+                assert!((vhv[(i, j)] - expect).abs() <= tol, "VhV({i},{j})");
+            }
+        }
+        // A = U Sigma V^H
+        let mut us = svd.u.clone();
+        for j in 0..n {
+            let s = svd.sigma[j];
+            for i in 0..m {
+                us[(i, j)] = us[(i, j)].mul_real(s);
+            }
+        }
+        let mut recon = Matrix::<S>::zeros(m, n);
+        gemm(Op::NoTrans, Op::ConjTrans, S::ONE, us.as_ref(), svd.v.as_ref(), S::ZERO, recon.as_mut());
+        let mut diff = recon;
+        add(-S::ONE, a.as_ref(), S::ONE, diff.as_mut());
+        let err: S::Real = norm(Norm::Fro, diff.as_ref());
+        let scale: S::Real = norm(Norm::Fro, a.as_ref());
+        assert!(err <= tol * (S::Real::ONE + scale), "||USV^H - A|| = {err:?}");
+    }
+
+    #[test]
+    fn svd_square_real() {
+        check_svd(&rand_mat(15, 15, 1), 1e-11);
+    }
+
+    #[test]
+    fn svd_tall_real() {
+        check_svd(&rand_mat(40, 12, 2), 1e-11);
+    }
+
+    #[test]
+    fn svd_complex() {
+        let mut s = 9u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a = Matrix::from_fn(20, 8, |_, _| Complex64::new(next(), next()));
+        check_svd(&a, 1e-11);
+    }
+
+    #[test]
+    fn svd_known_singular_values() {
+        // diag(3, 2, 1) embedded in rectangular
+        let a = Matrix::from_fn(5, 3, |i, j| if i == j { (3 - j) as f64 } else { 0.0 });
+        let svd = jacobi_svd(&a).unwrap();
+        assert!((svd.sigma[0] - 3.0).abs() < 1e-13);
+        assert!((svd.sigma[1] - 2.0).abs() < 1e-13);
+        assert!((svd.sigma[2] - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn svd_rank_deficient() {
+        // rank-1 matrix: exactly one nonzero singular value
+        let a = Matrix::from_fn(6, 4, |i, j| ((i + 1) * (j + 1)) as f64);
+        let svd = jacobi_svd(&a).unwrap();
+        assert!(svd.sigma[0] > 1.0);
+        for &s in &svd.sigma[1..] {
+            assert!(s < 1e-10 * svd.sigma[0]);
+        }
+        check_svd(&a, 1e-10);
+    }
+
+    #[test]
+    fn svd_rejects_wide() {
+        let a = Matrix::<f64>::zeros(3, 5);
+        assert!(matches!(jacobi_svd(&a), Err(LapackError::Shape(_))));
+    }
+
+    #[test]
+    fn svd_zero_matrix() {
+        let a = Matrix::<f64>::zeros(4, 3);
+        let svd = jacobi_svd(&a).unwrap();
+        assert!(svd.sigma.iter().all(|&s| s == 0.0));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests of the factorization contracts over random
+//! shapes and contents.
+
+use polar_blas::{add, gemm, norm};
+use polar_lapack::{
+    extract_r, geqrf, geqrf_blocked, getrf, getrs, jacobi_eig, jacobi_svd, norm2est, orgqr, posv,
+    potrf, tsqr,
+};
+use polar_matrix::{Matrix, Norm, Op, Uplo};
+use proptest::prelude::*;
+
+fn mat(m: usize, n: usize, seed: u64) -> Matrix<f64> {
+    let mut s = seed | 1;
+    Matrix::from_fn(m, n, |_, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+fn fro_diff(a: &Matrix<f64>, b: &Matrix<f64>) -> f64 {
+    let mut d = a.clone();
+    add(-1.0, b.as_ref(), 1.0, d.as_mut());
+    norm(Norm::Fro, d.as_ref())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn qr_residual_and_orthogonality(m in 1usize..40, extra in 0usize..20, seed in 0u64..500, ib in 1usize..12) {
+        let n = m.min(1 + seed as usize % 20);
+        let m = n + extra;
+        let a0 = mat(m, n, seed);
+        let mut a = a0.clone();
+        let f = geqrf_blocked(&mut a, ib);
+        let q = orgqr(&a, &f);
+        let r = extract_r(&a);
+        let mut qr = Matrix::<f64>::zeros(m, n);
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, q.as_ref(), r.as_ref(), 0.0, qr.as_mut());
+        let scale: f64 = norm(Norm::Fro, a0.as_ref());
+        prop_assert!(fro_diff(&qr, &a0) <= 1e-12 * (1.0 + scale), "ib={ib}");
+        // R upper triangular
+        for j in 0..n {
+            for i in j + 1..r.nrows() {
+                prop_assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_block_size_invariance(seed in 0u64..200) {
+        // the factorization's Q R product must not depend on the block size
+        let a0 = mat(30, 18, seed);
+        let mut a1 = a0.clone();
+        let mut a2 = a0.clone();
+        let f1 = geqrf_blocked(&mut a1, 1);
+        let f2 = geqrf_blocked(&mut a2, 7);
+        // R is unique up to signs; compare |diag|
+        for j in 0..18 {
+            prop_assert!((a1[(j, j)].abs() - a2[(j, j)].abs()).abs() < 1e-10);
+        }
+        let _ = (f1, f2);
+    }
+
+    #[test]
+    fn cholesky_of_gram_matrix(n in 1usize..30, k in 1usize..30, seed in 0u64..300) {
+        // A = G^T G + eps I is SPD for any G
+        let g = mat(k, n, seed);
+        let mut a = Matrix::<f64>::identity(n, n);
+        polar_blas::scale(1e-6 + n as f64, a.as_mut());
+        gemm(Op::Trans, Op::NoTrans, 1.0, g.as_ref(), g.as_ref(), 1.0, a.as_mut());
+        let a0 = a.clone();
+        prop_assert!(potrf(Uplo::Lower, &mut a).is_ok());
+        let l = Matrix::from_fn(n, n, |i, j| if i >= j { a[(i, j)] } else { 0.0 });
+        let mut recon = Matrix::<f64>::zeros(n, n);
+        gemm(Op::NoTrans, Op::ConjTrans, 1.0, l.as_ref(), l.as_ref(), 0.0, recon.as_mut());
+        let scale: f64 = norm(Norm::Fro, a0.as_ref());
+        prop_assert!(fro_diff(&recon, &a0) <= 1e-11 * (1.0 + scale));
+    }
+
+    #[test]
+    fn lu_solve_roundtrip(n in 1usize..25, nrhs in 1usize..5, seed in 0u64..300) {
+        let a = {
+            // diagonally dominated => comfortably nonsingular
+            let mut a = mat(n, n, seed);
+            for i in 0..n {
+                a[(i, i)] += 3.0 * n as f64 * a[(i, i)].signum().max(0.5);
+            }
+            a
+        };
+        let x_true = mat(n, nrhs, seed ^ 0xabc);
+        let mut b = Matrix::<f64>::zeros(n, nrhs);
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), x_true.as_ref(), 0.0, b.as_mut());
+        let f = getrf(&a).unwrap();
+        getrs(Op::NoTrans, &f, &mut b);
+        prop_assert!(fro_diff(&b, &x_true) < 1e-8 * (1.0 + norm::<f64>(Norm::Fro, x_true.as_ref())));
+    }
+
+    #[test]
+    fn posv_matches_getrs_on_spd(n in 1usize..20, seed in 0u64..200) {
+        let g = mat(n, n, seed);
+        let mut a = Matrix::<f64>::identity(n, n);
+        polar_blas::scale(n as f64 + 1.0, a.as_mut());
+        gemm(Op::Trans, Op::NoTrans, 1.0, g.as_ref(), g.as_ref(), 1.0, a.as_mut());
+        let b0 = mat(n, 2, seed ^ 0x55);
+        let mut b_chol = b0.clone();
+        let mut a_chol = a.clone();
+        posv(&mut a_chol, &mut b_chol).unwrap();
+        let f = getrf(&a).unwrap();
+        let mut b_lu = b0.clone();
+        getrs(Op::NoTrans, &f, &mut b_lu);
+        prop_assert!(fro_diff(&b_chol, &b_lu) < 1e-8);
+    }
+
+    #[test]
+    fn tsqr_equals_flat_qr_in_span(rows in 50usize..400, cols in 1usize..8, seed in 0u64..200) {
+        let a = mat(rows, cols, seed);
+        let (q, r) = tsqr(&a);
+        // Q R = A
+        let mut qr = Matrix::<f64>::zeros(rows, cols);
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, q.as_ref(), r.as_ref(), 0.0, qr.as_mut());
+        let scale: f64 = norm(Norm::Fro, a.as_ref());
+        prop_assert!(fro_diff(&qr, &a) <= 1e-12 * (1.0 + scale));
+    }
+
+    #[test]
+    fn norm2est_bounded_by_fro(m in 1usize..40, n in 1usize..40, seed in 0u64..300) {
+        let a = mat(m, n, seed);
+        let est = norm2est(&a).estimate;
+        let fro: f64 = norm(Norm::Fro, a.as_ref());
+        // sigma_max <= fro; power iteration converges from below-ish but
+        // never exceeds fro beyond roundoff
+        prop_assert!(est <= fro * (1.0 + 1e-10));
+        // and est >= max column norm / small factor
+        let max_col = (0..n).map(|j| polar_blas::nrm2::<f64>(a.col(j))).fold(0.0f64, f64::max);
+        prop_assert!(est >= max_col * 0.5, "est {est} vs col {max_col}");
+    }
+
+    #[test]
+    fn svd_eig_consistency_on_gram(n in 2usize..16, seed in 0u64..150) {
+        // eig(A^T A) eigenvalues == svd(A) sigma^2
+        let a = mat(n + 3, n, seed);
+        let svd = jacobi_svd(&a).unwrap();
+        let mut gram = Matrix::<f64>::zeros(n, n);
+        gemm(Op::Trans, Op::NoTrans, 1.0, a.as_ref(), a.as_ref(), 0.0, gram.as_mut());
+        let eig = jacobi_eig(&gram).unwrap();
+        for (l, s) in eig.values.iter().zip(&svd.sigma) {
+            prop_assert!((l - s * s).abs() < 1e-9 * (1.0 + s * s), "{l} vs {}", s * s);
+        }
+    }
+
+    #[test]
+    fn geqrf_then_unmqr_preserves_norms(m in 2usize..30, seed in 0u64..200) {
+        use polar_lapack::unmqr;
+        let n = 1 + (seed as usize % m.min(15));
+        let a0 = mat(m, n, seed);
+        let mut a = a0.clone();
+        let f = geqrf(&mut a);
+        let c0 = mat(m, 3, seed ^ 0x77);
+        let mut c = c0.clone();
+        unmqr(Op::ConjTrans, &a, &f, &mut c);
+        // unitary application preserves Frobenius norm
+        let n0: f64 = norm(Norm::Fro, c0.as_ref());
+        let n1: f64 = norm(Norm::Fro, c.as_ref());
+        prop_assert!((n0 - n1).abs() <= 1e-11 * (1.0 + n0));
+    }
+}

@@ -1,0 +1,305 @@
+//! Owned column-major dense matrix.
+
+use crate::{MatMut, MatRef, Op};
+use polar_scalar::Scalar;
+use std::fmt;
+
+/// Owned, contiguous, column-major `m x n` matrix (leading dimension = `m`).
+///
+/// Element `(i, j)` lives at `data[i + j*m]`, matching the LAPACK
+/// convention so that blocked algorithms translate directly from the
+/// reference literature.
+#[derive(Clone, PartialEq)]
+pub struct Matrix<S> {
+    rows: usize,
+    cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> Matrix<S> {
+    /// Zero-filled `m x n` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![S::ZERO; rows * cols],
+        }
+    }
+
+    /// Identity-like matrix: ones on the main diagonal, zeros elsewhere
+    /// (rectangular allowed, mirroring LAPACK `laset`).
+    pub fn identity(rows: usize, cols: usize) -> Self {
+        let mut a = Self::zeros(rows, cols);
+        for k in 0..rows.min(cols) {
+            a[(k, k)] = S::ONE;
+        }
+        a
+    }
+
+    /// Build from a function of the index pair.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> S) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for j in 0..cols {
+            for i in 0..rows {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Build from a column-major data vector.
+    ///
+    /// # Panics
+    /// If `data.len() != rows * cols`.
+    pub fn from_col_major(rows: usize, cols: usize, data: Vec<S>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Build from nested row slices (row-major input, for readable tests).
+    pub fn from_rows(rows: &[&[S]]) -> Self {
+        let m = rows.len();
+        let n = if m == 0 { 0 } else { rows[0].len() };
+        assert!(rows.iter().all(|r| r.len() == n), "ragged rows");
+        Self::from_fn(m, n, |i, j| rows[i][j])
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Underlying column-major storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[S] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Column `j` as a contiguous slice.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[S] {
+        debug_assert!(j < self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [S] {
+        debug_assert!(j < self.cols);
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Immutable view of the whole matrix.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_, S> {
+        MatRef::from_slice(&self.data, self.rows, self.cols, self.rows)
+    }
+
+    /// Mutable view of the whole matrix.
+    #[inline]
+    pub fn as_mut(&mut self) -> MatMut<'_, S> {
+        let (rows, cols) = (self.rows, self.cols);
+        MatMut::from_slice(&mut self.data, rows, cols, rows)
+    }
+
+    /// Immutable view of the `nrows x ncols` submatrix at `(i0, j0)`.
+    #[inline]
+    pub fn view(&self, i0: usize, j0: usize, nrows: usize, ncols: usize) -> MatRef<'_, S> {
+        self.as_ref().submatrix(i0, j0, nrows, ncols)
+    }
+
+    /// Mutable view of the `nrows x ncols` submatrix at `(i0, j0)`.
+    #[inline]
+    pub fn view_mut(&mut self, i0: usize, j0: usize, nrows: usize, ncols: usize) -> MatMut<'_, S> {
+        self.as_mut().submatrix(i0, j0, nrows, ncols)
+    }
+
+    /// Owned copy of `op(self)`.
+    pub fn transposed(&self, op: Op) -> Self {
+        match op {
+            Op::NoTrans => self.clone(),
+            Op::Trans => Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)]),
+            Op::ConjTrans => Self::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj()),
+        }
+    }
+
+    /// Set every element to `value`.
+    pub fn fill(&mut self, value: S) {
+        self.data.fill(value);
+    }
+
+    /// Overwrite with the identity pattern (`laset`).
+    pub fn set_identity(&mut self) {
+        self.fill(S::ZERO);
+        for k in 0..self.rows.min(self.cols) {
+            self[(k, k)] = S::ONE;
+        }
+    }
+
+    /// Copy `src` into `self` (dimensions must match), the paper's `copy`.
+    pub fn copy_from(&mut self, src: &Self) {
+        assert_eq!(self.rows, src.rows);
+        assert_eq!(self.cols, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Resize-free extraction of a submatrix as an owned matrix.
+    pub fn submatrix_owned(&self, i0: usize, j0: usize, nrows: usize, ncols: usize) -> Self {
+        assert!(i0 + nrows <= self.rows && j0 + ncols <= self.cols);
+        Self::from_fn(nrows, ncols, |i, j| self[(i0 + i, j0 + j)])
+    }
+
+    /// Paste `src` at offset `(i0, j0)`.
+    pub fn set_submatrix(&mut self, i0: usize, j0: usize, src: &Self) {
+        assert!(i0 + src.rows <= self.rows && j0 + src.cols <= self.cols);
+        for j in 0..src.cols {
+            for i in 0..src.rows {
+                self[(i0 + i, j0 + j)] = src[(i, j)];
+            }
+        }
+    }
+
+    /// `true` if any element is non-finite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Stack `top` over `bottom` (matching column counts), used to form the
+    /// QDWH QR-iteration matrix `[sqrt(c) * A; I]`.
+    pub fn vstack(top: &Self, bottom: &Self) -> Self {
+        assert_eq!(top.cols, bottom.cols, "vstack column mismatch");
+        let mut out = Self::zeros(top.rows + bottom.rows, top.cols);
+        out.set_submatrix(0, 0, top);
+        out.set_submatrix(top.rows, 0, bottom);
+        out
+    }
+}
+
+impl<S: Scalar> std::ops::Index<(usize, usize)> for Matrix<S> {
+    type Output = S;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &S {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &self.data[i + j * self.rows]
+    }
+}
+
+impl<S: Scalar> std::ops::IndexMut<(usize, usize)> for Matrix<S> {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut S {
+        debug_assert!(i < self.rows && j < self.cols, "index out of bounds");
+        &mut self.data[i + j * self.rows]
+    }
+}
+
+impl<S: Scalar> fmt::Debug for Matrix<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let show_rows = self.rows.min(8);
+        let show_cols = self.cols.min(8);
+        for i in 0..show_rows {
+            write!(f, "  ")?;
+            for j in 0..show_cols {
+                write!(f, "{:?} ", self[(i, j)])?;
+            }
+            if show_cols < self.cols {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if show_rows < self.rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use polar_scalar::Complex64;
+
+    #[test]
+    fn construction_and_indexing() {
+        let a = Matrix::<f64>::from_fn(3, 2, |i, j| (i * 10 + j) as f64);
+        assert_eq!(a.nrows(), 3);
+        assert_eq!(a.ncols(), 2);
+        assert_eq!(a[(2, 1)], 21.0);
+        // column-major layout
+        assert_eq!(a.as_slice(), &[0.0, 10.0, 20.0, 1.0, 11.0, 21.0]);
+    }
+
+    #[test]
+    fn identity_rectangular() {
+        let a = Matrix::<f64>::identity(2, 4);
+        assert_eq!(a[(0, 0)], 1.0);
+        assert_eq!(a[(1, 1)], 1.0);
+        assert_eq!(a[(0, 1)], 0.0);
+        assert_eq!(a[(1, 3)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_matches_from_fn() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(a[(0, 1)], 2.0);
+        assert_eq!(a[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn conj_transpose() {
+        let a = Matrix::from_fn(2, 2, |i, j| Complex64::new(i as f64, j as f64));
+        let ah = a.transposed(Op::ConjTrans);
+        assert_eq!(ah[(0, 1)], a[(1, 0)].conj());
+        assert_eq!(ah[(1, 0)], a[(0, 1)].conj());
+    }
+
+    #[test]
+    fn vstack_dims_and_content() {
+        let top = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let bottom = Matrix::<f64>::identity(2, 2);
+        let w = Matrix::vstack(&top, &bottom);
+        assert_eq!(w.nrows(), 3);
+        assert_eq!(w[(0, 1)], 2.0);
+        assert_eq!(w[(1, 0)], 1.0);
+        assert_eq!(w[(2, 1)], 1.0);
+    }
+
+    #[test]
+    fn submatrix_roundtrip() {
+        let a = Matrix::<f64>::from_fn(5, 5, |i, j| (i + 10 * j) as f64);
+        let sub = a.submatrix_owned(1, 2, 3, 2);
+        assert_eq!(sub[(0, 0)], a[(1, 2)]);
+        let mut b = Matrix::<f64>::zeros(5, 5);
+        b.set_submatrix(1, 2, &sub);
+        assert_eq!(b[(3, 3)], a[(3, 3)]);
+        assert_eq!(b[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let mut a = Matrix::<f64>::zeros(2, 2);
+        assert!(!a.has_non_finite());
+        a[(1, 0)] = f64::NAN;
+        assert!(a.has_non_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "data length mismatch")]
+    fn from_col_major_checks_len() {
+        let _ = Matrix::<f64>::from_col_major(2, 2, vec![0.0; 3]);
+    }
+}

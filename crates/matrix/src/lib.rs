@@ -1,0 +1,105 @@
+//! Dense and tiled matrix containers for the `polar-rs` workspace.
+//!
+//! This crate is the storage substrate standing in for SLATE's matrix
+//! classes in the reproduced paper (Sukkari et al., SC-W 2023):
+//!
+//! * [`Matrix`] — owned, contiguous, column-major dense storage;
+//! * [`MatRef`] / [`MatMut`] — borrowed rectangular views with `split_at_*`
+//!   operations, the foundation of the recursive (rayon `join`) parallel
+//!   kernels in `polar-blas`;
+//! * [`Tiling`] / [`TiledMatrix`] — SLATE-style tile decomposition;
+//! * [`ProcessGrid`] / [`BlockCyclic`] — the 2D block-cyclic tile→rank map
+//!   used by the simulated distributed runtime.
+
+mod dense;
+mod grid;
+mod tile;
+mod view;
+
+pub use dense::Matrix;
+pub use grid::{BlockCyclic, ProcessGrid};
+pub use tile::{TileIndex, TiledMatrix, Tiling};
+pub use view::{MatMut, MatRef};
+
+/// Transposition / conjugation op applied to a matrix argument, mirroring
+/// the BLAS `trans` parameter (`N`, `T`, `C`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// No transpose.
+    NoTrans,
+    /// Transpose.
+    Trans,
+    /// Conjugate transpose.
+    ConjTrans,
+}
+
+impl Op {
+    /// Dimensions of `op(A)` given `A` is `m x n`.
+    pub fn apply_dims(self, m: usize, n: usize) -> (usize, usize) {
+        match self {
+            Op::NoTrans => (m, n),
+            Op::Trans | Op::ConjTrans => (n, m),
+        }
+    }
+}
+
+/// Which triangle of a symmetric/Hermitian/triangular matrix is referenced.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Uplo {
+    Upper,
+    Lower,
+}
+
+impl Uplo {
+    pub fn flip(self) -> Self {
+        match self {
+            Uplo::Upper => Uplo::Lower,
+            Uplo::Lower => Uplo::Upper,
+        }
+    }
+}
+
+/// Side of a multiplication (`op(A) * B` vs `B * op(A)`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    Left,
+    Right,
+}
+
+/// Unit or non-unit diagonal for triangular matrices.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Diag {
+    Unit,
+    NonUnit,
+}
+
+/// Matrix norm selector, mirroring LAPACK's `norm` character.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Norm {
+    /// Maximum absolute element (not a consistent norm).
+    Max,
+    /// Maximum absolute column sum.
+    One,
+    /// Maximum absolute row sum.
+    Inf,
+    /// Frobenius norm.
+    Fro,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_dims() {
+        assert_eq!(Op::NoTrans.apply_dims(3, 5), (3, 5));
+        assert_eq!(Op::Trans.apply_dims(3, 5), (5, 3));
+        assert_eq!(Op::ConjTrans.apply_dims(3, 5), (5, 3));
+    }
+
+    #[test]
+    fn uplo_flip() {
+        assert_eq!(Uplo::Upper.flip(), Uplo::Lower);
+        assert_eq!(Uplo::Lower.flip(), Uplo::Upper);
+    }
+}

@@ -1,0 +1,274 @@
+//! SLATE-style tile decomposition of a dense matrix.
+
+use crate::{BlockCyclic, Matrix, ProcessGrid};
+use polar_scalar::Scalar;
+
+/// Geometry of a tile decomposition: an `m x n` matrix cut into `mb x nb`
+/// tiles (edge tiles may be smaller).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Tiling {
+    m: usize,
+    n: usize,
+    mb: usize,
+    nb: usize,
+}
+
+/// Tile coordinates within the tile grid.
+pub type TileIndex = (usize, usize);
+
+impl Tiling {
+    /// # Panics
+    /// If a tile dimension is zero.
+    pub fn new(m: usize, n: usize, mb: usize, nb: usize) -> Self {
+        assert!(mb > 0 && nb > 0, "tile dims must be positive");
+        Self { m, n, mb, nb }
+    }
+
+    /// Square tiles of size `nb` (the common SLATE configuration; the paper
+    /// tunes `nb = 320` for GPUs and `nb = 192` for CPUs).
+    pub fn square(m: usize, n: usize, nb: usize) -> Self {
+        Self::new(m, n, nb, nb)
+    }
+
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+    #[inline]
+    pub fn mb(&self) -> usize {
+        self.mb
+    }
+    #[inline]
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    /// Number of tile rows.
+    #[inline]
+    pub fn mt(&self) -> usize {
+        self.m.div_ceil(self.mb)
+    }
+
+    /// Number of tile columns.
+    #[inline]
+    pub fn nt(&self) -> usize {
+        self.n.div_ceil(self.nb)
+    }
+
+    /// Rows in tile row `i` (edge tiles may be short).
+    #[inline]
+    pub fn tile_rows(&self, i: usize) -> usize {
+        debug_assert!(i < self.mt());
+        (self.m - i * self.mb).min(self.mb)
+    }
+
+    /// Columns in tile column `j`.
+    #[inline]
+    pub fn tile_cols(&self, j: usize) -> usize {
+        debug_assert!(j < self.nt());
+        (self.n - j * self.nb).min(self.nb)
+    }
+
+    /// Element offset of tile `(i, j)` in the dense matrix.
+    #[inline]
+    pub fn tile_origin(&self, i: usize, j: usize) -> (usize, usize) {
+        (i * self.mb, j * self.nb)
+    }
+}
+
+/// A matrix stored as a grid of independently-owned tiles, each tile a
+/// small column-major [`Matrix`].
+///
+/// Tiles being separate allocations is what SLATE does, and it is also what
+/// lets tile tasks mutate different tiles concurrently with no aliasing.
+/// The `dist` map records which simulated rank owns each tile.
+pub struct TiledMatrix<S> {
+    tiling: Tiling,
+    dist: BlockCyclic,
+    tiles: Vec<Matrix<S>>,
+}
+
+impl<S: Scalar> TiledMatrix<S> {
+    /// Zero-filled tiled matrix.
+    pub fn zeros(tiling: Tiling, grid: ProcessGrid) -> Self {
+        let mut tiles = Vec::with_capacity(tiling.mt() * tiling.nt());
+        for j in 0..tiling.nt() {
+            for i in 0..tiling.mt() {
+                tiles.push(Matrix::zeros(tiling.tile_rows(i), tiling.tile_cols(j)));
+            }
+        }
+        Self {
+            tiling,
+            dist: BlockCyclic::new(tiling, grid),
+            tiles,
+        }
+    }
+
+    /// Cut a dense matrix into tiles.
+    pub fn from_dense(a: &Matrix<S>, mb: usize, nb: usize, grid: ProcessGrid) -> Self {
+        let tiling = Tiling::new(a.nrows(), a.ncols(), mb, nb);
+        let mut t = Self::zeros(tiling, grid);
+        for j in 0..tiling.nt() {
+            for i in 0..tiling.mt() {
+                let (r0, c0) = tiling.tile_origin(i, j);
+                let tile = t.tile_mut(i, j);
+                for jj in 0..tile.ncols() {
+                    for ii in 0..tile.nrows() {
+                        tile[(ii, jj)] = a[(r0 + ii, c0 + jj)];
+                    }
+                }
+            }
+        }
+        t
+    }
+
+    /// Reassemble into a dense matrix.
+    pub fn to_dense(&self) -> Matrix<S> {
+        let mut a = Matrix::zeros(self.tiling.m(), self.tiling.n());
+        for j in 0..self.tiling.nt() {
+            for i in 0..self.tiling.mt() {
+                let (r0, c0) = self.tiling.tile_origin(i, j);
+                let tile = self.tile(i, j);
+                for jj in 0..tile.ncols() {
+                    for ii in 0..tile.nrows() {
+                        a[(r0 + ii, c0 + jj)] = tile[(ii, jj)];
+                    }
+                }
+            }
+        }
+        a
+    }
+
+    #[inline]
+    pub fn tiling(&self) -> Tiling {
+        self.tiling
+    }
+
+    #[inline]
+    pub fn dist(&self) -> BlockCyclic {
+        self.dist
+    }
+
+    #[inline]
+    pub fn mt(&self) -> usize {
+        self.tiling.mt()
+    }
+
+    #[inline]
+    pub fn nt(&self) -> usize {
+        self.tiling.nt()
+    }
+
+    #[inline]
+    fn flat(&self, i: usize, j: usize) -> usize {
+        debug_assert!(i < self.mt() && j < self.nt(), "tile index out of bounds");
+        i + j * self.mt()
+    }
+
+    #[inline]
+    pub fn tile(&self, i: usize, j: usize) -> &Matrix<S> {
+        &self.tiles[self.flat(i, j)]
+    }
+
+    #[inline]
+    pub fn tile_mut(&mut self, i: usize, j: usize) -> &mut Matrix<S> {
+        let k = self.flat(i, j);
+        &mut self.tiles[k]
+    }
+
+    /// Owning rank of tile `(i, j)` under the block-cyclic map.
+    #[inline]
+    pub fn owner(&self, i: usize, j: usize) -> usize {
+        self.dist.owner(i, j)
+    }
+
+    /// Disjoint mutable references to two distinct tiles.
+    ///
+    /// # Panics
+    /// If the indices are equal.
+    pub fn tile_pair_mut(
+        &mut self,
+        a: TileIndex,
+        b: TileIndex,
+    ) -> (&mut Matrix<S>, &mut Matrix<S>) {
+        let ka = self.flat(a.0, a.1);
+        let kb = self.flat(b.0, b.1);
+        assert_ne!(ka, kb, "tile_pair_mut requires distinct tiles");
+        if ka < kb {
+            let (lo, hi) = self.tiles.split_at_mut(kb);
+            (&mut lo[ka], &mut hi[0])
+        } else {
+            let (lo, hi) = self.tiles.split_at_mut(ka);
+            (&mut hi[0], &mut lo[kb])
+        }
+    }
+
+    /// Iterate over all tile indices in column-major order.
+    pub fn indices(&self) -> impl Iterator<Item = TileIndex> + '_ {
+        let mt = self.mt();
+        let nt = self.nt();
+        (0..nt).flat_map(move |j| (0..mt).map(move |i| (i, j)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiling_geometry() {
+        let t = Tiling::new(10, 7, 4, 3);
+        assert_eq!(t.mt(), 3);
+        assert_eq!(t.nt(), 3);
+        assert_eq!(t.tile_rows(0), 4);
+        assert_eq!(t.tile_rows(2), 2);
+        assert_eq!(t.tile_cols(2), 1);
+        assert_eq!(t.tile_origin(2, 1), (8, 3));
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let a = Matrix::<f64>::from_fn(10, 7, |i, j| (i * 100 + j) as f64);
+        let t = TiledMatrix::from_dense(&a, 4, 3, ProcessGrid::new(2, 2));
+        assert_eq!(t.to_dense(), a);
+    }
+
+    #[test]
+    fn dense_roundtrip_exact_division() {
+        let a = Matrix::<f64>::from_fn(8, 8, |i, j| (i as f64) - (j as f64));
+        let t = TiledMatrix::from_dense(&a, 4, 4, ProcessGrid::single());
+        assert_eq!(t.mt(), 2);
+        assert_eq!(t.nt(), 2);
+        assert_eq!(t.to_dense(), a);
+    }
+
+    #[test]
+    fn tile_pair_mut_disjoint() {
+        let mut t = TiledMatrix::<f64>::zeros(Tiling::new(4, 4, 2, 2), ProcessGrid::single());
+        let (a, b) = t.tile_pair_mut((0, 0), (1, 1));
+        a.fill(1.0);
+        b.fill(2.0);
+        assert_eq!(t.tile(0, 0)[(0, 0)], 1.0);
+        assert_eq!(t.tile(1, 1)[(1, 1)], 2.0);
+        assert_eq!(t.tile(0, 1)[(0, 0)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct tiles")]
+    fn tile_pair_mut_same_tile_panics() {
+        let mut t = TiledMatrix::<f64>::zeros(Tiling::new(4, 4, 2, 2), ProcessGrid::single());
+        let _ = t.tile_pair_mut((0, 0), (0, 0));
+    }
+
+    #[test]
+    fn indices_cover_grid() {
+        let t = TiledMatrix::<f64>::zeros(Tiling::new(6, 4, 2, 2), ProcessGrid::single());
+        let idx: Vec<_> = t.indices().collect();
+        assert_eq!(idx.len(), 6);
+        assert!(idx.contains(&(2, 1)));
+    }
+}

@@ -1,0 +1,410 @@
+//! Borrowed matrix views with leading-dimension strides.
+//!
+//! [`MatRef`] and [`MatMut`] are the argument types of every BLAS/LAPACK
+//! kernel in the workspace. They carry `(rows, cols, ld)` over a raw
+//! pointer, exactly like a `(double*, lda)` pair in LAPACK, but expose a
+//! safe API: mutable views can only be *split* into disjoint pieces
+//! (`split_at_row` / `split_at_col`), never aliased, which is what lets the
+//! recursive rayon kernels mutate different blocks of one matrix from
+//! different threads without locks.
+
+use polar_scalar::Scalar;
+use std::marker::PhantomData;
+
+/// Immutable strided view of an `rows x cols` block.
+pub struct MatRef<'a, S> {
+    ptr: *const S,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    _marker: PhantomData<&'a S>,
+}
+
+impl<S> Copy for MatRef<'_, S> {}
+impl<S> Clone for MatRef<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+// SAFETY: a MatRef is a shared borrow of S values; sharing it across
+// threads is as safe as sharing `&[S]`.
+unsafe impl<S: Sync> Send for MatRef<'_, S> {}
+unsafe impl<S: Sync> Sync for MatRef<'_, S> {}
+
+/// Mutable strided view of an `rows x cols` block.
+///
+/// Not `Copy`/`Clone`: exclusive access is threaded through `rb()`
+/// reborrows and `split_at_*` consumers, mirroring `&mut` discipline.
+pub struct MatMut<'a, S> {
+    ptr: *mut S,
+    rows: usize,
+    cols: usize,
+    ld: usize,
+    _marker: PhantomData<&'a mut S>,
+}
+
+// SAFETY: a MatMut is an exclusive borrow of its block; moving it to
+// another thread is as safe as moving `&mut [S]`. Disjointness of blocks
+// is guaranteed by construction (splits only).
+unsafe impl<S: Send> Send for MatMut<'_, S> {}
+unsafe impl<S: Sync> Sync for MatMut<'_, S> {}
+
+impl<'a, S: Scalar> MatRef<'a, S> {
+    /// View over a column-major slice with leading dimension `ld`.
+    ///
+    /// # Panics
+    /// If the slice is too short for the described block.
+    pub fn from_slice(data: &'a [S], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= rows, "ld must be >= rows");
+        if rows > 0 && cols > 0 {
+            assert!(
+                data.len() >= (cols - 1) * ld + rows,
+                "slice too short for view"
+            );
+        }
+        Self {
+            ptr: data.as_ptr(),
+            rows,
+            cols,
+            ld,
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> S {
+        debug_assert!(i < self.rows && j < self.cols, "view index out of bounds");
+        // SAFETY: in-bounds by the debug assertion and construction invariant.
+        unsafe { *self.ptr.add(i + j * self.ld) }
+    }
+
+    /// Column `j` as a contiguous slice (length `rows`).
+    #[inline]
+    pub fn col(&self, j: usize) -> &'a [S] {
+        debug_assert!(j < self.cols);
+        // SAFETY: the column is rows contiguous elements inside the borrow.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(j * self.ld), self.rows) }
+    }
+
+    /// Sub-block of size `nrows x ncols` at offset `(i0, j0)`.
+    #[inline]
+    pub fn submatrix(self, i0: usize, j0: usize, nrows: usize, ncols: usize) -> MatRef<'a, S> {
+        assert!(i0 + nrows <= self.rows && j0 + ncols <= self.cols, "submatrix out of bounds");
+        MatRef {
+            // SAFETY: offset stays within the viewed block.
+            ptr: unsafe { self.ptr.add(i0 + j0 * self.ld) },
+            rows: nrows,
+            cols: ncols,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Split into (left, right) at column `j`.
+    #[inline]
+    pub fn split_at_col(self, j: usize) -> (MatRef<'a, S>, MatRef<'a, S>) {
+        assert!(j <= self.cols);
+        (
+            self.submatrix(0, 0, self.rows, j),
+            self.submatrix(0, j, self.rows, self.cols - j),
+        )
+    }
+
+    /// Split into (top, bottom) at row `i`.
+    #[inline]
+    pub fn split_at_row(self, i: usize) -> (MatRef<'a, S>, MatRef<'a, S>) {
+        assert!(i <= self.rows);
+        (
+            self.submatrix(0, 0, i, self.cols),
+            self.submatrix(i, 0, self.rows - i, self.cols),
+        )
+    }
+
+    /// Copy into an owned [`crate::Matrix`].
+    pub fn to_owned(&self) -> crate::Matrix<S> {
+        crate::Matrix::from_fn(self.rows, self.cols, |i, j| self.at(i, j))
+    }
+}
+
+impl<'a, S: Scalar> MatMut<'a, S> {
+    /// Mutable view over a column-major slice with leading dimension `ld`.
+    pub fn from_slice(data: &'a mut [S], rows: usize, cols: usize, ld: usize) -> Self {
+        assert!(ld >= rows, "ld must be >= rows");
+        if rows > 0 && cols > 0 {
+            assert!(
+                data.len() >= (cols - 1) * ld + rows,
+                "slice too short for view"
+            );
+        }
+        Self {
+            ptr: data.as_mut_ptr(),
+            rows,
+            cols,
+            ld,
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn ld(&self) -> usize {
+        self.ld
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0 || self.cols == 0
+    }
+
+    /// Reborrow: a shorter-lived exclusive view of the same block.
+    #[inline]
+    pub fn rb(&mut self) -> MatMut<'_, S> {
+        MatMut {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Immutable reborrow.
+    #[inline]
+    pub fn as_ref(&self) -> MatRef<'_, S> {
+        MatRef {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: self.cols,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> S {
+        debug_assert!(i < self.rows && j < self.cols);
+        // SAFETY: in-bounds.
+        unsafe { *self.ptr.add(i + j * self.ld) }
+    }
+
+    #[inline]
+    pub fn at_mut(&mut self, i: usize, j: usize) -> &mut S {
+        debug_assert!(i < self.rows && j < self.cols);
+        // SAFETY: in-bounds, exclusive by &mut self.
+        unsafe { &mut *self.ptr.add(i + j * self.ld) }
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, value: S) {
+        *self.at_mut(i, j) = value;
+    }
+
+    /// Column `j` as a contiguous mutable slice.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [S] {
+        debug_assert!(j < self.cols);
+        // SAFETY: contiguous column inside the exclusive borrow.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(j * self.ld), self.rows) }
+    }
+
+    /// Consume into a sub-block view.
+    #[inline]
+    pub fn submatrix(self, i0: usize, j0: usize, nrows: usize, ncols: usize) -> MatMut<'a, S> {
+        assert!(i0 + nrows <= self.rows && j0 + ncols <= self.cols, "submatrix out of bounds");
+        MatMut {
+            // SAFETY: offset stays within the viewed block.
+            ptr: unsafe { self.ptr.add(i0 + j0 * self.ld) },
+            rows: nrows,
+            cols: ncols,
+            ld: self.ld,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Split into disjoint (left, right) mutable views at column `j`.
+    #[inline]
+    pub fn split_at_col(self, j: usize) -> (MatMut<'a, S>, MatMut<'a, S>) {
+        assert!(j <= self.cols);
+        let right = MatMut {
+            // SAFETY: columns [j, cols) do not overlap columns [0, j).
+            ptr: unsafe { self.ptr.add(j * self.ld) },
+            rows: self.rows,
+            cols: self.cols - j,
+            ld: self.ld,
+            _marker: PhantomData,
+        };
+        let left = MatMut {
+            ptr: self.ptr,
+            rows: self.rows,
+            cols: j,
+            ld: self.ld,
+            _marker: PhantomData,
+        };
+        (left, right)
+    }
+
+    /// Split into disjoint (top, bottom) mutable views at row `i`.
+    ///
+    /// The two views interleave in memory (same columns, different row
+    /// ranges) but never alias: top covers rows `[0, i)`, bottom `[i, rows)`.
+    #[inline]
+    pub fn split_at_row(self, i: usize) -> (MatMut<'a, S>, MatMut<'a, S>) {
+        assert!(i <= self.rows);
+        let bottom = MatMut {
+            // SAFETY: row ranges are disjoint; ld stride is shared.
+            ptr: unsafe { self.ptr.add(i) },
+            rows: self.rows - i,
+            cols: self.cols,
+            ld: self.ld,
+            _marker: PhantomData,
+        };
+        let top = MatMut {
+            ptr: self.ptr,
+            rows: i,
+            cols: self.cols,
+            ld: self.ld,
+            _marker: PhantomData,
+        };
+        (top, bottom)
+    }
+
+    /// Fill the block with a constant.
+    pub fn fill(&mut self, value: S) {
+        for j in 0..self.cols {
+            self.col_mut(j).fill(value);
+        }
+    }
+
+    /// Overwrite with the identity pattern.
+    pub fn set_identity(&mut self) {
+        self.fill(S::ZERO);
+        for k in 0..self.rows.min(self.cols) {
+            self.set(k, k, S::ONE);
+        }
+    }
+
+    /// Copy from another view of the same shape.
+    pub fn copy_from(&mut self, src: MatRef<'_, S>) {
+        assert_eq!(self.rows, src.nrows());
+        assert_eq!(self.cols, src.ncols());
+        for j in 0..self.cols {
+            self.col_mut(j).copy_from_slice(src.col(j));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Matrix;
+
+    #[test]
+    fn view_reads_through_stride() {
+        let a = Matrix::<f64>::from_fn(4, 4, |i, j| (i + 10 * j) as f64);
+        let v = a.view(1, 2, 2, 2);
+        assert_eq!(v.at(0, 0), a[(1, 2)]);
+        assert_eq!(v.at(1, 1), a[(2, 3)]);
+        assert_eq!(v.ld(), 4);
+    }
+
+    #[test]
+    fn split_col_disjoint_writes() {
+        let mut a = Matrix::<f64>::zeros(2, 4);
+        let (mut l, mut r) = a.as_mut().split_at_col(2);
+        l.fill(1.0);
+        r.fill(2.0);
+        assert_eq!(a[(0, 0)], 1.0);
+        assert_eq!(a[(1, 1)], 1.0);
+        assert_eq!(a[(0, 2)], 2.0);
+        assert_eq!(a[(1, 3)], 2.0);
+    }
+
+    #[test]
+    fn split_row_disjoint_writes() {
+        let mut a = Matrix::<f64>::zeros(4, 2);
+        let (mut t, mut b) = a.as_mut().split_at_row(1);
+        t.fill(3.0);
+        b.fill(4.0);
+        assert_eq!(a[(0, 1)], 3.0);
+        assert_eq!(a[(1, 0)], 4.0);
+        assert_eq!(a[(3, 1)], 4.0);
+    }
+
+    #[test]
+    fn col_mut_is_contiguous() {
+        let mut a = Matrix::<f64>::zeros(3, 2);
+        a.as_mut().col_mut(1).copy_from_slice(&[7.0, 8.0, 9.0]);
+        assert_eq!(a[(0, 1)], 7.0);
+        assert_eq!(a[(2, 1)], 9.0);
+        assert_eq!(a[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn submatrix_view_write() {
+        let mut a = Matrix::<f64>::zeros(4, 4);
+        {
+            let mut v = a.view_mut(1, 1, 2, 2);
+            v.set_identity();
+        }
+        assert_eq!(a[(1, 1)], 1.0);
+        assert_eq!(a[(2, 2)], 1.0);
+        assert_eq!(a[(1, 2)], 0.0);
+        assert_eq!(a[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn copy_from_strided() {
+        let src = Matrix::<f64>::from_fn(4, 4, |i, j| (i + j) as f64);
+        let mut dst = Matrix::<f64>::zeros(2, 2);
+        dst.as_mut().copy_from(src.view(2, 2, 2, 2));
+        assert_eq!(dst[(0, 0)], 4.0);
+        assert_eq!(dst[(1, 1)], 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "submatrix out of bounds")]
+    fn submatrix_bounds_checked() {
+        let a = Matrix::<f64>::zeros(3, 3);
+        let _ = a.as_ref().submatrix(1, 1, 3, 3);
+    }
+
+    #[test]
+    fn empty_views_allowed() {
+        let a = Matrix::<f64>::zeros(3, 3);
+        let v = a.view(0, 0, 0, 3);
+        assert!(v.is_empty());
+        let (l, r) = a.as_ref().split_at_col(0);
+        assert!(l.is_empty());
+        assert_eq!(r.ncols(), 3);
+    }
+}

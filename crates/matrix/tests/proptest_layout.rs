@@ -1,0 +1,76 @@
+//! Property tests for storage layout, views, tiling, and the block-cyclic
+//! distribution.
+
+use polar_matrix::{Matrix, ProcessGrid, TiledMatrix, Tiling};
+use proptest::prelude::*;
+
+fn dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..40, 1usize..40)
+}
+
+proptest! {
+    #[test]
+    fn tiled_roundtrip_preserves_matrix(
+        (m, n) in dims(),
+        mb in 1usize..9,
+        nb in 1usize..9,
+        p in 1usize..4,
+        q in 1usize..4,
+    ) {
+        let a = Matrix::<f64>::from_fn(m, n, |i, j| (i * 1000 + j) as f64);
+        let t = TiledMatrix::from_dense(&a, mb, nb, ProcessGrid::new(p, q));
+        prop_assert_eq!(t.to_dense(), a);
+    }
+
+    #[test]
+    fn tile_sizes_sum_to_dims((m, n) in dims(), mb in 1usize..9, nb in 1usize..9) {
+        let t = Tiling::new(m, n, mb, nb);
+        let row_sum: usize = (0..t.mt()).map(|i| t.tile_rows(i)).sum();
+        let col_sum: usize = (0..t.nt()).map(|j| t.tile_cols(j)).sum();
+        prop_assert_eq!(row_sum, m);
+        prop_assert_eq!(col_sum, n);
+    }
+
+    #[test]
+    fn block_cyclic_owner_in_range(
+        (m, n) in dims(), mb in 1usize..9, nb in 1usize..9, p in 1usize..5, q in 1usize..5,
+    ) {
+        let grid = ProcessGrid::new(p, q);
+        let t = TiledMatrix::<f64>::zeros(Tiling::new(m, n, mb, nb), grid);
+        for (i, j) in t.indices() {
+            prop_assert!(t.owner(i, j) < grid.nranks());
+        }
+    }
+
+    #[test]
+    fn split_views_tile_the_matrix((m, n) in dims(), frac in 0.0f64..1.0) {
+        let a = Matrix::<f64>::from_fn(m, n, |i, j| (i + 7 * j) as f64);
+        let jsplit = ((n as f64) * frac) as usize;
+        let (l, r) = a.as_ref().split_at_col(jsplit);
+        for j in 0..jsplit {
+            for i in 0..m {
+                prop_assert_eq!(l.at(i, j), a[(i, j)]);
+            }
+        }
+        for j in jsplit..n {
+            for i in 0..m {
+                prop_assert_eq!(r.at(i, j - jsplit), a[(i, j)]);
+            }
+        }
+        let isplit = ((m as f64) * frac) as usize;
+        let (t, b) = a.as_ref().split_at_row(isplit);
+        if isplit > 0 {
+            prop_assert_eq!(t.at(isplit - 1, 0), a[(isplit - 1, 0)]);
+        }
+        if isplit < m {
+            prop_assert_eq!(b.at(0, n - 1), a[(isplit, n - 1)]);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution((m, n) in dims()) {
+        use polar_matrix::Op;
+        let a = Matrix::<f64>::from_fn(m, n, |i, j| (3 * i + j) as f64);
+        prop_assert_eq!(a.transposed(Op::Trans).transposed(Op::Trans), a);
+    }
+}

@@ -1,0 +1,151 @@
+//! Virtual communicator with byte accounting.
+//!
+//! A lightweight stand-in for MPI point-to-point and collective calls:
+//! ranks live in one address space (the data is *not* actually copied
+//! between processes — this is a single-machine reproduction), but every
+//! transfer is metered so experiments can report communication volume,
+//! message counts, and collective structure exactly as a distributed run
+//! would.
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Accumulated communication statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommStats {
+    pub point_to_point_messages: u64,
+    pub point_to_point_bytes: u64,
+    pub broadcasts: u64,
+    pub broadcast_bytes: u64,
+    pub reductions: u64,
+    pub reduction_bytes: u64,
+}
+
+impl CommStats {
+    pub fn total_bytes(&self) -> u64 {
+        self.point_to_point_bytes + self.broadcast_bytes + self.reduction_bytes
+    }
+}
+
+/// Metered communicator for a virtual cluster of `nranks` ranks.
+///
+/// Collectives are costed with tree algorithms (`log2(p)` rounds), the
+/// same shape MPI implementations use, so the byte counts scale the way a
+/// real block-cyclic run's would.
+#[derive(Clone)]
+pub struct VirtualComm {
+    nranks: usize,
+    stats: Arc<Mutex<CommStats>>,
+}
+
+impl VirtualComm {
+    pub fn new(nranks: usize) -> Self {
+        assert!(nranks > 0);
+        Self {
+            nranks,
+            stats: Arc::new(Mutex::new(CommStats::default())),
+        }
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    /// Record a point-to-point tile transfer. Same-rank sends are free
+    /// (shared memory), as with MPI self-sends in SLATE's tile cache.
+    pub fn send(&self, from: usize, to: usize, bytes: u64) {
+        debug_assert!(from < self.nranks && to < self.nranks);
+        if from == to {
+            return;
+        }
+        let mut s = self.stats.lock();
+        s.point_to_point_messages += 1;
+        s.point_to_point_bytes += bytes;
+    }
+
+    /// Record a broadcast from `root` to all ranks (binomial tree:
+    /// `p - 1` transfers of `bytes`).
+    pub fn bcast(&self, _root: usize, bytes: u64) {
+        if self.nranks == 1 {
+            return;
+        }
+        let mut s = self.stats.lock();
+        s.broadcasts += 1;
+        s.broadcast_bytes += bytes * (self.nranks as u64 - 1);
+    }
+
+    /// Record an allreduce of `bytes` (recursive doubling:
+    /// `p log2(p)` transfers in `log2(p)` rounds).
+    pub fn allreduce(&self, bytes: u64) {
+        if self.nranks == 1 {
+            return;
+        }
+        let mut s = self.stats.lock();
+        s.reductions += 1;
+        let rounds = (self.nranks as f64).log2().ceil() as u64;
+        s.reduction_bytes += bytes * rounds * self.nranks as u64;
+    }
+
+    pub fn stats(&self) -> CommStats {
+        self.stats.lock().clone()
+    }
+
+    pub fn reset(&self) {
+        *self.stats.lock() = CommStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_send_is_free() {
+        let c = VirtualComm::new(4);
+        c.send(2, 2, 1000);
+        assert_eq!(c.stats(), CommStats::default());
+    }
+
+    #[test]
+    fn p2p_accumulates() {
+        let c = VirtualComm::new(4);
+        c.send(0, 1, 100);
+        c.send(1, 3, 50);
+        let s = c.stats();
+        assert_eq!(s.point_to_point_messages, 2);
+        assert_eq!(s.point_to_point_bytes, 150);
+    }
+
+    #[test]
+    fn bcast_tree_volume() {
+        let c = VirtualComm::new(8);
+        c.bcast(0, 10);
+        assert_eq!(c.stats().broadcast_bytes, 70);
+    }
+
+    #[test]
+    fn allreduce_rounds() {
+        let c = VirtualComm::new(8);
+        c.allreduce(4);
+        // log2(8) = 3 rounds * 8 ranks * 4 bytes
+        assert_eq!(c.stats().reduction_bytes, 96);
+    }
+
+    #[test]
+    fn single_rank_collectives_free() {
+        let c = VirtualComm::new(1);
+        c.bcast(0, 1000);
+        c.allreduce(1000);
+        assert_eq!(c.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn clone_shares_stats() {
+        let c = VirtualComm::new(2);
+        let c2 = c.clone();
+        c2.send(0, 1, 7);
+        assert_eq!(c.stats().point_to_point_bytes, 7);
+        c.reset();
+        assert_eq!(c2.stats().total_bytes(), 0);
+    }
+}

@@ -1,0 +1,361 @@
+//! Tile-task graphs with inferred data dependencies.
+
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Dense-kernel task types appearing in the QDWH DAG. The names follow
+/// the PLASMA/SLATE tile-kernel vocabulary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum KernelKind {
+    /// QR of a single diagonal tile.
+    Geqrt,
+    /// QR of a triangle stacked on a square tile (TS kernel).
+    Tsqrt,
+    /// Apply a Geqrt reflector block to a tile.
+    Unmqr,
+    /// Apply a Tsqrt reflector block to a tile pair.
+    Tsmqr,
+    /// Cholesky of a diagonal tile.
+    Potrf,
+    /// Triangular solve on a tile.
+    Trsm,
+    /// Tile gemm.
+    Gemm,
+    /// Tile Hermitian rank-k update.
+    Herk,
+    /// Tile add / scale / copy (negligible-flop data motion).
+    Geadd,
+    /// Norm / reduction contribution.
+    Norm,
+}
+
+impl KernelKind {
+    /// Whether SLATE offloads this kernel to the GPU (trailing-update
+    /// kernels) or keeps it on the CPU (panel kernels). Mirrors the hybrid
+    /// execution described in §5/§6.
+    pub fn gpu_eligible(self) -> bool {
+        matches!(
+            self,
+            KernelKind::Gemm | KernelKind::Herk | KernelKind::Trsm | KernelKind::Tsmqr | KernelKind::Unmqr
+        )
+    }
+}
+
+/// A tile of some matrix: `(matrix id, tile row, tile col)` plus its
+/// payload size in bytes (for communication costing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub struct TileRef {
+    pub matrix: u32,
+    pub i: u32,
+    pub j: u32,
+    pub bytes: u64,
+}
+
+impl TileRef {
+    pub fn new(matrix: u32, i: usize, j: usize, bytes: u64) -> Self {
+        Self {
+            matrix,
+            i: i as u32,
+            j: j as u32,
+            bytes,
+        }
+    }
+
+    /// Key ignoring the byte payload (identity of the tile).
+    fn key(&self) -> (u32, u32, u32) {
+        (self.matrix, self.i, self.j)
+    }
+}
+
+pub type TaskId = usize;
+
+/// One tile task.
+#[derive(Debug, Clone, Serialize)]
+pub struct Task {
+    pub id: TaskId,
+    pub kind: KernelKind,
+    /// Real floating-point operations.
+    pub flops: f64,
+    /// Executing rank (owner of the primary output tile).
+    pub rank: usize,
+    /// Fork-join phase: the bulk-synchronous scheduler inserts a global
+    /// barrier between distinct phases.
+    pub phase: u32,
+    pub reads: Vec<TileRef>,
+    pub writes: Vec<TileRef>,
+}
+
+/// Immutable task graph with predecessor lists.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    pub tasks: Vec<Task>,
+    /// `preds[t]` = tasks that must complete before `t`.
+    pub preds: Vec<Vec<TaskId>>,
+    /// `succs[t]` = tasks unblocked by `t` (mirror of `preds`).
+    pub succs: Vec<Vec<TaskId>>,
+}
+
+impl TaskGraph {
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total real flops over all tasks.
+    pub fn total_flops(&self) -> f64 {
+        self.tasks.iter().map(|t| t.flops).sum()
+    }
+
+    /// Longest path through the graph measured in flops — an idealized
+    /// infinite-parallelism lower bound on execution (communication-free).
+    pub fn critical_path_flops(&self) -> f64 {
+        let n = self.tasks.len();
+        let mut dist = vec![0.0f64; n];
+        // tasks are created in program order, and dependencies only point
+        // backwards, so a single forward sweep is a topological order
+        for t in 0..n {
+            let base = self.preds[t]
+                .iter()
+                .map(|&p| dist[p])
+                .fold(0.0f64, f64::max);
+            dist[t] = base + self.tasks[t].flops;
+        }
+        dist.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Bytes that must cross rank boundaries (producer rank != consumer
+    /// rank), the communication volume of the block-cyclic execution.
+    pub fn cross_rank_bytes(&self) -> u64 {
+        let mut last_writer: HashMap<(u32, u32, u32), TaskId> = HashMap::new();
+        let mut bytes = 0u64;
+        for t in &self.tasks {
+            for r in &t.reads {
+                if let Some(&w) = last_writer.get(&r.key()) {
+                    if self.tasks[w].rank != t.rank {
+                        bytes += r.bytes;
+                    }
+                }
+            }
+            for w in &t.writes {
+                last_writer.insert(w.key(), t.id);
+            }
+        }
+        bytes
+    }
+}
+
+/// Builds a [`TaskGraph`] in program order, inferring RAW / WAR / WAW
+/// dependencies from tile read/write sets — the same semantics as OpenMP
+/// `task depend(in/out)` that SLATE relies on.
+pub struct GraphBuilder {
+    tasks: Vec<Task>,
+    preds: Vec<Vec<TaskId>>,
+    last_writer: HashMap<(u32, u32, u32), TaskId>,
+    readers_since_write: HashMap<(u32, u32, u32), Vec<TaskId>>,
+    phase: u32,
+    next_matrix: u32,
+}
+
+impl Default for GraphBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GraphBuilder {
+    pub fn new() -> Self {
+        Self {
+            tasks: Vec::new(),
+            preds: Vec::new(),
+            last_writer: HashMap::new(),
+            readers_since_write: HashMap::new(),
+            phase: 0,
+            next_matrix: 0,
+        }
+    }
+
+    /// Allocate a fresh matrix id for tile references.
+    pub fn new_matrix(&mut self) -> u32 {
+        let id = self.next_matrix;
+        self.next_matrix += 1;
+        id
+    }
+
+    /// Begin a new fork-join phase (a barrier point for the
+    /// bulk-synchronous scheduler; a no-op for the task-based one).
+    pub fn next_phase(&mut self) {
+        self.phase += 1;
+    }
+
+    pub fn current_phase(&self) -> u32 {
+        self.phase
+    }
+
+    /// Append a task; dependencies on earlier tasks are inferred.
+    pub fn add_task(
+        &mut self,
+        kind: KernelKind,
+        flops: f64,
+        rank: usize,
+        reads: Vec<TileRef>,
+        writes: Vec<TileRef>,
+    ) -> TaskId {
+        let id = self.tasks.len();
+        let mut preds: Vec<TaskId> = Vec::new();
+        // RAW: this task reads tiles someone wrote
+        for r in &reads {
+            if let Some(&w) = self.last_writer.get(&r.key()) {
+                preds.push(w);
+            }
+        }
+        for w in &writes {
+            // WAW: ordering against the previous writer
+            if let Some(&prev) = self.last_writer.get(&w.key()) {
+                preds.push(prev);
+            }
+            // WAR: ordering against readers of the previous value
+            if let Some(readers) = self.readers_since_write.get(&w.key()) {
+                preds.extend_from_slice(readers);
+            }
+        }
+        preds.sort_unstable();
+        preds.dedup();
+        preds.retain(|&p| p != id);
+
+        for r in &reads {
+            self.readers_since_write.entry(r.key()).or_default().push(id);
+        }
+        for w in &writes {
+            self.last_writer.insert(w.key(), id);
+            self.readers_since_write.insert(w.key(), Vec::new());
+        }
+
+        self.tasks.push(Task {
+            id,
+            kind,
+            flops,
+            rank,
+            phase: self.phase,
+            reads,
+            writes,
+        });
+        self.preds.push(preds);
+        id
+    }
+
+    pub fn build(self) -> TaskGraph {
+        let n = self.tasks.len();
+        let mut succs = vec![Vec::new(); n];
+        for (t, preds) in self.preds.iter().enumerate() {
+            for &p in preds {
+                succs[p].push(t);
+            }
+        }
+        TaskGraph {
+            tasks: self.tasks,
+            preds: self.preds,
+            succs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tile(m: u32, i: usize, j: usize) -> TileRef {
+        TileRef::new(m, i, j, 8 * 32 * 32)
+    }
+
+    #[test]
+    fn raw_dependency() {
+        let mut b = GraphBuilder::new();
+        let m = b.new_matrix();
+        let t0 = b.add_task(KernelKind::Potrf, 100.0, 0, vec![], vec![tile(m, 0, 0)]);
+        let t1 = b.add_task(KernelKind::Trsm, 200.0, 1, vec![tile(m, 0, 0)], vec![tile(m, 1, 0)]);
+        let g = b.build();
+        assert_eq!(g.preds[t1], vec![t0]);
+        assert_eq!(g.succs[t0], vec![t1]);
+        assert!(g.preds[t0].is_empty());
+    }
+
+    #[test]
+    fn waw_and_war_dependencies() {
+        let mut b = GraphBuilder::new();
+        let m = b.new_matrix();
+        let w1 = b.add_task(KernelKind::Geadd, 1.0, 0, vec![], vec![tile(m, 0, 0)]);
+        let r1 = b.add_task(KernelKind::Gemm, 1.0, 0, vec![tile(m, 0, 0)], vec![tile(m, 1, 1)]);
+        let w2 = b.add_task(KernelKind::Geadd, 1.0, 0, vec![], vec![tile(m, 0, 0)]);
+        let g = b.build();
+        // w2 must wait for the reader r1 (WAR) and the writer w1 (WAW)
+        assert!(g.preds[w2].contains(&r1));
+        assert!(g.preds[w2].contains(&w1));
+    }
+
+    #[test]
+    fn independent_tasks_have_no_edges() {
+        let mut b = GraphBuilder::new();
+        let m = b.new_matrix();
+        for j in 0..4 {
+            b.add_task(KernelKind::Gemm, 10.0, j, vec![], vec![tile(m, 0, j)]);
+        }
+        let g = b.build();
+        assert!(g.preds.iter().all(|p| p.is_empty()));
+        assert_eq!(g.critical_path_flops(), 10.0);
+        assert_eq!(g.total_flops(), 40.0);
+    }
+
+    #[test]
+    fn critical_path_of_chain() {
+        let mut b = GraphBuilder::new();
+        let m = b.new_matrix();
+        for k in 0..5 {
+            b.add_task(
+                KernelKind::Potrf,
+                (k + 1) as f64,
+                0,
+                if k == 0 { vec![] } else { vec![tile(m, 0, 0)] },
+                vec![tile(m, 0, 0)],
+            );
+        }
+        let g = b.build();
+        assert_eq!(g.critical_path_flops(), 1.0 + 2.0 + 3.0 + 4.0 + 5.0);
+    }
+
+    #[test]
+    fn cross_rank_bytes_counts_remote_reads() {
+        let mut b = GraphBuilder::new();
+        let m = b.new_matrix();
+        let bytes = 8 * 32 * 32u64;
+        b.add_task(KernelKind::Potrf, 1.0, 0, vec![], vec![tile(m, 0, 0)]);
+        // same-rank read: free
+        b.add_task(KernelKind::Trsm, 1.0, 0, vec![tile(m, 0, 0)], vec![tile(m, 1, 0)]);
+        // remote read: one tile transfer
+        b.add_task(KernelKind::Trsm, 1.0, 1, vec![tile(m, 0, 0)], vec![tile(m, 2, 0)]);
+        let g = b.build();
+        assert_eq!(g.cross_rank_bytes(), bytes);
+    }
+
+    #[test]
+    fn phases_are_recorded() {
+        let mut b = GraphBuilder::new();
+        let m = b.new_matrix();
+        b.add_task(KernelKind::Potrf, 1.0, 0, vec![], vec![tile(m, 0, 0)]);
+        b.next_phase();
+        b.add_task(KernelKind::Trsm, 1.0, 0, vec![], vec![tile(m, 1, 0)]);
+        let g = b.build();
+        assert_eq!(g.tasks[0].phase, 0);
+        assert_eq!(g.tasks[1].phase, 1);
+    }
+
+    #[test]
+    fn gpu_eligibility_split() {
+        assert!(KernelKind::Gemm.gpu_eligible());
+        assert!(KernelKind::Tsmqr.gpu_eligible());
+        assert!(!KernelKind::Geqrt.gpu_eligible());
+        assert!(!KernelKind::Potrf.gpu_eligible());
+    }
+}

@@ -1,0 +1,183 @@
+//! The [`Real`] trait: floating-point types usable as the real field of a
+//! [`crate::Scalar`].
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Real floating-point scalar (`f32` or `f64`).
+///
+/// This is the value type for norms, singular values, condition numbers,
+/// and the dynamically-weighted Halley parameters `a`, `b`, `c`, `L` of
+/// Algorithm 1 in the paper.
+pub trait Real:
+    Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + PartialOrd
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+{
+    /// Machine epsilon (`ulp(1)/2` in LAPACK convention is `EPSILON/2`;
+    /// we follow Rust's `f64::EPSILON` = distance from 1.0 to the next float).
+    const EPSILON: Self;
+    /// Smallest positive normal value.
+    const MIN_POSITIVE: Self;
+    /// Largest finite value.
+    const MAX: Self;
+    const ZERO: Self;
+    const ONE: Self;
+    const TWO: Self;
+
+    fn from_f64(x: f64) -> Self;
+    fn to_f64(self) -> f64;
+    fn from_usize(x: usize) -> Self {
+        Self::from_f64(x as f64)
+    }
+
+    fn abs(self) -> Self;
+    fn sqrt(self) -> Self;
+    fn cbrt(self) -> Self;
+    fn recip(self) -> Self;
+    fn powi(self, n: i32) -> Self;
+    fn ln(self) -> Self;
+    fn log10(self) -> Self;
+    fn exp(self) -> Self;
+    fn hypot(self, other: Self) -> Self;
+    fn is_finite(self) -> bool;
+    fn is_nan(self) -> bool;
+
+    fn max(self, other: Self) -> Self;
+    fn min(self, other: Self) -> Self;
+
+    /// `sign(x)` with `sign(0) = 1`, as used by Householder reflector
+    /// construction to avoid cancellation.
+    fn sign1(self) -> Self {
+        if self < Self::ZERO {
+            -Self::ONE
+        } else {
+            Self::ONE
+        }
+    }
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            const EPSILON: Self = <$t>::EPSILON;
+            const MIN_POSITIVE: Self = <$t>::MIN_POSITIVE;
+            const MAX: Self = <$t>::MAX;
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+
+            #[inline]
+            fn from_f64(x: f64) -> Self {
+                x as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn cbrt(self) -> Self {
+                <$t>::cbrt(self)
+            }
+            #[inline]
+            fn recip(self) -> Self {
+                <$t>::recip(self)
+            }
+            #[inline]
+            fn powi(self, n: i32) -> Self {
+                <$t>::powi(self, n)
+            }
+            #[inline]
+            fn ln(self) -> Self {
+                <$t>::ln(self)
+            }
+            #[inline]
+            fn log10(self) -> Self {
+                <$t>::log10(self)
+            }
+            #[inline]
+            fn exp(self) -> Self {
+                <$t>::exp(self)
+            }
+            #[inline]
+            fn hypot(self, other: Self) -> Self {
+                <$t>::hypot(self, other)
+            }
+            #[inline]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+            #[inline]
+            fn is_nan(self) -> bool {
+                <$t>::is_nan(self)
+            }
+            #[inline]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(f64::ONE + f64::ONE, f64::TWO);
+        assert_eq!(f32::ZERO, 0.0f32);
+    }
+
+    #[test]
+    fn sign1_zero_is_positive() {
+        assert_eq!(0.0f64.sign1(), 1.0);
+        assert_eq!((-3.0f64).sign1(), -1.0);
+        assert_eq!(2.5f32.sign1(), 1.0);
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        let x = 1.25f64;
+        assert_eq!(f32::from_f64(x).to_f64(), 1.25);
+    }
+
+    #[test]
+    fn hypot_no_overflow() {
+        let big = 1e200f64;
+        assert!(big.hypot(big).is_finite());
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the from-scratch complex type and the Scalar
+//! trait: field axioms, conjugation identities, and robustness of the
+//! overflow-safe primitives.
+
+use polar_scalar::{Complex64, Real, Scalar};
+use proptest::prelude::*;
+
+fn finite_component() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1e6f64..1e6f64,
+        -1.0f64..1.0f64,
+        Just(0.0),
+        Just(1.0),
+        Just(-1.0),
+    ]
+}
+
+fn complex() -> impl Strategy<Value = Complex64> {
+    (finite_component(), finite_component()).prop_map(|(re, im)| Complex64::new(re, im))
+}
+
+fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in complex(), b in complex()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn multiplication_commutes(a in complex(), b in complex()) {
+        prop_assert!(close(a * b, b * a, 1e-15));
+    }
+
+    #[test]
+    fn distributivity(a in complex(), b in complex(), c in complex()) {
+        prop_assert!(close(a * (b + c), a * b + a * c, 1e-12));
+    }
+
+    #[test]
+    fn conj_is_ring_homomorphism(a in complex(), b in complex()) {
+        prop_assert!(close((a * b).conj(), a.conj() * b.conj(), 1e-15));
+        prop_assert_eq!((a + b).conj(), a.conj() + b.conj());
+    }
+
+    #[test]
+    fn modulus_is_multiplicative(a in complex(), b in complex()) {
+        let lhs = (a * b).abs();
+        let rhs = a.abs() * b.abs();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * (1.0 + rhs));
+    }
+
+    #[test]
+    fn triangle_inequality(a in complex(), b in complex()) {
+        prop_assert!((a + b).abs() <= a.abs() + b.abs() + 1e-9);
+    }
+
+    #[test]
+    fn sqrt_squares_back(a in complex()) {
+        let r = a.sqrt();
+        // principal branch: non-negative real part
+        prop_assert!(r.re >= 0.0 || r.re.abs() < 1e-12);
+        prop_assert!(close(r * r, a, 1e-10));
+    }
+
+    #[test]
+    fn recip_is_inverse(a in complex()) {
+        prop_assume!(a.abs() > 1e-6);
+        prop_assert!(close(a * a.recip(), Complex64::from_real(1.0), 1e-12));
+    }
+
+    #[test]
+    fn mul_real_matches_full_mul(a in complex(), s in finite_component()) {
+        let via_scalar = a.mul_real(s);
+        let via_complex = a * Complex64::from_real(s);
+        prop_assert!(close(via_scalar, via_complex, 1e-15));
+    }
+
+    #[test]
+    fn abs1_bounds_abs(a in complex()) {
+        // |z| <= |re| + |im| <= sqrt(2) |z|
+        let abs = a.abs();
+        let abs1 = Scalar::abs1(a);
+        prop_assert!(abs <= abs1 + 1e-12);
+        prop_assert!(abs1 <= 2f64.sqrt() * abs + 1e-12);
+    }
+}

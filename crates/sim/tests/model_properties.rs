@@ -1,0 +1,100 @@
+//! Property-based tests of the analytic performance model: physical
+//! sanity over random configurations.
+
+use polar_sim::machine::NodeSpec;
+use polar_sim::{estimate_qdwh_time, qdwh_flops, Implementation};
+use proptest::prelude::*;
+
+fn nodes_strategy() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(2), Just(4), Just(8), Just(16), Just(32)]
+}
+
+fn n_strategy() -> impl Strategy<Value = usize> {
+    (10usize..300).prop_map(|k| k * 1000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn time_positive_and_finite(nodes in nodes_strategy(), n in n_strategy()) {
+        for node in [NodeSpec::summit(), NodeSpec::frontier()] {
+            for imp in [Implementation::SlateGpu, Implementation::SlateCpu, Implementation::ScaLapack] {
+                let r = estimate_qdwh_time(&node, nodes, imp, n, 320, 3, 3);
+                prop_assert!(r.seconds > 0.0 && r.seconds.is_finite());
+                prop_assert!(r.tflops > 0.0 && r.tflops.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn time_monotone_in_n(nodes in nodes_strategy(), n in 10usize..150) {
+        let node = NodeSpec::summit();
+        let n1 = n * 1000;
+        let n2 = n1 * 2;
+        for imp in [Implementation::SlateGpu, Implementation::ScaLapack] {
+            let t1 = estimate_qdwh_time(&node, nodes, imp, n1, 320, 3, 3).seconds;
+            let t2 = estimate_qdwh_time(&node, nodes, imp, n2, 320, 3, 3).seconds;
+            prop_assert!(t2 > t1, "{imp:?}: bigger problems take longer");
+        }
+    }
+
+    #[test]
+    fn time_monotone_in_nodes(n in n_strategy()) {
+        // more nodes never slow the modeled run down (same nb, same impl)
+        let node = NodeSpec::summit();
+        for imp in [Implementation::SlateGpu, Implementation::SlateCpu] {
+            let mut prev = f64::MAX;
+            for nodes in [1usize, 2, 4, 8, 16, 32] {
+                let t = estimate_qdwh_time(&node, nodes, imp, n, 320, 3, 3).seconds;
+                prop_assert!(t <= prev * 1.0001, "{imp:?} nodes={nodes}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn more_iterations_cost_more(nodes in nodes_strategy(), n in n_strategy()) {
+        let node = NodeSpec::frontier();
+        let lo = estimate_qdwh_time(&node, nodes, Implementation::SlateGpu, n, 320, 0, 2);
+        let hi = estimate_qdwh_time(&node, nodes, Implementation::SlateGpu, n, 320, 3, 3);
+        prop_assert!(hi.seconds > lo.seconds);
+        prop_assert!(qdwh_flops(n, 3, 3) > qdwh_flops(n, 0, 2));
+    }
+
+    #[test]
+    fn gpu_beats_cpu_once_saturated(nodes in nodes_strategy(), n in n_strategy()) {
+        // At small n / many ranks the GPUs starve and CPU can win — the
+        // paper's Figs. 2-3 show exactly that crossover (speedup ~1x at
+        // n = 20k on 32 nodes). Once each rank holds enough tiles to fill
+        // its devices, GPU must win decisively.
+        let node = NodeSpec::summit();
+        let t = n / 320;
+        let ranks = nodes * node.slate_ranks_per_node;
+        prop_assume!((t * t) / ranks > 4000);
+        let gpu = estimate_qdwh_time(&node, nodes, Implementation::SlateGpu, n, 320, 3, 3);
+        let cpu = estimate_qdwh_time(&node, nodes, Implementation::SlateCpu, n, 320, 3, 3);
+        prop_assert!(gpu.seconds < cpu.seconds, "GPU {} vs CPU {}", gpu.seconds, cpu.seconds);
+    }
+
+    #[test]
+    fn rate_never_exceeds_hardware(nodes in nodes_strategy(), n in n_strategy(), nbk in 2usize..20) {
+        // reported Tflop/s can never exceed the aggregate theoretical peak
+        let nb = nbk * 32;
+        for node in [NodeSpec::summit(), NodeSpec::frontier()] {
+            let r = estimate_qdwh_time(&node, nodes, Implementation::SlateGpu, n, nb, 3, 3);
+            let peak = nodes as f64 * node.node_peak_gflops(polar_sim::ExecTarget::GpuAccelerated) / 1e3;
+            prop_assert!(r.tflops < peak, "{} > peak {}", r.tflops, peak);
+        }
+    }
+
+    #[test]
+    fn fork_join_overhead_nonnegative(nodes in nodes_strategy(), n in n_strategy()) {
+        // ScaLAPACK (fork-join CPU) is never faster than SLATE CPU at the
+        // same node count: same hardware, strictly less overlap
+        let node = NodeSpec::summit();
+        let tb = estimate_qdwh_time(&node, nodes, Implementation::SlateCpu, n, 192, 3, 3);
+        let fj = estimate_qdwh_time(&node, nodes, Implementation::ScaLapack, n, 192, 3, 3);
+        prop_assert!(fj.seconds >= tb.seconds * 0.9, "fj {} vs tb {}", fj.seconds, tb.seconds);
+    }
+}

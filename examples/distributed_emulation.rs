@@ -1,0 +1,66 @@
+//! Virtual-cluster QDWH: the same Algorithm 1, executed as PLASMA/SLATE
+//! tile algorithms over a 2D block-cyclic distribution, with every
+//! cross-rank tile transfer metered. Shows (a) numerics identical to the
+//! shared-memory driver on every grid, and (b) how communication volume
+//! scales with the process grid — the distributed story of the paper,
+//! emulated in one address space.
+//!
+//! ```sh
+//! cargo run --release --example distributed_emulation
+//! ```
+
+use polar::matrix::ProcessGrid;
+use polar::prelude::*;
+use polar::qdwh::{orthogonality_error, qdwh_distributed, DistConfig};
+
+fn main() {
+    let n = 64;
+    let nb = 8;
+    // kappa = 1e6: ill enough to exercise both QR and Cholesky iterations,
+    // moderate enough that forward agreement between the two drivers is
+    // meaningful (the polar factor's sensitivity is O(eps * kappa))
+    let spec = MatrixSpec {
+        m: n,
+        n,
+        cond: 1e6,
+        distribution: SigmaDistribution::Geometric,
+        seed: 404,
+    };
+    let (a, _) = generate::<f64>(&spec);
+
+    let dense = qdwh(&a, &QdwhOptions::default()).unwrap();
+    println!("Virtual-cluster QDWH (n = {n}, nb = {nb}, kappa = 1e6)");
+    println!(
+        "shared-memory reference: {} iterations ({} QR + {} Chol)\n",
+        dense.info.iterations, dense.info.qr_iterations, dense.info.chol_iterations
+    );
+    println!(
+        "{:>7} | {:>10} {:>12} {:>10} | {:>11} | {:>10}",
+        "grid", "tile tasks", "p2p msgs", "p2p MB", "U vs dense", "orth err"
+    );
+
+    for (p, q) in [(1, 1), (1, 2), (2, 2), (2, 4), (4, 4)] {
+        let cfg = DistConfig {
+            grid: ProcessGrid::new(p, q),
+            nb,
+        };
+        let out = qdwh_distributed(&a, &QdwhOptions::default(), &cfg).unwrap();
+        let mut du = out.pd.u.clone();
+        polar::blas::add(-1.0, dense.u.as_ref(), 1.0, du.as_mut());
+        let err: f64 = polar::blas::norm(Norm::Fro, du.as_ref());
+        println!(
+            "{:>3}x{:<3} | {:>10} {:>12} {:>10.3} | {:>11.2e} | {:>10.2e}",
+            p,
+            q,
+            out.tile_tasks,
+            out.comm.point_to_point_messages,
+            out.comm.point_to_point_bytes as f64 / 1e6,
+            err,
+            orthogonality_error(&out.pd.u),
+        );
+        assert!(err < 1e-8, "distribution must not change the numerics");
+    }
+
+    println!("\ncommunication grows with the grid; the factors do not change.");
+    println!("(1x1 shows zero traffic: every tile is rank-local.)");
+}

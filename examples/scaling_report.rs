@@ -1,0 +1,64 @@
+//! Mini scaling report: the paper's Figs. 2–6 in one terminal table,
+//! generated from the Summit/Frontier machine models and the analytic
+//! performance model (the same code the full figure harnesses in
+//! `polar-bench` use).
+//!
+//! ```sh
+//! cargo run --release --example scaling_report
+//! ```
+
+use polar::sim::machine::NodeSpec;
+use polar::sim::{estimate_qdwh_time, Implementation};
+
+fn main() {
+    let summit = NodeSpec::summit();
+    let frontier = NodeSpec::frontier();
+    let (it_qr, it_chol) = polar::sim::ILL_CONDITIONED_PROFILE;
+
+    println!("Modeled QDWH performance, ill-conditioned profile (3 QR + 3 Cholesky)\n");
+    println!("== Summit (Figs. 2-4): Tflop/s by implementation ==");
+    println!(
+        "{:>6} {:>8} | {:>10} {:>10} {:>10} | {:>8}",
+        "nodes", "n", "SLATE-GPU", "SLATE-CPU", "ScaLAPACK", "speedup"
+    );
+    for &nodes in &[1usize, 4, 8, 16, 32] {
+        for &n in &[40_000usize, 80_000, 130_000, 200_000] {
+            let gpu = estimate_qdwh_time(&summit, nodes, Implementation::SlateGpu, n, 320, it_qr, it_chol);
+            let cpu = estimate_qdwh_time(&summit, nodes, Implementation::SlateCpu, n, 192, it_qr, it_chol);
+            let sca = estimate_qdwh_time(&summit, nodes, Implementation::ScaLapack, n, 192, it_qr, it_chol);
+            println!(
+                "{:>6} {:>8} | {:>10.2} {:>10.3} {:>10.3} | {:>7.1}x",
+                nodes,
+                n,
+                gpu.tflops,
+                cpu.tflops,
+                sca.tflops,
+                gpu.tflops / sca.tflops
+            );
+        }
+        println!();
+    }
+
+    println!("== Frontier (Figs. 5-6): SLATE-GPU Tflop/s ==");
+    println!("{:>6} {:>8} | {:>10} | {:>12}", "nodes", "n", "Tflop/s", "% achievable");
+    for &nodes in &[1usize, 2, 4, 8, 16] {
+        for &n in &[50_000usize, 100_000, 175_000] {
+            let r = estimate_qdwh_time(&frontier, nodes, Implementation::SlateGpu, n, 320, it_qr, it_chol);
+            let agg_dgemm = nodes as f64 * frontier.node_gflops(polar::sim::ExecTarget::GpuAccelerated) / 1e3;
+            println!(
+                "{:>6} {:>8} | {:>10.1} | {:>11.1}%",
+                nodes,
+                n,
+                r.tflops,
+                100.0 * r.tflops / agg_dgemm
+            );
+        }
+        println!();
+    }
+
+    let headline = estimate_qdwh_time(&frontier, 16, Implementation::SlateGpu, 175_000, 320, it_qr, it_chol);
+    println!(
+        "headline: 16 Frontier nodes (128 GCDs), n = 175k -> {:.0} Tflop/s (paper: ~180)",
+        headline.tflops
+    );
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the polar decomposition contract over random
+//! shapes, spectra, and scalar types.
+
+use polar::prelude::*;
+use polar::qdwh::orthogonality_error;
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = MatrixSpec> {
+    (8usize..40, 0usize..16, 1.0f64..12.0, 0u64..1000, 0usize..3).prop_map(
+        |(n, extra_rows, log_cond, seed, dist)| MatrixSpec {
+            m: n + extra_rows,
+            n,
+            cond: 10f64.powf(log_cond),
+            distribution: match dist {
+                0 => SigmaDistribution::Geometric,
+                1 => SigmaDistribution::Arithmetic,
+                _ => SigmaDistribution::Random,
+            },
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn polar_contract_f64(spec in spec_strategy()) {
+        let (a, _) = generate::<f64>(&spec);
+        let pd = qdwh(&a, &QdwhOptions::default()).unwrap();
+        // orthonormal columns
+        prop_assert!(orthogonality_error(&pd.u) < 1e-11);
+        // reconstruction
+        prop_assert!(pd.backward_error(&a) < 1e-11);
+        // Hermitian H
+        for j in 0..spec.n {
+            for i in 0..spec.n {
+                prop_assert!((pd.h[(i, j)] - pd.h[(j, i)]).abs() < 1e-10);
+            }
+        }
+        // iteration bound: theory says <= 6 at double precision, allow +1
+        // slack for estimator clamping on extreme random spectra
+        prop_assert!(pd.info.iterations <= 7, "{} iterations", pd.info.iterations);
+    }
+
+    #[test]
+    fn polar_contract_complex(seed in 0u64..500, n in 8usize..28) {
+        let spec = MatrixSpec {
+            m: n,
+            n,
+            cond: 1e6,
+            distribution: SigmaDistribution::Geometric,
+            seed,
+        };
+        let (a, _) = generate::<Complex64>(&spec);
+        let pd = qdwh(&a, &QdwhOptions::default()).unwrap();
+        prop_assert!(orthogonality_error(&pd.u) < 1e-11);
+        prop_assert!(pd.backward_error(&a) < 1e-11);
+    }
+
+    #[test]
+    fn h_trace_equals_nuclear_norm(seed in 0u64..300) {
+        // trace(H) = sum of singular values of A
+        let spec = MatrixSpec {
+            m: 24,
+            n: 24,
+            cond: 1e3,
+            distribution: SigmaDistribution::Geometric,
+            seed,
+        };
+        let (a, sigma) = generate::<f64>(&spec);
+        let pd = qdwh(&a, &QdwhOptions::default()).unwrap();
+        let trace: f64 = (0..24).map(|i| pd.h[(i, i)]).sum();
+        let nuclear: f64 = sigma.iter().sum();
+        prop_assert!((trace - nuclear).abs() < 1e-10 * (1.0 + nuclear));
+    }
+
+    #[test]
+    fn idempotence_on_unitary_input(seed in 0u64..300) {
+        // polar factor of an orthonormal matrix is itself; H = I
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let n = 16;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let q = polar::gen::random_orthonormal::<f64>(n, n, &mut rng);
+        let pd = qdwh(&q, &QdwhOptions::default()).unwrap();
+        for j in 0..n {
+            for i in 0..n {
+                let expect_u = q[(i, j)];
+                prop_assert!((pd.u[(i, j)] - expect_u).abs() < 1e-11);
+                let expect_h = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((pd.h[(i, j)] - expect_h).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn qdwh_svd_spectrum_sorted_nonnegative(seed in 0u64..200) {
+        let spec = MatrixSpec {
+            m: 30,
+            n: 18,
+            cond: 1e5,
+            distribution: SigmaDistribution::Random,
+            seed,
+        };
+        let (a, _) = generate::<f64>(&spec);
+        let svd = polar::qdwh::qdwh_svd(&a, &QdwhOptions::default()).unwrap();
+        for w in svd.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+    }
+}
