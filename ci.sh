@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Repository CI gate. Run locally before pushing; the GitHub Actions
+# workflow (.github/workflows/ci.yml) runs the same steps.
+#
+#   ./ci.sh          # everything
+#   ./ci.sh fast     # skip the full workspace test pass (tier-1 only)
+#
+# All cargo invocations are --offline: every external dependency is
+# vendored under crates/shims/ (see Cargo.toml), so CI needs no registry.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "rustfmt"
+cargo fmt --check
+
+step "clippy (workspace, all targets, deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+step "tier-1: release build"
+cargo build --offline --release
+
+step "tier-1: root package tests"
+cargo test --offline -q
+
+if [[ "${1:-}" != "fast" ]]; then
+    step "workspace tests"
+    cargo test --offline -q --workspace
+
+    step "facade builds standalone"
+    cargo build --offline --release -p polar
+fi
+
+step "OK"

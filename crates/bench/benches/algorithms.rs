@@ -20,23 +20,15 @@ fn bench_pd_family(c: &mut Criterion) {
     let a = ill(96, 1);
     g.bench_function("qdwh", |b| b.iter(|| qdwh(&a, &QdwhOptions::default()).unwrap()));
     g.bench_function("qdwh_tsqr", |b| {
-        let opts = QdwhOptions {
-            use_tsqr: true,
-            ..Default::default()
-        };
+        let opts = QdwhOptions { use_tsqr: true, ..Default::default() };
         b.iter(|| qdwh(&a, &opts).unwrap())
     });
     g.bench_function("qdwh_unstructured_qr", |b| {
         // ablation: disable the [B; I] window optimization
-        let opts = QdwhOptions {
-            exploit_structure: false,
-            ..Default::default()
-        };
+        let opts = QdwhOptions { exploit_structure: false, ..Default::default() };
         b.iter(|| qdwh(&a, &opts).unwrap())
     });
-    g.bench_function("zolo_pd_r8", |b| {
-        b.iter(|| zolo_pd(&a, &ZoloOptions::default()).unwrap())
-    });
+    g.bench_function("zolo_pd_r8", |b| b.iter(|| zolo_pd(&a, &ZoloOptions::default()).unwrap()));
     g.bench_function("mixed_precision", |b| {
         // mixed path needs a moderate condition number for the f32 stage
         let spec = MatrixSpec {
@@ -78,31 +70,16 @@ fn bench_distributed_overhead(c: &mut Criterion) {
     // tile algorithms + metering on one host
     let mut g = c.benchmark_group("distributed_emulation_n64");
     g.sample_size(10);
-    let spec = MatrixSpec {
-        m: 64,
-        n: 64,
-        cond: 1e6,
-        distribution: SigmaDistribution::Geometric,
-        seed: 4,
-    };
+    let spec =
+        MatrixSpec { m: 64, n: 64, cond: 1e6, distribution: SigmaDistribution::Geometric, seed: 4 };
     let (a, _) = generate::<f64>(&spec);
-    g.bench_function("dense_driver", |b| {
-        b.iter(|| qdwh(&a, &QdwhOptions::default()).unwrap())
-    });
+    g.bench_function("dense_driver", |b| b.iter(|| qdwh(&a, &QdwhOptions::default()).unwrap()));
     g.bench_function("tiled_virtual_cluster_2x2", |b| {
-        let cfg = DistConfig {
-            grid: ProcessGrid::new(2, 2),
-            nb: 16,
-        };
+        let cfg = DistConfig { grid: ProcessGrid::new(2, 2), nb: 16 };
         b.iter(|| qdwh_distributed(&a, &QdwhOptions::default(), &cfg).unwrap())
     });
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_pd_family,
-    bench_spectrum_apps,
-    bench_distributed_overhead
-);
+criterion_group!(benches, bench_pd_family, bench_spectrum_apps, bench_distributed_overhead);
 criterion_main!(benches);

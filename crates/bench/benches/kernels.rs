@@ -100,9 +100,7 @@ fn bench_qdwh(c: &mut Criterion) {
             seed: 7,
         };
         let (a, _) = generate::<f64>(&spec);
-        group.bench_function(label, |b| {
-            b.iter(|| qdwh(&a, &QdwhOptions::default()).unwrap())
-        });
+        group.bench_function(label, |b| b.iter(|| qdwh(&a, &QdwhOptions::default()).unwrap()));
     }
     group.finish();
 }
@@ -119,9 +117,7 @@ fn bench_pd_methods(c: &mut Criterion) {
         distribution: SigmaDistribution::Geometric,
         seed: 8,
     });
-    group.bench_function("qdwh", |b| {
-        b.iter(|| qdwh(&a, &QdwhOptions::default()).unwrap())
-    });
+    group.bench_function("qdwh", |b| b.iter(|| qdwh(&a, &QdwhOptions::default()).unwrap()));
     group.bench_function("svd_based", |b| b.iter(|| svd_based_polar(&a).unwrap()));
     group.bench_function("jacobi_svd_alone", |b| b.iter(|| jacobi_svd(&a).unwrap()));
     group.finish();

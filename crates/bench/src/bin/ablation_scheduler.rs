@@ -38,9 +38,8 @@ fn main() {
         let model = ClusterModel::slate(summit.clone(), nodes, ExecTarget::CpuOnly, 320);
         let tb = simulate(&g, &model, SchedulingMode::TaskBased);
         let fj = simulate(&g, &model, SchedulingMode::ForkJoin);
-        let slots: usize = (0..ranks)
-            .map(|r| polar_runtime::ExecutionModel::slots(&model, r))
-            .sum();
+        let slots: usize =
+            (0..ranks).map(|r| polar_runtime::ExecutionModel::slots(&model, r)).sum();
         println!(
             "  {:>6} {:>6} {:>7} | {:>12.3} {:>12.3} | {:>7.2}x | {:>6.1}% {:>6.1}%",
             t,

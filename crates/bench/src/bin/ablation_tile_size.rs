@@ -36,7 +36,10 @@ fn main() {
         }
         println!("  {:>5} | {:>12.2} | {:>12.3}", nb, gpu.tflops, cpu.tflops);
     }
-    println!("# best GPU tile: nb = {} (paper: 320); best CPU tile: nb = {} (paper: 192)", best_gpu.0, best_cpu.0);
+    println!(
+        "# best GPU tile: nb = {} (paper: 320); best CPU tile: nb = {} (paper: 192)",
+        best_gpu.0, best_cpu.0
+    );
 
     // DES cross-check: fixed matrix, varying tile size changes both task
     // granularity and count (kept small: the DAG grows as (n/nb)^3)

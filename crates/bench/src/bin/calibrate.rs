@@ -1,9 +1,9 @@
-use polar_sim::*;
 use polar_sim::machine::NodeSpec;
-fn main(){
+use polar_sim::*;
+fn main() {
     let s = NodeSpec::summit();
-    for nodes in [1usize,4,8,16,32] {
-        let n = 65_000*(nodes as f64).sqrt() as usize + 65_000;
+    for nodes in [1usize, 4, 8, 16, 32] {
+        let n = 65_000 * (nodes as f64).sqrt() as usize + 65_000;
         for n in [40_000usize, 80_000, 130_000, 200_000, 260_000] {
             let g = estimate_qdwh_time(&s, nodes, Implementation::SlateGpu, n, 320, 3, 3);
             let c = estimate_qdwh_time(&s, nodes, Implementation::SlateCpu, n, 192, 3, 3);
@@ -14,7 +14,7 @@ fn main(){
         let _ = n;
     }
     let f = NodeSpec::frontier();
-    for nodes in [1usize,2,4,8,16] {
+    for nodes in [1usize, 2, 4, 8, 16] {
         for n in [50_000usize, 100_000, 175_000] {
             let g = estimate_qdwh_time(&f, nodes, Implementation::SlateGpu, n, 320, 3, 3);
             println!("frontier nodes={nodes:2} n={n:6}: gpu={:8.2} TF (comp={:.0} panel={:.0} net={:.0} stage={:.0} tot={:.0})",

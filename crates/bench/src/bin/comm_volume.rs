@@ -21,16 +21,10 @@ fn main() {
     let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(n, 99));
 
     println!("# comm-volume cross-check: numeric tiled QDWH vs symbolic DAG (n = {n}, nb = {nb})");
-    println!(
-        "# {:>7} | {:>14} {:>14} | {:>7}",
-        "grid", "measured MB", "DAG-pred MB", "ratio"
-    );
+    println!("# {:>7} | {:>14} {:>14} | {:>7}", "grid", "measured MB", "DAG-pred MB", "ratio");
 
     for (p, q) in [(1usize, 2usize), (2, 2), (2, 4), (4, 4)] {
-        let cfg = DistConfig {
-            grid: ProcessGrid::new(p, q),
-            nb,
-        };
+        let cfg = DistConfig { grid: ProcessGrid::new(p, q), nb };
         let out = qdwh_distributed(&a, &QdwhOptions::default(), &cfg).expect("dist qdwh");
         let measured = out.comm.point_to_point_bytes as f64 / 1e6;
 

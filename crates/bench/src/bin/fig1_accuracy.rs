@@ -28,10 +28,7 @@ fn main() {
     );
 
     let slate_opts = QdwhOptions::default();
-    let polar_opts = QdwhOptions {
-        l0_strategy: L0Strategy::PaperFormula,
-        ..Default::default()
-    };
+    let polar_opts = QdwhOptions { l0_strategy: L0Strategy::PaperFormula, ..Default::default() };
 
     let mut csv = CsvOut::create(
         "fig1_accuracy",

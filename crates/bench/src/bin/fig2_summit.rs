@@ -44,9 +44,12 @@ fn main() {
     .ok();
     let mut best_speedup: f64 = 0.0;
     for n in perf_sweep() {
-        let gpu = estimate_qdwh_time(&summit, nodes, Implementation::SlateGpu, n, 320, it_qr, it_chol);
-        let cpu = estimate_qdwh_time(&summit, nodes, Implementation::SlateCpu, n, 192, it_qr, it_chol);
-        let sca = estimate_qdwh_time(&summit, nodes, Implementation::ScaLapack, n, 192, it_qr, it_chol);
+        let gpu =
+            estimate_qdwh_time(&summit, nodes, Implementation::SlateGpu, n, 320, it_qr, it_chol);
+        let cpu =
+            estimate_qdwh_time(&summit, nodes, Implementation::SlateCpu, n, 192, it_qr, it_chol);
+        let sca =
+            estimate_qdwh_time(&summit, nodes, Implementation::ScaLapack, n, 192, it_qr, it_chol);
         let speedup = gpu.tflops / sca.tflops;
         best_speedup = best_speedup.max(speedup);
         println!(

@@ -32,7 +32,15 @@ fn main() {
         print!("  {n:>8} |");
         let mut row = vec![format!("{n}")];
         for nodes in node_counts {
-            let r = estimate_qdwh_time(&summit, nodes, Implementation::SlateGpu, n, 320, it_qr, it_chol);
+            let r = estimate_qdwh_time(
+                &summit,
+                nodes,
+                Implementation::SlateGpu,
+                n,
+                320,
+                it_qr,
+                it_chol,
+            );
             print!(" {:>8.1}", r.tflops);
             row.push(format!("{}", r.tflops));
         }
@@ -42,14 +50,27 @@ fn main() {
         }
     }
 
-
     // strong-scaling summary at a fixed mid-size problem
     let n_fixed = 100_000;
-    let t1 = estimate_qdwh_time(&summit, 1, Implementation::SlateGpu, n_fixed, 320, it_qr, it_chol).seconds;
+    let t1 = estimate_qdwh_time(&summit, 1, Implementation::SlateGpu, n_fixed, 320, it_qr, it_chol)
+        .seconds;
     println!("\n# strong scaling at n = {n_fixed} (speedup vs 1 node; ideal = nodes):");
     for nodes in node_counts {
-        let t = estimate_qdwh_time(&summit, nodes, Implementation::SlateGpu, n_fixed, 320, it_qr, it_chol).seconds;
-        println!("#   {nodes:>2} nodes: {:>5.2}x (efficiency {:>5.1}%)", t1 / t, 100.0 * t1 / t / nodes as f64);
+        let t = estimate_qdwh_time(
+            &summit,
+            nodes,
+            Implementation::SlateGpu,
+            n_fixed,
+            320,
+            it_qr,
+            it_chol,
+        )
+        .seconds;
+        println!(
+            "#   {nodes:>2} nodes: {:>5.2}x (efficiency {:>5.1}%)",
+            t1 / t,
+            100.0 * t1 / t / nodes as f64
+        );
     }
     println!("# paper: strong scalability limited; good weak scalability at the largest sizes.");
 }

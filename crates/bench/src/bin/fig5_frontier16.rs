@@ -20,10 +20,7 @@ fn main() {
         nodes * frontier.cpu_cores,
         nodes * frontier.gpus
     );
-    println!(
-        "# {:>8} | {:>10} {:>12} | {:>12}",
-        "n", "Tflop/s", "% dgemm agg", "CPU Tflop/s"
-    );
+    println!("# {:>8} | {:>10} {:>12} | {:>12}", "n", "Tflop/s", "% dgemm agg", "CPU Tflop/s");
 
     // the paper caps at n = 175k: algorithm memory footprint on 128 GCDs
     let mut csv = CsvOut::create(
@@ -33,8 +30,10 @@ fn main() {
     .ok();
     let agg_dgemm = nodes as f64 * frontier.node_gflops(ExecTarget::GpuAccelerated) / 1e3;
     for n in [25_000usize, 50_000, 75_000, 100_000, 125_000, 150_000, 175_000] {
-        let gpu = estimate_qdwh_time(&frontier, nodes, Implementation::SlateGpu, n, 320, it_qr, it_chol);
-        let cpu = estimate_qdwh_time(&frontier, nodes, Implementation::SlateCpu, n, 192, it_qr, it_chol);
+        let gpu =
+            estimate_qdwh_time(&frontier, nodes, Implementation::SlateGpu, n, 320, it_qr, it_chol);
+        let cpu =
+            estimate_qdwh_time(&frontier, nodes, Implementation::SlateCpu, n, 192, it_qr, it_chol);
         println!(
             "  {:>8} | {:>10.1} {:>11.1}% | {:>12.2}",
             n,
@@ -47,7 +46,15 @@ fn main() {
         }
     }
 
-    let top = estimate_qdwh_time(&frontier, nodes, Implementation::SlateGpu, 175_000, 320, it_qr, it_chol);
+    let top = estimate_qdwh_time(
+        &frontier,
+        nodes,
+        Implementation::SlateGpu,
+        175_000,
+        320,
+        it_qr,
+        it_chol,
+    );
     println!(
         "# at n = 175k: {:.0} Tflop/s (paper: ~180 Tflop/s, \"around 24% of peak\" by the paper's accounting)",
         top.tflops

@@ -31,7 +31,15 @@ fn main() {
         print!("  {n:>8} |");
         let mut row = vec![format!("{n}")];
         for nodes in node_counts {
-            let r = estimate_qdwh_time(&frontier, nodes, Implementation::SlateGpu, n, 320, it_qr, it_chol);
+            let r = estimate_qdwh_time(
+                &frontier,
+                nodes,
+                Implementation::SlateGpu,
+                n,
+                320,
+                it_qr,
+                it_chol,
+            );
             print!(" {:>8.1}", r.tflops);
             row.push(format!("{}", r.tflops));
         }
@@ -44,8 +52,24 @@ fn main() {
     println!("\n# monotonicity checks (paper: rate grows with nodes and with n):");
     let mut ok = true;
     for (i, nodes) in node_counts.iter().enumerate().skip(1) {
-        let prev = estimate_qdwh_time(&frontier, node_counts[i - 1], Implementation::SlateGpu, 175_000, 320, it_qr, it_chol);
-        let cur = estimate_qdwh_time(&frontier, *nodes, Implementation::SlateGpu, 175_000, 320, it_qr, it_chol);
+        let prev = estimate_qdwh_time(
+            &frontier,
+            node_counts[i - 1],
+            Implementation::SlateGpu,
+            175_000,
+            320,
+            it_qr,
+            it_chol,
+        );
+        let cur = estimate_qdwh_time(
+            &frontier,
+            *nodes,
+            Implementation::SlateGpu,
+            175_000,
+            320,
+            it_qr,
+            it_chol,
+        );
         if cur.tflops <= prev.tflops {
             ok = false;
         }

@@ -31,14 +31,9 @@ fn main() {
         };
         let (a, _) = generate::<f64>(&spec);
 
-        let paper = qdwh(
-            &a,
-            &QdwhOptions {
-                l0_strategy: L0Strategy::PaperFormula,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let paper =
+            qdwh(&a, &QdwhOptions { l0_strategy: L0Strategy::PaperFormula, ..Default::default() })
+                .unwrap();
         let tight = qdwh(&a, &QdwhOptions::default()).unwrap();
 
         println!(

@@ -33,11 +33,7 @@ fn main() {
         it_chol,
     });
     let model = ClusterModel::slate(summit, nodes, ExecTarget::CpuOnly, 320);
-    let mode = if fork_join {
-        SchedulingMode::ForkJoin
-    } else {
-        SchedulingMode::TaskBased
-    };
+    let mode = if fork_join { SchedulingMode::ForkJoin } else { SchedulingMode::TaskBased };
     let (stats, events) = simulate_traced(&g, &model, mode);
     let file = std::fs::File::create(&out).expect("create trace file");
     write_chrome_trace(&events, std::io::BufWriter::new(file)).expect("write trace");

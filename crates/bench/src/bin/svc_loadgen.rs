@@ -1,0 +1,152 @@
+//! SVC_LOADGEN: load generator for the `polar-svc` job service.
+//!
+//! Drives a mixed-size, mixed-kind workload (small well-conditioned
+//! panels that the dispatcher batches, plus large ill-conditioned
+//! matrices that own a worker) through a bounded-queue service and
+//! prints a latency/throughput report: admission outcomes, wait/run
+//! quantiles, retries under injected transient faults, and optionally a
+//! Chrome trace of every executed job span.
+//!
+//! ```sh
+//! cargo run --release -p polar-bench --bin svc_loadgen -- \
+//!     [--jobs 200] [--workers 4] [--queue 32] [--small-n 24] \
+//!     [--large-n 96] [--large-every 8] [--fault-nth 0] [--seed 1] \
+//!     [--trace results/svc_trace.json] [--json]
+//! ```
+
+use polar_bench::Args;
+use polar_gen::{generate, MatrixSpec};
+use polar_svc::{FaultPlan, JobKind, JobSpec, PolarService, ServiceConfig, SubmitError};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args = Args::parse();
+    let jobs: usize = args.get("--jobs", 200);
+    let workers: usize = args.get("--workers", 4);
+    let queue: usize = args.get("--queue", 32);
+    let small_n: usize = args.get("--small-n", 24);
+    let large_n: usize = args.get("--large-n", 96);
+    let large_every: usize = args.get("--large-every", 8);
+    let fault_nth: u64 = args.get("--fault-nth", 0);
+    let seed: u64 = args.get("--seed", 1);
+    let trace_path: String = args.get("--trace", String::new());
+
+    println!("# polar-svc load generator");
+    println!(
+        "# jobs={jobs} workers={workers} queue={queue} small_n={small_n} \
+         large_n={large_n} large_every={large_every} fault_nth={fault_nth}"
+    );
+
+    let svc = PolarService::start(ServiceConfig {
+        workers,
+        queue_capacity: queue,
+        fault: FaultPlan { nth: fault_nth, failures_per_job: 1 },
+        max_retries: 3,
+        ..Default::default()
+    });
+
+    // Pre-generate the workload so submission cost is pure service
+    // overhead, not matrix generation.
+    let kinds = [JobKind::Qdwh, JobKind::Qdwh, JobKind::QdwhSvd, JobKind::SvdPolar];
+    let specs: Vec<JobSpec> = (0..jobs)
+        .map(|i| {
+            let large = large_every > 0 && i % large_every == 0;
+            let (a, _) = if large {
+                generate::<f64>(&MatrixSpec::ill_conditioned(large_n, seed + i as u64))
+            } else {
+                generate::<f64>(&MatrixSpec::well_conditioned(small_n, seed + i as u64))
+            };
+            let kind = if large { JobKind::Qdwh } else { kinds[i % kinds.len()] };
+            JobSpec::new(kind, a).with_priority(if large { 1 } else { (i % 4) as u8 })
+        })
+        .collect();
+
+    // Open-loop submission: try first, fall back to a short blocking
+    // submit when the bounded queue pushes back, and count shed load.
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(jobs);
+    let mut shed = 0usize;
+    for spec in specs {
+        match svc.try_submit(spec.clone()) {
+            Ok(h) => handles.push(h),
+            Err(SubmitError::QueueFull) => {
+                match svc.submit(spec, Duration::from_secs(30)) {
+                    Ok(h) => {
+                        shed += 1; // felt backpressure, then admitted
+                        handles.push(h);
+                    }
+                    Err(e) => panic!("blocking submit failed: {e:?}"),
+                }
+            }
+            Err(e) => panic!("submit failed: {e:?}"),
+        }
+    }
+    let submit_wall = t0.elapsed();
+
+    let mut ok = 0usize;
+    let mut failed = 0usize;
+    let mut attempts_max = 0u32;
+    for h in handles {
+        let r = h.wait();
+        attempts_max = attempts_max.max(r.attempts);
+        match r.output {
+            Ok(_) => ok += 1,
+            Err(e) => {
+                failed += 1;
+                eprintln!("job {:?} failed: {e}", r.id);
+            }
+        }
+    }
+    let total_wall = t0.elapsed();
+    svc.drain();
+    let m = svc.metrics();
+
+    if !trace_path.is_empty() {
+        if let Some(dir) = std::path::Path::new(&trace_path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let f = std::fs::File::create(&trace_path).expect("create trace file");
+        svc.write_chrome_trace(f).expect("write chrome trace");
+        println!("# chrome trace -> {trace_path} ({} spans)", svc.spans().events().len());
+    }
+
+    let us = |d: Option<Duration>| d.map(|d| d.as_secs_f64() * 1e6).unwrap_or(0.0);
+    println!();
+    println!("admission");
+    println!("  submitted            : {}", m.submitted);
+    println!("  backpressure stalls  : {shed}");
+    println!("  rejected (QueueFull) : {}", m.rejected_full);
+    println!("outcomes");
+    println!("  completed            : {} ({ok} observed ok)", m.completed);
+    println!("  failed               : {} ({failed} observed)", m.failed);
+    println!("  retries              : {}", m.retries);
+    println!("  injected faults      : {}", m.injected_faults);
+    println!("  max attempts per job : {attempts_max}");
+    println!("  batches coalesced    : {}", m.batches);
+    println!("latency (us)");
+    println!(
+        "  wait  p50/p95/p99    : {:>10.1} {:>10.1} {:>10.1}",
+        us(m.wait.p50),
+        us(m.wait.p95),
+        us(m.wait.p99)
+    );
+    println!(
+        "  run   p50/p95/p99    : {:>10.1} {:>10.1} {:>10.1}",
+        us(m.run.p50),
+        us(m.run.p95),
+        us(m.run.p99)
+    );
+    println!("throughput");
+    println!("  submit wall          : {submit_wall:?}");
+    println!("  total wall           : {total_wall:?}");
+    println!("  jobs/sec (completed) : {:.1}", m.completed as f64 / total_wall.as_secs_f64());
+    println!("  jobs/sec (uptime)    : {:.1}", m.throughput_per_sec);
+
+    if args.flag("--json") {
+        println!();
+        println!("{}", m.to_json());
+    }
+
+    svc.shutdown();
+    assert_eq!(failed as u64, m.failed, "observed failures match metrics");
+}

@@ -13,9 +13,7 @@ pub struct Args {
 
 impl Args {
     pub fn parse() -> Self {
-        Self {
-            raw: std::env::args().skip(1).collect(),
-        }
+        Self { raw: std::env::args().skip(1).collect() }
     }
 
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
@@ -35,13 +33,7 @@ impl Args {
 /// The paper's benchmark matrix: ill-conditioned, κ = 1e16, geometric
 /// spectrum (§7.1).
 pub fn paper_matrix_spec(n: usize, seed: u64) -> MatrixSpec {
-    MatrixSpec {
-        m: n,
-        n,
-        cond: 1e16,
-        distribution: SigmaDistribution::Geometric,
-        seed,
-    }
+    MatrixSpec { m: n, n, cond: 1e16, distribution: SigmaDistribution::Geometric, seed }
 }
 
 /// Default numerical sweep sizes, scaled for a laptop-class run; pass
@@ -55,9 +47,7 @@ pub fn accuracy_sweep(max_n: usize) -> Vec<usize> {
 
 /// Paper-scale performance sweep (the analytic model has no size limit).
 pub fn perf_sweep() -> Vec<usize> {
-    vec![
-        20_000, 40_000, 60_000, 80_000, 100_000, 130_000, 160_000, 200_000, 250_000, 300_000,
-    ]
+    vec![20_000, 40_000, 60_000, 80_000, 100_000, 130_000, 160_000, 200_000, 250_000, 300_000]
 }
 
 /// CSV artifact writer: every figure harness mirrors its stdout series to

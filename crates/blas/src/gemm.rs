@@ -158,6 +158,7 @@ pub fn gemm<S: Scalar>(
     gemm_par(op_a, op_b, alpha, a, b, beta, c, ak);
 }
 
+#[allow(clippy::too_many_arguments)] // BLAS gemm signature
 fn gemm_par<S: Scalar>(
     op_a: Op,
     op_b: Op,
@@ -249,10 +250,7 @@ pub fn gemm_a<S: Scalar>(
     let h = m / 2;
     let (c1, c2) = c.split_at_row(h);
     let (a1, a2) = split_op_rows(a, op_a, h);
-    rayon::join(
-        || gemm_a(op_a, alpha, a1, b, beta, c1),
-        || gemm_a(op_a, alpha, a2, b, beta, c2),
-    );
+    rayon::join(|| gemm_a(op_a, alpha, a1, b, beta, c1), || gemm_a(op_a, alpha, a2, b, beta, c2));
 }
 
 #[cfg(test)]
@@ -319,8 +317,24 @@ mod tests {
         let mut c1 = Matrix::<Complex64>::zeros(3, 2);
         let mut c2 = Matrix::<Complex64>::zeros(3, 2);
         let one = Complex64::from_real(1.0);
-        gemm_ref(Op::ConjTrans, Op::NoTrans, one, a.as_ref(), b.as_ref(), Complex64::default(), c1.as_mut());
-        gemm(Op::ConjTrans, Op::NoTrans, one, a.as_ref(), b.as_ref(), Complex64::default(), c2.as_mut());
+        gemm_ref(
+            Op::ConjTrans,
+            Op::NoTrans,
+            one,
+            a.as_ref(),
+            b.as_ref(),
+            Complex64::default(),
+            c1.as_mut(),
+        );
+        gemm(
+            Op::ConjTrans,
+            Op::NoTrans,
+            one,
+            a.as_ref(),
+            b.as_ref(),
+            Complex64::default(),
+            c2.as_mut(),
+        );
         for j in 0..2 {
             for i in 0..3 {
                 assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-13);

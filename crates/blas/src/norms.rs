@@ -6,9 +6,7 @@ use polar_scalar::{Real, Scalar};
 /// Per-column absolute sums, `internal::norm(Norm::One, ...)` of
 /// Algorithm 2 line 6 — the starting vector of the two-norm estimator.
 pub fn col_sums<S: Scalar>(a: MatRef<'_, S>) -> Vec<S::Real> {
-    (0..a.ncols())
-        .map(|j| a.col(j).iter().map(|x| x.abs()).sum())
-        .collect()
+    (0..a.ncols()).map(|j| a.col(j).iter().map(|x| x.abs()).sum()).collect()
 }
 
 /// Per-row absolute sums.
@@ -37,12 +35,8 @@ pub fn norm<S: Scalar>(which: Norm, a: MatRef<'_, S>) -> S::Real {
             }
             m
         }
-        Norm::One => col_sums(a)
-            .into_iter()
-            .fold(S::Real::ZERO, S::Real::max),
-        Norm::Inf => row_sums(a)
-            .into_iter()
-            .fold(S::Real::ZERO, S::Real::max),
+        Norm::One => col_sums(a).into_iter().fold(S::Real::ZERO, S::Real::max),
+        Norm::Inf => row_sums(a).into_iter().fold(S::Real::ZERO, S::Real::max),
         Norm::Fro => {
             // lassq-style two-accumulator scan for overflow safety
             let mut scale = S::Real::ZERO;

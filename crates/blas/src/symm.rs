@@ -41,6 +41,7 @@ pub fn herk<S: Scalar>(
 
 /// Recursive parallel driver: splits the output columns; `j0` is the global
 /// column offset of this block of `C` (needed to find the triangle edge).
+#[allow(clippy::too_many_arguments)] // BLAS herk signature + split offsets
 fn herk_par<S: Scalar>(
     uplo: Uplo,
     op: Op,
@@ -65,6 +66,7 @@ fn herk_par<S: Scalar>(
     );
 }
 
+#[allow(clippy::too_many_arguments)] // BLAS herk signature + split offsets
 fn herk_seq<S: Scalar>(
     uplo: Uplo,
     op: Op,
@@ -78,7 +80,7 @@ fn herk_seq<S: Scalar>(
     let n_total = c.nrows();
     for jl in 0..c.ncols() {
         let j = j0 + jl; // global column index in C
-        // triangle row range for this column
+                         // triangle row range for this column
         let (lo, hi) = match uplo {
             Uplo::Upper => (0usize, j + 1),
             Uplo::Lower => (j, n_total),
@@ -258,7 +260,8 @@ mod tests {
 
     #[test]
     fn symmetrize_produces_hermitian() {
-        let mut h = Matrix::from_fn(4, 4, |i, j| Complex64::new((i * j) as f64, i as f64 - j as f64 + 0.3));
+        let mut h =
+            Matrix::from_fn(4, 4, |i, j| Complex64::new((i * j) as f64, i as f64 - j as f64 + 0.3));
         symmetrize(h.as_mut());
         for j in 0..4 {
             for i in 0..4 {

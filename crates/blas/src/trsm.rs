@@ -114,8 +114,8 @@ fn trsm_left_seq<S: Scalar>(
                                 }
                             }
                             _ => {
-                                for i in k + 1..m {
-                                    bj[i] -= xk * tri_at(a, op, i, k);
+                                for (i, bi) in bj.iter_mut().enumerate().take(m).skip(k + 1) {
+                                    *bi -= xk * tri_at(a, op, i, k);
                                 }
                             }
                         }
@@ -138,8 +138,8 @@ fn trsm_left_seq<S: Scalar>(
                                 }
                             }
                             _ => {
-                                for i in 0..k {
-                                    bj[i] -= xk * tri_at(a, op, i, k);
+                                for (i, bi) in bj.iter_mut().enumerate().take(k) {
+                                    *bi -= xk * tri_at(a, op, i, k);
                                 }
                             }
                         }
@@ -312,8 +312,12 @@ mod tests {
         }
         let mut recon = Matrix::<f64>::zeros(m, n);
         match side {
-            Side::Left => gemm_ref(op, Op::NoTrans, 1.0, t.as_ref(), x.as_ref(), 0.0, recon.as_mut()),
-            Side::Right => gemm_ref(Op::NoTrans, op, 1.0, x.as_ref(), t.as_ref(), 0.0, recon.as_mut()),
+            Side::Left => {
+                gemm_ref(op, Op::NoTrans, 1.0, t.as_ref(), x.as_ref(), 0.0, recon.as_mut())
+            }
+            Side::Right => {
+                gemm_ref(Op::NoTrans, op, 1.0, x.as_ref(), t.as_ref(), 0.0, recon.as_mut())
+            }
         }
         for j in 0..n {
             for i in 0..m {
@@ -362,7 +366,15 @@ mod tests {
         trsm(Side::Left, Uplo::Upper, Op::ConjTrans, Diag::NonUnit, one, a.as_ref(), x.as_mut());
         // verify A^H X = B0
         let mut recon = Matrix::<Complex64>::zeros(n, 4);
-        gemm_ref(Op::ConjTrans, Op::NoTrans, one, a.as_ref(), x.as_ref(), Complex64::default(), recon.as_mut());
+        gemm_ref(
+            Op::ConjTrans,
+            Op::NoTrans,
+            one,
+            a.as_ref(),
+            x.as_ref(),
+            Complex64::default(),
+            recon.as_mut(),
+        );
         for j in 0..4 {
             for i in 0..n {
                 assert!((recon[(i, j)] - b0[(i, j)]).abs() < 1e-12);

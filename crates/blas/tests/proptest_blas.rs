@@ -149,15 +149,7 @@ fn gemm_accepts_views_with_offset() {
     let mut expect = Matrix::zeros(4, 2);
     let ao = a.to_owned();
     let bo = b.to_owned();
-    gemm_ref(
-        Op::NoTrans,
-        Op::NoTrans,
-        1.0,
-        ao.as_ref(),
-        bo.as_ref(),
-        0.0,
-        expect.as_mut(),
-    );
+    gemm_ref(Op::NoTrans, Op::NoTrans, 1.0, ao.as_ref(), bo.as_ref(), 0.0, expect.as_mut());
     assert!(max_abs_diff(&c, &expect) < 1e-12);
 }
 

@@ -23,10 +23,7 @@ pub struct QdwhSvd<S: Scalar> {
 }
 
 /// Compute the thin SVD of `A` (`m >= n`) via QDWH-PD + Hermitian EVD.
-pub fn qdwh_svd<S: Scalar>(
-    a: &Matrix<S>,
-    opts: &QdwhOptions,
-) -> Result<QdwhSvd<S>, QdwhError> {
+pub fn qdwh_svd<S: Scalar>(a: &Matrix<S>, opts: &QdwhOptions) -> Result<QdwhSvd<S>, QdwhError> {
     let n = a.ncols();
     let mut pd_opts = opts.clone();
     pd_opts.compute_h = true;
@@ -34,19 +31,19 @@ pub fn qdwh_svd<S: Scalar>(
     let eig = jacobi_eig(&pd.h)?;
     // U = U_p V
     let mut u = Matrix::<S>::zeros(a.nrows(), n);
-    gemm(Op::NoTrans, Op::NoTrans, S::ONE, pd.u.as_ref(), eig.vectors.as_ref(), S::ZERO, u.as_mut());
+    gemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        S::ONE,
+        pd.u.as_ref(),
+        eig.vectors.as_ref(),
+        S::ZERO,
+        u.as_mut(),
+    );
     // singular values = eigenvalues of H (clamp tiny negatives from roundoff)
-    let sigma: Vec<S::Real> = eig
-        .values
-        .iter()
-        .map(|&l| if l < S::Real::ZERO { S::Real::ZERO } else { l })
-        .collect();
-    Ok(QdwhSvd {
-        u,
-        sigma,
-        v: eig.vectors,
-        polar_iterations: pd.info.iterations,
-    })
+    let sigma: Vec<S::Real> =
+        eig.values.iter().map(|&l| if l < S::Real::ZERO { S::Real::ZERO } else { l }).collect();
+    Ok(QdwhSvd { u, sigma, v: eig.vectors, polar_iterations: pd.info.iterations })
 }
 
 /// Hermitian eigendecomposition by QDWH spectral divide and conquer
@@ -68,10 +65,7 @@ pub struct QdwhEig<S: Scalar> {
 /// Base-case size below which the recursion hands off to Jacobi.
 const EIG_BASE: usize = 24;
 
-pub fn qdwh_eig<S: Scalar>(
-    a: &Matrix<S>,
-    opts: &QdwhOptions,
-) -> Result<QdwhEig<S>, QdwhError> {
+pub fn qdwh_eig<S: Scalar>(a: &Matrix<S>, opts: &QdwhOptions) -> Result<QdwhEig<S>, QdwhError> {
     if !a.is_square() {
         return Err(QdwhError::Shape("qdwh_eig requires a square Hermitian matrix"));
     }
@@ -82,7 +76,7 @@ pub fn qdwh_eig<S: Scalar>(
     eig_recurse(a, &mut vectors, &mut values, 0, opts, &mut polar_count, 0)?;
     // global descending sort with vector permutation
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| values[j].partial_cmp(&values[i]).unwrap());
+    order.sort_by(|&i, &j| values[j].partial_cmp(&values[i]).unwrap_or(core::cmp::Ordering::Equal));
     let sorted_vals: Vec<S::Real> = order.iter().map(|&j| values[j]).collect();
     let mut sorted_vecs = Matrix::<S>::zeros(n, n);
     for (newj, &oldj) in order.iter().enumerate() {
@@ -90,11 +84,7 @@ pub fn qdwh_eig<S: Scalar>(
             sorted_vecs[(i, newj)] = vectors[(i, oldj)];
         }
     }
-    Ok(QdwhEig {
-        values: sorted_vals,
-        vectors: sorted_vecs,
-        polar_count,
-    })
+    Ok(QdwhEig { values: sorted_vals, vectors: sorted_vecs, polar_count })
 }
 
 /// Recursive splitter. `block` is the Hermitian submatrix in the basis of
@@ -167,13 +157,17 @@ fn rotate_basis<S: Scalar>(
 type SplitResult<S> = ControlFlow<(), (Matrix<S>, Matrix<S>, Matrix<S>, Matrix<S>)>;
 
 /// Crate-internal view of one divide step for the partial-spectrum module:
+/// Subspace bases and deflated blocks from one spectral split:
+/// `(V1, A1, V2, A2)`.
+pub(crate) type SplitParts<S> = (Matrix<S>, Matrix<S>, Matrix<S>, Matrix<S>);
+
 /// `Some((V1, A1, V2, A2))` on a productive split (`A1` carries the
 /// eigenvalues above the shift), `None` when the block is unsplittable.
 pub(crate) fn split_spectrum<S: Scalar>(
     a: &Matrix<S>,
     opts: &QdwhOptions,
     polar_count: &mut usize,
-) -> Result<Option<(Matrix<S>, Matrix<S>, Matrix<S>, Matrix<S>)>, QdwhError> {
+) -> Result<Option<SplitParts<S>>, QdwhError> {
     match try_split(a, opts, polar_count)? {
         ControlFlow::Break(()) => Ok(None),
         ControlFlow::Continue(parts) => Ok(Some(parts)),
@@ -191,7 +185,7 @@ fn try_split<S: Scalar>(
     let k = a.nrows();
     // shift: median of the diagonal — cheap and effective for splitting
     let mut diag: Vec<S::Real> = (0..k).map(|i| a[(i, i)].re()).collect();
-    diag.sort_by(|x, y| x.partial_cmp(y).unwrap());
+    diag.sort_by(|x, y| x.partial_cmp(y).unwrap_or(core::cmp::Ordering::Equal));
     let sigma = diag[k / 2];
 
     // polar factor of A - sigma I
@@ -229,9 +223,7 @@ fn try_split<S: Scalar>(
     // randomized range finder: B = P * Omega, QR -> [V1 V2]
     let mut rng_state = 0x9E3779B97F4A7C15u64 ^ (k as u64);
     let omega = Matrix::<S>::from_fn(k, k, |_, _| {
-        rng_state = rng_state
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
+        rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         let v = ((rng_state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
         S::from_f64(v)
     });
@@ -304,7 +296,7 @@ mod tests {
         let mut us = svd.u.clone();
         for j in 0..20 {
             for i in 0..30 {
-                us[(i, j)] = us[(i, j)] * svd.sigma[j];
+                us[(i, j)] *= svd.sigma[j];
             }
         }
         let mut recon = Matrix::<f64>::zeros(30, 20);
@@ -374,7 +366,15 @@ mod tests {
         let a = rand_sym(40, 5);
         let sdc = qdwh_eig(&a, &QdwhOptions::default()).unwrap();
         let mut vhv = Matrix::<f64>::zeros(40, 40);
-        gemm(Op::ConjTrans, Op::NoTrans, 1.0, sdc.vectors.as_ref(), sdc.vectors.as_ref(), 0.0, vhv.as_mut());
+        gemm(
+            Op::ConjTrans,
+            Op::NoTrans,
+            1.0,
+            sdc.vectors.as_ref(),
+            sdc.vectors.as_ref(),
+            0.0,
+            vhv.as_mut(),
+        );
         for j in 0..40 {
             for i in 0..40 {
                 let expect = if i == j { 1.0 } else { 0.0 };

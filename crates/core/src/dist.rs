@@ -111,13 +111,18 @@ fn dist_gemm<S: Scalar>(
                 let b_tile = b.tile(bi, bj);
                 ctx.meter(
                     dst,
-                    &[
-                        (a.owner(ai, aj), bytes_of(a_tile)),
-                        (b.owner(bi, bj), bytes_of(b_tile)),
-                    ],
+                    &[(a.owner(ai, aj), bytes_of(a_tile)), (b.owner(bi, bj), bytes_of(b_tile))],
                 );
                 let out = c.tile_mut(i, j);
-                polar_blas::gemm(op_a, op_b, alpha, a_tile.as_ref(), b_tile.as_ref(), S::ONE, out.as_mut());
+                polar_blas::gemm(
+                    op_a,
+                    op_b,
+                    alpha,
+                    a_tile.as_ref(),
+                    b_tile.as_ref(),
+                    S::ONE,
+                    out.as_mut(),
+                );
             }
         }
     }
@@ -150,13 +155,17 @@ fn dist_herk<S: Scalar>(
                 let dst = z.owner(i, j);
                 let xli = x.tile(l, i);
                 let xlj = x.tile(l, j);
-                ctx.meter(
-                    dst,
-                    &[(x.owner(l, i), bytes_of(xli)), (x.owner(l, j), bytes_of(xlj))],
-                );
+                ctx.meter(dst, &[(x.owner(l, i), bytes_of(xli)), (x.owner(l, j), bytes_of(xlj))]);
                 let out = z.tile_mut(i, j);
                 if i == j {
-                    polar_blas::herk(Uplo::Lower, Op::ConjTrans, alpha, xlj.as_ref(), S::Real::ONE, out.as_mut());
+                    polar_blas::herk(
+                        Uplo::Lower,
+                        Op::ConjTrans,
+                        alpha,
+                        xlj.as_ref(),
+                        S::Real::ONE,
+                        out.as_mut(),
+                    );
                 } else {
                     polar_blas::gemm(
                         Op::ConjTrans,
@@ -207,16 +216,34 @@ fn dist_potrf<S: Scalar>(ctx: &mut Ctx<'_, S>, z: &mut TiledMatrix<S>) -> Result
                     dst,
                     &[
                         (lik_owner, bytes_of(&lik)),
-                        (ljk_owner, Ctx::<S>::tile_bytes(z.tile(j, k).nrows(), z.tile(j, k).ncols())),
+                        (
+                            ljk_owner,
+                            Ctx::<S>::tile_bytes(z.tile(j, k).nrows(), z.tile(j, k).ncols()),
+                        ),
                     ],
                 );
                 if i == j {
                     let out = z.tile_mut(j, j);
-                    polar_blas::herk(Uplo::Lower, Op::NoTrans, -S::Real::ONE, lik.as_ref(), S::Real::ONE, out.as_mut());
+                    polar_blas::herk(
+                        Uplo::Lower,
+                        Op::NoTrans,
+                        -S::Real::ONE,
+                        lik.as_ref(),
+                        S::Real::ONE,
+                        out.as_mut(),
+                    );
                 } else {
                     let ljk = z.tile(j, k).clone();
                     let out = z.tile_mut(i, j);
-                    polar_blas::gemm(Op::NoTrans, Op::ConjTrans, -S::ONE, lik.as_ref(), ljk.as_ref(), S::ONE, out.as_mut());
+                    polar_blas::gemm(
+                        Op::NoTrans,
+                        Op::ConjTrans,
+                        -S::ONE,
+                        lik.as_ref(),
+                        ljk.as_ref(),
+                        S::ONE,
+                        out.as_mut(),
+                    );
                 }
             }
         }
@@ -226,7 +253,12 @@ fn dist_potrf<S: Scalar>(ctx: &mut Ctx<'_, S>, z: &mut TiledMatrix<S>) -> Result
 
 /// `X := X * op(L)^{-1}` with `L` the lower tile Cholesky factor
 /// (`op = ConjTrans` first, then `op = NoTrans`, gives `X Z^{-1}`).
-fn dist_trsm_right<S: Scalar>(ctx: &mut Ctx<'_, S>, op: Op, l: &TiledMatrix<S>, x: &mut TiledMatrix<S>) {
+fn dist_trsm_right<S: Scalar>(
+    ctx: &mut Ctx<'_, S>,
+    op: Op,
+    l: &TiledMatrix<S>,
+    x: &mut TiledMatrix<S>,
+) {
     let nt = x.nt();
     let mt = x.mt();
     let cols: Vec<usize> = match op {
@@ -256,7 +288,15 @@ fn dist_trsm_right<S: Scalar>(ctx: &mut Ctx<'_, S>, op: Op, l: &TiledMatrix<S>, 
                 let xl_owner = x.owner(i, lcol);
                 ctx.meter(dst, &[(xl_owner, bytes_of(&xl)), (t_owner, bytes_of(&t_tile))]);
                 let out = x.tile_mut(i, j);
-                polar_blas::gemm(Op::NoTrans, t_op, -S::ONE, xl.as_ref(), t_tile.as_ref(), S::ONE, out.as_mut());
+                polar_blas::gemm(
+                    Op::NoTrans,
+                    t_op,
+                    -S::ONE,
+                    xl.as_ref(),
+                    t_tile.as_ref(),
+                    S::ONE,
+                    out.as_mut(),
+                );
             }
         }
         // diagonal solve
@@ -419,7 +459,13 @@ fn dist_fro_norm<S: Scalar>(comm: &VirtualComm, x: &TiledMatrix<S>) -> S::Real {
 /// Extract rows `[r0, r0+rows)` of a tiled matrix into a new tiled matrix
 /// (used to split the stacked `[sqrt(c) X; I]` Q factor into `Q1`, `Q2`).
 /// `r0` must be tile-aligned.
-fn split_rows<S: Scalar>(src: &TiledMatrix<S>, tile_r0: usize, tile_rows: usize, grid: ProcessGrid, nb: usize) -> TiledMatrix<S> {
+fn split_rows<S: Scalar>(
+    src: &TiledMatrix<S>,
+    tile_r0: usize,
+    tile_rows: usize,
+    grid: ProcessGrid,
+    nb: usize,
+) -> TiledMatrix<S> {
     let tiling = src.tiling();
     let rows: usize = (tile_r0..tile_r0 + tile_rows).map(|i| tiling.tile_rows(i)).sum();
     let mut dense = Matrix::<S>::zeros(rows, tiling.n());
@@ -456,19 +502,11 @@ pub fn qdwh_distributed<S: Scalar>(
     if n == 0 || a.has_non_finite() {
         // delegate the degenerate cases to the dense driver
         let pd = qdwh(a, opts)?;
-        return Ok(DistOutcome {
-            pd,
-            comm: CommStats::default(),
-            tile_tasks: 0,
-        });
+        return Ok(DistOutcome { pd, comm: CommStats::default(), tile_tasks: 0 });
     }
 
     let comm = VirtualComm::new(cfg.grid.nranks());
-    let mut ctx = Ctx::<S> {
-        comm: &comm,
-        tasks: 0,
-        _marker: std::marker::PhantomData,
-    };
+    let mut ctx = Ctx::<S> { comm: &comm, tasks: 0, _marker: std::marker::PhantomData };
 
     let eps = S::Real::EPSILON;
     let five_eps = S::Real::from_f64(5.0) * eps;
@@ -484,11 +522,7 @@ pub fn qdwh_distributed<S: Scalar>(
     let alpha = est.estimate;
     if alpha == S::Real::ZERO {
         let pd = qdwh(a, opts)?;
-        return Ok(DistOutcome {
-            pd,
-            comm: comm.stats(),
-            tile_tasks: 0,
-        });
+        return Ok(DistOutcome { pd, comm: comm.stats(), tile_tasks: 0 });
     }
 
     let mut x0 = a.clone();
@@ -551,9 +585,7 @@ pub fn qdwh_distributed<S: Scalar>(
 
     while conv >= conv_tol || (ell - S::Real::ONE).abs() >= five_eps {
         if info.iterations >= opts.max_iterations {
-            return Err(QdwhError::NoConvergence {
-                iterations: info.iterations,
-            });
+            return Err(QdwhError::NoConvergence { iterations: info.iterations });
         }
         info.iterations += 1;
         let p = halley_parameters(ell);
@@ -576,10 +608,7 @@ pub fn qdwh_distributed<S: Scalar>(
             let w_dense = Matrix::vstack(&top, &Matrix::identity(n, n));
             let mut w = TiledMatrix::from_dense(&w_dense, nb, nb, cfg.grid);
             let f = dist_geqrf(&mut ctx, &mut w);
-            let mut q = TiledMatrix::zeros(
-                polar_matrix::Tiling::new(m + n, n, nb, nb),
-                cfg.grid,
-            );
+            let mut q = TiledMatrix::zeros(polar_matrix::Tiling::new(m + n, n, nb, nb), cfg.grid);
             dist_orgqr(&mut ctx, &w, &f, &mut q);
             let q1 = split_rows(&q, 0, mt, cfg.grid, nb);
             let q2 = split_rows(&q, mt, q.mt() - mt, cfg.grid, nb);
@@ -615,9 +644,7 @@ pub fn qdwh_distributed<S: Scalar>(
         // conv = ||X - X_prev||_F
         let xd = x.to_dense();
         if xd.has_non_finite() {
-            return Err(QdwhError::NonFinite {
-                iteration: info.iterations,
-            });
+            return Err(QdwhError::NonFinite { iteration: info.iterations });
         }
         let mut diff = xd;
         polar_blas::add(-S::ONE, x_prev.as_ref(), S::ONE, diff.as_mut());
@@ -639,9 +666,17 @@ pub fn qdwh_distributed<S: Scalar>(
     let u = x.to_dense();
     let h = if opts.compute_h {
         let a_tiled = TiledMatrix::from_dense(a, nb, nb, cfg.grid);
-        let mut h_tiled =
-            TiledMatrix::zeros(polar_matrix::Tiling::new(n, n, nb, nb), cfg.grid);
-        dist_gemm(&mut ctx, Op::ConjTrans, Op::NoTrans, S::ONE, &x, &a_tiled, S::ZERO, &mut h_tiled);
+        let mut h_tiled = TiledMatrix::zeros(polar_matrix::Tiling::new(n, n, nb, nb), cfg.grid);
+        dist_gemm(
+            &mut ctx,
+            Op::ConjTrans,
+            Op::NoTrans,
+            S::ONE,
+            &x,
+            &a_tiled,
+            S::ZERO,
+            &mut h_tiled,
+        );
         let mut h = h_tiled.to_dense();
         symmetrize(h.as_mut());
         h
@@ -663,10 +698,7 @@ mod tests {
     use polar_gen::{generate, MatrixSpec, SigmaDistribution};
 
     fn cfg(p: usize, q: usize, nb: usize) -> DistConfig {
-        DistConfig {
-            grid: ProcessGrid::new(p, q),
-            nb,
-        }
+        DistConfig { grid: ProcessGrid::new(p, q), nb }
     }
 
     #[test]
@@ -748,10 +780,7 @@ mod tests {
     fn distributed_forced_qr_path() {
         use crate::options::IterationPath;
         let (a, _) = generate::<f64>(&MatrixSpec::well_conditioned(32, 17));
-        let opts = QdwhOptions {
-            path: IterationPath::ForceQr,
-            ..Default::default()
-        };
+        let opts = QdwhOptions { path: IterationPath::ForceQr, ..Default::default() };
         let out = qdwh_distributed(&a, &opts, &cfg(2, 2, 8)).unwrap();
         assert_eq!(out.pd.info.chol_iterations, 0);
         assert!(orthogonality_error(&out.pd.u) < 1e-12);
@@ -762,10 +791,7 @@ mod tests {
     fn distributed_paper_formula_seed() {
         use crate::options::L0Strategy;
         let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(32, 18));
-        let opts = QdwhOptions {
-            l0_strategy: L0Strategy::PaperFormula,
-            ..Default::default()
-        };
+        let opts = QdwhOptions { l0_strategy: L0Strategy::PaperFormula, ..Default::default() };
         let dist = qdwh_distributed(&a, &opts, &cfg(2, 1, 8)).unwrap();
         let dense = qdwh(&a, &opts).unwrap();
         assert_eq!(dist.pd.info.iterations, dense.info.iterations);

@@ -82,11 +82,7 @@ pub fn zolotarev_coefficients(l: f64, r: usize) -> Vec<f64> {
     // K' = K(k') diverges like ln(4/l) as l -> 0; below l ~ 1e-8 the f64
     // complement k' rounds to 1 and the AGM cannot see l, so switch to the
     // asymptotic expansion (error O(l^2 ln l) — far below working accuracy)
-    let big_kp = if l < 1e-8 {
-        (4.0 / l).ln()
-    } else {
-        ellip_k(kp)
-    };
+    let big_kp = if l < 1e-8 { (4.0 / l).ln() } else { ellip_k(kp) };
     let denom = (2 * r + 1) as f64;
     (1..=2 * r)
         .map(|j| {

@@ -24,8 +24,8 @@
 //! (mixed-precision iteration + Newton–Schulz refinement, §8).
 
 mod applications;
-mod elliptic;
 mod dist;
+mod elliptic;
 mod mixed;
 mod options;
 mod params;
@@ -34,11 +34,16 @@ mod qdwh_impl;
 mod svd_pd;
 mod zolo;
 
-pub use applications::{qdwh_eig, qdwh_svd};
-pub use elliptic::{ellip_k, jacobi_sn_cn_dn, zolotarev_coefficients, zolotarev_eval, zolotarev_weights};
+pub use applications::{qdwh_eig, qdwh_svd, QdwhEig, QdwhSvd};
 pub use dist::{qdwh_distributed, DistConfig, DistOutcome};
+pub use elliptic::{
+    ellip_k, jacobi_sn_cn_dn, zolotarev_coefficients, zolotarev_eval, zolotarev_weights,
+};
 pub use mixed::{qdwh_mixed, MixedPrecision};
-pub use options::{IterationKind, IterationPath, L0Strategy, QdwhOptions};
+pub use options::{
+    IterationDecision, IterationKind, IterationPath, IterationProgress, L0Strategy, ProgressHook,
+    QdwhOptions,
+};
 pub use params::{halley_parameters, update_ell, HalleyParams};
 pub use partial::{qdwh_partial_eig, qdwh_partial_svd, PartialEig, PartialSvd};
 pub use qdwh_impl::{orthogonality_error, qdwh, PolarDecomposition, QdwhError, QdwhInfo};

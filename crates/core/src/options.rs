@@ -38,15 +38,44 @@ pub enum L0Strategy {
     /// comparisons (the paper's 3-QR + 3-Cholesky split at κ = 1e16 comes
     /// from this deflated bound).
     PaperFormula,
-    /// The paper's §4 alternative route: "the LU factorization followed by
-    /// a condition number estimator" (`getrf` + `gecondest`) instead of QR
-    /// + `trcondest`. Same deflated formula, different factorization;
-    /// square inputs only (rectangular inputs fall back to the QR route).
+    /// The paper's §4 alternative route: "the LU factorization followed
+    /// by a condition number estimator" (`getrf` + `gecondest`) instead
+    /// of QR with `trcondest`. Same deflated formula, different
+    /// factorization; square inputs only (rectangular inputs fall back
+    /// to the QR route).
     LuFormula,
 }
 
+/// Snapshot handed to the [`QdwhOptions::progress`] hook at the top of
+/// each Halley iteration, before any factorization work for that pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationProgress {
+    /// 1-based index of the iteration about to run.
+    pub iteration: usize,
+    /// `||X_k - X_{k-1}||_F` from the previous pass (a large sentinel
+    /// before the first iteration).
+    pub convergence: f64,
+    /// Current lower bound `l_k` on the smallest singular value.
+    pub ell: f64,
+}
+
+/// What the [`QdwhOptions::progress`] hook tells the driver to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationDecision {
+    /// Keep iterating.
+    Continue,
+    /// Abandon the run; `qdwh` returns `QdwhError::Cancelled`. Used by
+    /// serving layers (see `polar-svc`) for cooperative cancellation and
+    /// deadline enforcement between iterations.
+    Cancel,
+}
+
+/// Signature of the per-iteration progress/cancellation hook.
+pub type ProgressHook =
+    std::sync::Arc<dyn Fn(&IterationProgress) -> IterationDecision + Send + Sync>;
+
 /// Tuning and behavior knobs for [`crate::qdwh`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct QdwhOptions {
     /// Iteration-family selection (default: the paper's `c > 100` switch).
     pub path: IterationPath,
@@ -74,6 +103,28 @@ pub struct QdwhOptions {
     pub l0_override: Option<f64>,
     /// `l_0` estimation strategy.
     pub l0_strategy: L0Strategy,
+    /// Optional hook invoked at the top of every iteration with the
+    /// current [`IterationProgress`]; returning
+    /// [`IterationDecision::Cancel`] aborts the run between iterations
+    /// (the granularity at which QDWH can stop cleanly — mid-iteration
+    /// state is a half-applied factorization).
+    pub progress: Option<ProgressHook>,
+}
+
+impl std::fmt::Debug for QdwhOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QdwhOptions")
+            .field("path", &self.path)
+            .field("qr_switch_threshold", &self.qr_switch_threshold)
+            .field("max_iterations", &self.max_iterations)
+            .field("use_tsqr", &self.use_tsqr)
+            .field("exploit_structure", &self.exploit_structure)
+            .field("compute_h", &self.compute_h)
+            .field("l0_override", &self.l0_override)
+            .field("l0_strategy", &self.l0_strategy)
+            .field("progress", &self.progress.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl Default for QdwhOptions {
@@ -87,6 +138,7 @@ impl Default for QdwhOptions {
             compute_h: true,
             l0_override: None,
             l0_strategy: L0Strategy::SigmaMinPowerIteration,
+            progress: None,
         }
     }
 }
@@ -94,10 +146,7 @@ impl Default for QdwhOptions {
 impl QdwhOptions {
     /// Preset used by the unitary-factor-only applications.
     pub fn factor_only() -> Self {
-        Self {
-            compute_h: false,
-            ..Self::default()
-        }
+        Self { compute_h: false, ..Self::default() }
     }
 }
 

@@ -60,11 +60,7 @@ pub fn qdwh_partial_eig<S: Scalar>(
     }
     let mut polar_count = 0usize;
     let (values, vectors) = top_k(a, k, opts, &mut polar_count, 0)?;
-    Ok(PartialEig {
-        values,
-        vectors,
-        polar_count,
-    })
+    Ok(PartialEig { values, vectors, polar_count })
 }
 
 /// Recursive pruned top-k: returns (values desc, vectors n x k) in the
@@ -97,7 +93,15 @@ fn top_k<S: Scalar>(
                 // paper's partial-EVD future work is after
                 let (vals, w) = top_k(&a1, k, opts, polar_count, depth + 1)?;
                 let mut vectors = Matrix::<S>::zeros(n, k);
-                gemm(Op::NoTrans, Op::NoTrans, S::ONE, v1.as_ref(), w.as_ref(), S::ZERO, vectors.as_mut());
+                gemm(
+                    Op::NoTrans,
+                    Op::NoTrans,
+                    S::ONE,
+                    v1.as_ref(),
+                    w.as_ref(),
+                    S::ZERO,
+                    vectors.as_mut(),
+                );
                 Ok((vals, vectors))
             } else {
                 // need all of the upper block plus some of the lower
@@ -110,7 +114,15 @@ fn top_k<S: Scalar>(
                 }
                 {
                     let right = vectors.view_mut(0, k1, n, k - k1);
-                    gemm(Op::NoTrans, Op::NoTrans, S::ONE, v2.as_ref(), w2.as_ref(), S::ZERO, right);
+                    gemm(
+                        Op::NoTrans,
+                        Op::NoTrans,
+                        S::ONE,
+                        v2.as_ref(),
+                        w2.as_ref(),
+                        S::ZERO,
+                        right,
+                    );
                 }
                 let mut values = vals1;
                 values.extend(vals2);
@@ -145,18 +157,18 @@ pub fn qdwh_partial_svd<S: Scalar>(
     let pd = qdwh(a, &pd_opts)?;
     let eig = qdwh_partial_eig(&pd.h, k, opts)?;
     let mut u = Matrix::<S>::zeros(m, k);
-    gemm(Op::NoTrans, Op::NoTrans, S::ONE, pd.u.as_ref(), eig.vectors.as_ref(), S::ZERO, u.as_mut());
-    let sigma = eig
-        .values
-        .iter()
-        .map(|&l| if l < S::Real::ZERO { S::Real::ZERO } else { l })
-        .collect();
-    Ok(PartialSvd {
-        sigma,
-        u,
-        v: eig.vectors,
-        polar_iterations: pd.info.iterations,
-    })
+    gemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        S::ONE,
+        pd.u.as_ref(),
+        eig.vectors.as_ref(),
+        S::ZERO,
+        u.as_mut(),
+    );
+    let sigma =
+        eig.values.iter().map(|&l| if l < S::Real::ZERO { S::Real::ZERO } else { l }).collect();
+    Ok(PartialSvd { sigma, u, v: eig.vectors, polar_iterations: pd.info.iterations })
 }
 
 #[cfg(test)]
@@ -206,7 +218,15 @@ mod tests {
         let a = rand_sym(50, 2);
         let p = qdwh_partial_eig(&a, 7, &QdwhOptions::default()).unwrap();
         let mut g = Matrix::<f64>::identity(7, 7);
-        gemm(Op::ConjTrans, Op::NoTrans, -1.0, p.vectors.as_ref(), p.vectors.as_ref(), 1.0, g.as_mut());
+        gemm(
+            Op::ConjTrans,
+            Op::NoTrans,
+            -1.0,
+            p.vectors.as_ref(),
+            p.vectors.as_ref(),
+            1.0,
+            g.as_mut(),
+        );
         let err: f64 = norm(Norm::Fro, g.as_ref());
         assert!(err < 1e-10, "orthonormality {err}");
     }
@@ -252,10 +272,7 @@ mod tests {
         gemm(Op::NoTrans, Op::ConjTrans, 1.0, us.as_ref(), p.v.as_ref(), -1.0, recon.as_mut());
         let resid: f64 = norm(Norm::Fro, recon.as_ref());
         let tail: f64 = sigma[k..].iter().map(|s| s * s).sum::<f64>().sqrt();
-        assert!(
-            (resid - tail).abs() < 1e-8 * (1.0 + tail),
-            "Eckart-Young: {resid} vs {tail}"
-        );
+        assert!((resid - tail).abs() < 1e-8 * (1.0 + tail), "Eckart-Young: {resid} vs {tail}");
     }
 
     #[test]

@@ -19,6 +19,26 @@ pub enum QdwhError {
     NonFinite { iteration: usize },
     /// The iteration cap was hit before the convergence test passed.
     NoConvergence { iterations: usize },
+    /// The [`QdwhOptions::progress`](crate::options::QdwhOptions::progress)
+    /// hook requested cancellation before this iteration ran.
+    Cancelled { iteration: usize },
+}
+
+impl QdwhError {
+    /// Classify this failure for retry policies (see
+    /// [`polar_lapack::FailureClass`]).
+    pub fn class(&self) -> polar_lapack::FailureClass {
+        use polar_lapack::FailureClass;
+        match self {
+            QdwhError::Lapack(e) => e.class(),
+            // an exhausted iteration cap may succeed with a larger budget
+            QdwhError::NoConvergence { .. } => FailureClass::Transient,
+            // deterministic input properties / explicit caller intent
+            QdwhError::Shape(_) | QdwhError::NonFinite { .. } | QdwhError::Cancelled { .. } => {
+                FailureClass::Permanent
+            }
+        }
+    }
 }
 
 impl From<LapackError> for QdwhError {
@@ -37,6 +57,9 @@ impl std::fmt::Display for QdwhError {
             }
             QdwhError::NoConvergence { iterations } => {
                 write!(f, "no convergence after {iterations} iterations")
+            }
+            QdwhError::Cancelled { iteration } => {
+                write!(f, "cancelled before iteration {iteration}")
             }
         }
     }
@@ -228,9 +251,17 @@ pub fn qdwh<S: Scalar>(
 
     while conv >= conv_tol || (ell - S::Real::ONE).abs() >= five_eps {
         if info.iterations >= opts.max_iterations {
-            return Err(QdwhError::NoConvergence {
-                iterations: info.iterations,
-            });
+            return Err(QdwhError::NoConvergence { iterations: info.iterations });
+        }
+        if let Some(hook) = &opts.progress {
+            let snapshot = crate::options::IterationProgress {
+                iteration: info.iterations + 1,
+                convergence: conv.to_f64(),
+                ell: ell.to_f64(),
+            };
+            if hook(&snapshot) == crate::options::IterationDecision::Cancel {
+                return Err(QdwhError::Cancelled { iteration: info.iterations + 1 });
+            }
         }
         info.iterations += 1;
 
@@ -256,9 +287,7 @@ pub fn qdwh<S: Scalar>(
         }
 
         if x.has_non_finite() {
-            return Err(QdwhError::NonFinite {
-                iteration: info.iterations,
-            });
+            return Err(QdwhError::NonFinite { iteration: info.iterations });
         }
 
         // ---- lines 47-48: conv = ||X_k - X_{k-1}||_F ----
@@ -395,7 +424,11 @@ mod tests {
     use polar_gen::{generate, MatrixSpec, SigmaDistribution};
     use polar_scalar::{Complex32, Complex64};
 
-    fn check_polar<S: Scalar>(a: &Matrix<S>, opts: &QdwhOptions, tol: S::Real) -> PolarDecomposition<S> {
+    fn check_polar<S: Scalar>(
+        a: &Matrix<S>,
+        opts: &QdwhOptions,
+        tol: S::Real,
+    ) -> PolarDecomposition<S> {
         let pd = qdwh(a, opts).expect("qdwh converged");
         let orth = orthogonality_error(&pd.u);
         assert!(orth <= tol, "orthogonality error {orth:?}");
@@ -405,10 +438,7 @@ mod tests {
             // H Hermitian
             for j in 0..pd.h.ncols() {
                 for i in 0..pd.h.nrows() {
-                    assert!(
-                        (pd.h[(i, j)] - pd.h[(j, i)].conj()).abs() <= tol,
-                        "H not Hermitian"
-                    );
+                    assert!((pd.h[(i, j)] - pd.h[(j, i)].conj()).abs() <= tol, "H not Hermitian");
                 }
             }
         }
@@ -433,11 +463,7 @@ mod tests {
         // the paper's sqrt(n)-deflated estimate gives 3 + 3 (see the
         // paper_formula_seed test below).
         assert!(pd.info.iterations <= 6, "iterations = {}", pd.info.iterations);
-        assert!(
-            (2..=3).contains(&pd.info.qr_iterations),
-            "kinds: {:?}",
-            pd.info.kinds
-        );
+        assert!((2..=3).contains(&pd.info.qr_iterations), "kinds: {:?}", pd.info.kinds);
         assert!((3..=4).contains(&pd.info.chol_iterations));
     }
 
@@ -546,10 +572,7 @@ mod tests {
     #[test]
     fn wide_input_rejected() {
         let a = Matrix::<f64>::zeros(3, 5);
-        assert!(matches!(
-            qdwh(&a, &QdwhOptions::default()),
-            Err(QdwhError::Shape(_))
-        ));
+        assert!(matches!(qdwh(&a, &QdwhOptions::default()), Err(QdwhError::Shape(_))));
     }
 
     #[test]
@@ -565,10 +588,7 @@ mod tests {
     #[test]
     fn force_qr_path_still_converges() {
         let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(40, 8));
-        let opts = QdwhOptions {
-            path: IterationPath::ForceQr,
-            ..Default::default()
-        };
+        let opts = QdwhOptions { path: IterationPath::ForceQr, ..Default::default() };
         let pd = check_polar(&a, &opts, 1e-12);
         assert_eq!(pd.info.chol_iterations, 0);
     }
@@ -577,14 +597,8 @@ mod tests {
     fn structured_qr_matches_general_path() {
         let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(50, 23));
         let structured = qdwh(&a, &QdwhOptions::default()).unwrap();
-        let general = qdwh(
-            &a,
-            &QdwhOptions {
-                exploit_structure: false,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let general =
+            qdwh(&a, &QdwhOptions { exploit_structure: false, ..Default::default() }).unwrap();
         assert_eq!(structured.info.iterations, general.info.iterations);
         let mut d = structured.u.clone();
         add(-1.0, general.u.as_ref(), 1.0, d.as_mut());
@@ -596,10 +610,7 @@ mod tests {
     fn tsqr_path_matches_flat_qr() {
         let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(50, 9));
         let flat = qdwh(&a, &QdwhOptions::default()).unwrap();
-        let opts = QdwhOptions {
-            use_tsqr: true,
-            ..Default::default()
-        };
+        let opts = QdwhOptions { use_tsqr: true, ..Default::default() };
         let tsqr_pd = check_polar(&a, &opts, 1e-12);
         // same iteration profile; factors equal up to roundoff
         assert_eq!(flat.info.iterations, tsqr_pd.info.iterations);
@@ -655,6 +666,52 @@ mod tests {
             + (4.0 + 1.0 / 3.0) * n.powi(3) * pd.info.chol_iterations as f64
             + 2.0 * n.powi(3);
         assert_eq!(pd.info.flops_estimate, expect);
+    }
+
+    #[test]
+    fn progress_hook_observes_every_iteration() {
+        use crate::options::{IterationDecision, IterationProgress};
+        use std::sync::{Arc, Mutex};
+        let seen: Arc<Mutex<Vec<IterationProgress>>> = Arc::default();
+        let log = seen.clone();
+        let opts = QdwhOptions {
+            progress: Some(Arc::new(move |p: &IterationProgress| {
+                log.lock().unwrap().push(*p);
+                IterationDecision::Continue
+            })),
+            ..Default::default()
+        };
+        let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(30, 17));
+        let pd = qdwh(&a, &opts).unwrap();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), pd.info.iterations);
+        assert_eq!(seen[0].iteration, 1);
+        assert!(seen.last().unwrap().convergence < 1.0);
+    }
+
+    #[test]
+    fn progress_hook_cancels_between_iterations() {
+        use crate::options::{IterationDecision, IterationProgress};
+        use std::sync::Arc;
+        let opts = QdwhOptions {
+            progress: Some(Arc::new(|p: &IterationProgress| {
+                if p.iteration > 2 {
+                    IterationDecision::Cancel
+                } else {
+                    IterationDecision::Continue
+                }
+            })),
+            ..Default::default()
+        };
+        let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(40, 18));
+        match qdwh(&a, &opts) {
+            Err(QdwhError::Cancelled { iteration: 3 }) => {}
+            other => panic!("expected cancellation before iteration 3, got {other:?}"),
+        }
+        assert_eq!(
+            QdwhError::Cancelled { iteration: 3 }.class(),
+            polar_lapack::FailureClass::Permanent
+        );
     }
 
     #[test]

@@ -38,11 +38,7 @@ pub struct ZoloOptions {
 
 impl Default for ZoloOptions {
     fn default() -> Self {
-        Self {
-            r: 8,
-            max_iterations: 6,
-            compute_h: true,
-        }
+        Self { r: 8, max_iterations: 6, compute_h: true }
     }
 }
 
@@ -57,10 +53,7 @@ pub struct ZoloOutcome<S: Scalar> {
 }
 
 /// Zolotarev-rational polar decomposition (`m >= n`).
-pub fn zolo_pd<S: Scalar>(
-    a: &Matrix<S>,
-    zopts: &ZoloOptions,
-) -> Result<ZoloOutcome<S>, QdwhError> {
+pub fn zolo_pd<S: Scalar>(a: &Matrix<S>, zopts: &ZoloOptions) -> Result<ZoloOutcome<S>, QdwhError> {
     let m = a.nrows();
     let n = a.ncols();
     if m < n {
@@ -72,10 +65,7 @@ pub fn zolo_pd<S: Scalar>(
     if n == 0 || a.has_non_finite() {
         // degenerate inputs: defer to the QDWH driver's handling
         let pd = crate::qdwh_impl::qdwh(a, &QdwhOptions::default())?;
-        return Ok(ZoloOutcome {
-            pd,
-            qr_factorizations: 0,
-        });
+        return Ok(ZoloOutcome { pd, qr_factorizations: 0 });
     }
 
     let eps = S::Real::EPSILON;
@@ -86,10 +76,7 @@ pub fn zolo_pd<S: Scalar>(
     let alpha = est.estimate;
     if alpha == S::Real::ZERO {
         let pd = crate::qdwh_impl::qdwh(a, &QdwhOptions::default())?;
-        return Ok(ZoloOutcome {
-            pd,
-            qr_factorizations: 0,
-        });
+        return Ok(ZoloOutcome { pd, qr_factorizations: 0 });
     }
     let mut x = a.clone();
     scale_real::<S>(alpha.recip(), x.as_mut());
@@ -119,9 +106,7 @@ pub fn zolo_pd<S: Scalar>(
 
     while (ell - 1.0).abs() >= tol {
         if info.iterations >= zopts.max_iterations {
-            return Err(QdwhError::NoConvergence {
-                iterations: info.iterations,
-            });
+            return Err(QdwhError::NoConvergence { iterations: info.iterations });
         }
         info.iterations += 1;
         info.qr_iterations += 1; // Zolo iterations are QR-based
@@ -130,12 +115,7 @@ pub fn zolo_pd<S: Scalar>(
         let c = zolotarev_coefficients(ell.min(1.0 - 1e-15), zopts.r);
         let a_w = zolotarev_weights(&c);
         // normalization M = 1 / f(1)
-        let f1 = 1.0
-            + a_w
-                .iter()
-                .enumerate()
-                .map(|(j, &aj)| aj / (1.0 + c[2 * j]))
-                .sum::<f64>();
+        let f1 = 1.0 + a_w.iter().enumerate().map(|(j, &aj)| aj / (1.0 + c[2 * j])).sum::<f64>();
         let m_hat = 1.0 / f1;
 
         // X_next = M (X + sum_j (a_j / sqrt(c_{2j-1})) Q1_j Q2_j^H),
@@ -174,9 +154,7 @@ pub fn zolo_pd<S: Scalar>(
         scale_real::<S>(S::Real::from_f64(m_hat), x_next.as_mut());
 
         if x_next.has_non_finite() {
-            return Err(QdwhError::NonFinite {
-                iteration: info.iterations,
-            });
+            return Err(QdwhError::NonFinite { iteration: info.iterations });
         }
 
         // new singular-value interval: sample the scalar map over [l, 1]
@@ -206,12 +184,9 @@ pub fn zolo_pd<S: Scalar>(
     // flop estimate: per iteration, r stacked QRs + Q builds + gemms
     let nf = n as f64;
     let tf = polar_blas::flops::type_factor(S::IS_COMPLEX);
-    info.flops_estimate = tf
-        * info.iterations as f64
-        * zopts.r as f64
-        * ((10.0 / 3.0) * 2.0 + 2.0)
-        * nf.powi(3)
-        + tf * 2.0 * nf.powi(3);
+    info.flops_estimate =
+        tf * info.iterations as f64 * zopts.r as f64 * ((10.0 / 3.0) * 2.0 + 2.0) * nf.powi(3)
+            + tf * 2.0 * nf.powi(3);
 
     let h = if zopts.compute_h {
         let mut h = Matrix::<S>::zeros(n, n);
@@ -222,10 +197,7 @@ pub fn zolo_pd<S: Scalar>(
         Matrix::zeros(0, 0)
     };
 
-    Ok(ZoloOutcome {
-        pd: PolarDecomposition { u: x, h, info },
-        qr_factorizations: qr_count,
-    })
+    Ok(ZoloOutcome { pd: PolarDecomposition { u: x, h, info }, qr_factorizations: qr_count })
 }
 
 #[cfg(test)]
@@ -240,11 +212,7 @@ mod tests {
         // QDWH needs six
         let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(48, 1));
         let out = zolo_pd(&a, &ZoloOptions::default()).unwrap();
-        assert!(
-            out.pd.info.iterations <= 2,
-            "iterations = {}",
-            out.pd.info.iterations
-        );
+        assert!(out.pd.info.iterations <= 2, "iterations = {}", out.pd.info.iterations);
         assert!(orthogonality_error(&out.pd.u) < 1e-12);
         assert!(out.pd.backward_error(&a) < 1e-12);
         // 8 QRs per iteration
@@ -293,15 +261,7 @@ mod tests {
     fn small_r_needs_more_iterations() {
         let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(32, 4));
         let r8 = zolo_pd(&a, &ZoloOptions::default()).unwrap();
-        let r2 = zolo_pd(
-            &a,
-            &ZoloOptions {
-                r: 2,
-                max_iterations: 10,
-                compute_h: true,
-            },
-        )
-        .unwrap();
+        let r2 = zolo_pd(&a, &ZoloOptions { r: 2, max_iterations: 10, compute_h: true }).unwrap();
         assert!(r2.pd.info.iterations > r8.pd.info.iterations);
         assert!(orthogonality_error(&r2.pd.u) < 1e-12);
         // trade-off: fewer iterations but more total QRs for big r
@@ -329,14 +289,7 @@ mod tests {
         let a = Matrix::<f64>::zeros(3, 5);
         assert!(zolo_pd(&a, &ZoloOptions::default()).is_err());
         let a = Matrix::<f64>::identity(4, 4);
-        assert!(zolo_pd(
-            &a,
-            &ZoloOptions {
-                r: 0,
-                ..Default::default()
-            }
-        )
-        .is_err());
+        assert!(zolo_pd(&a, &ZoloOptions { r: 0, ..Default::default() }).is_err());
     }
 
     #[test]

@@ -10,10 +10,7 @@ use polar_qdwh::{
 #[test]
 fn iteration_cap_surfaces_as_error() {
     let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(24, 1));
-    let opts = QdwhOptions {
-        max_iterations: 1,
-        ..Default::default()
-    };
+    let opts = QdwhOptions { max_iterations: 1, ..Default::default() };
     match qdwh(&a, &opts) {
         Err(QdwhError::NoConvergence { iterations }) => assert_eq!(iterations, 1),
         other => panic!("expected NoConvergence, got {other:?}"),
@@ -26,17 +23,16 @@ fn forced_cholesky_on_severely_ill_conditioned_fails_cleanly() {
     // the factorization must either fail with NotPositiveDefinite/NonFinite
     // or still produce a decent factor — never panic or return NaN factors.
     let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(32, 2));
-    let opts = QdwhOptions {
-        path: IterationPath::ForceCholesky,
-        ..Default::default()
-    };
+    let opts = QdwhOptions { path: IterationPath::ForceCholesky, ..Default::default() };
     match qdwh(&a, &opts) {
         Ok(pd) => {
             assert!(!pd.u.has_non_finite(), "factors must be finite");
             // accuracy may be degraded, but not absent
             assert!(orthogonality_error(&pd.u) < 1e-6);
         }
-        Err(QdwhError::Lapack(_)) | Err(QdwhError::NonFinite { .. }) | Err(QdwhError::NoConvergence { .. }) => {}
+        Err(QdwhError::Lapack(_))
+        | Err(QdwhError::NonFinite { .. })
+        | Err(QdwhError::NoConvergence { .. }) => {}
         Err(other) => panic!("unexpected error {other:?}"),
     }
 }
@@ -138,7 +134,9 @@ fn custom_spectrum_with_zero_sigma() {
             assert!(!pd.u.has_non_finite());
             assert!(pd.backward_error(&a) < 1e-10);
         }
-        Err(QdwhError::Lapack(_)) | Err(QdwhError::NoConvergence { .. }) | Err(QdwhError::NonFinite { .. }) => {}
+        Err(QdwhError::Lapack(_))
+        | Err(QdwhError::NoConvergence { .. })
+        | Err(QdwhError::NonFinite { .. }) => {}
         Err(other) => panic!("unexpected {other:?}"),
     }
 }

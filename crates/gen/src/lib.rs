@@ -47,25 +47,13 @@ impl MatrixSpec {
     /// The paper's ill-conditioned benchmark configuration: κ = 1e16,
     /// geometric spectrum.
     pub fn ill_conditioned(n: usize, seed: u64) -> Self {
-        Self {
-            m: n,
-            n,
-            cond: 1e16,
-            distribution: SigmaDistribution::Geometric,
-            seed,
-        }
+        Self { m: n, n, cond: 1e16, distribution: SigmaDistribution::Geometric, seed }
     }
 
     /// Well-conditioned configuration (κ = 10): QDWH needs only
     /// Cholesky-based iterations.
     pub fn well_conditioned(n: usize, seed: u64) -> Self {
-        Self {
-            m: n,
-            n,
-            cond: 10.0,
-            distribution: SigmaDistribution::Geometric,
-            seed,
-        }
+        Self { m: n, n, cond: 10.0, distribution: SigmaDistribution::Geometric, seed }
     }
 
     /// Rectangular (`m >= n`) variant of an existing spec.
@@ -82,13 +70,7 @@ impl MatrixSpec {
         assert!(self.cond >= 1.0, "condition number must be >= 1");
         match &self.distribution {
             SigmaDistribution::Geometric => (0..k)
-                .map(|i| {
-                    if k == 1 {
-                        1.0
-                    } else {
-                        self.cond.powf(-(i as f64) / (k as f64 - 1.0))
-                    }
-                })
+                .map(|i| if k == 1 { 1.0 } else { self.cond.powf(-(i as f64) / (k as f64 - 1.0)) })
                 .collect(),
             SigmaDistribution::Arithmetic => (0..k)
                 .map(|i| {

@@ -17,7 +17,7 @@ fn potf2_lower<S: Scalar>(mut a: MatMut<'_, S>, offset: usize) -> Result<(), Lap
         for l in 0..j {
             d -= a.at(j, l).abs_sq();
         }
-        if !(d > S::Real::ZERO) || !d.is_finite() {
+        if d <= S::Real::ZERO || !d.is_finite() {
             return Err(LapackError::NotPositiveDefinite(offset + j + 1));
         }
         let djj = d.sqrt();

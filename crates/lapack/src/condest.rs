@@ -188,8 +188,24 @@ pub fn tr_sigma_min_est<S: Scalar>(r: &Matrix<S>) -> S::Real {
             *v = v.mul_real(inv);
         }
         // y = R^{-H} x ; x = R^{-1} y  => x = (R^H R)^{-1} x
-        trsm(Side::Left, Uplo::Upper, Op::ConjTrans, Diag::NonUnit, S::ONE, square.as_ref(), x.as_mut());
-        trsm(Side::Left, Uplo::Upper, Op::NoTrans, Diag::NonUnit, S::ONE, square.as_ref(), x.as_mut());
+        trsm(
+            Side::Left,
+            Uplo::Upper,
+            Op::ConjTrans,
+            Diag::NonUnit,
+            S::ONE,
+            square.as_ref(),
+            x.as_mut(),
+        );
+        trsm(
+            Side::Left,
+            Uplo::Upper,
+            Op::NoTrans,
+            Diag::NonUnit,
+            S::ONE,
+            square.as_ref(),
+            x.as_mut(),
+        );
         let growth = polar_blas::nrm2::<S>(x.col(0));
         if growth == S::Real::ZERO || !growth.is_finite() {
             // R is numerically singular in this direction
@@ -211,10 +227,10 @@ struct LuInvOracle<'m, S: Scalar> {
 
 impl<S: Scalar> OneNormOracle<S> for LuInvOracle<'_, S> {
     fn apply(&mut self, x: &mut Matrix<S>) {
-        getrs(Op::NoTrans, self.f, x);
+        getrs(Op::NoTrans, self.f, x).expect("oracle shapes are square and consistent");
     }
     fn apply_conj_trans(&mut self, x: &mut Matrix<S>) {
-        getrs(Op::ConjTrans, self.f, x);
+        getrs(Op::ConjTrans, self.f, x).expect("oracle shapes are square and consistent");
     }
 }
 
@@ -253,11 +269,27 @@ mod tests {
     impl OneNormOracle<f64> for DenseOracle {
         fn apply(&mut self, x: &mut Matrix<f64>) {
             let y = x.clone();
-            polar_blas::gemm(Op::NoTrans, Op::NoTrans, 1.0, self.m.as_ref(), y.as_ref(), 0.0, x.as_mut());
+            polar_blas::gemm(
+                Op::NoTrans,
+                Op::NoTrans,
+                1.0,
+                self.m.as_ref(),
+                y.as_ref(),
+                0.0,
+                x.as_mut(),
+            );
         }
         fn apply_conj_trans(&mut self, x: &mut Matrix<f64>) {
             let y = x.clone();
-            polar_blas::gemm(Op::ConjTrans, Op::NoTrans, 1.0, self.m.as_ref(), y.as_ref(), 0.0, x.as_mut());
+            polar_blas::gemm(
+                Op::ConjTrans,
+                Op::NoTrans,
+                1.0,
+                self.m.as_ref(),
+                y.as_ref(),
+                0.0,
+                x.as_mut(),
+            );
         }
     }
 

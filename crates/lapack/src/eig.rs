@@ -105,7 +105,7 @@ pub fn jacobi_eig<S: Scalar>(a: &Matrix<S>) -> Result<EigDecomposition<S>, Lapac
     // sort eigenpairs descending
     let mut order: Vec<usize> = (0..n).collect();
     let raw: Vec<S::Real> = (0..n).map(|j| h[(j, j)].re()).collect();
-    order.sort_by(|&i, &j| raw[j].partial_cmp(&raw[i]).unwrap());
+    order.sort_by(|&i, &j| raw[j].partial_cmp(&raw[i]).unwrap_or(core::cmp::Ordering::Equal));
     let values: Vec<S::Real> = order.iter().map(|&j| raw[j]).collect();
     let mut vectors = Matrix::<S>::zeros(n, n);
     for (newj, &oldj) in order.iter().enumerate() {
@@ -114,11 +114,7 @@ pub fn jacobi_eig<S: Scalar>(a: &Matrix<S>) -> Result<EigDecomposition<S>, Lapac
         }
     }
 
-    Ok(EigDecomposition {
-        values,
-        vectors,
-        sweeps,
-    })
+    Ok(EigDecomposition { values, vectors, sweeps })
 }
 
 #[cfg(test)]
@@ -137,7 +133,15 @@ mod tests {
         }
         // V unitary
         let mut vhv = Matrix::<S>::zeros(n, n);
-        gemm(Op::ConjTrans, Op::NoTrans, S::ONE, e.vectors.as_ref(), e.vectors.as_ref(), S::ZERO, vhv.as_mut());
+        gemm(
+            Op::ConjTrans,
+            Op::NoTrans,
+            S::ONE,
+            e.vectors.as_ref(),
+            e.vectors.as_ref(),
+            S::ZERO,
+            vhv.as_mut(),
+        );
         for j in 0..n {
             for i in 0..n {
                 let expect = if i == j { S::ONE } else { S::ZERO };
@@ -146,7 +150,15 @@ mod tests {
         }
         // A V = V diag(lambda)
         let mut av = Matrix::<S>::zeros(n, n);
-        gemm(Op::NoTrans, Op::NoTrans, S::ONE, a.as_ref(), e.vectors.as_ref(), S::ZERO, av.as_mut());
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            S::ONE,
+            a.as_ref(),
+            e.vectors.as_ref(),
+            S::ZERO,
+            av.as_mut(),
+        );
         let mut vl = e.vectors.clone();
         for j in 0..n {
             let l = e.values[j];

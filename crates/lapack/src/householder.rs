@@ -23,10 +23,7 @@ pub fn larfg<S: Scalar>(alpha: S, x: &mut [S]) -> Reflector<S> {
     let alphr = alpha.re();
     let alphi = alpha.im();
     if xnorm == S::Real::ZERO && alphi == S::Real::ZERO {
-        return Reflector {
-            tau: S::ZERO,
-            beta: alphr,
-        };
+        return Reflector { tau: S::ZERO, beta: alphr };
     }
     // beta = -sign(alpha_re) * ||[alpha; x]||
     let norm_all = alphr.hypot(alphi).hypot(xnorm);

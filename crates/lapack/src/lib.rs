@@ -72,6 +72,36 @@ impl std::fmt::Display for LapackError {
 
 impl std::error::Error for LapackError {}
 
+/// Whether a failure is worth retrying. Serving layers (see `polar-svc`)
+/// use this to decide between retry-with-backoff and immediate rejection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// Deterministic: the same input will fail the same way (shape
+    /// mismatch, exact singularity, indefiniteness). Never retry.
+    Permanent,
+    /// Budget- or environment-dependent: a retry under a different
+    /// configuration (larger sweep budget, different iteration path, a
+    /// recovered accelerator) can succeed.
+    Transient,
+}
+
+impl LapackError {
+    /// Classify this failure for retry policies.
+    pub fn class(&self) -> FailureClass {
+        match self {
+            // properties of the input matrix itself — retrying the same
+            // call reproduces them exactly
+            LapackError::NotPositiveDefinite(_)
+            | LapackError::SingularPivot(_)
+            | LapackError::Shape(_) => FailureClass::Permanent,
+            // an exhausted iteration budget is a resource cap, not a
+            // property of the data; retry policies may raise the budget
+            // or switch algorithm variant
+            LapackError::NoConvergence { .. } => FailureClass::Transient,
+        }
+    }
+}
+
 /// Default block size for blocked factorizations (LAPACK `ilaenv`-style
 /// constant; the paper's tile sizes 192/320 play the analogous role at the
 /// distributed level).

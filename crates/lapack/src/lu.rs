@@ -86,11 +86,8 @@ pub fn getrf<S: Scalar>(a: &Matrix<S>) -> Result<LuFactors<S>, (LuFactors<S>, La
 /// Apply the pivot sequence to `B` (forward for solves with `A`, backward
 /// for `A^H`), LAPACK `laswp`.
 fn apply_pivots<S: Scalar>(ipiv: &[usize], b: &mut Matrix<S>, forward: bool) {
-    let order: Box<dyn Iterator<Item = usize>> = if forward {
-        Box::new(0..ipiv.len())
-    } else {
-        Box::new((0..ipiv.len()).rev())
-    };
+    let order: Box<dyn Iterator<Item = usize>> =
+        if forward { Box::new(0..ipiv.len()) } else { Box::new((0..ipiv.len()).rev()) };
     for kidx in order {
         let p = ipiv[kidx];
         if p != kidx {
@@ -104,16 +101,40 @@ fn apply_pivots<S: Scalar>(ipiv: &[usize], b: &mut Matrix<S>, forward: bool) {
 }
 
 /// Solve `op(A) X = B` from LU factors, LAPACK `getrs`. `X` overwrites `B`.
-pub fn getrs<S: Scalar>(op: Op, f: &LuFactors<S>, b: &mut Matrix<S>) {
+///
+/// Shape violations surface as [`LapackError::Shape`] rather than a panic,
+/// so callers embedded in long-running services degrade to a structured
+/// error instead of unwinding a worker thread.
+pub fn getrs<S: Scalar>(op: Op, f: &LuFactors<S>, b: &mut Matrix<S>) -> Result<(), LapackError> {
     let n = f.lu.nrows();
-    assert!(f.lu.is_square(), "getrs: square systems only");
-    assert_eq!(b.nrows(), n, "getrs: dim mismatch");
+    if !f.lu.is_square() {
+        return Err(LapackError::Shape("getrs: square systems only"));
+    }
+    if b.nrows() != n {
+        return Err(LapackError::Shape("getrs: rhs row count must match the factored matrix"));
+    }
     match op {
         Op::NoTrans => {
             // P A = L U  =>  A x = b  <=>  L U x = P b
             apply_pivots(&f.ipiv, b, true);
-            trsm(Side::Left, Uplo::Lower, Op::NoTrans, Diag::Unit, S::ONE, f.lu.as_ref(), b.as_mut());
-            trsm(Side::Left, Uplo::Upper, Op::NoTrans, Diag::NonUnit, S::ONE, f.lu.as_ref(), b.as_mut());
+            trsm(
+                Side::Left,
+                Uplo::Lower,
+                Op::NoTrans,
+                Diag::Unit,
+                S::ONE,
+                f.lu.as_ref(),
+                b.as_mut(),
+            );
+            trsm(
+                Side::Left,
+                Uplo::Upper,
+                Op::NoTrans,
+                Diag::NonUnit,
+                S::ONE,
+                f.lu.as_ref(),
+                b.as_mut(),
+            );
         }
         Op::Trans | Op::ConjTrans => {
             // A^H x = b  <=>  U^H L^H P x = b
@@ -122,6 +143,7 @@ pub fn getrs<S: Scalar>(op: Op, f: &LuFactors<S>, b: &mut Matrix<S>) {
             apply_pivots(&f.ipiv, b, false);
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -174,7 +196,7 @@ mod tests {
         for op in [Op::NoTrans, Op::Trans] {
             let mut b = Matrix::<f64>::zeros(n, 2);
             gemm(op, Op::NoTrans, 1.0, a.as_ref(), x_true.as_ref(), 0.0, b.as_mut());
-            getrs(op, &f, &mut b);
+            getrs(op, &f, &mut b).unwrap();
             let mut diff = b;
             polar_blas::add(-1.0, x_true.as_ref(), 1.0, diff.as_mut());
             let err: f64 = norm(Norm::Fro, diff.as_ref());
@@ -195,8 +217,16 @@ mod tests {
         let x_true = Matrix::from_fn(n, 1, |i, _| Complex64::new(i as f64, -1.0));
         let one = Complex64::from_real(1.0);
         let mut b = Matrix::<Complex64>::zeros(n, 1);
-        gemm(Op::ConjTrans, Op::NoTrans, one, a.as_ref(), x_true.as_ref(), Complex64::default(), b.as_mut());
-        getrs(Op::ConjTrans, &f, &mut b);
+        gemm(
+            Op::ConjTrans,
+            Op::NoTrans,
+            one,
+            a.as_ref(),
+            x_true.as_ref(),
+            Complex64::default(),
+            b.as_mut(),
+        );
+        getrs(Op::ConjTrans, &f, &mut b).unwrap();
         for i in 0..n {
             assert!((b[(i, 0)] - x_true[(i, 0)]).abs() < 1e-9);
         }
@@ -222,7 +252,7 @@ mod tests {
         let f = getrf(&a).unwrap();
         assert_eq!(f.ipiv[0], 1, "must pivot the large row up");
         let mut b = Matrix::from_rows(&[&[1.0], &[2.0]]);
-        getrs(Op::NoTrans, &f, &mut b);
+        getrs(Op::NoTrans, &f, &mut b).unwrap();
         // solution of [[0,1],[1,1]] approx: x ≈ [1, 1]
         assert!(f64::abs(b[(0, 0)] - 1.0) < 1e-9);
         assert!(f64::abs(b[(1, 0)] - 1.0) < 1e-9);

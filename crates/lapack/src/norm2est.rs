@@ -32,11 +32,7 @@ pub fn norm2est_tol<S: Scalar>(a: &Matrix<S>, tol: S::Real, max_iter: usize) -> 
     let m = a.nrows();
     let n = a.ncols();
     if m == 0 || n == 0 {
-        return Norm2Est {
-            estimate: S::Real::ZERO,
-            iterations: 0,
-            capped: false,
-        };
+        return Norm2Est { estimate: S::Real::ZERO, iterations: 0, capped: false };
     }
 
     // X = column sums of |A| (Algorithm 2 lines 5-8).
@@ -48,11 +44,7 @@ pub fn norm2est_tol<S: Scalar>(a: &Matrix<S>, tol: S::Real, max_iter: usize) -> 
     let mut e = nrm2::<S>(x.col(0));
     if e == S::Real::ZERO {
         // zero matrix
-        return Norm2Est {
-            estimate: S::Real::ZERO,
-            iterations: 0,
-            capped: false,
-        };
+        return Norm2Est { estimate: S::Real::ZERO, iterations: 0, capped: false };
     }
     let mut norm_x = e;
     let mut e0;
@@ -98,11 +90,7 @@ pub fn norm2est_tol<S: Scalar>(a: &Matrix<S>, tol: S::Real, max_iter: usize) -> 
         }
     }
 
-    Norm2Est {
-        estimate: e,
-        iterations,
-        capped,
-    }
+    Norm2Est { estimate: e, iterations, capped }
 }
 
 #[cfg(test)]

@@ -101,7 +101,12 @@ pub(crate) fn extract_v<S: Scalar>(panel: MatRef<'_, S>) -> Matrix<S> {
 /// Apply a block reflector (LAPACK `larfb`, left side, forward columnwise):
 /// `C := (I - V T V^H) C` for `op = NoTrans`, or with `T^H` for
 /// `op = ConjTrans` (which applies `Q^H`).
-pub(crate) fn larfb_left<S: Scalar>(op: Op, v: MatRef<'_, S>, t: MatRef<'_, S>, mut c: MatMut<'_, S>) {
+pub(crate) fn larfb_left<S: Scalar>(
+    op: Op,
+    v: MatRef<'_, S>,
+    t: MatRef<'_, S>,
+    mut c: MatMut<'_, S>,
+) {
     let k = v.ncols();
     let n = c.ncols();
     if k == 0 || n == 0 {
@@ -270,11 +275,7 @@ mod tests {
         for j in 0..k {
             for i in 0..k {
                 let expect = if i == j { S::ONE } else { S::ZERO };
-                assert!(
-                    (qhq[(i, j)] - expect).abs() <= tol,
-                    "QhQ({i},{j}) = {:?}",
-                    qhq[(i, j)]
-                );
+                assert!((qhq[(i, j)] - expect).abs() <= tol, "QhQ({i},{j}) = {:?}", qhq[(i, j)]);
             }
         }
 

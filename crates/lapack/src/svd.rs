@@ -79,12 +79,15 @@ pub fn jacobi_svd<S: Scalar>(a: &Matrix<S>) -> Result<SvdDecomposition<S>, Lapac
     // extract sigma and U
     let mut order: Vec<usize> = (0..n).collect();
     let sig_raw: Vec<S::Real> = (0..n).map(|j| nrm2::<S>(work.col(j))).collect();
-    order.sort_by(|&i, &j| sig_raw[j].partial_cmp(&sig_raw[i]).unwrap());
+    order.sort_by(|&i, &j| {
+        sig_raw[j].partial_cmp(&sig_raw[i]).unwrap_or(core::cmp::Ordering::Equal)
+    });
 
     let mut u = Matrix::<S>::zeros(m, n);
     let mut sigma = Vec::with_capacity(n);
     let mut v_sorted = Matrix::<S>::zeros(n, n);
-    let null_tol = eps * sig_raw.iter().cloned().fold(S::Real::ZERO, S::Real::max)
+    let null_tol = eps
+        * sig_raw.iter().cloned().fold(S::Real::ZERO, S::Real::max)
         * S::Real::from_usize(m.max(1));
     let mut null_cols = Vec::new();
     for (newj, &oldj) in order.iter().enumerate() {
@@ -142,12 +145,7 @@ pub fn jacobi_svd<S: Scalar>(a: &Matrix<S>) -> Result<SvdDecomposition<S>, Lapac
         }
     }
 
-    Ok(SvdDecomposition {
-        u,
-        sigma,
-        v: v_sorted,
-        sweeps,
-    })
+    Ok(SvdDecomposition { u, sigma, v: v_sorted, sweeps })
 }
 
 /// Apply the 2x2 unitary `J = [[cs, sn], [-beta sn, beta cs]]` to columns
@@ -195,7 +193,15 @@ mod tests {
         assert!(svd.sigma.iter().all(|&s| s >= S::Real::ZERO));
         // U^H U = I
         let mut uhu = Matrix::<S>::zeros(n, n);
-        gemm(Op::ConjTrans, Op::NoTrans, S::ONE, svd.u.as_ref(), svd.u.as_ref(), S::ZERO, uhu.as_mut());
+        gemm(
+            Op::ConjTrans,
+            Op::NoTrans,
+            S::ONE,
+            svd.u.as_ref(),
+            svd.u.as_ref(),
+            S::ZERO,
+            uhu.as_mut(),
+        );
         for j in 0..n {
             for i in 0..n {
                 let expect = if i == j { S::ONE } else { S::ZERO };
@@ -204,7 +210,15 @@ mod tests {
         }
         // V^H V = I
         let mut vhv = Matrix::<S>::zeros(n, n);
-        gemm(Op::ConjTrans, Op::NoTrans, S::ONE, svd.v.as_ref(), svd.v.as_ref(), S::ZERO, vhv.as_mut());
+        gemm(
+            Op::ConjTrans,
+            Op::NoTrans,
+            S::ONE,
+            svd.v.as_ref(),
+            svd.v.as_ref(),
+            S::ZERO,
+            vhv.as_mut(),
+        );
         for j in 0..n {
             for i in 0..n {
                 let expect = if i == j { S::ONE } else { S::ZERO };
@@ -220,7 +234,15 @@ mod tests {
             }
         }
         let mut recon = Matrix::<S>::zeros(m, n);
-        gemm(Op::NoTrans, Op::ConjTrans, S::ONE, us.as_ref(), svd.v.as_ref(), S::ZERO, recon.as_mut());
+        gemm(
+            Op::NoTrans,
+            Op::ConjTrans,
+            S::ONE,
+            us.as_ref(),
+            svd.v.as_ref(),
+            S::ZERO,
+            recon.as_mut(),
+        );
         let mut diff = recon;
         add(-S::ONE, a.as_ref(), S::ONE, diff.as_mut());
         let err: S::Real = norm(Norm::Fro, diff.as_ref());

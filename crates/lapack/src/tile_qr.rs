@@ -252,13 +252,18 @@ mod tests {
         let m2 = 7;
         let n = 4;
         // build a tsqrt factorization
-        let mut r = Matrix::from_fn(nb, nb, |i, j| {
-            if i <= j {
-                1.0 + (i * 3 + j) as f64 * 0.1
-            } else {
-                0.0
-            }
-        });
+        let mut r =
+            Matrix::from_fn(
+                nb,
+                nb,
+                |i, j| {
+                    if i <= j {
+                        1.0 + (i * 3 + j) as f64 * 0.1
+                    } else {
+                        0.0
+                    }
+                },
+            );
         let mut b = rand_mat(m2, nb, 4);
         let v2_before = b.clone();
         let _ = v2_before;
@@ -355,7 +360,15 @@ mod tests {
         }
         let mut q = Matrix::<Complex64>::identity(mtot, mtot);
         let mut vt = Matrix::<Complex64>::zeros(mtot, nb);
-        gemm(Op::NoTrans, Op::NoTrans, one, v.as_ref(), t.as_ref(), Complex64::default(), vt.as_mut());
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            one,
+            v.as_ref(),
+            t.as_ref(),
+            Complex64::default(),
+            vt.as_mut(),
+        );
         gemm(Op::NoTrans, Op::ConjTrans, -one, vt.as_ref(), v.as_ref(), one, q.as_mut());
         let mut rn = Matrix::<Complex64>::zeros(mtot, nb);
         for j in 0..nb {
@@ -364,7 +377,15 @@ mod tests {
             }
         }
         let mut recon = Matrix::<Complex64>::zeros(mtot, nb);
-        gemm(Op::NoTrans, Op::NoTrans, one, q.as_ref(), rn.as_ref(), Complex64::default(), recon.as_mut());
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            one,
+            q.as_ref(),
+            rn.as_ref(),
+            Complex64::default(),
+            recon.as_mut(),
+        );
         for j in 0..nb {
             for i in 0..nb {
                 assert!((recon[(i, j)] - r0[(i, j)]).abs() < 1e-11);

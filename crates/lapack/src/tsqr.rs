@@ -41,10 +41,8 @@ fn tsqr_rec<S: Scalar>(a: &Matrix<S>, row0: usize, rows: usize) -> (Matrix<S>, M
     }
     // split rows; keep both halves at least n rows tall
     let half = (rows / 2).max(n);
-    let ((q1, r1), (q2, r2)) = rayon::join(
-        || tsqr_rec(a, row0, half),
-        || tsqr_rec(a, row0 + half, rows - half),
-    );
+    let ((q1, r1), (q2, r2)) =
+        rayon::join(|| tsqr_rec(a, row0, half), || tsqr_rec(a, row0 + half, rows - half));
     // combine: [R1; R2] = Q3 R
     let stacked = Matrix::vstack(&r1, &r2);
     let mut packed = stacked;
@@ -59,7 +57,17 @@ fn tsqr_rec<S: Scalar>(a: &Matrix<S>, row0: usize, rows: usize) -> (Matrix<S>, M
         let (top, bottom) = q.as_mut().split_at_row(q1.nrows());
         rayon::join(
             || gemm(Op::NoTrans, Op::NoTrans, S::ONE, q1.as_ref(), q3_top.as_ref(), S::ZERO, top),
-            || gemm(Op::NoTrans, Op::NoTrans, S::ONE, q2.as_ref(), q3_bot.as_ref(), S::ZERO, bottom),
+            || {
+                gemm(
+                    Op::NoTrans,
+                    Op::NoTrans,
+                    S::ONE,
+                    q2.as_ref(),
+                    q3_bot.as_ref(),
+                    S::ZERO,
+                    bottom,
+                )
+            },
         );
     }
     (q, r)

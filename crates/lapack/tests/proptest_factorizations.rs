@@ -92,7 +92,7 @@ proptest! {
         let mut b = Matrix::<f64>::zeros(n, nrhs);
         gemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), x_true.as_ref(), 0.0, b.as_mut());
         let f = getrf(&a).unwrap();
-        getrs(Op::NoTrans, &f, &mut b);
+        getrs(Op::NoTrans, &f, &mut b).unwrap();
         prop_assert!(fro_diff(&b, &x_true) < 1e-8 * (1.0 + norm::<f64>(Norm::Fro, x_true.as_ref())));
     }
 
@@ -108,7 +108,7 @@ proptest! {
         posv(&mut a_chol, &mut b_chol).unwrap();
         let f = getrf(&a).unwrap();
         let mut b_lu = b0.clone();
-        getrs(Op::NoTrans, &f, &mut b_lu);
+        getrs(Op::NoTrans, &f, &mut b_lu).unwrap();
         prop_assert!(fro_diff(&b_chol, &b_lu) < 1e-8);
     }
 

@@ -19,11 +19,7 @@ pub struct Matrix<S> {
 impl<S: Scalar> Matrix<S> {
     /// Zero-filled `m x n` matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self {
-            rows,
-            cols,
-            data: vec![S::ZERO; rows * cols],
-        }
+        Self { rows, cols, data: vec![S::ZERO; rows * cols] }
     }
 
     /// Identity-like matrix: ones on the main diagonal, zeros elsewhere

@@ -102,19 +102,19 @@ impl BlockCyclic {
     pub fn tiles_owned(&self, rank: usize) -> usize {
         let (pi, pj) = self.grid.coords_of(rank);
         let rows = self.tiling.mt().div_ceil(self.grid.p)
-            - usize::from(!self.tiling.mt().is_multiple_of(self.grid.p) && pi >= self.tiling.mt() % self.grid.p);
+            - usize::from(
+                !self.tiling.mt().is_multiple_of(self.grid.p)
+                    && pi >= self.tiling.mt() % self.grid.p,
+            );
         let cols = self.tiling.nt().div_ceil(self.grid.q)
-            - usize::from(!self.tiling.nt().is_multiple_of(self.grid.q) && pj >= self.tiling.nt() % self.grid.q);
-        let rows = if self.tiling.mt() < self.grid.p {
-            usize::from(pi < self.tiling.mt())
-        } else {
-            rows
-        };
-        let cols = if self.tiling.nt() < self.grid.q {
-            usize::from(pj < self.tiling.nt())
-        } else {
-            cols
-        };
+            - usize::from(
+                !self.tiling.nt().is_multiple_of(self.grid.q)
+                    && pj >= self.tiling.nt() % self.grid.q,
+            );
+        let rows =
+            if self.tiling.mt() < self.grid.p { usize::from(pi < self.tiling.mt()) } else { rows };
+        let cols =
+            if self.tiling.nt() < self.grid.q { usize::from(pj < self.tiling.nt()) } else { cols };
         rows * cols
     }
 }

@@ -101,11 +101,7 @@ impl<S: Scalar> TiledMatrix<S> {
                 tiles.push(Matrix::zeros(tiling.tile_rows(i), tiling.tile_cols(j)));
             }
         }
-        Self {
-            tiling,
-            dist: BlockCyclic::new(tiling, grid),
-            tiles,
-        }
+        Self { tiling, dist: BlockCyclic::new(tiling, grid), tiles }
     }
 
     /// Cut a dense matrix into tiles.

@@ -58,18 +58,9 @@ impl<'a, S: Scalar> MatRef<'a, S> {
     pub fn from_slice(data: &'a [S], rows: usize, cols: usize, ld: usize) -> Self {
         assert!(ld >= rows, "ld must be >= rows");
         if rows > 0 && cols > 0 {
-            assert!(
-                data.len() >= (cols - 1) * ld + rows,
-                "slice too short for view"
-            );
+            assert!(data.len() >= (cols - 1) * ld + rows, "slice too short for view");
         }
-        Self {
-            ptr: data.as_ptr(),
-            rows,
-            cols,
-            ld,
-            _marker: PhantomData,
-        }
+        Self { ptr: data.as_ptr(), rows, cols, ld, _marker: PhantomData }
     }
 
     #[inline]
@@ -126,20 +117,14 @@ impl<'a, S: Scalar> MatRef<'a, S> {
     #[inline]
     pub fn split_at_col(self, j: usize) -> (MatRef<'a, S>, MatRef<'a, S>) {
         assert!(j <= self.cols);
-        (
-            self.submatrix(0, 0, self.rows, j),
-            self.submatrix(0, j, self.rows, self.cols - j),
-        )
+        (self.submatrix(0, 0, self.rows, j), self.submatrix(0, j, self.rows, self.cols - j))
     }
 
     /// Split into (top, bottom) at row `i`.
     #[inline]
     pub fn split_at_row(self, i: usize) -> (MatRef<'a, S>, MatRef<'a, S>) {
         assert!(i <= self.rows);
-        (
-            self.submatrix(0, 0, i, self.cols),
-            self.submatrix(i, 0, self.rows - i, self.cols),
-        )
+        (self.submatrix(0, 0, i, self.cols), self.submatrix(i, 0, self.rows - i, self.cols))
     }
 
     /// Copy into an owned [`crate::Matrix`].
@@ -153,18 +138,9 @@ impl<'a, S: Scalar> MatMut<'a, S> {
     pub fn from_slice(data: &'a mut [S], rows: usize, cols: usize, ld: usize) -> Self {
         assert!(ld >= rows, "ld must be >= rows");
         if rows > 0 && cols > 0 {
-            assert!(
-                data.len() >= (cols - 1) * ld + rows,
-                "slice too short for view"
-            );
+            assert!(data.len() >= (cols - 1) * ld + rows, "slice too short for view");
         }
-        Self {
-            ptr: data.as_mut_ptr(),
-            rows,
-            cols,
-            ld,
-            _marker: PhantomData,
-        }
+        Self { ptr: data.as_mut_ptr(), rows, cols, ld, _marker: PhantomData }
     }
 
     #[inline]
@@ -264,13 +240,8 @@ impl<'a, S: Scalar> MatMut<'a, S> {
             ld: self.ld,
             _marker: PhantomData,
         };
-        let left = MatMut {
-            ptr: self.ptr,
-            rows: self.rows,
-            cols: j,
-            ld: self.ld,
-            _marker: PhantomData,
-        };
+        let left =
+            MatMut { ptr: self.ptr, rows: self.rows, cols: j, ld: self.ld, _marker: PhantomData };
         (left, right)
     }
 
@@ -289,13 +260,8 @@ impl<'a, S: Scalar> MatMut<'a, S> {
             ld: self.ld,
             _marker: PhantomData,
         };
-        let top = MatMut {
-            ptr: self.ptr,
-            rows: i,
-            cols: self.cols,
-            ld: self.ld,
-            _marker: PhantomData,
-        };
+        let top =
+            MatMut { ptr: self.ptr, rows: i, cols: self.cols, ld: self.ld, _marker: PhantomData };
         (top, bottom)
     }
 

@@ -41,10 +41,7 @@ pub struct VirtualComm {
 impl VirtualComm {
     pub fn new(nranks: usize) -> Self {
         assert!(nranks > 0);
-        Self {
-            nranks,
-            stats: Arc::new(Mutex::new(CommStats::default())),
-        }
+        Self { nranks, stats: Arc::new(Mutex::new(CommStats::default())) }
     }
 
     pub fn nranks(&self) -> usize {

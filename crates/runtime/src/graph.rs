@@ -27,6 +27,10 @@ pub enum KernelKind {
     Geadd,
     /// Norm / reduction contribution.
     Norm,
+    /// A whole submitted job (service-level span, not a tile kernel);
+    /// `polar-svc` emits these so job lifetimes render alongside kernel
+    /// rows in the same Chrome trace.
+    Job,
 }
 
 impl KernelKind {
@@ -36,7 +40,11 @@ impl KernelKind {
     pub fn gpu_eligible(self) -> bool {
         matches!(
             self,
-            KernelKind::Gemm | KernelKind::Herk | KernelKind::Trsm | KernelKind::Tsmqr | KernelKind::Unmqr
+            KernelKind::Gemm
+                | KernelKind::Herk
+                | KernelKind::Trsm
+                | KernelKind::Tsmqr
+                | KernelKind::Unmqr
         )
     }
 }
@@ -53,12 +61,7 @@ pub struct TileRef {
 
 impl TileRef {
     pub fn new(matrix: u32, i: usize, j: usize, bytes: u64) -> Self {
-        Self {
-            matrix,
-            i: i as u32,
-            j: j as u32,
-            bytes,
-        }
+        Self { matrix, i: i as u32, j: j as u32, bytes }
     }
 
     /// Key ignoring the byte payload (identity of the tile).
@@ -117,10 +120,7 @@ impl TaskGraph {
         // tasks are created in program order, and dependencies only point
         // backwards, so a single forward sweep is a topological order
         for t in 0..n {
-            let base = self.preds[t]
-                .iter()
-                .map(|&p| dist[p])
-                .fold(0.0f64, f64::max);
+            let base = self.preds[t].iter().map(|&p| dist[p]).fold(0.0f64, f64::max);
             dist[t] = base + self.tasks[t].flops;
         }
         dist.into_iter().fold(0.0, f64::max)
@@ -233,15 +233,7 @@ impl GraphBuilder {
             self.readers_since_write.insert(w.key(), Vec::new());
         }
 
-        self.tasks.push(Task {
-            id,
-            kind,
-            flops,
-            rank,
-            phase: self.phase,
-            reads,
-            writes,
-        });
+        self.tasks.push(Task { id, kind, flops, rank, phase: self.phase, reads, writes });
         self.preds.push(preds);
         id
     }
@@ -254,11 +246,7 @@ impl GraphBuilder {
                 succs[p].push(t);
             }
         }
-        TaskGraph {
-            tasks: self.tasks,
-            preds: self.preds,
-            succs,
-        }
+        TaskGraph { tasks: self.tasks, preds: self.preds, succs }
     }
 }
 

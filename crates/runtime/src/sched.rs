@@ -55,9 +55,15 @@ pub struct ScheduleStats {
 
 impl ScheduleStats {
     /// Aggregate parallel efficiency: serial work / (makespan * total slots).
+    /// Degenerate inputs are defined rather than NaN: an empty schedule
+    /// (`makespan <= 0`) is perfectly efficient, a machine with zero slots
+    /// has efficiency 0.
     pub fn efficiency(&self, total_slots: usize) -> f64 {
         if self.makespan <= 0.0 {
             return 1.0;
+        }
+        if total_slots == 0 {
+            return 0.0;
         }
         self.total_task_seconds / (self.makespan * total_slots as f64)
     }
@@ -125,7 +131,11 @@ pub fn write_chrome_trace<W: std::io::Write>(
 /// for cross-rank edges — and (b) the earliest free execution slot on its
 /// rank. Program order is how SLATE's OpenMP tasks are submitted, so this
 /// matches the modeled runtime's admissible schedules.
-pub fn simulate<M: ExecutionModel>(graph: &TaskGraph, model: &M, mode: SchedulingMode) -> ScheduleStats {
+pub fn simulate<M: ExecutionModel>(
+    graph: &TaskGraph,
+    model: &M,
+    mode: SchedulingMode,
+) -> ScheduleStats {
     simulate_impl(graph, model, mode, None)
 }
 
@@ -139,7 +149,8 @@ fn simulate_impl<M: ExecutionModel>(
     let ranks = model.ranks();
     let mut finish = vec![0.0f64; n];
     // per-rank slot free times
-    let mut slots: Vec<Vec<f64>> = (0..ranks).map(|r| vec![0.0f64; model.slots(r).max(1)]).collect();
+    let mut slots: Vec<Vec<f64>> =
+        (0..ranks).map(|r| vec![0.0f64; model.slots(r).max(1)]).collect();
     let mut busy = vec![0.0f64; ranks];
     let mut messages = 0u64;
     let mut bytes = 0u64;
@@ -172,9 +183,8 @@ fn simulate_impl<M: ExecutionModel>(
                 // predecessor wrote
                 let mut edge_bytes = 0u64;
                 for r in &task.reads {
-                    if pred.writes.iter().any(|w| {
-                        w.matrix == r.matrix && w.i == r.i && w.j == r.j
-                    }) {
+                    if pred.writes.iter().any(|w| w.matrix == r.matrix && w.i == r.i && w.j == r.j)
+                    {
                         edge_bytes += r.bytes;
                     }
                 }
@@ -210,26 +220,12 @@ fn simulate_impl<M: ExecutionModel>(
         total_task_seconds += dur;
         running_phase_max = running_phase_max.max(end);
         if let Some(ev) = trace.as_deref_mut() {
-            ev.push(TraceEvent {
-                task: t,
-                rank,
-                slot,
-                start,
-                end,
-                kind: task.kind,
-            });
+            ev.push(TraceEvent { task: t, rank, slot, start, end, kind: task.kind });
         }
     }
 
     let makespan = finish.iter().cloned().fold(0.0f64, f64::max);
-    ScheduleStats {
-        makespan,
-        total_task_seconds,
-        per_rank_busy: busy,
-        messages,
-        bytes,
-        tasks: n,
-    }
+    ScheduleStats { makespan, total_task_seconds, per_rank_busy: busy, messages, bytes, tasks: n }
 }
 
 #[cfg(test)]
@@ -356,12 +352,14 @@ mod tests {
         let m = b.new_matrix();
         for layer in 0..5 {
             for j in 0..6 {
-                let reads = if layer == 0 {
-                    vec![]
-                } else {
-                    vec![tile(m, layer - 1, (j + 1) % 6)]
-                };
-                b.add_task(KernelKind::Gemm, (1 + (j * layer) % 4) as f64, j % 3, reads, vec![tile(m, layer, j)]);
+                let reads = if layer == 0 { vec![] } else { vec![tile(m, layer - 1, (j + 1) % 6)] };
+                b.add_task(
+                    KernelKind::Gemm,
+                    (1 + (j * layer) % 4) as f64,
+                    j % 3,
+                    reads,
+                    vec![tile(m, layer, j)],
+                );
             }
             b.next_phase();
         }

@@ -1,7 +1,9 @@
 //! Property-based tests of the schedule simulator: invariants that any
 //! admissible schedule must satisfy, over randomized layered DAGs.
 
-use polar_runtime::{simulate, ExecutionModel, GraphBuilder, KernelKind, SchedulingMode, Task, TileRef};
+use polar_runtime::{
+    simulate, ExecutionModel, GraphBuilder, KernelKind, SchedulingMode, Task, TileRef,
+};
 use proptest::prelude::*;
 
 struct UnitModel {

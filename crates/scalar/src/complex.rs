@@ -38,19 +38,13 @@ impl<T: Real> Complex<T> {
 
     #[inline]
     pub fn i() -> Self {
-        Self {
-            re: T::ZERO,
-            im: T::ONE,
-        }
+        Self { re: T::ZERO, im: T::ONE }
     }
 
     /// Complex conjugate.
     #[inline]
     pub fn conj(self) -> Self {
-        Self {
-            re: self.re,
-            im: -self.im,
-        }
+        Self { re: self.re, im: -self.im }
     }
 
     /// Modulus `|z|`, computed with `hypot` to avoid intermediate
@@ -134,16 +128,14 @@ impl<T: Real> Mul for Complex<T> {
     type Output = Self;
     #[inline]
     fn mul(self, rhs: Self) -> Self {
-        Self::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Self::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
 impl<T: Real> Div for Complex<T> {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w^{-1}
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }

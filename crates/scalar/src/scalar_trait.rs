@@ -288,6 +288,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // asserting the per-type consts is the point
     fn type_tags() {
         assert_eq!(f32::TYPE_TAG, "s");
         assert_eq!(f64::TYPE_TAG, "d");

@@ -2,17 +2,11 @@
 //! trait: field axioms, conjugation identities, and robustness of the
 //! overflow-safe primitives.
 
-use polar_scalar::{Complex64, Real, Scalar};
+use polar_scalar::{Complex64, Scalar};
 use proptest::prelude::*;
 
 fn finite_component() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        -1e6f64..1e6f64,
-        -1.0f64..1.0f64,
-        Just(0.0),
-        Just(1.0),
-        Just(-1.0),
-    ]
+    prop_oneof![-1e6f64..1e6f64, -1.0f64..1.0f64, Just(0.0), Just(1.0), Just(-1.0),]
 }
 
 fn complex() -> impl Strategy<Value = Complex64> {

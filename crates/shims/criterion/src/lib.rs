@@ -1,0 +1,241 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! A minimal wall-clock harness: each benchmark warms up once, then runs
+//! enough iterations to fill a small measurement window and reports the
+//! mean time per iteration (plus derived throughput when declared). No
+//! statistical analysis, baselines, or HTML reports — this exists so
+//! `cargo bench` works in the registry-less build environment and still
+//! produces usable relative numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value or the work producing it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier (`group/name` styling like real criterion).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the closure under test; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    measurement_window: Duration,
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    fn new(measurement_window: Duration) -> Self {
+        Bencher { measurement_window, result: None }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // warmup + single-iteration estimate
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+
+        let target = self.measurement_window;
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.result = Some((iters, start.elapsed()));
+    }
+}
+
+fn human(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(label: &str, bencher: &Bencher, throughput: Option<Throughput>) {
+    let Some((iters, total)) = bencher.result else {
+        println!("{label:<40} (no measurement: Bencher::iter never called)");
+        return;
+    };
+    let per_iter = total / iters as u32;
+    let mut line = format!("{label:<40} {:>12}/iter ({iters} iters)", human(per_iter));
+    if let Some(t) = throughput {
+        let secs = per_iter.as_secs_f64().max(1e-12);
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:.3} Melem/s", n as f64 / secs / 1e6));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:.3} MiB/s", n as f64 / secs / (1 << 20) as f64));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_window: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.measurement_window);
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_window: self.measurement_window,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_window: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.measurement_window = window;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.measurement_window);
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.label), &b, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::new(self.measurement_window);
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), &b, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Define a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        let mut c = Criterion { measurement_window: Duration::from_millis(5) };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_with_throughput() {
+        let mut c = Criterion { measurement_window: Duration::from_millis(5) };
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).throughput(Throughput::Elements(1000));
+        g.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline drop-in subset of the `crossbeam` API.
+//!
+//! Implements the [`channel`] module — multi-producer multi-consumer
+//! bounded and unbounded channels with the crossbeam error vocabulary
+//! (`TrySendError::Full` is what the service admission queue's
+//! backpressure is built on). Internally a mutex-protected ring with two
+//! condvars; contended throughput is far below real crossbeam's, but the
+//! semantics (disconnect on last-sender/last-receiver drop, timeouts,
+//! non-blocking probes) are the same.
+
+pub mod channel;

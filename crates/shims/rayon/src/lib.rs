@@ -1,0 +1,98 @@
+//! Offline drop-in subset of the `rayon` API.
+//!
+//! Provides real fork-join parallelism for [`join`] via `std::thread::scope`,
+//! with a global thread budget so deeply recursive joins (the blocked BLAS
+//! kernels split recursively) degrade to sequential execution instead of
+//! spawning unbounded threads. Semantics match rayon where it matters:
+//! both closures always run, panics propagate, results come back in order.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+static ACTIVE_EXTRA: AtomicUsize = AtomicUsize::new(0);
+
+fn thread_budget() -> usize {
+    static BUDGET: OnceLock<usize> = OnceLock::new();
+    *BUDGET.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4) * 2)
+}
+
+/// Number of threads the pool would use (the thread budget).
+pub fn current_num_threads() -> usize {
+    thread_budget().max(1)
+}
+
+fn try_reserve() -> bool {
+    let cap = thread_budget();
+    let mut cur = ACTIVE_EXTRA.load(Ordering::Relaxed);
+    loop {
+        if cur >= cap {
+            return false;
+        }
+        match ACTIVE_EXTRA.compare_exchange_weak(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+        {
+            Ok(_) => return true,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if try_reserve() {
+        let out = std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            let rb = match hb.join() {
+                Ok(v) => v,
+                Err(p) => std::panic::resume_unwind(p),
+            };
+            (ra, rb)
+        });
+        ACTIVE_EXTRA.fetch_sub(1, Ordering::Relaxed);
+        out
+    } else {
+        let ra = a();
+        let rb = b();
+        (ra, rb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_both_in_order() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn deep_recursion_does_not_explode() {
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 64 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        assert_eq!(sum(0, 100_000), 100_000 * 99_999 / 2);
+    }
+
+    #[test]
+    fn join_propagates_panic() {
+        let r = std::panic::catch_unwind(|| {
+            join(|| 1, || panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

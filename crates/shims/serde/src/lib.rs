@@ -1,0 +1,20 @@
+//! Offline drop-in subset of `serde`.
+//!
+//! Re-exports the no-op derive macros (feature `derive`) so
+//! `#[derive(Serialize, Deserialize)]` compiles without the real serde
+//! stack. The same-named traits exist for `use serde::Serialize;` imports
+//! and occasional bounds (satisfied by blanket impls), but carry no
+//! methods — all real serialization in this workspace is handwritten
+//! (see `polar_runtime::write_chrome_trace` and the metrics exporters).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker standing in for `serde::Serialize` in bounds; the blanket impl
+/// makes any such bound hold (the no-op derive generates nothing).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker standing in for `serde::Deserialize` in bounds.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

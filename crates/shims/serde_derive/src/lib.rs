@@ -1,0 +1,20 @@
+//! Offline no-op `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` purely as decoration —
+//! every actual serialization in the repo (Chrome traces, CSV/JSON
+//! reports) is handwritten. These derives accept the syntax, including
+//! `#[serde(...)]` helper attributes, and expand to nothing, so the
+//! workspace builds without the real serde stack. If code ever starts
+//! *calling* serde's traits, replace these shims with the real crates.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -76,6 +76,7 @@ pub struct AnalyticBreakdown {
 
 /// Operation classes with distinct kernel-efficiency profiles.
 #[derive(Debug, Clone, Copy)]
+#[allow(clippy::enum_variant_names)] // each class is "<kernel>-like"
 enum OpClass {
     /// geqrf / orgqr: tsmqr-dominated updates, heavyweight CPU panels.
     QrLike,
@@ -159,12 +160,7 @@ fn op_sequence(n: usize, nb: usize, it_qr: usize, it_chol: usize) -> Vec<Op> {
 
     for _ in 0..it_chol {
         // Z = I + c X^H X
-        ops.push(Op {
-            class: OpClass::CholLike,
-            flops: n3,
-            steps: t,
-            panel_flops_per_step: 0.0,
-        });
+        ops.push(Op { class: OpClass::CholLike, flops: n3, steps: t, panel_flops_per_step: 0.0 });
         // potrf(Z)
         ops.push(Op {
             class: OpClass::CholLike,
@@ -182,12 +178,7 @@ fn op_sequence(n: usize, nb: usize, it_qr: usize, it_chol: usize) -> Vec<Op> {
     }
 
     // H = U^H A
-    ops.push(Op {
-        class: OpClass::GemmLike,
-        flops: 2.0 * n3,
-        steps: t,
-        panel_flops_per_step: 0.0,
-    });
+    ops.push(Op { class: OpClass::GemmLike, flops: 2.0 * n3, steps: t, panel_flops_per_step: 0.0 });
 
     ops
 }
@@ -203,11 +194,7 @@ fn op_sequence(n: usize, nb: usize, it_qr: usize, it_chol: usize) -> Vec<Op> {
 /// ~55% of the device's dgemm rate, which is what SLATE-style tile
 /// execution achieves on V100/MI250X at nb = 320.
 fn tile_utilization(nb: usize, gpu: bool) -> f64 {
-    let (sat, over_penalty, scale) = if gpu {
-        (320.0, 0.6, 0.55)
-    } else {
-        (160.0, 0.1, 1.0)
-    };
+    let (sat, over_penalty, scale) = if gpu { (320.0, 0.6, 0.55) } else { (160.0, 0.1, 1.0) };
     let r = nb as f64 / sat;
     let up = (1.9 * r / (1.0 + r)).min(1.0);
     let over = 1.0 + over_penalty * (r - 1.0).max(0.0);
@@ -328,9 +315,11 @@ fn cost_operations(
         let t_panel_cp = op.steps * (op.panel_flops_per_step / panel_rate + sync_lat);
 
         // network term
-        let net_bytes =
-            op.class.net_coeff() * 8.0 * (n as f64).powi(2) * (ranks as f64).sqrt()
-                * single_node_net_discount;
+        let net_bytes = op.class.net_coeff()
+            * 8.0
+            * (n as f64).powi(2)
+            * (ranks as f64).sqrt()
+            * single_node_net_discount;
         let t_net = net_bytes / net_bw;
 
         let t_op = if fork_join {
@@ -398,12 +387,7 @@ pub fn estimate_zolo_time(
             steps: t,
             panel_flops_per_step: 0.5 * nf * nbf * nbf,
         },
-        Op {
-            class: OpClass::GemmLike,
-            flops: 2.0 * n3,
-            steps: t,
-            panel_flops_per_step: 0.0,
-        },
+        Op { class: OpClass::GemmLike, flops: 2.0 * n3, steps: t, panel_flops_per_step: 0.0 },
     ];
     // shared prologue/epilogue on the full machine: condition estimate + H
     let shared_ops = vec![
@@ -413,12 +397,7 @@ pub fn estimate_zolo_time(
             steps: t,
             panel_flops_per_step: 2.0 * (nf / 2.0) * nbf * nbf,
         },
-        Op {
-            class: OpClass::GemmLike,
-            flops: 2.0 * n3,
-            steps: t,
-            panel_flops_per_step: 0.0,
-        },
+        Op { class: OpClass::GemmLike, flops: 2.0 * n3, steps: t, panel_flops_per_step: 0.0 },
     ];
 
     let chain_flops: f64 = chain_ops.iter().map(|o| o.flops).sum();
@@ -439,15 +418,8 @@ pub fn estimate_zolo_time(
         &chain_ops,
         chain_flops,
     );
-    let shared = cost_operations(
-        node,
-        nodes,
-        Implementation::SlateGpu,
-        n,
-        nb,
-        &shared_ops,
-        shared_flops,
-    );
+    let shared =
+        cost_operations(node, nodes, Implementation::SlateGpu, n, nb, &shared_ops, shared_flops);
 
     let seconds = iterations as f64 * rounds as f64 * chain.seconds + shared.seconds;
     AnalyticBreakdown {
@@ -502,8 +474,10 @@ mod tests {
     fn fork_join_is_never_faster() {
         for nodes in [1usize, 8] {
             for n in [20_000usize, 80_000] {
-                let tb = estimate_qdwh_time(&summit(), nodes, Implementation::SlateCpu, n, 192, 3, 3);
-                let fj = estimate_qdwh_time(&summit(), nodes, Implementation::ScaLapack, n, 192, 3, 3);
+                let tb =
+                    estimate_qdwh_time(&summit(), nodes, Implementation::SlateCpu, n, 192, 3, 3);
+                let fj =
+                    estimate_qdwh_time(&summit(), nodes, Implementation::ScaLapack, n, 192, 3, 3);
                 assert!(fj.seconds >= tb.seconds * 0.95, "nodes={nodes} n={n}");
             }
         }
@@ -533,11 +507,7 @@ mod tests {
         // Fig. 5/6: ~180 Tflop/s at 16 Frontier nodes, n = 175k.
         let fr = NodeSpec::frontier();
         let r = estimate_qdwh_time(&fr, 16, Implementation::SlateGpu, 175_000, 320, 3, 3);
-        assert!(
-            (100.0..300.0).contains(&r.tflops),
-            "Frontier 16-node rate {} Tflop/s",
-            r.tflops
-        );
+        assert!((100.0..300.0).contains(&r.tflops), "Frontier 16-node rate {} Tflop/s", r.tflops);
     }
 
     #[test]
@@ -588,7 +558,11 @@ mod tests {
         // task-based: overlapped total can't exceed the serial sum
         assert!(
             r.seconds
-                <= r.compute_seconds + r.panel_seconds + r.network_seconds + r.staging_seconds + 1e-9
+                <= r.compute_seconds
+                    + r.panel_seconds
+                    + r.network_seconds
+                    + r.staging_seconds
+                    + 1e-9
         );
     }
 
@@ -599,7 +573,9 @@ mod tests {
         // is large enough to host the independent QR chains.
         let node = NodeSpec::summit();
         let n = 60_000;
-        let qdwh_time = |nodes| estimate_qdwh_time(&node, nodes, Implementation::SlateGpu, n, 320, 3, 3).seconds;
+        let qdwh_time = |nodes| {
+            estimate_qdwh_time(&node, nodes, Implementation::SlateGpu, n, 320, 3, 3).seconds
+        };
         let zolo_time = |nodes| estimate_zolo_time(&node, nodes, n, 320, 8).seconds;
         // few nodes: QDWH's lower flop count wins
         assert!(qdwh_time(1) < zolo_time(1), "1 node: QDWH should win");

@@ -83,17 +83,10 @@ fn dag_geqrf(ctx: &mut Ctx<'_>, a: u32, mt: usize, nt: usize) {
         let fk = ctx.tile_flops;
         let owner_kk = ctx.owner(k, k);
         let akk = ctx.tile(a, k, k);
-        ctx.b
-            .add_task(KernelKind::Geqrt, F_GEQRT * fk, owner_kk, vec![], vec![akk]);
+        ctx.b.add_task(KernelKind::Geqrt, F_GEQRT * fk, owner_kk, vec![], vec![akk]);
         for j in k + 1..nt {
             let akj = ctx.tile(a, k, j);
-            ctx.b.add_task(
-                KernelKind::Unmqr,
-                F_UNMQR * fk,
-                ctx.owner(k, j),
-                vec![akk],
-                vec![akj],
-            );
+            ctx.b.add_task(KernelKind::Unmqr, F_UNMQR * fk, ctx.owner(k, j), vec![akk], vec![akj]);
         }
         for i in k + 1..mt {
             let aik = ctx.tile(a, i, k);
@@ -143,13 +136,7 @@ fn dag_orgqr(ctx: &mut Ctx<'_>, a: u32, q: u32, mt: usize, nt: usize) {
         }
         for j in k..nt {
             let qkj = ctx.tile(q, k, j);
-            ctx.b.add_task(
-                KernelKind::Unmqr,
-                F_UNMQR * fk,
-                ctx.owner(k, j),
-                vec![akk],
-                vec![qkj],
-            );
+            ctx.b.add_task(KernelKind::Unmqr, F_UNMQR * fk, ctx.owner(k, j), vec![akk], vec![qkj]);
         }
     }
 }
@@ -185,11 +172,8 @@ fn dag_herk(ctx: &mut Ctx<'_>, c: u32, a: u32, mt: usize, nt: usize) {
                 let cij = ctx.tile(c, i, j);
                 let ali = ctx.tile(a, l, i);
                 let alj = ctx.tile(a, l, j);
-                let (kind, f) = if i == j {
-                    (KernelKind::Herk, F_HERK)
-                } else {
-                    (KernelKind::Gemm, F_GEMM)
-                };
+                let (kind, f) =
+                    if i == j { (KernelKind::Herk, F_HERK) } else { (KernelKind::Gemm, F_GEMM) };
                 ctx.b.add_task(
                     kind,
                     f * ctx.tile_flops,
@@ -230,11 +214,8 @@ fn dag_potrf(ctx: &mut Ctx<'_>, a: u32, nt: usize) {
                 let aij = ctx.tile(a, i, j);
                 let aik = ctx.tile(a, i, k);
                 let ajk = ctx.tile(a, j, k);
-                let (kind, f) = if i == j {
-                    (KernelKind::Herk, F_HERK)
-                } else {
-                    (KernelKind::Gemm, F_GEMM)
-                };
+                let (kind, f) =
+                    if i == j { (KernelKind::Herk, F_HERK) } else { (KernelKind::Gemm, F_GEMM) };
                 ctx.b.add_task(
                     kind,
                     f * ctx.tile_flops,
@@ -308,12 +289,7 @@ pub fn qdwh_graph(spec: &QdwhGraphSpec) -> TaskGraph {
     let x = builder.new_matrix();
 
     {
-        let mut ctx = Ctx {
-            b: &mut builder,
-            grid: spec.grid,
-            tile_flops,
-            bytes,
-        };
+        let mut ctx = Ctx { b: &mut builder, grid: spec.grid, tile_flops, bytes };
 
         // condition estimate: QR of the (scaled) input (lines 15-17)
         let w1 = ctx.b.new_matrix();
@@ -359,14 +335,7 @@ mod tests {
     use crate::qdwh_flops;
 
     fn small_spec(t: usize, it_qr: usize, it_chol: usize) -> QdwhGraphSpec {
-        QdwhGraphSpec {
-            t,
-            nb: 64,
-            scalar_bytes: 8,
-            grid: Grid { p: 2, q: 2 },
-            it_qr,
-            it_chol,
-        }
+        QdwhGraphSpec { t, nb: 64, scalar_bytes: 8, grid: Grid { p: 2, q: 2 }, it_qr, it_chol }
     }
 
     #[test]
@@ -427,10 +396,8 @@ mod tests {
     #[test]
     fn cross_rank_traffic_shrinks_on_single_rank() {
         let multi = qdwh_graph(&small_spec(4, 1, 1));
-        let single = qdwh_graph(&QdwhGraphSpec {
-            grid: Grid { p: 1, q: 1 },
-            ..small_spec(4, 1, 1)
-        });
+        let single =
+            qdwh_graph(&QdwhGraphSpec { grid: Grid { p: 1, q: 1 }, ..small_spec(4, 1, 1) });
         assert!(single.cross_rank_bytes() == 0);
         assert!(multi.cross_rank_bytes() > 0);
     }

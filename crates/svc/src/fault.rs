@@ -1,0 +1,58 @@
+//! Deterministic transient-fault injection.
+//!
+//! Exercises the retry path without real hardware faults: selected jobs
+//! have their first `failures_per_job` attempts replaced by a synthetic
+//! transient error (an exhausted iteration budget, the same shape a
+//! preempted accelerator produces). Deterministic by job id, so tests and
+//! load generators can predict exactly which jobs retry.
+
+/// Which jobs fail, and how many times each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Every `nth` job (by admission id, 1-based: jobs `nth`, `2*nth`, …)
+    /// is targeted. `0` disables injection.
+    pub nth: u64,
+    /// How many consecutive attempts of a targeted job fail before it is
+    /// allowed to succeed. Set at or below the service's retry budget for
+    /// eventually-successful jobs; above it to observe exhaustion.
+    pub failures_per_job: u32,
+}
+
+impl FaultPlan {
+    pub const DISABLED: FaultPlan = FaultPlan { nth: 0, failures_per_job: 0 };
+
+    /// Should `attempt` (1-based) of the job with admission id `id`
+    /// (1-based) fail?
+    pub fn should_fail(&self, id: u64, attempt: u32) -> bool {
+        self.nth != 0 && id.is_multiple_of(self.nth) && attempt <= self.failures_per_job
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::DISABLED
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_fails() {
+        let p = FaultPlan::DISABLED;
+        assert!(!p.should_fail(1, 1));
+        assert!(!p.should_fail(0, 1));
+    }
+
+    #[test]
+    fn targets_every_nth_for_k_attempts() {
+        let p = FaultPlan { nth: 3, failures_per_job: 2 };
+        assert!(!p.should_fail(1, 1));
+        assert!(!p.should_fail(2, 1));
+        assert!(p.should_fail(3, 1));
+        assert!(p.should_fail(3, 2));
+        assert!(!p.should_fail(3, 3), "third attempt succeeds");
+        assert!(p.should_fail(6, 1));
+    }
+}

@@ -1,0 +1,167 @@
+//! Job vocabulary: what clients submit and what they get back.
+
+use crate::cancel::CancelToken;
+use polar_matrix::Matrix;
+use polar_qdwh::{PolarDecomposition, QdwhError, QdwhOptions, QdwhSvd};
+use std::time::Duration;
+
+/// Monotonically increasing job identifier, assigned at admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Which solver a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// QDWH polar decomposition (Algorithm 1) — the workhorse.
+    Qdwh,
+    /// Thin SVD via QDWH-PD + Hermitian EVD (§3 application).
+    QdwhSvd,
+    /// SVD-based polar decomposition, the paper's §3 baseline.
+    SvdPolar,
+}
+
+/// A unit of work: solver kind, input matrix, and scheduling knobs.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    pub kind: JobKind,
+    /// Input matrix (`m >= n` as the solvers require).
+    pub matrix: Matrix<f64>,
+    /// Higher runs earlier. Ties break toward cheaper jobs
+    /// (shortest-job-first), then submission order.
+    pub priority: u8,
+    /// Per-job wall-clock budget measured from run start; `None` falls
+    /// back to the service default. Enforced between QDWH iterations.
+    pub timeout: Option<Duration>,
+    /// Solver options (the service overwrites the `progress` hook).
+    pub opts: QdwhOptions,
+}
+
+impl JobSpec {
+    pub fn qdwh(matrix: Matrix<f64>) -> Self {
+        Self::new(JobKind::Qdwh, matrix)
+    }
+
+    pub fn new(kind: JobKind, matrix: Matrix<f64>) -> Self {
+        JobSpec { kind, matrix, priority: 0, timeout: None, opts: QdwhOptions::default() }
+    }
+
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// Successful payload, by solver kind.
+#[derive(Debug, Clone)]
+pub enum JobOutput {
+    Polar(PolarDecomposition<f64>),
+    Svd(QdwhSvd<f64>),
+}
+
+impl JobOutput {
+    /// The unitary polar factor / left singular vectors, whichever the
+    /// job produced.
+    pub fn u(&self) -> &Matrix<f64> {
+        match self {
+            JobOutput::Polar(pd) => &pd.u,
+            JobOutput::Svd(svd) => &svd.u,
+        }
+    }
+}
+
+/// Why a job did not produce output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// Cancelled via its [`CancelToken`] (possibly while still queued).
+    Cancelled,
+    /// Exceeded its wall-clock budget; reports the budget that was
+    /// enforced.
+    TimedOut { budget: Duration },
+    /// The solver failed and no retry budget remained (or the failure was
+    /// permanent). `attempts` counts executions, so `1` means no retry.
+    Failed { error: QdwhError, attempts: u32 },
+    /// The service stopped before the job ran.
+    ServiceStopped,
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Cancelled => write!(f, "cancelled"),
+            JobError::TimedOut { budget } => write!(f, "timed out after {budget:?}"),
+            JobError::Failed { error, attempts } => {
+                write!(f, "failed after {attempts} attempt(s): {error}")
+            }
+            JobError::ServiceStopped => write!(f, "service stopped before execution"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Terminal record for one job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    pub id: JobId,
+    /// Executions performed (retries count; a queue-side cancellation is
+    /// zero attempts).
+    pub attempts: u32,
+    /// Admission → first run start.
+    pub wait: Duration,
+    /// Cumulative execution time across attempts.
+    pub run: Duration,
+    pub output: Result<JobOutput, JobError>,
+}
+
+/// Client-side handle returned at submission.
+pub struct JobHandle {
+    pub(crate) id: JobId,
+    pub(crate) cancel: CancelToken,
+    pub(crate) result: crossbeam::channel::Receiver<JobResult>,
+}
+
+impl JobHandle {
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// A token that cancels this job cooperatively.
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// Request cancellation (between iterations, or before start).
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// Block until the job reaches a terminal state.
+    pub fn wait(self) -> JobResult {
+        match self.result.recv() {
+            Ok(r) => r,
+            Err(_) => JobResult {
+                id: self.id,
+                attempts: 0,
+                wait: Duration::ZERO,
+                run: Duration::ZERO,
+                output: Err(JobError::ServiceStopped),
+            },
+        }
+    }
+
+    /// Non-blocking poll; `None` while the job is still queued/running.
+    pub fn try_wait(&self) -> Option<JobResult> {
+        self.result.try_recv().ok()
+    }
+}

@@ -1,0 +1,273 @@
+//! Lock-free service telemetry: counters, gauges, log-scale histograms.
+//!
+//! Histograms bucket by `floor(log2(nanoseconds))` — 64 fixed buckets
+//! cover sub-nanosecond to centuries with bounded ~2x relative error on
+//! reported quantiles, the standard trick used by HDR-style latency
+//! recorders. Everything is atomics, so recording from workers never
+//! contends with export.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Log2-bucketed latency histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl Histogram {
+    pub fn record(&self, d: Duration) {
+        let ns = d.as_nanos().max(1) as u64;
+        let idx = 63 - ns.leading_zeros() as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): geometric midpoint of the
+    /// bucket containing the q-th sample. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // bucket i spans [2^i, 2^(i+1)) ns; report sqrt(2)*2^i
+                let ns = (2f64.powi(i as i32) * std::f64::consts::SQRT_2) as u64;
+                return Some(Duration::from_nanos(ns));
+            }
+        }
+        unreachable!("target <= total")
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub p50: Option<Duration>,
+    pub p95: Option<Duration>,
+    pub p99: Option<Duration>,
+}
+
+/// All service counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    // counters
+    pub submitted: AtomicU64,
+    pub rejected_full: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub cancelled: AtomicU64,
+    pub timed_out: AtomicU64,
+    pub retries: AtomicU64,
+    pub batches: AtomicU64,
+    pub injected_faults: AtomicU64,
+    // gauges
+    pub queue_depth: AtomicI64,
+    pub in_flight: AtomicI64,
+    // histograms
+    pub wait: Histogram,
+    pub run: Histogram,
+}
+
+impl MetricsRegistry {
+    pub fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self, uptime: Duration) -> MetricsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let secs = uptime.as_secs_f64();
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected_full: self.rejected_full.load(Ordering::Relaxed),
+            completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            injected_faults: self.injected_faults.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
+            in_flight: self.in_flight.load(Ordering::Relaxed).max(0) as u64,
+            throughput_per_sec: if secs > 0.0 { completed as f64 / secs } else { 0.0 },
+            wait: self.wait.snapshot(),
+            run: self.run.snapshot(),
+        }
+    }
+}
+
+/// Exportable point-in-time view of the whole registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    pub submitted: u64,
+    pub rejected_full: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub cancelled: u64,
+    pub timed_out: u64,
+    pub retries: u64,
+    pub batches: u64,
+    pub injected_faults: u64,
+    pub queue_depth: u64,
+    pub in_flight: u64,
+    pub throughput_per_sec: f64,
+    pub wait: HistogramSnapshot,
+    pub run: HistogramSnapshot,
+}
+
+fn opt_us(d: Option<Duration>) -> f64 {
+    d.map(|d| d.as_secs_f64() * 1e6).unwrap_or(0.0)
+}
+
+impl MetricsSnapshot {
+    fn rows(&self) -> Vec<(&'static str, f64)> {
+        vec![
+            ("submitted", self.submitted as f64),
+            ("rejected_full", self.rejected_full as f64),
+            ("completed", self.completed as f64),
+            ("failed", self.failed as f64),
+            ("cancelled", self.cancelled as f64),
+            ("timed_out", self.timed_out as f64),
+            ("retries", self.retries as f64),
+            ("batches", self.batches as f64),
+            ("injected_faults", self.injected_faults as f64),
+            ("queue_depth", self.queue_depth as f64),
+            ("in_flight", self.in_flight as f64),
+            ("throughput_per_sec", self.throughput_per_sec),
+            ("wait_count", self.wait.count as f64),
+            ("wait_p50_us", opt_us(self.wait.p50)),
+            ("wait_p95_us", opt_us(self.wait.p95)),
+            ("wait_p99_us", opt_us(self.wait.p99)),
+            ("run_count", self.run.count as f64),
+            ("run_p50_us", opt_us(self.run.p50)),
+            ("run_p95_us", opt_us(self.run.p95)),
+            ("run_p99_us", opt_us(self.run.p99)),
+        ]
+    }
+
+    /// One flat JSON object (hand-rolled: the workspace has no JSON
+    /// serializer dependency).
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .rows()
+            .iter()
+            .map(|(k, v)| {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    format!("  \"{k}\": {}", *v as i64)
+                } else {
+                    format!("  \"{k}\": {v:.3}")
+                }
+            })
+            .collect();
+        format!("{{\n{}\n}}", body.join(",\n"))
+    }
+
+    /// Two-line CSV: header row + value row.
+    pub fn to_csv(&self) -> String {
+        let rows = self.rows();
+        let header: Vec<&str> = rows.iter().map(|(k, _)| *k).collect();
+        let values: Vec<String> = rows
+            .iter()
+            .map(|(_, v)| {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    format!("{}", *v as i64)
+                } else {
+                    format!("{v:.3}")
+                }
+            })
+            .collect();
+        format!("{}\n{}\n", header.join(","), values.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_power_of_two() {
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(100)); // 1e5 ns
+        }
+        h.record(Duration::from_millis(100)); // 1e8 ns outlier
+        assert_eq!(h.count(), 101);
+        let p50 = h.quantile(0.5).unwrap();
+        // 1e5 ns lands in [2^16, 2^17); midpoint ~92.7 us
+        assert!(p50 >= Duration::from_micros(64) && p50 < Duration::from_micros(131));
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 < Duration::from_millis(1), "99/101 samples are 100us");
+        assert_eq!(h.quantile(1.0).unwrap(), h.quantile(0.999).unwrap());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn zero_duration_is_recorded() {
+        let h = Histogram::default();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(0.5).is_some());
+    }
+
+    #[test]
+    fn snapshot_and_exports() {
+        let m = MetricsRegistry::default();
+        MetricsRegistry::inc(&m.submitted);
+        MetricsRegistry::inc(&m.submitted);
+        MetricsRegistry::inc(&m.completed);
+        m.wait.record(Duration::from_micros(50));
+        m.run.record(Duration::from_millis(2));
+        let s = m.snapshot(Duration::from_secs(2));
+        assert_eq!(s.submitted, 2);
+        assert!((s.throughput_per_sec - 0.5).abs() < 1e-12);
+
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"submitted\": 2"));
+        assert!(json.contains("run_p50_us"));
+
+        let csv = s.to_csv();
+        let mut lines = csv.lines();
+        let header = lines.next().unwrap();
+        let values = lines.next().unwrap();
+        assert_eq!(header.split(',').count(), values.split(',').count());
+        assert!(header.starts_with("submitted,"));
+        assert!(values.starts_with("2,"));
+    }
+
+    #[test]
+    fn zero_uptime_throughput_is_zero() {
+        let m = MetricsRegistry::default();
+        MetricsRegistry::inc(&m.completed);
+        assert_eq!(m.snapshot(Duration::ZERO).throughput_per_sec, 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Bounded admission queue with backpressure.
+//!
+//! Admission is a bounded crossbeam channel between clients and the
+//! dispatcher. When the service falls behind, the channel fills and
+//! clients feel it immediately: [`AdmissionQueue::try_submit`] rejects
+//! with [`SubmitError::QueueFull`], [`AdmissionQueue::submit`] blocks up
+//! to a caller-chosen deadline and then rejects. Load is shed at the
+//! door instead of accumulating unboundedly — the service-level analogue
+//! of SLATE's bounded lookahead window.
+
+use crate::cancel::CancelToken;
+use crate::job::{JobHandle, JobId, JobResult, JobSpec};
+use crate::metrics::MetricsRegistry;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is at capacity (after waiting out the
+    /// deadline, for the blocking variant). Try again later or shed load.
+    QueueFull,
+    /// The service is draining or stopped; no new work is accepted.
+    Stopped,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "admission queue full"),
+            SubmitError::Stopped => write!(f, "service is draining or stopped"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A job after admission, en route to the dispatcher.
+pub(crate) struct AdmittedJob {
+    pub id: JobId,
+    pub spec: JobSpec,
+    pub cancel: CancelToken,
+    pub submitted: Instant,
+    pub result_tx: Sender<JobResult>,
+}
+
+/// Client-facing side of the admission channel.
+pub(crate) struct AdmissionQueue {
+    tx: Sender<AdmittedJob>,
+    next_id: AtomicU64,
+    accepting: Arc<AtomicBool>,
+    metrics: Arc<MetricsRegistry>,
+}
+
+impl AdmissionQueue {
+    /// Build the queue; the receiver goes to the dispatcher.
+    pub fn new(
+        capacity: usize,
+        accepting: Arc<AtomicBool>,
+        metrics: Arc<MetricsRegistry>,
+    ) -> (Self, Receiver<AdmittedJob>) {
+        let (tx, rx) = bounded(capacity.max(1));
+        let q = AdmissionQueue { tx, next_id: AtomicU64::new(1), accepting, metrics };
+        (q, rx)
+    }
+
+    fn admit(&self, spec: JobSpec) -> (AdmittedJob, JobHandle) {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let cancel = CancelToken::new();
+        let (result_tx, result_rx) = bounded(1);
+        let job =
+            AdmittedJob { id, spec, cancel: cancel.clone(), submitted: Instant::now(), result_tx };
+        let handle = JobHandle { id, cancel, result: result_rx };
+        (job, handle)
+    }
+
+    /// Non-blocking admission: fails fast under backpressure.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(SubmitError::Stopped);
+        }
+        let (job, handle) = self.admit(spec);
+        match self.tx.try_send(job) {
+            Ok(()) => {
+                MetricsRegistry::inc(&self.metrics.submitted);
+                self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                Ok(handle)
+            }
+            Err(TrySendError::Full(_)) => {
+                MetricsRegistry::inc(&self.metrics.rejected_full);
+                Err(SubmitError::QueueFull)
+            }
+            Err(TrySendError::Disconnected(_)) => Err(SubmitError::Stopped),
+        }
+    }
+
+    /// Blocking admission: waits up to `deadline` for queue space.
+    pub fn submit(&self, spec: JobSpec, deadline: Duration) -> Result<JobHandle, SubmitError> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(SubmitError::Stopped);
+        }
+        let (job, handle) = self.admit(spec);
+        match self.tx.send_timeout(job, deadline) {
+            Ok(()) => {
+                MetricsRegistry::inc(&self.metrics.submitted);
+                self.metrics.queue_depth.fetch_add(1, Ordering::Relaxed);
+                Ok(handle)
+            }
+            Err(crossbeam::channel::SendTimeoutError::Timeout(_)) => {
+                MetricsRegistry::inc(&self.metrics.rejected_full);
+                Err(SubmitError::QueueFull)
+            }
+            Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => Err(SubmitError::Stopped),
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! The service: wiring, lifecycle, and the public submit API.
+
+use crate::dispatch::{run_dispatcher, DispatcherConfig, WorkItem};
+use crate::fault::FaultPlan;
+use crate::job::{JobHandle, JobSpec};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::queue::{AdmissionQueue, SubmitError};
+use crate::trace::SpanLog;
+use crate::worker::{run_worker, ExecContext};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Construction-time knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Admission-queue capacity; beyond it submissions feel backpressure.
+    pub queue_capacity: usize,
+    /// Max small jobs coalesced into one dispatched batch.
+    pub batch_max: usize,
+    /// Jobs estimated at or below this many flops count as "small" and
+    /// are eligible for batching. Default: a 64×64 QDWH (paper cost
+    /// model), about 2e7 flops.
+    pub small_job_flops: f64,
+    /// Default per-job wall-clock budget; `None` = unlimited.
+    pub default_timeout: Option<Duration>,
+    /// Retries after the first attempt for transient failures.
+    pub max_retries: u32,
+    /// First-retry backoff; doubles each retry.
+    pub retry_backoff: Duration,
+    /// Deterministic transient-fault injection (tests, chaos drills).
+    pub fault: FaultPlan,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(8),
+            queue_capacity: 64,
+            batch_max: 4,
+            small_job_flops: crate::dispatch::estimate_flops(crate::job::JobKind::Qdwh, 64, 64),
+            default_timeout: None,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            fault: FaultPlan::DISABLED,
+        }
+    }
+}
+
+/// A running polar-decomposition job service.
+///
+/// Dropping the service without calling [`PolarService::shutdown`]
+/// detaches its threads (they exit once the work drains); call
+/// `shutdown` (or `drain` + `shutdown`) for a deterministic stop.
+pub struct PolarService {
+    queue: Option<AdmissionQueue>,
+    accepting: Arc<AtomicBool>,
+    metrics: Arc<MetricsRegistry>,
+    spans: Arc<SpanLog>,
+    started: Instant,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PolarService {
+    /// Spawn the dispatcher and worker pool and start accepting jobs.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let metrics = Arc::new(MetricsRegistry::default());
+        let spans = Arc::new(SpanLog::new());
+        let accepting = Arc::new(AtomicBool::new(true));
+
+        let (queue, admission_rx) =
+            AdmissionQueue::new(cfg.queue_capacity, accepting.clone(), metrics.clone());
+
+        // work channel is shallow so priority decisions stay in the heap
+        // until a worker is actually free
+        let (work_tx, work_rx) = crossbeam::channel::bounded::<WorkItem>(1);
+
+        let dispatcher = {
+            let metrics = metrics.clone();
+            let dcfg = DispatcherConfig {
+                batch_max: cfg.batch_max.max(1),
+                small_job_flops: cfg.small_job_flops,
+            };
+            std::thread::Builder::new()
+                .name("polar-svc-dispatch".into())
+                .spawn(move || run_dispatcher(admission_rx, work_tx, dcfg, metrics))
+                .expect("spawn dispatcher")
+        };
+
+        let ctx = Arc::new(ExecContext {
+            metrics: metrics.clone(),
+            spans: spans.clone(),
+            fault: cfg.fault,
+            default_timeout: cfg.default_timeout,
+            max_retries: cfg.max_retries,
+            retry_backoff: cfg.retry_backoff,
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let rx = work_rx.clone();
+                let ctx = ctx.clone();
+                std::thread::Builder::new()
+                    .name(format!("polar-svc-worker-{i}"))
+                    .spawn(move || run_worker(i, rx, ctx))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        PolarService {
+            queue: Some(queue),
+            accepting,
+            metrics,
+            spans,
+            started: Instant::now(),
+            dispatcher: Some(dispatcher),
+            workers,
+        }
+    }
+
+    fn queue(&self) -> Result<&AdmissionQueue, SubmitError> {
+        self.queue.as_ref().ok_or(SubmitError::Stopped)
+    }
+
+    /// Non-blocking submission; [`SubmitError::QueueFull`] under
+    /// backpressure.
+    pub fn try_submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitError> {
+        self.queue()?.try_submit(spec)
+    }
+
+    /// Blocking submission: waits up to `deadline` for queue space.
+    pub fn submit(&self, spec: JobSpec, deadline: Duration) -> Result<JobHandle, SubmitError> {
+        self.queue()?.submit(spec, deadline)
+    }
+
+    /// Point-in-time metrics (counters, gauges, latency quantiles,
+    /// throughput over service uptime).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(self.started.elapsed())
+    }
+
+    /// Per-job spans recorded so far (Chrome-trace export via
+    /// [`PolarService::write_chrome_trace`]).
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Serialize all job spans as Chrome tracing JSON.
+    pub fn write_chrome_trace<W: std::io::Write>(&self, w: W) -> std::io::Result<()> {
+        self.spans.write_chrome_trace(w)
+    }
+
+    /// Stop accepting new jobs and block until everything already
+    /// admitted reaches a terminal state. Idempotent.
+    pub fn drain(&self) {
+        self.accepting.store(false, Ordering::Release);
+        // after accepting=false no submission increments `submitted`, so
+        // the target is stable once observed
+        loop {
+            let s = self.metrics.snapshot(self.started.elapsed());
+            let terminal = s.completed + s.failed + s.cancelled + s.timed_out;
+            if terminal >= s.submitted {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Drain, then join the dispatcher and every worker.
+    pub fn shutdown(mut self) {
+        self.drain();
+        // closing admission lets the dispatcher exit, which closes the
+        // work channel, which stops the workers
+        drop(self.queue.take());
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}

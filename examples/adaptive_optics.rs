@@ -21,13 +21,8 @@ use polar::qdwh::qdwh_partial_svd;
 fn main() {
     // synthetic "interaction matrix": sensors x actuators, fast decay
     let (m, n, k) = (240usize, 120usize, 12usize);
-    let spec = MatrixSpec {
-        m,
-        n,
-        cond: 1e10,
-        distribution: SigmaDistribution::Geometric,
-        seed: 2018,
-    };
+    let spec =
+        MatrixSpec { m, n, cond: 1e10, distribution: SigmaDistribution::Geometric, seed: 2018 };
     let (d, sigma_true) = generate::<f64>(&spec);
     println!("Adaptive-optics style truncated reconstruction");
     println!("  interaction matrix: {m} x {n}, dominant k = {k}\n");
@@ -42,8 +37,8 @@ fn main() {
 
     println!("  dominant singular values (partial vs full vs prescribed):");
     let mut max_rel: f64 = 0.0;
-    for j in 0..k {
-        max_rel = max_rel.max((partial.sigma[j] - full.sigma[j]).abs() / full.sigma[j]);
+    for (j, (&ps, &fs)) in partial.sigma.iter().zip(&full.sigma).enumerate().take(k) {
+        max_rel = max_rel.max((ps - fs).abs() / fs);
         if j < 4 {
             println!(
                 "    sigma_{j}: {:.6e}  {:.6e}  {:.6e}",
@@ -60,23 +55,63 @@ fn main() {
     // (the wavefront-control step; truncation regularizes the tiny modes)
     let wavefront_true = Matrix::from_fn(n, 1, |i, _| ((i as f64) * 0.37).sin());
     let mut sensor = Matrix::<f64>::zeros(m, 1);
-    polar::blas::gemm(Op::NoTrans, Op::NoTrans, 1.0, d.as_ref(), wavefront_true.as_ref(), 0.0, sensor.as_mut());
+    polar::blas::gemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        d.as_ref(),
+        wavefront_true.as_ref(),
+        0.0,
+        sensor.as_mut(),
+    );
 
     // project sensor data onto the k dominant modes
     let mut coeff = Matrix::<f64>::zeros(k, 1);
-    polar::blas::gemm(Op::ConjTrans, Op::NoTrans, 1.0, partial.u.as_ref(), sensor.as_ref(), 0.0, coeff.as_mut());
+    polar::blas::gemm(
+        Op::ConjTrans,
+        Op::NoTrans,
+        1.0,
+        partial.u.as_ref(),
+        sensor.as_ref(),
+        0.0,
+        coeff.as_mut(),
+    );
     for j in 0..k {
         coeff[(j, 0)] /= partial.sigma[j];
     }
     let mut recon = Matrix::<f64>::zeros(n, 1);
-    polar::blas::gemm(Op::NoTrans, Op::NoTrans, 1.0, partial.v.as_ref(), coeff.as_ref(), 0.0, recon.as_mut());
+    polar::blas::gemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        partial.v.as_ref(),
+        coeff.as_ref(),
+        0.0,
+        recon.as_mut(),
+    );
 
     // the truncated solution equals the best rank-k approximation of the
     // true wavefront in the V basis: its residual is the discarded energy
     let mut vk_proj = Matrix::<f64>::zeros(k, 1);
-    polar::blas::gemm(Op::ConjTrans, Op::NoTrans, 1.0, partial.v.as_ref(), wavefront_true.as_ref(), 0.0, vk_proj.as_mut());
+    polar::blas::gemm(
+        Op::ConjTrans,
+        Op::NoTrans,
+        1.0,
+        partial.v.as_ref(),
+        wavefront_true.as_ref(),
+        0.0,
+        vk_proj.as_mut(),
+    );
     let mut best = Matrix::<f64>::zeros(n, 1);
-    polar::blas::gemm(Op::NoTrans, Op::NoTrans, 1.0, partial.v.as_ref(), vk_proj.as_ref(), 0.0, best.as_mut());
+    polar::blas::gemm(
+        Op::NoTrans,
+        Op::NoTrans,
+        1.0,
+        partial.v.as_ref(),
+        vk_proj.as_ref(),
+        0.0,
+        best.as_mut(),
+    );
     let mut d1 = recon.clone();
     polar::blas::add(-1.0, best.as_ref(), 1.0, d1.as_mut());
     let dev: f64 = polar::blas::norm(Norm::Fro, d1.as_ref());

@@ -30,14 +30,9 @@ fn main() {
         let (a, _) = generate::<f64>(&spec);
 
         let tight = qdwh(&a, &QdwhOptions::default()).unwrap();
-        let paper = qdwh(
-            &a,
-            &QdwhOptions {
-                l0_strategy: L0Strategy::PaperFormula,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+        let paper =
+            qdwh(&a, &QdwhOptions { l0_strategy: L0Strategy::PaperFormula, ..Default::default() })
+                .unwrap();
 
         println!(
             "{:>9.0e} | {:>7} = {} qr + {} ch | {:>7} = {} qr + {} ch | {:>10.2e} {:>10.2e}",
@@ -62,18 +57,10 @@ fn main() {
         distribution: SigmaDistribution::Geometric,
         seed: 77,
     });
-    for (label, path) in [
-        ("auto (c > 100 switch)", IterationPath::Auto),
-        ("force QR", IterationPath::ForceQr),
-    ] {
-        let pd = qdwh(
-            &a,
-            &QdwhOptions {
-                path,
-                ..Default::default()
-            },
-        )
-        .unwrap();
+    for (label, path) in
+        [("auto (c > 100 switch)", IterationPath::Auto), ("force QR", IterationPath::ForceQr)]
+    {
+        let pd = qdwh(&a, &QdwhOptions { path, ..Default::default() }).unwrap();
         println!(
             "  {label:<22}: {} iterations ({} qr, {} chol), flops {:.2e}",
             pd.info.iterations,

@@ -19,13 +19,8 @@ fn main() {
     // kappa = 1e6: ill enough to exercise both QR and Cholesky iterations,
     // moderate enough that forward agreement between the two drivers is
     // meaningful (the polar factor's sensitivity is O(eps * kappa))
-    let spec = MatrixSpec {
-        m: n,
-        n,
-        cond: 1e6,
-        distribution: SigmaDistribution::Geometric,
-        seed: 404,
-    };
+    let spec =
+        MatrixSpec { m: n, n, cond: 1e6, distribution: SigmaDistribution::Geometric, seed: 404 };
     let (a, _) = generate::<f64>(&spec);
 
     let dense = qdwh(&a, &QdwhOptions::default()).unwrap();
@@ -40,10 +35,7 @@ fn main() {
     );
 
     for (p, q) in [(1, 1), (1, 2), (2, 2), (2, 4), (4, 4)] {
-        let cfg = DistConfig {
-            grid: ProcessGrid::new(p, q),
-            nb,
-        };
+        let cfg = DistConfig { grid: ProcessGrid::new(p, q), nb };
         let out = qdwh_distributed(&a, &QdwhOptions::default(), &cfg).unwrap();
         let mut du = out.pd.u.clone();
         polar::blas::add(-1.0, dense.u.as_ref(), 1.0, du.as_mut());

@@ -9,10 +9,7 @@ use polar::prelude::*;
 use polar::qdwh::orthogonality_error;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(256);
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(256);
 
     println!("QDWH polar decomposition quickstart (n = {n}, kappa = 1e16)\n");
 

@@ -23,9 +23,33 @@ fn main() {
     );
     for &nodes in &[1usize, 4, 8, 16, 32] {
         for &n in &[40_000usize, 80_000, 130_000, 200_000] {
-            let gpu = estimate_qdwh_time(&summit, nodes, Implementation::SlateGpu, n, 320, it_qr, it_chol);
-            let cpu = estimate_qdwh_time(&summit, nodes, Implementation::SlateCpu, n, 192, it_qr, it_chol);
-            let sca = estimate_qdwh_time(&summit, nodes, Implementation::ScaLapack, n, 192, it_qr, it_chol);
+            let gpu = estimate_qdwh_time(
+                &summit,
+                nodes,
+                Implementation::SlateGpu,
+                n,
+                320,
+                it_qr,
+                it_chol,
+            );
+            let cpu = estimate_qdwh_time(
+                &summit,
+                nodes,
+                Implementation::SlateCpu,
+                n,
+                192,
+                it_qr,
+                it_chol,
+            );
+            let sca = estimate_qdwh_time(
+                &summit,
+                nodes,
+                Implementation::ScaLapack,
+                n,
+                192,
+                it_qr,
+                it_chol,
+            );
             println!(
                 "{:>6} {:>8} | {:>10.2} {:>10.3} {:>10.3} | {:>7.1}x",
                 nodes,
@@ -43,8 +67,17 @@ fn main() {
     println!("{:>6} {:>8} | {:>10} | {:>12}", "nodes", "n", "Tflop/s", "% achievable");
     for &nodes in &[1usize, 2, 4, 8, 16] {
         for &n in &[50_000usize, 100_000, 175_000] {
-            let r = estimate_qdwh_time(&frontier, nodes, Implementation::SlateGpu, n, 320, it_qr, it_chol);
-            let agg_dgemm = nodes as f64 * frontier.node_gflops(polar::sim::ExecTarget::GpuAccelerated) / 1e3;
+            let r = estimate_qdwh_time(
+                &frontier,
+                nodes,
+                Implementation::SlateGpu,
+                n,
+                320,
+                it_qr,
+                it_chol,
+            );
+            let agg_dgemm =
+                nodes as f64 * frontier.node_gflops(polar::sim::ExecTarget::GpuAccelerated) / 1e3;
             println!(
                 "{:>6} {:>8} | {:>10.1} | {:>11.1}%",
                 nodes,
@@ -56,7 +89,8 @@ fn main() {
         println!();
     }
 
-    let headline = estimate_qdwh_time(&frontier, 16, Implementation::SlateGpu, 175_000, 320, it_qr, it_chol);
+    let headline =
+        estimate_qdwh_time(&frontier, 16, Implementation::SlateGpu, 175_000, 320, it_qr, it_chol);
     println!(
         "headline: 16 Frontier nodes (128 GCDs), n = 175k -> {:.0} Tflop/s (paper: ~180)",
         headline.tflops

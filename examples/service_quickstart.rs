@@ -1,0 +1,62 @@
+//! Service quickstart: run a burst of polar-decomposition jobs through
+//! the embeddable `polar-svc` job service and read back its telemetry.
+//!
+//! Demonstrates the full service surface in ~50 lines: bounded-queue
+//! submission, priorities, a cancelled job, and the metrics snapshot.
+//!
+//! ```sh
+//! cargo run --release --example service_quickstart
+//! ```
+
+use polar::prelude::*;
+
+fn main() {
+    let svc =
+        PolarService::start(ServiceConfig { workers: 2, queue_capacity: 16, ..Default::default() });
+
+    // a burst of mixed-size work: small panels batch together, the large
+    // ill-conditioned solve owns a worker
+    let (big, _) = generate::<f64>(&MatrixSpec::ill_conditioned(96, 7));
+    let big_job =
+        svc.try_submit(JobSpec::qdwh(big.clone()).with_priority(5)).expect("queue has room");
+    let small_jobs: Vec<_> = (0..8)
+        .map(|s| {
+            let (a, _) = generate::<f64>(&MatrixSpec::well_conditioned(24, s));
+            svc.try_submit(JobSpec::qdwh(a)).expect("queue has room")
+        })
+        .collect();
+
+    // cancel one job cooperatively: it stops at the next Halley
+    // iteration boundary if running, or never starts if still queued.
+    // Cancellation is best-effort by design — a cancel that lands during
+    // the final iteration lets the job finish.
+    let (doomed, _) = generate::<f64>(&MatrixSpec::ill_conditioned(64, 8));
+    let cancelled = svc.try_submit(JobSpec::qdwh(doomed)).expect("queue has room");
+    cancelled.cancel();
+
+    let r = big_job.wait();
+    let u = r.output.expect("large solve succeeds");
+    println!(
+        "large job : {} attempts, waited {:?}, ran {:?}, orth err {:.3e}",
+        r.attempts,
+        r.wait,
+        r.run,
+        polar::qdwh::orthogonality_error(u.u())
+    );
+    for h in small_jobs {
+        assert!(h.wait().output.is_ok());
+    }
+    match cancelled.wait().output {
+        Err(e) => println!("cancelled : {e}"),
+        Ok(_) => println!("cancelled : finished before the cancel landed (cooperative)"),
+    }
+
+    svc.drain();
+    let m = svc.metrics();
+    println!(
+        "metrics   : {} completed, {} cancelled, {} batches, wait p95 {:?}",
+        m.completed, m.cancelled, m.batches, m.wait.p95
+    );
+    println!("\n{}", m.to_json());
+    svc.shutdown();
+}

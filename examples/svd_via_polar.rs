@@ -15,13 +15,7 @@ use polar::prelude::*;
 
 fn main() {
     let (m, n) = (300usize, 180usize);
-    let spec = MatrixSpec {
-        m,
-        n,
-        cond: 1e8,
-        distribution: SigmaDistribution::Geometric,
-        seed: 7,
-    };
+    let spec = MatrixSpec { m, n, cond: 1e8, distribution: SigmaDistribution::Geometric, seed: 7 };
     let (a, sigma_true) = generate::<f64>(&spec);
     println!("QDWH-SVD of a {m} x {n} matrix, kappa = 1e8\n");
 
@@ -39,10 +33,9 @@ fn main() {
 
     let mut max_rel_gen = 0.0f64;
     let mut max_rel_jac = 0.0f64;
-    for i in 0..n {
-        let s = svd.sigma[i];
-        max_rel_gen = max_rel_gen.max((s - sigma_true[i]).abs() / (1.0 + sigma_true[i]));
-        max_rel_jac = max_rel_jac.max((s - direct.sigma[i]).abs() / (1.0 + direct.sigma[i]));
+    for ((&s, &st), &sj) in svd.sigma.iter().zip(&sigma_true).zip(&direct.sigma).take(n) {
+        max_rel_gen = max_rel_gen.max((s - st).abs() / (1.0 + st));
+        max_rel_jac = max_rel_jac.max((s - sj).abs() / (1.0 + sj));
     }
     println!("  max |sigma - prescribed| (rel): {max_rel_gen:.3e}");
     println!("  max |sigma - Jacobi|     (rel): {max_rel_jac:.3e}");

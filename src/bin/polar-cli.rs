@@ -45,17 +45,18 @@ fn cmd_decompose(args: &[String]) -> Result<(), QdwhError> {
         spec.m, spec.n, spec.cond
     );
     let t0 = std::time::Instant::now();
-    let run = |a: &Matrix<f64>| -> Result<(polar::qdwh::PolarDecomposition<f64>, String), QdwhError> {
-        match method.as_str() {
-            "zolo" => {
-                let out = polar::qdwh::zolo_pd(a, &ZoloOptions::default())?;
-                let extra = format!(", {} QR factorizations", out.qr_factorizations);
-                Ok((out.pd, extra))
+    let run =
+        |a: &Matrix<f64>| -> Result<(polar::qdwh::PolarDecomposition<f64>, String), QdwhError> {
+            match method.as_str() {
+                "zolo" => {
+                    let out = polar::qdwh::zolo_pd(a, &ZoloOptions::default())?;
+                    let extra = format!(", {} QR factorizations", out.qr_factorizations);
+                    Ok((out.pd, extra))
+                }
+                "svd" => Ok((svd_based_polar(a)?, String::new())),
+                _ => Ok((qdwh(a, &QdwhOptions::default())?, String::new())),
             }
-            "svd" => Ok((svd_based_polar(a)?, String::new())),
-            _ => Ok((qdwh(a, &QdwhOptions::default())?, String::new())),
-        }
-    };
+        };
     if flag(args, "--complex") {
         let (a, _) = generate::<Complex64>(&spec);
         let pd = match method.as_str() {
@@ -122,11 +123,7 @@ fn cmd_eig(args: &[String]) -> Result<(), QdwhError> {
     let t0 = std::time::Instant::now();
     if k > 0 {
         let p = polar::qdwh::qdwh_partial_eig(&a, k, &QdwhOptions::default())?;
-        println!(
-            "top {k} eigenvalues ({:?}; {} polar splits):",
-            t0.elapsed(),
-            p.polar_count
-        );
+        println!("top {k} eigenvalues ({:?}; {} polar splits):", t0.elapsed(), p.polar_count);
         for (i, v) in p.values.iter().enumerate() {
             println!("  lambda_{i} = {v:.6e}");
         }
@@ -149,11 +146,7 @@ fn cmd_model(args: &[String]) {
     let nodes = arg(args, "--nodes", 1usize);
     let n = arg(args, "--n", 100_000usize);
     let nb = arg(args, "--nb", 320usize);
-    let node = if machine == "frontier" {
-        NodeSpec::frontier()
-    } else {
-        NodeSpec::summit()
-    };
+    let node = if machine == "frontier" { NodeSpec::frontier() } else { NodeSpec::summit() };
     let (it_qr, it_chol) = ILL_CONDITIONED_PROFILE;
     println!("modeled QDWH on {machine}, {nodes} node(s), n = {n}, nb = {nb}:");
     for (label, imp) in [

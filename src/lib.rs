@@ -16,6 +16,7 @@
 //! | [`runtime`] | `polar-runtime` | tile-task DAGs, task-based vs fork-join scheduling |
 //! | [`sim`] | `polar-sim` | Summit/Frontier models, performance simulation |
 //! | [`qdwh`] | `polar-qdwh` | **the paper's contribution**: QDWH-PD + applications |
+//! | [`svc`] | `polar-svc` | embeddable job service: admission, batching, retries, telemetry |
 //!
 //! ## Quickstart
 //!
@@ -41,6 +42,7 @@ pub use polar_qdwh as qdwh;
 pub use polar_runtime as runtime;
 pub use polar_scalar as scalar;
 pub use polar_sim as sim;
+pub use polar_svc as svc;
 
 /// The names most programs need.
 pub mod prelude {
@@ -48,8 +50,9 @@ pub mod prelude {
     pub use polar_matrix::{Matrix, Norm, Op, ProcessGrid};
     pub use polar_qdwh::DistConfig;
     pub use polar_qdwh::{
-        qdwh, qdwh_distributed, qdwh_eig, qdwh_mixed, qdwh_partial_eig, qdwh_partial_svd,
-        qdwh_svd, svd_based_polar, zolo_pd, PolarDecomposition, QdwhOptions, ZoloOptions,
+        qdwh, qdwh_distributed, qdwh_eig, qdwh_mixed, qdwh_partial_eig, qdwh_partial_svd, qdwh_svd,
+        svd_based_polar, zolo_pd, PolarDecomposition, QdwhOptions, ZoloOptions,
     };
     pub use polar_scalar::{Complex32, Complex64, Real, Scalar};
+    pub use polar_svc::{FaultPlan, JobKind, JobSpec, PolarService, ServiceConfig, SubmitError};
 }

@@ -18,13 +18,7 @@ fn qdwh_equals_svd_based_pd_real() {
     // agreement degrades with kappa even though each method's *backward*
     // error stays at machine precision.
     for (n, cond, seed) in [(32usize, 1e2, 1u64), (48, 1e4, 2), (64, 1e6, 3)] {
-        let spec = MatrixSpec {
-            m: n,
-            n,
-            cond,
-            distribution: SigmaDistribution::Geometric,
-            seed,
-        };
+        let spec = MatrixSpec { m: n, n, cond, distribution: SigmaDistribution::Geometric, seed };
         let (a, _) = generate::<f64>(&spec);
         let via_qdwh = qdwh(&a, &QdwhOptions::default()).unwrap();
         let via_svd = svd_based_polar(&a).unwrap();
@@ -61,19 +55,10 @@ fn rectangular_tall_all_distributions() {
         SigmaDistribution::ClusteredAtInverseKappa,
         SigmaDistribution::Random,
     ] {
-        let spec = MatrixSpec {
-            m: 80,
-            n: 30,
-            cond: 1e6,
-            distribution: dist.clone(),
-            seed: 5,
-        };
+        let spec = MatrixSpec { m: 80, n: 30, cond: 1e6, distribution: dist.clone(), seed: 5 };
         let (a, _) = generate::<f64>(&spec);
         let pd = qdwh(&a, &QdwhOptions::default()).unwrap();
-        assert!(
-            orthogonality_error(&pd.u) < 1e-12,
-            "{dist:?}: orthogonality"
-        );
+        assert!(orthogonality_error(&pd.u) < 1e-12, "{dist:?}: orthogonality");
         assert!(pd.backward_error(&a) < 1e-12, "{dist:?}: backward error");
         assert!(pd.info.iterations <= 7, "{dist:?}: iterations");
     }

@@ -8,14 +8,7 @@ use polar::sim::machine::{ClusterModel, ExecTarget, NodeSpec};
 use polar::sim::{estimate_qdwh_time, qdwh_flops, Implementation};
 
 fn spec(t: usize, ranks: usize, it_qr: usize, it_chol: usize) -> QdwhGraphSpec {
-    QdwhGraphSpec {
-        t,
-        nb: 320,
-        scalar_bytes: 8,
-        grid: Grid::squarest(ranks),
-        it_qr,
-        it_chol,
-    }
+    QdwhGraphSpec { t, nb: 320, scalar_bytes: 8, grid: Grid::squarest(ranks), it_qr, it_chol }
 }
 
 #[test]
@@ -46,12 +39,7 @@ fn des_fork_join_slower_than_task_based_on_qdwh_dag() {
     let model = ClusterModel::slate(NodeSpec::summit(), 2, ExecTarget::CpuOnly, 320);
     let tb = simulate(&g, &model, SchedulingMode::TaskBased);
     let fj = simulate(&g, &model, SchedulingMode::ForkJoin);
-    assert!(
-        fj.makespan > tb.makespan,
-        "fork-join {} vs task-based {}",
-        fj.makespan,
-        tb.makespan
-    );
+    assert!(fj.makespan > tb.makespan, "fork-join {} vs task-based {}", fj.makespan, tb.makespan);
     // the gap is the paper's core scheduling argument: it should be
     // substantial, not epsilon
     assert!(fj.makespan > 1.05 * tb.makespan);
@@ -97,10 +85,9 @@ fn des_and_analytic_agree_on_ordering() {
 
     // quantitative cross-validation: the DES/analytic ratio stays within
     // a factor of 3 for both targets (they are different abstractions)
-    for (des, ana, label) in [
-        (gpu_des.makespan, gpu_ana.seconds, "gpu"),
-        (cpu_des.makespan, cpu_ana.seconds, "cpu"),
-    ] {
+    for (des, ana, label) in
+        [(gpu_des.makespan, gpu_ana.seconds, "gpu"), (cpu_des.makespan, cpu_ana.seconds, "cpu")]
+    {
         let ratio = des / ana;
         assert!(
             (1.0 / 3.0..3.0).contains(&ratio),
@@ -116,11 +103,7 @@ fn block_cyclic_balances_des_load() {
     let s = simulate(&g, &model, SchedulingMode::TaskBased);
     let max_busy = s.per_rank_busy.iter().cloned().fold(0.0f64, f64::max);
     let min_busy = s.per_rank_busy.iter().cloned().fold(f64::MAX, f64::min);
-    assert!(
-        max_busy < 2.0 * min_busy,
-        "block-cyclic should balance load: {:?}",
-        s.per_rank_busy
-    );
+    assert!(max_busy < 2.0 * min_busy, "block-cyclic should balance load: {:?}", s.per_rank_busy);
 }
 
 #[test]
@@ -140,10 +123,5 @@ fn more_nodes_reduce_des_makespan_at_fixed_size() {
     let m4 = ClusterModel::slate(node, 4, ExecTarget::CpuOnly, 320);
     let s1 = simulate(&g1, &m1, SchedulingMode::TaskBased);
     let s4 = simulate(&g4, &m4, SchedulingMode::TaskBased);
-    assert!(
-        s4.makespan < s1.makespan,
-        "4 nodes {} vs 1 node {}",
-        s4.makespan,
-        s1.makespan
-    );
+    assert!(s4.makespan < s1.makespan, "4 nodes {} vs 1 node {}", s4.makespan, s1.makespan);
 }
