@@ -24,6 +24,10 @@ cargo build --offline --release
 step "tier-1: root package tests"
 cargo test --offline -q
 
+step "bench-smoke: packed GEMM vs reference, all types"
+cargo run --offline --release -p polar-bench --bin kernels_perf -- \
+    --smoke --out target/bench_smoke.json >/dev/null
+
 if [[ "${1:-}" != "fast" ]]; then
     step "workspace tests"
     cargo test --offline -q --workspace

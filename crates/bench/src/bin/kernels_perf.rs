@@ -1,0 +1,335 @@
+//! Kernel performance sweep: packed GEMM vs the axpy baseline and the
+//! reference triple loop, plus trsm / herk / geqrf and the full QDWH
+//! driver, with a thread-scaling curve over the work-stealing pool.
+//!
+//! Writes `BENCH_kernels.json` (repo root by default, `--out` to
+//! override) so every PR has a measurable perf contract against the
+//! pre-optimization snapshot in `results/BENCH_baseline.json`.
+//!
+//! `--smoke` runs a seconds-long correctness-oriented pass (tiny and
+//! prime sizes, packed GEMM asserted against `gemm_ref`) for CI.
+
+use polar_bench::Args;
+use polar_blas::{gemm, gemm_axpy, gemm_ref, herk, trsm};
+use polar_gen::generate;
+use polar_matrix::{Diag, Matrix, Op, Side, Uplo};
+use polar_scalar::{Complex32, Complex64, Real, Scalar};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn rand_mat<S: Scalar>(m: usize, n: usize, seed: u64) -> Matrix<S> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    Matrix::from_fn(m, n, |_, _| {
+        let re = next();
+        let im = next();
+        S::from_parts(S::Real::from_f64(re), S::Real::from_f64(im))
+    })
+}
+
+/// Best-of-`reps` wall time of `f`, in seconds.
+fn best_time<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn gemm_gflops(n: usize, secs: f64, complex: bool) -> f64 {
+    polar_blas::flops::type_factor(complex) * 2.0 * (n as f64).powi(3) / secs / 1e9
+}
+
+struct GemmRow {
+    tag: &'static str,
+    n: usize,
+    gflops_packed: f64,
+    gflops_axpy: f64,
+    gflops_ref: f64,
+}
+
+/// Time the production gemm, the old axpy kernel, and (for small n) the
+/// reference triple loop on the same n x n x n problem.
+fn bench_gemm<S: Scalar>(n: usize, reps: usize, time_ref: bool) -> GemmRow {
+    let a = rand_mat::<S>(n, n, 1);
+    let b = rand_mat::<S>(n, n, 2);
+    let mut c = Matrix::<S>::zeros(n, n);
+    let t_packed = best_time(reps, || {
+        gemm(Op::NoTrans, Op::NoTrans, S::ONE, a.as_ref(), b.as_ref(), S::ZERO, c.as_mut());
+    });
+    let t_axpy = best_time(reps, || {
+        gemm_axpy(Op::NoTrans, Op::NoTrans, S::ONE, a.as_ref(), b.as_ref(), S::ZERO, c.as_mut());
+    });
+    let t_ref = if time_ref {
+        best_time(1, || {
+            gemm_ref(Op::NoTrans, Op::NoTrans, S::ONE, a.as_ref(), b.as_ref(), S::ZERO, c.as_mut());
+        })
+    } else {
+        f64::NAN
+    };
+    GemmRow {
+        tag: S::TYPE_TAG,
+        n,
+        gflops_packed: gemm_gflops(n, t_packed, S::IS_COMPLEX),
+        gflops_axpy: gemm_gflops(n, t_axpy, S::IS_COMPLEX),
+        gflops_ref: if time_ref { gemm_gflops(n, t_ref, S::IS_COMPLEX) } else { f64::NAN },
+    }
+}
+
+/// trsm Left/Lower solve against a well-conditioned unit-ish triangle.
+fn bench_trsm(n: usize, reps: usize) -> f64 {
+    let mut a = rand_mat::<f64>(n, n, 3);
+    for i in 0..n {
+        a[(i, i)] = 4.0 + i as f64 / n as f64; // keep the solve stable
+    }
+    let b0 = rand_mat::<f64>(n, n, 4);
+    let mut b = b0.clone();
+    let secs = best_time(reps, || {
+        b.as_mut().copy_from(b0.as_ref());
+        trsm(Side::Left, Uplo::Lower, Op::NoTrans, Diag::NonUnit, 1.0, a.as_ref(), b.as_mut());
+    });
+    polar_blas::flops::trsm_left(n, n) / secs / 1e9
+}
+
+fn bench_herk(n: usize, reps: usize) -> f64 {
+    let a = rand_mat::<f64>(n, n, 5);
+    let mut c = Matrix::<f64>::zeros(n, n);
+    let secs = best_time(reps, || {
+        herk(Uplo::Lower, Op::ConjTrans, 1.0, a.as_ref(), 0.0, c.as_mut());
+    });
+    polar_blas::flops::herk(n, n) / secs / 1e9
+}
+
+fn bench_geqrf(n: usize, reps: usize) -> f64 {
+    let a0 = rand_mat::<f64>(n, n, 6);
+    let mut a = a0.clone();
+    let secs = best_time(reps, || {
+        a.as_mut().copy_from(a0.as_ref());
+        let _ = polar_lapack::geqrf(&mut a);
+    });
+    // geqrf flops for square n: (4/3) n^3
+    (4.0 / 3.0) * (n as f64).powi(3) / secs / 1e9
+}
+
+fn bench_qdwh(n: usize) -> (f64, usize) {
+    let (a, _) = generate::<f64>(&polar_bench::paper_matrix_spec(n, 42));
+    let t = Instant::now();
+    let pd = polar_qdwh::qdwh(&a, &polar_qdwh::QdwhOptions::default()).expect("qdwh converges");
+    (t.elapsed().as_secs_f64(), pd.info.iterations)
+}
+
+/// Packed-path GFLOP/s at `n` under a pool of `t` workers.
+fn bench_gemm_threads(n: usize, threads: usize, reps: usize) -> f64 {
+    let pool = rayon::ThreadPool::new(threads);
+    let a = rand_mat::<f64>(n, n, 7);
+    let b = rand_mat::<f64>(n, n, 8);
+    let mut c = Matrix::<f64>::zeros(n, n);
+    let secs = best_time(reps, || {
+        pool.install(|| {
+            gemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        });
+    });
+    gemm_gflops(n, secs, false)
+}
+
+/// Smoke check: packed gemm must match the reference triple loop on
+/// tiny, prime, and fringe shapes for every scalar type and op pair.
+fn smoke_check<S: Scalar>() {
+    // the last two shapes exceed PACK_MIN_FLOPS so they exercise the
+    // packed kernel (the tiny ones route to the axpy small-problem path)
+    let shapes =
+        [(1usize, 1usize, 1usize), (2, 3, 5), (7, 11, 13), (17, 5, 23), (31, 29, 37), (64, 48, 16)];
+    let ops: &[Op] = if S::IS_COMPLEX {
+        &[Op::NoTrans, Op::Trans, Op::ConjTrans]
+    } else {
+        &[Op::NoTrans, Op::Trans]
+    };
+    for &(m, n, k) in &shapes {
+        for &op_a in ops {
+            for &op_b in ops {
+                let (ar, ac) = if op_a == Op::NoTrans { (m, k) } else { (k, m) };
+                let (br, bc) = if op_b == Op::NoTrans { (k, n) } else { (n, k) };
+                let a = rand_mat::<S>(ar, ac, 11);
+                let b = rand_mat::<S>(br, bc, 12);
+                let alpha = S::from_parts(S::Real::from_f64(1.25), S::Real::from_f64(-0.5));
+                let beta = S::from_parts(S::Real::from_f64(-0.75), S::Real::from_f64(0.25));
+                let mut c1 = rand_mat::<S>(m, n, 13);
+                let mut c2 = c1.clone();
+                gemm_ref(op_a, op_b, alpha, a.as_ref(), b.as_ref(), beta, c1.as_mut());
+                gemm(op_a, op_b, alpha, a.as_ref(), b.as_ref(), beta, c2.as_mut());
+                let tol = S::Real::from_f64(1e-4); // f32 headroom; f64 is ~1e-13
+                for j in 0..n {
+                    for i in 0..m {
+                        let d = (c1[(i, j)] - c2[(i, j)]).abs();
+                        assert!(
+                            d <= tol,
+                            "smoke mismatch {}: ({i},{j}) {op_a:?}x{op_b:?} m={m} n={n} k={k}",
+                            S::TYPE_TAG
+                        );
+                    }
+                }
+            }
+        }
+    }
+    eprintln!("smoke: packed gemm matches gemm_ref for type {}", S::TYPE_TAG);
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("--smoke");
+    let out = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".into());
+
+    let pool_workers = rayon::current_num_threads();
+    let mut j = String::new();
+    j.push_str("{\n");
+    let _ = writeln!(j, "  \"harness\": \"kernels_perf\",");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"pool_workers\": {pool_workers},");
+    #[cfg(target_arch = "x86_64")]
+    let _ = writeln!(
+        j,
+        "  \"cpu\": {{\"avx2\": {}, \"fma\": {}, \"avx512f\": {}}},",
+        std::arch::is_x86_feature_detected!("avx2"),
+        std::arch::is_x86_feature_detected!("fma"),
+        std::arch::is_x86_feature_detected!("avx512f")
+    );
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = writeln!(j, "  \"cpu\": {{}},");
+
+    if smoke {
+        smoke_check::<f32>();
+        smoke_check::<f64>();
+        smoke_check::<Complex32>();
+        smoke_check::<Complex64>();
+        // one tiny timed row so the artifact shape matches the full run
+        let row = bench_gemm::<f64>(64, 2, true);
+        let _ = writeln!(
+            j,
+            "  \"gemm\": [{{\"type\": \"d\", \"n\": 64, \"gflops_packed\": {}, \"gflops_axpy\": {}, \"gflops_ref\": {}}}],",
+            json_f(row.gflops_packed),
+            json_f(row.gflops_axpy),
+            json_f(row.gflops_ref)
+        );
+        let _ = writeln!(j, "  \"smoke_checked_types\": [\"s\", \"d\", \"c\", \"z\"]");
+        j.push_str("}\n");
+        std::fs::write(&out, &j).expect("write smoke json");
+        println!("{j}");
+        return;
+    }
+
+    // ---- gemm sweep: production (packed) vs axpy vs reference ----
+    eprintln!("gemm sweep...");
+    let mut rows = Vec::new();
+    for n in [128usize, 256, 512, 1024] {
+        rows.push(bench_gemm::<f64>(n, 3, n <= 512));
+    }
+    rows.push(bench_gemm::<f32>(512, 3, true));
+    rows.push(bench_gemm::<Complex64>(256, 3, true));
+    rows.push(bench_gemm::<Complex32>(256, 3, true));
+    j.push_str("  \"gemm\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"type\": \"{}\", \"n\": {}, \"gflops_packed\": {}, \"gflops_axpy\": {}, \"gflops_ref\": {}, \"speedup_vs_axpy\": {}, \"speedup_vs_ref\": {}}}",
+            r.tag,
+            r.n,
+            json_f(r.gflops_packed),
+            json_f(r.gflops_axpy),
+            json_f(r.gflops_ref),
+            json_f(r.gflops_packed / r.gflops_axpy),
+            json_f(r.gflops_packed / r.gflops_ref),
+        );
+        j.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n");
+
+    // ---- level-3 kernels routed through the packed core ----
+    eprintln!("trsm/herk/geqrf...");
+    let _ = writeln!(
+        j,
+        "  \"trsm\": [{{\"type\": \"d\", \"n\": 512, \"gflops\": {}}}],",
+        json_f(bench_trsm(512, 3))
+    );
+    let _ = writeln!(
+        j,
+        "  \"herk\": [{{\"type\": \"d\", \"n\": 512, \"gflops\": {}}}],",
+        json_f(bench_herk(512, 3))
+    );
+    let _ = writeln!(
+        j,
+        "  \"geqrf\": [{{\"type\": \"d\", \"n\": 512, \"gflops\": {}}}],",
+        json_f(bench_geqrf(512, 2))
+    );
+
+    // ---- thread-scaling curve on the work-stealing pool ----
+    eprintln!("thread scaling...");
+    let mut tset = vec![1usize, 2, 4];
+    if !tset.contains(&pool_workers) {
+        tset.push(pool_workers);
+        tset.sort_unstable();
+    }
+    let base = bench_gemm_threads(1024, 1, 2);
+    j.push_str("  \"thread_scaling\": [\n");
+    for (i, &t) in tset.iter().enumerate() {
+        let g = if t == 1 { base } else { bench_gemm_threads(1024, t, 2) };
+        let eff = g / (base * t as f64);
+        let _ = write!(
+            j,
+            "    {{\"threads\": {t}, \"n\": 1024, \"gflops\": {}, \"efficiency_vs_ideal\": {}}}",
+            json_f(g),
+            json_f(eff)
+        );
+        j.push_str(if i + 1 < tset.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n");
+    let eff_at_workers = {
+        let g = if pool_workers == 1 { base } else { bench_gemm_threads(1024, pool_workers, 2) };
+        g / (base * pool_workers as f64)
+    };
+    let _ = writeln!(j, "  \"scaling_efficiency_at_pool_workers\": {},", json_f(eff_at_workers));
+
+    // ---- end-to-end QDWH against the checked-in pre-PR baseline ----
+    eprintln!("qdwh end-to-end...");
+    let baseline: Option<f64> =
+        std::fs::read_to_string("results/BENCH_baseline.json").ok().and_then(|s| {
+            s.lines()
+                .find(|l| l.contains("qdwh_seconds_n1024_d"))
+                .and_then(|l| l.split(':').nth(1))
+                .and_then(|v| v.trim().trim_end_matches(',').parse().ok())
+        });
+    let (s512, it512) = bench_qdwh(512);
+    let (s1024, it1024) = bench_qdwh(1024);
+    j.push_str("  \"qdwh\": [\n");
+    let _ = writeln!(
+        j,
+        "    {{\"type\": \"d\", \"n\": 512, \"seconds\": {}, \"iterations\": {it512}}},",
+        json_f(s512)
+    );
+    let _ = writeln!(
+        j,
+        "    {{\"type\": \"d\", \"n\": 1024, \"seconds\": {}, \"iterations\": {it1024}, \"baseline_seconds\": {}, \"speedup_vs_baseline\": {}}}",
+        json_f(s1024),
+        baseline.map(json_f).unwrap_or_else(|| "null".into()),
+        baseline.map(|b| json_f(b / s1024)).unwrap_or_else(|| "null".into()),
+    );
+    j.push_str("  ]\n}\n");
+
+    std::fs::write(&out, &j).expect("write bench json");
+    println!("{j}");
+}

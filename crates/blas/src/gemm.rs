@@ -1,8 +1,20 @@
 //! General matrix-matrix multiply.
+//!
+//! Three implementations with distinct roles:
+//!
+//! * [`gemm_ref`] — naive triple loop, the correctness oracle;
+//! * [`gemm_axpy`] — unpacked cache-aware axpy/dot kernel, used for
+//!   problems too small to amortize packing (and as the bench baseline —
+//!   it was the previous hot-path kernel);
+//! * [`gemm`] — the production path: recursive parallel split over the
+//!   output, bottoming out in the BLIS-style packed kernel
+//!   (`crate::packed`), with leaf granularity scaled to the pool size so
+//!   packing costs are amortized over large leaves.
 
-use crate::PAR_THRESHOLD_FLOPS;
+use crate::packed::gemm_packed;
+use crate::params::par_threshold_flops;
 use polar_matrix::{MatMut, MatRef, Op};
-use polar_scalar::Scalar;
+use polar_scalar::{Complex32, Scalar};
 
 /// Element of `op(A)` at `(i, j)`.
 #[inline]
@@ -44,12 +56,14 @@ pub fn gemm_ref<S: Scalar>(
     }
 }
 
-/// Sequential cache-aware gemm over one block of `C`.
+/// Sequential unpacked gemm over one block of `C`.
 ///
 /// For `op_a = NoTrans` the inner kernel is a column `axpy` (contiguous
 /// access to both `A` and `C`); for transposed `A` it is a column dot
-/// product. `k` is blocked to keep the working set in cache.
-fn gemm_seq<S: Scalar>(
+/// product. `k` is blocked to keep the working set in cache. Kept as the
+/// small-problem path (packing doesn't pay below a few thousand flops)
+/// and as the speedup baseline in `kernels_perf`.
+pub fn gemm_axpy<S: Scalar>(
     op_a: Op,
     op_b: Op,
     alpha: S,
@@ -134,11 +148,50 @@ fn gemm_seq<S: Scalar>(
     }
 }
 
+/// Below this many multiply-adds the unpacked kernel beats packing.
+const PACK_MIN_FLOPS: usize = 8 * 1024;
+
+/// Sequential leaf: packed kernel when the problem amortizes packing,
+/// unpacked axpy/dot otherwise.
+#[allow(clippy::too_many_arguments)] // internal blocked-gemm plumbing
+fn gemm_leaf<S: Scalar>(
+    op_a: Op,
+    op_b: Op,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    beta: S,
+    c: MatMut<'_, S>,
+    k: usize,
+) {
+    let work = c.nrows().saturating_mul(c.ncols()).saturating_mul(k.max(1));
+    // Complex32 is the one type where the autovectorized axpy column loop
+    // beats the tile microkernel (the 8-byte AoS complex multiply defeats
+    // the generic kernel's register blocking), so keep it on that path.
+    let is_complex32 = std::any::TypeId::of::<S>() == std::any::TypeId::of::<Complex32>();
+    if work < PACK_MIN_FLOPS || c.nrows().min(c.ncols()) < 4 || is_complex32 {
+        gemm_axpy(op_a, op_b, alpha, a, b, beta, c);
+    } else {
+        gemm_packed(op_a, op_b, alpha, a, b, beta, c);
+    }
+}
+
+/// Leaf granularity for recursive splits: large enough to amortize
+/// packing, small enough to load-balance `threads` workers.
+fn split_grain(m: usize, n: usize, k: usize) -> usize {
+    let threads = rayon::current_num_threads();
+    if threads <= 1 {
+        return usize::MAX; // no split: one packed call does the whole block
+    }
+    let total = m.saturating_mul(n).saturating_mul(k.max(1));
+    par_threshold_flops().max(total / (threads * 8))
+}
+
 /// Parallel gemm: `C := alpha * op_a(A) * op_b(B) + beta * C`.
 ///
 /// Recursively splits `C` (and the matching operand) by the longer output
-/// dimension until blocks drop under the parallel threshold, then runs the
-/// sequential kernel. Splitting only the *output* keeps writes disjoint.
+/// dimension down to the grain size, then runs the packed sequential
+/// kernel. Splitting only the *output* keeps writes disjoint.
 pub fn gemm<S: Scalar>(
     op_a: Op,
     op_b: Op,
@@ -155,10 +208,11 @@ pub fn gemm<S: Scalar>(
     assert_eq!(am, m, "gemm: A rows mismatch");
     assert_eq!(bn, n, "gemm: B cols mismatch");
     assert_eq!(ak, bk, "gemm: inner dim mismatch");
-    gemm_par(op_a, op_b, alpha, a, b, beta, c, ak);
+    let grain = split_grain(m, n, ak);
+    gemm_par(op_a, op_b, alpha, a, b, beta, c, ak, grain);
 }
 
-#[allow(clippy::too_many_arguments)] // BLAS gemm signature
+#[allow(clippy::too_many_arguments)] // BLAS gemm signature + split state
 fn gemm_par<S: Scalar>(
     op_a: Op,
     op_b: Op,
@@ -168,12 +222,13 @@ fn gemm_par<S: Scalar>(
     beta: S,
     c: MatMut<'_, S>,
     k: usize,
+    grain: usize,
 ) {
     let m = c.nrows();
     let n = c.ncols();
     let work = m.saturating_mul(n).saturating_mul(k.max(1));
-    if work <= PAR_THRESHOLD_FLOPS || (m <= 8 && n <= 8) {
-        gemm_seq(op_a, op_b, alpha, a, b, c_beta_pass(beta), c);
+    if work <= grain || (m <= 16 && n <= 16) {
+        gemm_leaf(op_a, op_b, alpha, a, b, beta, c, k);
         return;
     }
     if n >= m {
@@ -182,8 +237,8 @@ fn gemm_par<S: Scalar>(
         let (c1, c2) = c.split_at_col(h);
         let (b1, b2) = split_op_cols(b, op_b, h);
         rayon::join(
-            || gemm_par(op_a, op_b, alpha, a, b1, beta, c1, k),
-            || gemm_par(op_a, op_b, alpha, a, b2, beta, c2, k),
+            || gemm_par(op_a, op_b, alpha, a, b1, beta, c1, k, grain),
+            || gemm_par(op_a, op_b, alpha, a, b2, beta, c2, k, grain),
         );
     } else {
         // split C and op(A) by rows
@@ -191,15 +246,10 @@ fn gemm_par<S: Scalar>(
         let (c1, c2) = c.split_at_row(h);
         let (a1, a2) = split_op_rows(a, op_a, h);
         rayon::join(
-            || gemm_par(op_a, op_b, alpha, a1, b, beta, c1, k),
-            || gemm_par(op_a, op_b, alpha, a2, b, beta, c2, k),
+            || gemm_par(op_a, op_b, alpha, a1, b, beta, c1, k, grain),
+            || gemm_par(op_a, op_b, alpha, a2, b, beta, c2, k, grain),
         );
     }
-}
-
-#[inline]
-fn c_beta_pass<S: Scalar>(beta: S) -> S {
-    beta
 }
 
 /// Split `op(B)` at output-column `h`: columns of `op(B)` are columns of `B`
@@ -240,17 +290,37 @@ pub fn gemm_a<S: Scalar>(
     assert_eq!(am, m, "gemm_a: A rows mismatch");
     assert_eq!(b.nrows(), ak, "gemm_a: inner dim mismatch");
     assert_eq!(b.ncols(), n, "gemm_a: B cols mismatch");
+    let grain = split_grain(m, n, ak);
+    gemm_a_par(op_a, alpha, a, b, beta, c, ak, grain);
+}
+
+#[allow(clippy::too_many_arguments)] // BLAS gemm signature + split state
+fn gemm_a_par<S: Scalar>(
+    op_a: Op,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    beta: S,
+    c: MatMut<'_, S>,
+    k: usize,
+    grain: usize,
+) {
+    let m = c.nrows();
+    let n = c.ncols();
     // The row-block split is exactly gemm_par's m-split path; the point of
     // the specialization is choosing it even when n is small.
-    let work = m.saturating_mul(n).saturating_mul(ak.max(1));
-    if work <= PAR_THRESHOLD_FLOPS {
-        gemm_seq(op_a, Op::NoTrans, alpha, a, b, beta, c);
+    let work = m.saturating_mul(n).saturating_mul(k.max(1));
+    if work <= grain || m <= 16 {
+        gemm_leaf(op_a, Op::NoTrans, alpha, a, b, beta, c, k);
         return;
     }
     let h = m / 2;
     let (c1, c2) = c.split_at_row(h);
     let (a1, a2) = split_op_rows(a, op_a, h);
-    rayon::join(|| gemm_a(op_a, alpha, a1, b, beta, c1), || gemm_a(op_a, alpha, a2, b, beta, c2));
+    rayon::join(
+        || gemm_a_par(op_a, alpha, a1, b, beta, c1, k, grain),
+        || gemm_a_par(op_a, alpha, a2, b, beta, c2, k, grain),
+    );
 }
 
 #[cfg(test)]
@@ -280,8 +350,6 @@ mod tests {
 
     #[test]
     fn gemm_matches_reference_all_ops() {
-        let a = rand_mat(13, 7, 1);
-        let b = rand_mat(7, 9, 2);
         for (op_a, op_b, ad, bd) in [
             (Op::NoTrans, Op::NoTrans, (13, 7), (7, 9)),
             (Op::Trans, Op::NoTrans, (7, 13), (7, 9)),
@@ -296,7 +364,6 @@ mod tests {
             gemm(op_a, op_b, 1.5, a.as_ref(), b.as_ref(), 0.5, c2.as_mut());
             assert!(max_diff(&c1, &c2) < 1e-12, "{op_a:?} {op_b:?}");
         }
-        let _ = (a, b);
     }
 
     #[test]
@@ -308,6 +375,23 @@ mod tests {
         gemm_ref(Op::NoTrans, Op::NoTrans, 2.0, a.as_ref(), b.as_ref(), -1.0, c1.as_mut());
         gemm(Op::NoTrans, Op::NoTrans, 2.0, a.as_ref(), b.as_ref(), -1.0, c2.as_mut());
         assert!(max_diff(&c1, &c2) < 1e-10);
+    }
+
+    #[test]
+    fn gemm_axpy_matches_reference() {
+        for op_a in [Op::NoTrans, Op::Trans] {
+            for op_b in [Op::NoTrans, Op::Trans] {
+                let (ar, ac) = if op_a == Op::NoTrans { (23, 17) } else { (17, 23) };
+                let (br, bc) = if op_b == Op::NoTrans { (17, 11) } else { (11, 17) };
+                let a = rand_mat(ar, ac, 41);
+                let b = rand_mat(br, bc, 42);
+                let mut c1 = rand_mat(23, 11, 43);
+                let mut c2 = c1.clone();
+                gemm_ref(op_a, op_b, -0.5, a.as_ref(), b.as_ref(), 2.0, c1.as_mut());
+                gemm_axpy(op_a, op_b, -0.5, a.as_ref(), b.as_ref(), 2.0, c2.as_mut());
+                assert!(max_diff(&c1, &c2) < 1e-12, "{op_a:?} {op_b:?}");
+            }
+        }
     }
 
     #[test]
@@ -355,6 +439,18 @@ mod tests {
         let b = rand_mat(3, 3, 21);
         let mut c = Matrix::<f64>::zeros(3, 3);
         c[(1, 1)] = f64::NAN;
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        assert!(max_diff(&c, &b) < 1e-14);
+    }
+
+    #[test]
+    fn gemm_beta_zero_overwrites_nan_packed_path() {
+        // same property through the packed kernel (size above PACK_MIN_FLOPS)
+        let n = 48;
+        let a = Matrix::<f64>::identity(n, n);
+        let b = rand_mat(n, n, 22);
+        let mut c = Matrix::<f64>::zeros(n, n);
+        c[(7, 31)] = f64::NAN;
         gemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
         assert!(max_diff(&c, &b) < 1e-14);
     }

@@ -24,13 +24,15 @@
 mod gemm;
 mod level1;
 mod norms;
+mod packed;
+pub mod params;
 mod symm;
 mod trsm;
 
-pub use gemm::{gemm, gemm_a, gemm_ref};
+pub use gemm::{gemm, gemm_a, gemm_axpy, gemm_ref};
 pub use level1::{add, axpy, copy_into, dot, dotc, iamax, nrm2, scale, scale_real};
 pub use norms::{col_sums, norm, norm_triangular, row_sums};
-pub use symm::{herk, mirror_triangle, symmetrize};
+pub use symm::{herk, herk_mirrored, mirror_triangle, symmetrize};
 pub use trsm::{trmm, trsm};
 
 /// Flop-count helpers shared with the performance model.
@@ -65,10 +67,6 @@ pub mod flops {
         m as f64 * (n as f64) * (n as f64)
     }
 }
-
-/// Problem-size threshold (in multiply-add operations) below which kernels
-/// run sequentially instead of forking rayon tasks.
-pub(crate) const PAR_THRESHOLD_FLOPS: usize = 1 << 16;
 
 #[cfg(test)]
 mod tests {

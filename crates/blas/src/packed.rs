@@ -1,0 +1,737 @@
+//! BLIS-style packed GEMM: cache blocking + register-blocked microkernel.
+//!
+//! One sequential call computes `C := alpha * op(A) * op(B) + beta * C`
+//! through the classic five-loop structure:
+//!
+//! ```text
+//! for jc in 0..n step NC            // B block   -> L3
+//!   for pc in 0..k step KC          // rank-KC update
+//!     pack op(B)[pc.., jc..] into NR-column micro-panels   (bpack)
+//!     for ic in 0..m step MC        // A block   -> L2
+//!       pack op(A)[ic.., pc..] into MR-row micro-panels    (apack)
+//!       for jr, ir over micro-tiles:
+//!         microkernel: MR x NR register tile over KC       (C -> registers)
+//! ```
+//!
+//! Transposition and conjugation are applied *while packing*, so the
+//! microkernel is op-free: it streams two contiguous panels and issues
+//! nothing but fused multiply-adds. Fringe tiles are zero-padded in the
+//! packs and spilled through a stack temporary on writeback.
+//!
+//! The microkernel is selected at runtime: hand-written AVX-512/AVX2+FMA
+//! kernels for `f64`/`f32` when the CPU supports them (checked once), and
+//! a const-generic autovectorized kernel otherwise (always for complex).
+
+use crate::params::{gemm_params, MAX_MR, MAX_NR};
+use polar_matrix::{MatMut, MatRef, Op};
+use polar_scalar::Scalar;
+use std::any::TypeId;
+
+/// Microkernel register shape `(MR, NR)` for scalar type `S`, honoring
+/// env overrides, else matching the best SIMD kernel the CPU offers.
+pub(crate) fn tile_shape<S: Scalar>() -> (usize, usize) {
+    let p = gemm_params();
+    if let (Some(mr), Some(nr)) = (p.mr_override, p.nr_override) {
+        return (mr, nr);
+    }
+    let t = TypeId::of::<S>();
+    let (mr, nr) = if t == TypeId::of::<f64>() {
+        if cpu_has_avx512() {
+            (16, 8)
+        } else if cpu_has_avx2_fma() {
+            (8, 6)
+        } else {
+            (8, 4)
+        }
+    } else if t == TypeId::of::<f32>() {
+        if cpu_has_avx2_fma() {
+            (16, 6)
+        } else {
+            (8, 4)
+        }
+    } else {
+        // complex: each accumulator is two reals; keep the tile small
+        (4, 4)
+    };
+    (p.mr_override.unwrap_or(mr), p.nr_override.unwrap_or(nr))
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kern {
+    Generic,
+    #[cfg(target_arch = "x86_64")]
+    F64Avx512,
+    #[cfg(target_arch = "x86_64")]
+    F64Avx2,
+    #[cfg(target_arch = "x86_64")]
+    F32Avx2,
+}
+
+#[cfg(target_arch = "x86_64")]
+fn cpu_has_avx2_fma() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn cpu_has_avx512() -> bool {
+    static FLAG: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FLAG.get_or_init(|| std::arch::is_x86_feature_detected!("avx512f"))
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn cpu_has_avx2_fma() -> bool {
+    false
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn cpu_has_avx512() -> bool {
+    false
+}
+
+fn select_kernel<S: Scalar>(mr: usize, nr: usize) -> Kern {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let t = TypeId::of::<S>();
+        if t == TypeId::of::<f64>() {
+            if mr == 16 && nr == 8 && cpu_has_avx512() {
+                return Kern::F64Avx512;
+            }
+            if mr == 8 && nr == 6 && cpu_has_avx2_fma() {
+                return Kern::F64Avx2;
+            }
+        } else if t == TypeId::of::<f32>() && mr == 16 && nr == 6 && cpu_has_avx2_fma() {
+            return Kern::F32Avx2;
+        }
+    }
+    let _ = (mr, nr);
+    Kern::Generic
+}
+
+/// Sequential packed GEMM over one block of `C`. Dimension compatibility
+/// is the caller's responsibility (checked in `gemm`).
+pub(crate) fn gemm_packed<S: Scalar>(
+    op_a: Op,
+    op_b: Op,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    beta: S,
+    mut c: MatMut<'_, S>,
+) {
+    let m = c.nrows();
+    let n = c.ncols();
+    let k = match op_a {
+        Op::NoTrans => a.ncols(),
+        _ => a.nrows(),
+    };
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == S::ZERO {
+        scale_block(&mut c, beta);
+        return;
+    }
+
+    let p = gemm_params();
+    let (mr, nr) = tile_shape::<S>();
+    let kern = select_kernel::<S>(mr, nr);
+    let kc = p.kc.min(k);
+    let mc = p.mc.min(m);
+    let nc = p.nc.min(n);
+
+    let mut apack = vec![S::ZERO; mc.next_multiple_of(mr) * kc];
+    let mut bpack = vec![S::ZERO; nc.next_multiple_of(nr) * kc];
+
+    for jc in (0..n).step_by(nc) {
+        let ncb = nc.min(n - jc);
+        for pc in (0..k).step_by(kc) {
+            let kcb = kc.min(k - pc);
+            // beta applies on the first rank-kc update only; later
+            // updates accumulate
+            let beta_eff = if pc == 0 { beta } else { S::ONE };
+            pack_b(op_b, b, pc, jc, kcb, ncb, nr, &mut bpack);
+            for ic in (0..m).step_by(mc) {
+                let mcb = mc.min(m - ic);
+                pack_a(op_a, a, ic, pc, mcb, kcb, mr, &mut apack);
+                let cblk = c.rb().submatrix(ic, jc, mcb, ncb);
+                macro_kernel(kern, alpha, &apack, &bpack, beta_eff, cblk, kcb, mr, nr);
+            }
+        }
+    }
+}
+
+/// `C := beta * C` (beta = 0 overwrites, LAPACK semantics).
+pub(crate) fn scale_block<S: Scalar>(c: &mut MatMut<'_, S>, beta: S) {
+    if beta == S::ONE {
+        return;
+    }
+    for j in 0..c.ncols() {
+        let col = c.col_mut(j);
+        if beta == S::ZERO {
+            col.fill(S::ZERO);
+        } else {
+            for x in col {
+                *x *= beta;
+            }
+        }
+    }
+}
+
+/// Pack `op(A)[i0..i0+mcb, p0..p0+kcb]` into MR-row micro-panels:
+/// `buf[ip*mr*kcb + p*mr + r]`, zero-padding partial panels.
+#[allow(clippy::too_many_arguments)] // internal blocked-gemm plumbing
+fn pack_a<S: Scalar>(
+    op: Op,
+    a: MatRef<'_, S>,
+    i0: usize,
+    p0: usize,
+    mcb: usize,
+    kcb: usize,
+    mr: usize,
+    buf: &mut [S],
+) {
+    let panels = mcb.div_ceil(mr);
+    for ip in 0..panels {
+        let r0 = ip * mr;
+        let rows = mr.min(mcb - r0);
+        let dst = &mut buf[ip * mr * kcb..][..mr * kcb];
+        match op {
+            Op::NoTrans => {
+                // rows of op(A) are rows of A: each k-step is a contiguous
+                // chunk of one A column
+                for (pl, d) in dst.chunks_exact_mut(mr).take(kcb).enumerate() {
+                    let col = &a.col(p0 + pl)[i0 + r0..i0 + r0 + rows];
+                    d[..rows].copy_from_slice(col);
+                    d[rows..].fill(S::ZERO);
+                }
+            }
+            Op::Trans | Op::ConjTrans => {
+                // row i of op(A) is column i of A: stream each column once
+                let conj = op == Op::ConjTrans;
+                if rows < mr {
+                    dst.fill(S::ZERO);
+                }
+                for r in 0..rows {
+                    let col = &a.col(i0 + r0 + r)[p0..p0 + kcb];
+                    if conj {
+                        for (pl, &v) in col.iter().enumerate() {
+                            dst[pl * mr + r] = v.conj();
+                        }
+                    } else {
+                        for (pl, &v) in col.iter().enumerate() {
+                            dst[pl * mr + r] = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pack `op(B)[p0..p0+kcb, j0..j0+ncb]` into NR-column micro-panels:
+/// `buf[jp*nr*kcb + p*nr + c]`, zero-padding partial panels.
+#[allow(clippy::too_many_arguments)] // internal blocked-gemm plumbing
+fn pack_b<S: Scalar>(
+    op: Op,
+    b: MatRef<'_, S>,
+    p0: usize,
+    j0: usize,
+    kcb: usize,
+    ncb: usize,
+    nr: usize,
+    buf: &mut [S],
+) {
+    let panels = ncb.div_ceil(nr);
+    match op {
+        Op::NoTrans => {
+            for jp in 0..panels {
+                let c0 = jp * nr;
+                let cols = nr.min(ncb - c0);
+                let dst = &mut buf[jp * nr * kcb..][..nr * kcb];
+                if cols < nr {
+                    dst.fill(S::ZERO);
+                }
+                for cj in 0..cols {
+                    let col = &b.col(j0 + c0 + cj)[p0..p0 + kcb];
+                    for (pl, &v) in col.iter().enumerate() {
+                        dst[pl * nr + cj] = v;
+                    }
+                }
+            }
+        }
+        Op::Trans | Op::ConjTrans => {
+            let conj = op == Op::ConjTrans;
+            // zero the ragged tail panel once, then scatter real data
+            let tail = ncb % nr;
+            if tail != 0 {
+                let dst = &mut buf[(panels - 1) * nr * kcb..][..nr * kcb];
+                for pl in 0..kcb {
+                    dst[pl * nr + tail..(pl + 1) * nr].fill(S::ZERO);
+                }
+            }
+            // row p of op(B) is column p of B: stream each column once
+            for pl in 0..kcb {
+                let col = &b.col(p0 + pl)[j0..j0 + ncb];
+                for (cj, &v) in col.iter().enumerate() {
+                    let jp = cj / nr;
+                    let cc = cj % nr;
+                    buf[jp * nr * kcb + pl * nr + cc] = if conj { v.conj() } else { v };
+                }
+            }
+        }
+    }
+}
+
+/// Run the microkernel over every MR x NR tile of one packed block pair.
+#[allow(clippy::too_many_arguments)] // internal blocked-gemm plumbing
+fn macro_kernel<S: Scalar>(
+    kern: Kern,
+    alpha: S,
+    apack: &[S],
+    bpack: &[S],
+    beta: S,
+    mut c: MatMut<'_, S>,
+    kcb: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let mcb = c.nrows();
+    let ncb = c.ncols();
+    let mut tmp = [S::ZERO; MAX_MR * MAX_NR];
+    for jp in 0..ncb.div_ceil(nr) {
+        let j0 = jp * nr;
+        let cols = nr.min(ncb - j0);
+        let bpanel = &bpack[jp * nr * kcb..][..nr * kcb];
+        for ip in 0..mcb.div_ceil(mr) {
+            let i0 = ip * mr;
+            let rows = mr.min(mcb - i0);
+            let apanel = &apack[ip * mr * kcb..][..mr * kcb];
+            if rows == mr && cols == nr {
+                let tile = c.rb().submatrix(i0, j0, mr, nr);
+                micro_dispatch(kern, kcb, apanel, bpanel, alpha, beta, tile, mr, nr);
+            } else {
+                // fringe: full-width kernel into a stack tile, then merge
+                // the valid region
+                let t = MatMut::from_slice(&mut tmp[..mr * nr], mr, nr, mr);
+                micro_dispatch(kern, kcb, apanel, bpanel, alpha, S::ZERO, t, mr, nr);
+                for j in 0..cols {
+                    let cj = &mut c.col_mut(j0 + j)[i0..i0 + rows];
+                    let tj = &tmp[j * mr..j * mr + rows];
+                    if beta == S::ZERO {
+                        cj.copy_from_slice(tj);
+                    } else if beta == S::ONE {
+                        for (x, &t) in cj.iter_mut().zip(tj) {
+                            *x += t;
+                        }
+                    } else {
+                        for (x, &t) in cj.iter_mut().zip(tj) {
+                            *x = t + beta * *x;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // internal blocked-gemm plumbing
+fn micro_dispatch<S: Scalar>(
+    kern: Kern,
+    kc: usize,
+    ap: &[S],
+    bp: &[S],
+    alpha: S,
+    beta: S,
+    mut c: MatMut<'_, S>,
+    mr: usize,
+    nr: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    match kern {
+        Kern::F64Avx512 => {
+            // SAFETY: kern selection guarantees S == f64, avx512f support,
+            // tile shape 16x8, and packed panels of >= 16*kc / 8*kc elems.
+            unsafe {
+                let cp = col_ptrs::<S, f64>(&mut c, 8);
+                x86::micro_f64_avx512_16x8(
+                    kc,
+                    ap.as_ptr() as *const f64,
+                    bp.as_ptr() as *const f64,
+                    alpha_as(alpha),
+                    alpha_as(beta),
+                    cp,
+                );
+            }
+            return;
+        }
+        Kern::F64Avx2 => {
+            // SAFETY: as above with avx2+fma and tile shape 8x6.
+            unsafe {
+                let cp = col_ptrs::<S, f64>(&mut c, 6);
+                x86::micro_f64_avx2_8x6(
+                    kc,
+                    ap.as_ptr() as *const f64,
+                    bp.as_ptr() as *const f64,
+                    alpha_as(alpha),
+                    alpha_as(beta),
+                    cp,
+                );
+            }
+            return;
+        }
+        Kern::F32Avx2 => {
+            // SAFETY: as above with S == f32 and tile shape 16x6.
+            unsafe {
+                let cp = col_ptrs::<S, f32>(&mut c, 6);
+                x86::micro_f32_avx2_16x6(
+                    kc,
+                    ap.as_ptr() as *const f32,
+                    bp.as_ptr() as *const f32,
+                    alpha_as(alpha),
+                    alpha_as(beta),
+                    cp,
+                );
+            }
+            return;
+        }
+        Kern::Generic => {}
+    }
+    let _ = kern;
+    micro_generic_dispatch(kc, ap, bp, alpha, beta, c, mr, nr);
+}
+
+/// Reinterpret a scalar known (via `select_kernel`) to be of real type `T`.
+#[cfg(target_arch = "x86_64")]
+fn alpha_as<S: Scalar, T: Copy + 'static>(x: S) -> T {
+    debug_assert_eq!(TypeId::of::<S>(), TypeId::of::<T>());
+    // SAFETY: same type by the kernel-selection invariant.
+    unsafe { *(&x as *const S as *const T) }
+}
+
+/// Column base pointers of an MR x NR tile, reinterpreted as `T`.
+///
+/// # Safety
+/// `S` must be `T` (guaranteed by kernel selection) and the tile must
+/// have at least `n` columns.
+#[cfg(target_arch = "x86_64")]
+unsafe fn col_ptrs<S: Scalar, T>(c: &mut MatMut<'_, S>, n: usize) -> [*mut T; MAX_NR] {
+    let mut p = [std::ptr::null_mut(); MAX_NR];
+    for (j, slot) in p.iter_mut().enumerate().take(n) {
+        *slot = c.col_mut(j).as_mut_ptr() as *mut T;
+    }
+    p
+}
+
+#[allow(clippy::too_many_arguments)] // internal blocked-gemm plumbing
+fn micro_generic_dispatch<S: Scalar>(
+    kc: usize,
+    ap: &[S],
+    bp: &[S],
+    alpha: S,
+    beta: S,
+    c: MatMut<'_, S>,
+    mr: usize,
+    nr: usize,
+) {
+    match (mr, nr) {
+        (4, 4) => micro_generic::<S, 4, 4>(kc, ap, bp, alpha, beta, c),
+        (8, 4) => micro_generic::<S, 8, 4>(kc, ap, bp, alpha, beta, c),
+        (8, 6) => micro_generic::<S, 8, 6>(kc, ap, bp, alpha, beta, c),
+        (8, 8) => micro_generic::<S, 8, 8>(kc, ap, bp, alpha, beta, c),
+        (16, 6) => micro_generic::<S, 16, 6>(kc, ap, bp, alpha, beta, c),
+        (16, 8) => micro_generic::<S, 16, 8>(kc, ap, bp, alpha, beta, c),
+        _ => micro_dyn(kc, ap, bp, alpha, beta, c, mr, nr),
+    }
+}
+
+/// Register-blocked microkernel with compile-time tile shape; the fixed
+/// trip counts let the compiler keep `acc` in vector registers.
+fn micro_generic<S: Scalar, const MR: usize, const NR: usize>(
+    kc: usize,
+    ap: &[S],
+    bp: &[S],
+    alpha: S,
+    beta: S,
+    mut c: MatMut<'_, S>,
+) {
+    let mut acc = [[S::ZERO; MR]; NR];
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)).take(kc) {
+        for (accj, &bj) in acc.iter_mut().zip(b) {
+            for (x, &ai) in accj.iter_mut().zip(a) {
+                *x += ai * bj;
+            }
+        }
+    }
+    for (j, accj) in acc.iter().enumerate() {
+        let col = &mut c.col_mut(j)[..MR];
+        if beta == S::ZERO {
+            for (x, &v) in col.iter_mut().zip(accj) {
+                *x = alpha * v;
+            }
+        } else {
+            for (x, &v) in col.iter_mut().zip(accj) {
+                *x = alpha * v + beta * *x;
+            }
+        }
+    }
+}
+
+/// Fallback for env-forced tile shapes with no monomorphized kernel.
+#[allow(clippy::too_many_arguments)] // internal blocked-gemm plumbing
+fn micro_dyn<S: Scalar>(
+    kc: usize,
+    ap: &[S],
+    bp: &[S],
+    alpha: S,
+    beta: S,
+    mut c: MatMut<'_, S>,
+    mr: usize,
+    nr: usize,
+) {
+    debug_assert!(mr <= MAX_MR && nr <= MAX_NR);
+    let mut acc = [S::ZERO; MAX_MR * MAX_NR];
+    for (a, b) in ap.chunks_exact(mr).zip(bp.chunks_exact(nr)).take(kc) {
+        for (j, &bj) in b.iter().enumerate() {
+            let row = &mut acc[j * mr..(j + 1) * mr];
+            for (x, &ai) in row.iter_mut().zip(a) {
+                *x += ai * bj;
+            }
+        }
+    }
+    for j in 0..nr {
+        let col = &mut c.col_mut(j)[..mr];
+        let accj = &acc[j * mr..(j + 1) * mr];
+        if beta == S::ZERO {
+            for (x, &v) in col.iter_mut().zip(accj) {
+                *x = alpha * v;
+            }
+        } else {
+            for (x, &v) in col.iter_mut().zip(accj) {
+                *x = alpha * v + beta * *x;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! Hand-scheduled SIMD microkernels. Each streams zero-padded packed
+    //! panels (`ap`: MR reals per k-step, `bp`: NR reals per k-step) and
+    //! updates an MR x NR tile of `C` given by per-column base pointers.
+    use super::MAX_NR;
+    use core::arch::x86_64::*;
+
+    /// # Safety
+    /// Requires avx512f; `ap`/`bp` hold `16*kc` / `8*kc` readable f64;
+    /// `cp[0..8]` each point at 16 writable f64.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn micro_f64_avx512_16x8(
+        kc: usize,
+        ap: *const f64,
+        bp: *const f64,
+        alpha: f64,
+        beta: f64,
+        cp: [*mut f64; MAX_NR],
+    ) {
+        let mut acc = [[_mm512_setzero_pd(); 2]; 8];
+        for p in 0..kc {
+            let a0 = _mm512_loadu_pd(ap.add(16 * p));
+            let a1 = _mm512_loadu_pd(ap.add(16 * p + 8));
+            for (j, accj) in acc.iter_mut().enumerate() {
+                let bj = _mm512_set1_pd(*bp.add(8 * p + j));
+                accj[0] = _mm512_fmadd_pd(a0, bj, accj[0]);
+                accj[1] = _mm512_fmadd_pd(a1, bj, accj[1]);
+            }
+        }
+        let va = _mm512_set1_pd(alpha);
+        if beta == 0.0 {
+            for (j, accj) in acc.iter().enumerate() {
+                _mm512_storeu_pd(cp[j], _mm512_mul_pd(va, accj[0]));
+                _mm512_storeu_pd(cp[j].add(8), _mm512_mul_pd(va, accj[1]));
+            }
+        } else {
+            let vb = _mm512_set1_pd(beta);
+            for (j, accj) in acc.iter().enumerate() {
+                let c0 = _mm512_loadu_pd(cp[j]);
+                let c1 = _mm512_loadu_pd(cp[j].add(8));
+                _mm512_storeu_pd(cp[j], _mm512_fmadd_pd(vb, c0, _mm512_mul_pd(va, accj[0])));
+                _mm512_storeu_pd(cp[j].add(8), _mm512_fmadd_pd(vb, c1, _mm512_mul_pd(va, accj[1])));
+            }
+        }
+    }
+
+    /// # Safety
+    /// Requires avx2+fma; `ap`/`bp` hold `8*kc` / `6*kc` readable f64;
+    /// `cp[0..6]` each point at 8 writable f64.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn micro_f64_avx2_8x6(
+        kc: usize,
+        ap: *const f64,
+        bp: *const f64,
+        alpha: f64,
+        beta: f64,
+        cp: [*mut f64; MAX_NR],
+    ) {
+        let mut acc = [[_mm256_setzero_pd(); 2]; 6];
+        for p in 0..kc {
+            let a0 = _mm256_loadu_pd(ap.add(8 * p));
+            let a1 = _mm256_loadu_pd(ap.add(8 * p + 4));
+            for (j, accj) in acc.iter_mut().enumerate() {
+                let bj = _mm256_broadcast_sd(&*bp.add(6 * p + j));
+                accj[0] = _mm256_fmadd_pd(a0, bj, accj[0]);
+                accj[1] = _mm256_fmadd_pd(a1, bj, accj[1]);
+            }
+        }
+        let va = _mm256_set1_pd(alpha);
+        if beta == 0.0 {
+            for (j, accj) in acc.iter().enumerate() {
+                _mm256_storeu_pd(cp[j], _mm256_mul_pd(va, accj[0]));
+                _mm256_storeu_pd(cp[j].add(4), _mm256_mul_pd(va, accj[1]));
+            }
+        } else {
+            let vb = _mm256_set1_pd(beta);
+            for (j, accj) in acc.iter().enumerate() {
+                let c0 = _mm256_loadu_pd(cp[j]);
+                let c1 = _mm256_loadu_pd(cp[j].add(4));
+                _mm256_storeu_pd(cp[j], _mm256_fmadd_pd(vb, c0, _mm256_mul_pd(va, accj[0])));
+                _mm256_storeu_pd(cp[j].add(4), _mm256_fmadd_pd(vb, c1, _mm256_mul_pd(va, accj[1])));
+            }
+        }
+    }
+
+    /// # Safety
+    /// Requires avx2+fma; `ap`/`bp` hold `16*kc` / `6*kc` readable f32;
+    /// `cp[0..6]` each point at 16 writable f32.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn micro_f32_avx2_16x6(
+        kc: usize,
+        ap: *const f32,
+        bp: *const f32,
+        alpha: f32,
+        beta: f32,
+        cp: [*mut f32; MAX_NR],
+    ) {
+        let mut acc = [[_mm256_setzero_ps(); 2]; 6];
+        for p in 0..kc {
+            let a0 = _mm256_loadu_ps(ap.add(16 * p));
+            let a1 = _mm256_loadu_ps(ap.add(16 * p + 8));
+            for (j, accj) in acc.iter_mut().enumerate() {
+                let bj = _mm256_broadcast_ss(&*bp.add(6 * p + j));
+                accj[0] = _mm256_fmadd_ps(a0, bj, accj[0]);
+                accj[1] = _mm256_fmadd_ps(a1, bj, accj[1]);
+            }
+        }
+        let va = _mm256_set1_ps(alpha);
+        if beta == 0.0 {
+            for (j, accj) in acc.iter().enumerate() {
+                _mm256_storeu_ps(cp[j], _mm256_mul_ps(va, accj[0]));
+                _mm256_storeu_ps(cp[j].add(8), _mm256_mul_ps(va, accj[1]));
+            }
+        } else {
+            let vb = _mm256_set1_ps(beta);
+            for (j, accj) in acc.iter().enumerate() {
+                let c0 = _mm256_loadu_ps(cp[j]);
+                let c1 = _mm256_loadu_ps(cp[j].add(8));
+                _mm256_storeu_ps(cp[j], _mm256_fmadd_ps(vb, c0, _mm256_mul_ps(va, accj[0])));
+                _mm256_storeu_ps(cp[j].add(8), _mm256_fmadd_ps(vb, c1, _mm256_mul_ps(va, accj[1])));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::gemm_ref;
+    use polar_matrix::Matrix;
+    use polar_scalar::Complex64;
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Matrix<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        Matrix::from_fn(m, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn check(m: usize, n: usize, k: usize, op_a: Op, op_b: Op) {
+        let (ar, ac) = if op_a == Op::NoTrans { (m, k) } else { (k, m) };
+        let (br, bc) = if op_b == Op::NoTrans { (k, n) } else { (n, k) };
+        let a = rand_mat(ar, ac, 1);
+        let b = rand_mat(br, bc, 2);
+        let mut c1 = rand_mat(m, n, 3);
+        let mut c2 = c1.clone();
+        gemm_ref(op_a, op_b, 1.5, a.as_ref(), b.as_ref(), -0.5, c1.as_mut());
+        gemm_packed(op_a, op_b, 1.5, a.as_ref(), b.as_ref(), -0.5, c2.as_mut());
+        for j in 0..n {
+            for i in 0..m {
+                assert!(
+                    (c1[(i, j)] - c2[(i, j)]).abs() < 1e-10,
+                    "({i},{j}) {op_a:?} {op_b:?} m={m} n={n} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_matches_ref_fringe_shapes() {
+        for op_a in [Op::NoTrans, Op::Trans] {
+            for op_b in [Op::NoTrans, Op::Trans] {
+                check(17, 13, 29, op_a, op_b);
+                check(64, 48, 16, op_a, op_b);
+                check(1, 1, 1, op_a, op_b);
+                check(33, 1, 7, op_a, op_b);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_spans_multiple_kc_blocks() {
+        // k larger than KC exercises the beta_eff = 1 accumulation path
+        let k = gemm_params().kc + 37;
+        check(19, 23, k, Op::NoTrans, Op::NoTrans);
+        check(19, 23, k, Op::Trans, Op::Trans);
+    }
+
+    #[test]
+    fn packed_complex_conj() {
+        let a = Matrix::from_fn(9, 6, |i, j| Complex64::new(i as f64 - 2.0, j as f64 + 0.5));
+        let b = Matrix::from_fn(9, 5, |i, j| Complex64::new(j as f64, i as f64 - 1.0));
+        let one = Complex64::from_real(1.0);
+        let mut c1 = Matrix::<Complex64>::zeros(6, 5);
+        let mut c2 = Matrix::<Complex64>::zeros(6, 5);
+        gemm_ref(
+            Op::ConjTrans,
+            Op::NoTrans,
+            one,
+            a.as_ref(),
+            b.as_ref(),
+            Complex64::ZERO,
+            c1.as_mut(),
+        );
+        gemm_packed(
+            Op::ConjTrans,
+            Op::NoTrans,
+            one,
+            a.as_ref(),
+            b.as_ref(),
+            Complex64::ZERO,
+            c2.as_mut(),
+        );
+        for j in 0..5 {
+            for i in 0..6 {
+                assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn tile_shape_within_caps() {
+        let (mr, nr) = tile_shape::<f64>();
+        assert!((1..=MAX_MR).contains(&mr));
+        assert!((1..=MAX_NR).contains(&nr));
+    }
+}

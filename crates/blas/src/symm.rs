@@ -1,8 +1,13 @@
 //! Hermitian rank-k update and symmetrization helpers.
 
-use crate::PAR_THRESHOLD_FLOPS;
+use crate::gemm::gemm;
+use crate::params::par_threshold_flops;
 use polar_matrix::{MatMut, MatRef, Op, Uplo};
 use polar_scalar::{Real, Scalar};
+
+/// Diagonal blocks at or below this order fall back to the direct
+/// per-column kernel.
+const HERK_BASE: usize = 64;
 
 /// Hermitian rank-k update on the `uplo` triangle of `C`:
 ///
@@ -10,11 +15,15 @@ use polar_scalar::{Real, Scalar};
 /// * `op = ConjTrans`: `C := alpha * A^H * A + beta * C` (`A` is `k x n`).
 ///
 /// `alpha` and `beta` are real, as in BLAS `herk`. Only the `uplo` triangle
-/// of `C` is referenced or written.
+/// of `C` is referenced or written, so the update costs half of the
+/// equivalent gemm.
 ///
-/// QDWH uses this to form `Z = I + c * A^H A` for the Cholesky-based
-/// iteration (Eq. (2); Algorithm 1 line 40 prints `-c`, but `Z` must be
-/// `I + c A^H A` to be positive definite — we follow Eq. (2)).
+/// Implementation: recursive triangle split. The two diagonal blocks
+/// recurse (in parallel); the off-diagonal block is a plain gemm and runs
+/// through the packed kernel. QDWH uses this to form `Z = I + c * A^H A`
+/// for the Cholesky-based iteration (Eq. (2); Algorithm 1 line 40 prints
+/// `-c`, but `Z` must be `I + c A^H A` to be positive definite — we
+/// follow Eq. (2)).
 pub fn herk<S: Scalar>(
     uplo: Uplo,
     op: Op,
@@ -36,37 +45,74 @@ pub fn herk<S: Scalar>(
             a.nrows()
         }
     };
-    herk_par(uplo, op, alpha, a, beta, c, 0, k);
+    herk_rec(uplo, op, alpha, a, beta, c, k);
 }
 
-/// Recursive parallel driver: splits the output columns; `j0` is the global
-/// column offset of this block of `C` (needed to find the triangle edge).
-#[allow(clippy::too_many_arguments)] // BLAS herk signature + split offsets
-fn herk_par<S: Scalar>(
+/// [`herk`] on the `uplo` triangle, then mirror so all of `C` holds the
+/// Hermitian result — still half the multiply flops of the full gemm.
+pub fn herk_mirrored<S: Scalar>(
+    uplo: Uplo,
+    op: Op,
+    alpha: S::Real,
+    a: MatRef<'_, S>,
+    beta: S::Real,
+    mut c: MatMut<'_, S>,
+) {
+    herk(uplo, op, alpha, a, beta, c.rb());
+    mirror_triangle(uplo, c);
+}
+
+/// Recursive triangle split (see [`herk`]).
+#[allow(clippy::too_many_arguments)] // BLAS herk signature + inner dim
+fn herk_rec<S: Scalar>(
     uplo: Uplo,
     op: Op,
     alpha: S::Real,
     a: MatRef<'_, S>,
     beta: S::Real,
     c: MatMut<'_, S>,
-    j0: usize,
     k: usize,
 ) {
-    let ncols = c.ncols();
-    let work = c.nrows().saturating_mul(ncols).saturating_mul(k.max(1)) / 2;
-    if work <= PAR_THRESHOLD_FLOPS || ncols <= 4 {
-        herk_seq(uplo, op, alpha, a, beta, c, j0, k);
+    let n = c.nrows();
+    let work = n.saturating_mul(n).saturating_mul(k.max(1)) / 2;
+    if n <= HERK_BASE || work <= par_threshold_flops() {
+        herk_seq(uplo, op, alpha, a, beta, c, k);
         return;
     }
-    let h = ncols / 2;
-    let (c1, c2) = c.split_at_col(h);
+    let h = n / 2;
+    // A split along the output dimension: rows for NoTrans, cols otherwise
+    let (a1, a2) = match op {
+        Op::NoTrans => a.split_at_row(h),
+        _ => a.split_at_col(h),
+    };
+    let (ctop, cbot) = c.split_at_row(h);
+    let (c11, c12) = ctop.split_at_col(h);
+    let (c21, c22) = cbot.split_at_col(h);
+    let galpha = S::from_real(alpha);
+    let gbeta = S::from_real(beta);
+    // off-diagonal block: a full (packed) gemm, half the remaining work
+    let off = move || match (uplo, op) {
+        // C21 = alpha * A2 * A1^H + beta * C21
+        (Uplo::Lower, Op::NoTrans) => gemm(Op::NoTrans, Op::ConjTrans, galpha, a2, a1, gbeta, c21),
+        // C21 = alpha * op(A)_2 * A1 + beta * C21  (op is (Conj)Trans)
+        (Uplo::Lower, _) => gemm(op, Op::NoTrans, galpha, a2, a1, gbeta, c21),
+        // C12 = alpha * A1 * A2^H + beta * C12
+        (Uplo::Upper, Op::NoTrans) => gemm(Op::NoTrans, Op::ConjTrans, galpha, a1, a2, gbeta, c12),
+        // C12 = alpha * op(A)_1 * A2 + beta * C12
+        (Uplo::Upper, _) => gemm(op, Op::NoTrans, galpha, a1, a2, gbeta, c12),
+    };
     rayon::join(
-        || herk_par(uplo, op, alpha, a, beta, c1, j0, k),
-        || herk_par(uplo, op, alpha, a, beta, c2, j0 + h, k),
+        || {
+            rayon::join(
+                || herk_rec(uplo, op, alpha, a1, beta, c11, k),
+                || herk_rec(uplo, op, alpha, a2, beta, c22, k),
+            )
+        },
+        off,
     );
 }
 
-#[allow(clippy::too_many_arguments)] // BLAS herk signature + split offsets
+/// Direct per-column kernel on the stored triangle of a diagonal block.
 fn herk_seq<S: Scalar>(
     uplo: Uplo,
     op: Op,
@@ -74,20 +120,18 @@ fn herk_seq<S: Scalar>(
     a: MatRef<'_, S>,
     beta: S::Real,
     mut c: MatMut<'_, S>,
-    j0: usize,
     k: usize,
 ) {
     let n_total = c.nrows();
-    for jl in 0..c.ncols() {
-        let j = j0 + jl; // global column index in C
-                         // triangle row range for this column
+    for j in 0..c.ncols() {
+        // triangle row range for this column
         let (lo, hi) = match uplo {
             Uplo::Upper => (0usize, j + 1),
             Uplo::Lower => (j, n_total),
         };
         // beta pass
         {
-            let cj = c.col_mut(jl);
+            let cj = c.col_mut(j);
             if beta == S::Real::ZERO {
                 for x in &mut cj[lo..hi] {
                     *x = S::ZERO;
@@ -117,8 +161,8 @@ fn herk_seq<S: Scalar>(
                             acc += *x * *y;
                         }
                     }
-                    let cur = c.at(i, jl);
-                    c.set(i, jl, cur + acc.mul_real(alpha));
+                    let cur = c.at(i, j);
+                    c.set(i, j, cur + acc.mul_real(alpha));
                 }
             }
             Op::NoTrans => {
@@ -129,7 +173,7 @@ fn herk_seq<S: Scalar>(
                         continue;
                     }
                     let al = a.col(l);
-                    let cj = c.col_mut(jl);
+                    let cj = c.col_mut(j);
                     for i in lo..hi {
                         cj[i] += factor * al[i];
                     }
@@ -138,8 +182,8 @@ fn herk_seq<S: Scalar>(
         }
         // enforce an exactly-real diagonal as BLAS herk does
         if S::IS_COMPLEX && j >= lo && j < hi {
-            let d = c.at(j, jl);
-            c.set(j, jl, S::from_real(d.re()));
+            let d = c.at(j, j);
+            c.set(j, j, S::from_real(d.re()));
         }
     }
 }
@@ -248,6 +292,70 @@ mod tests {
     }
 
     #[test]
+    fn herk_recursive_split_sizes() {
+        // orders above HERK_BASE exercise the triangle-split path on both
+        // triangles and both ops, including odd sizes
+        herk_vs_gemm(Uplo::Lower, Op::Trans, 129, 40);
+        herk_vs_gemm(Uplo::Upper, Op::Trans, 129, 40);
+        herk_vs_gemm(Uplo::Lower, Op::NoTrans, 130, 33);
+        herk_vs_gemm(Uplo::Upper, Op::NoTrans, 130, 33);
+    }
+
+    #[test]
+    fn herk_complex_recursive_both_ops() {
+        let n = 97;
+        let k = 23;
+        for (uplo, op) in
+            [(Uplo::Lower, Op::ConjTrans), (Uplo::Upper, Op::ConjTrans), (Uplo::Lower, Op::NoTrans)]
+        {
+            let a = match op {
+                Op::NoTrans => {
+                    Matrix::from_fn(n, k, |i, j| Complex64::new(i as f64 * 0.01, j as f64 * 0.02))
+                }
+                _ => Matrix::from_fn(k, n, |i, j| Complex64::new(i as f64 * 0.01, j as f64 * 0.02)),
+            };
+            let mut c1 = Matrix::<Complex64>::zeros(n, n);
+            let mut c2 = Matrix::<Complex64>::zeros(n, n);
+            herk(uplo, op, 1.0, a.as_ref(), 0.0, c1.as_mut());
+            let one = Complex64::from_real(1.0);
+            match op {
+                Op::NoTrans => gemm_ref(
+                    Op::NoTrans,
+                    Op::ConjTrans,
+                    one,
+                    a.as_ref(),
+                    a.as_ref(),
+                    Complex64::ZERO,
+                    c2.as_mut(),
+                ),
+                _ => gemm_ref(
+                    Op::ConjTrans,
+                    Op::NoTrans,
+                    one,
+                    a.as_ref(),
+                    a.as_ref(),
+                    Complex64::ZERO,
+                    c2.as_mut(),
+                ),
+            }
+            for j in 0..n {
+                for i in 0..n {
+                    let in_tri = match uplo {
+                        Uplo::Upper => i <= j,
+                        Uplo::Lower => i >= j,
+                    };
+                    if in_tri {
+                        assert!(
+                            (c1[(i, j)] - c2[(i, j)]).abs() < 1e-9,
+                            "({i},{j}) {uplo:?} {op:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn herk_complex_real_diagonal() {
         let a = Matrix::from_fn(3, 5, |i, j| Complex64::new(i as f64 - 1.0, j as f64 + 0.5));
         let mut c = Matrix::<Complex64>::zeros(5, 5);
@@ -255,6 +363,20 @@ mod tests {
         for j in 0..5 {
             assert_eq!(c[(j, j)].im, 0.0, "diagonal must be exactly real");
             assert!(c[(j, j)].re >= 0.0, "A^H A diagonal is nonnegative");
+        }
+    }
+
+    #[test]
+    fn herk_mirrored_fills_both_triangles() {
+        let a = rand_mat(90, 40, 17);
+        let mut c = rand_mat(90, 90, 18);
+        herk_mirrored(Uplo::Lower, Op::NoTrans, 2.0, a.as_ref(), 0.0, c.as_mut());
+        let mut full = Matrix::<f64>::zeros(90, 90);
+        gemm_ref(Op::NoTrans, Op::Trans, 2.0, a.as_ref(), a.as_ref(), 0.0, full.as_mut());
+        for j in 0..90 {
+            for i in 0..90 {
+                assert!((c[(i, j)] - full[(i, j)]).abs() < 1e-10, "({i},{j})");
+            }
         }
     }
 

@@ -1,9 +1,14 @@
 //! Triangular solve and triangular multiply.
 
 use crate::gemm::gemm;
-use crate::PAR_THRESHOLD_FLOPS;
+use crate::params::par_threshold_flops;
 use polar_matrix::{Diag, MatMut, MatRef, Matrix, Op, Side, Uplo};
 use polar_scalar::Scalar;
+
+/// Triangle order at or below which the per-column substitution kernel
+/// runs directly; above it the solve recurses so the off-diagonal update
+/// is a (packed) gemm.
+const TRSM_BASE: usize = 64;
 
 /// Effective element of `op(A)` for a triangular `A` stored in `uplo`.
 #[inline]
@@ -56,6 +61,23 @@ pub fn trsm<S: Scalar>(
     }
 }
 
+/// Block of `op(A)` covering rows `i0..i0+ni`, cols `j0..j0+nj` of the
+/// *effective* (transposed) matrix, as a view plus the op to hand gemm.
+#[inline]
+fn op_block<S: Scalar>(
+    a: MatRef<'_, S>,
+    op: Op,
+    i0: usize,
+    j0: usize,
+    ni: usize,
+    nj: usize,
+) -> MatRef<'_, S> {
+    match op {
+        Op::NoTrans => a.submatrix(i0, j0, ni, nj),
+        Op::Trans | Op::ConjTrans => a.submatrix(j0, i0, nj, ni),
+    }
+}
+
 /// Left solves are independent per column of `B`: split columns in parallel.
 fn trsm_left_par<S: Scalar>(
     uplo: Uplo,
@@ -67,7 +89,7 @@ fn trsm_left_par<S: Scalar>(
 ) {
     let m = b.nrows();
     let n = b.ncols();
-    if m.saturating_mul(m).saturating_mul(n) / 2 > PAR_THRESHOLD_FLOPS && n > 1 {
+    if m.saturating_mul(m).saturating_mul(n) / 2 > par_threshold_flops() && n > 1 {
         let h = n / 2;
         let (b1, b2) = b.split_at_col(h);
         rayon::join(
@@ -76,7 +98,45 @@ fn trsm_left_par<S: Scalar>(
         );
         return;
     }
-    trsm_left_seq(uplo, op, diag, alpha, a, b);
+    trsm_left_blocked(uplo, op, diag, alpha, a, b);
+}
+
+/// Recursive blocked left solve: split `op(A)` into 2x2 quadrants so the
+/// off-diagonal update runs through the packed gemm.
+fn trsm_left_blocked<S: Scalar>(
+    uplo: Uplo,
+    op: Op,
+    diag: Diag,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatMut<'_, S>,
+) {
+    let m = b.nrows();
+    if m <= TRSM_BASE {
+        trsm_left_seq(uplo, op, diag, alpha, a, b);
+        return;
+    }
+    let h = m / 2;
+    let (mut b1, mut b2) = b.split_at_row(h);
+    // diagonal blocks of op(A) are triangular with the same uplo/op
+    let a11 = a.submatrix(0, 0, h, h);
+    let a22 = a.submatrix(h, h, m - h, m - h);
+    match effective_uplo(uplo, op) {
+        // T = [T11 0; T21 T22]: forward — X1 first, then eliminate from B2
+        Uplo::Lower => {
+            trsm_left_blocked(uplo, op, diag, alpha, a11, b1.rb());
+            let t21 = op_block(a, op, h, 0, m - h, h);
+            gemm(op, Op::NoTrans, -S::ONE, t21, b1.as_ref(), alpha, b2.rb());
+            trsm_left_blocked(uplo, op, diag, S::ONE, a22, b2);
+        }
+        // T = [T11 T12; 0 T22]: backward — X2 first, then eliminate from B1
+        Uplo::Upper => {
+            trsm_left_blocked(uplo, op, diag, alpha, a22, b2.rb());
+            let t12 = op_block(a, op, 0, h, h, m - h);
+            gemm(op, Op::NoTrans, -S::ONE, t12, b2.as_ref(), alpha, b1.rb());
+            trsm_left_blocked(uplo, op, diag, S::ONE, a11, b1);
+        }
+    }
 }
 
 fn trsm_left_seq<S: Scalar>(
@@ -161,7 +221,7 @@ fn trsm_right_par<S: Scalar>(
 ) {
     let m = b.nrows();
     let n = b.ncols();
-    if n.saturating_mul(n).saturating_mul(m) / 2 > PAR_THRESHOLD_FLOPS && m > 8 {
+    if n.saturating_mul(n).saturating_mul(m) / 2 > par_threshold_flops() && m > 8 {
         let h = m / 2;
         let (b1, b2) = b.split_at_row(h);
         rayon::join(
@@ -170,7 +230,44 @@ fn trsm_right_par<S: Scalar>(
         );
         return;
     }
-    trsm_right_seq(uplo, op, diag, alpha, a, b);
+    trsm_right_blocked(uplo, op, diag, alpha, a, b);
+}
+
+/// Recursive blocked right solve: split `op(A)` into 2x2 quadrants so the
+/// off-diagonal update runs through the packed gemm.
+fn trsm_right_blocked<S: Scalar>(
+    uplo: Uplo,
+    op: Op,
+    diag: Diag,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatMut<'_, S>,
+) {
+    let n = b.ncols();
+    if n <= TRSM_BASE {
+        trsm_right_seq(uplo, op, diag, alpha, a, b);
+        return;
+    }
+    let h = n / 2;
+    let (mut b1, mut b2) = b.split_at_col(h);
+    let a11 = a.submatrix(0, 0, h, h);
+    let a22 = a.submatrix(h, h, n - h, n - h);
+    match effective_uplo(uplo, op) {
+        // T = [T11 T12; 0 T22]: X1 first, then eliminate from B2
+        Uplo::Upper => {
+            trsm_right_blocked(uplo, op, diag, alpha, a11, b1.rb());
+            let t12 = op_block(a, op, 0, h, h, n - h);
+            gemm(Op::NoTrans, op, -S::ONE, b1.as_ref(), t12, alpha, b2.rb());
+            trsm_right_blocked(uplo, op, diag, S::ONE, a22, b2);
+        }
+        // T = [T11 0; T21 T22]: X2 first, then eliminate from B1
+        Uplo::Lower => {
+            trsm_right_blocked(uplo, op, diag, alpha, a22, b2.rb());
+            let t21 = op_block(a, op, h, 0, n - h, h);
+            gemm(Op::NoTrans, op, -S::ONE, b2.as_ref(), t21, alpha, b1.rb());
+            trsm_right_blocked(uplo, op, diag, S::ONE, a11, b1);
+        }
+    }
 }
 
 fn trsm_right_seq<S: Scalar>(

@@ -138,6 +138,137 @@ proptest! {
     }
 }
 
+// ---- packed-path conformance: every Op combo, every scalar type ----
+
+use polar_scalar::{Complex32, Complex64, Real, Scalar};
+
+/// Deterministic pseudo-random matrix for any scalar type.
+fn smat<S: Scalar>(m: usize, n: usize, seed: u64) -> Matrix<S> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    Matrix::from_fn(m, n, |_, _| {
+        let re = next();
+        let im = next();
+        S::from_parts(S::Real::from_f64(re), S::Real::from_f64(im))
+    })
+}
+
+/// Production `gemm` vs the reference triple loop on an (m, n, k)
+/// problem with the given op pair, including nontrivial alpha/beta.
+fn check_gemm_vs_ref<S: Scalar>(m: usize, n: usize, k: usize, op_a: Op, op_b: Op, seed: u64) {
+    let (ar, ac) = if op_a == Op::NoTrans { (m, k) } else { (k, m) };
+    let (br, bc) = if op_b == Op::NoTrans { (k, n) } else { (n, k) };
+    let a = smat::<S>(ar, ac, seed);
+    let b = smat::<S>(br, bc, seed.wrapping_add(1));
+    let alpha = S::from_parts(S::Real::from_f64(1.25), S::Real::from_f64(-0.5));
+    let beta = S::from_parts(S::Real::from_f64(-0.75), S::Real::from_f64(0.25));
+    let mut c1 = smat::<S>(m, n, seed.wrapping_add(2));
+    let mut c2 = c1.clone();
+    gemm_ref(op_a, op_b, alpha, a.as_ref(), b.as_ref(), beta, c1.as_mut());
+    gemm(op_a, op_b, alpha, a.as_ref(), b.as_ref(), beta, c2.as_mut());
+    // k+1 rounding steps, generous headroom for f32
+    let tol = S::Real::from_f64(2e-4);
+    for j in 0..n {
+        for i in 0..m {
+            let d = (c1[(i, j)] - c2[(i, j)]).abs();
+            assert!(
+                d <= tol,
+                "{} ({i},{j}): {op_a:?}x{op_b:?} m={m} n={n} k={k} diff={d:?}",
+                S::TYPE_TAG
+            );
+        }
+    }
+}
+
+fn ops_for<S: Scalar>() -> &'static [Op] {
+    if S::IS_COMPLEX {
+        &[Op::NoTrans, Op::Trans, Op::ConjTrans]
+    } else {
+        &[Op::NoTrans, Op::Trans]
+    }
+}
+
+fn check_all_ops<S: Scalar>(m: usize, n: usize, k: usize, seed: u64) {
+    for &op_a in ops_for::<S>() {
+        for &op_b in ops_for::<S>() {
+            check_gemm_vs_ref::<S>(m, n, k, op_a, op_b, seed);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gemm_all_ops_f64((m, n, k) in dims3(), seed in 0u64..1000) {
+        check_all_ops::<f64>(m, n, k, seed);
+    }
+
+    #[test]
+    fn gemm_all_ops_f32((m, n, k) in dims3(), seed in 0u64..1000) {
+        check_all_ops::<f32>(m, n, k, seed);
+    }
+
+    #[test]
+    fn gemm_all_ops_c64((m, n, k) in dims3(), seed in 0u64..1000) {
+        check_all_ops::<Complex64>(m, n, k, seed);
+    }
+
+    #[test]
+    fn gemm_all_ops_c32((m, n, k) in dims3(), seed in 0u64..1000) {
+        check_all_ops::<Complex32>(m, n, k, seed);
+    }
+
+    #[test]
+    fn gemm_strided_views_match_ref(
+        (m, n, k) in (1usize..12, 1usize..12, 1usize..12),
+        (ri, rj) in (0usize..4, 0usize..4),
+        seed in 0u64..1000,
+    ) {
+        // operands are interior windows of larger matrices, so the packing
+        // routines see a leading dimension larger than the row count
+        let big_a = smat::<f64>(m + ri + 3, k + rj + 3, seed);
+        let big_b = smat::<f64>(k + ri + 3, n + rj + 3, seed + 7);
+        let a = big_a.view(ri, rj, m, k);
+        let b = big_b.view(ri, rj, k, n);
+        let mut big_c = smat::<f64>(m + 2, n + 2, seed + 11);
+        let mut expect = Matrix::zeros(m, n);
+        {
+            let c0 = big_c.view(1, 1, m, n).to_owned();
+            expect.as_mut().copy_from(c0.as_ref());
+        }
+        gemm_ref(Op::NoTrans, Op::NoTrans, 2.0, a.to_owned().as_ref(), b.to_owned().as_ref(), -1.0, expect.as_mut());
+        gemm(Op::NoTrans, Op::NoTrans, 2.0, a, b, -1.0, big_c.view_mut(1, 1, m, n));
+        let got = big_c.view(1, 1, m, n).to_owned();
+        prop_assert!(max_abs_diff(&got, &expect) < 1e-10);
+    }
+}
+
+#[test]
+fn gemm_degenerate_shapes() {
+    // empty, scalar, vector-like, and prime shapes across all types,
+    // exercising fringe tiles and the zero-size early outs
+    let shapes = [
+        (0usize, 5usize, 3usize),
+        (5, 0, 3),
+        (4, 4, 0),
+        (1, 1, 1),
+        (7, 11, 13),
+        (31, 29, 37),
+        (17, 1, 5),
+        (1, 19, 3),
+    ];
+    for &(m, n, k) in &shapes {
+        check_all_ops::<f32>(m, n, k, 21);
+        check_all_ops::<f64>(m, n, k, 22);
+        check_all_ops::<Complex32>(m, n, k, 23);
+        check_all_ops::<Complex64>(m, n, k, 24);
+    }
+}
+
 #[test]
 fn gemm_accepts_views_with_offset() {
     // kernels must honor ld != rows (views into larger matrices)

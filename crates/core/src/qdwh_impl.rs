@@ -2,7 +2,7 @@
 
 use crate::options::{IterationKind, IterationPath, QdwhOptions};
 use crate::params::{halley_parameters, update_ell};
-use polar_blas::{add, gemm, herk, norm, scale_real, symmetrize, trsm};
+use polar_blas::{add, gemm, herk, herk_mirrored, norm, scale_real, symmetrize, trsm};
 use polar_lapack::{geqrf, norm2est, orgqr, potrf, tr_sigma_min_est, trcondest, tsqr, LapackError};
 use polar_matrix::{Diag, Matrix, Norm, Op, Side, Uplo};
 use polar_scalar::{Real, Scalar};
@@ -104,8 +104,10 @@ pub fn orthogonality_error<S: Scalar>(u: &Matrix<S>) -> S::Real {
     if n == 0 {
         return S::Real::ZERO;
     }
+    // G = I - U^H U is Hermitian: rank-k update on one triangle (half the
+    // gemm flops), mirrored for the Frobenius norm
     let mut g = Matrix::<S>::identity(n, n);
-    gemm(Op::ConjTrans, Op::NoTrans, -S::ONE, u.as_ref(), u.as_ref(), S::ONE, g.as_mut());
+    herk_mirrored(Uplo::Lower, Op::ConjTrans, -S::Real::ONE, u.as_ref(), S::Real::ONE, g.as_mut());
     let fro: S::Real = norm(Norm::Fro, g.as_ref());
     fro / S::Real::from_usize(n).sqrt()
 }

@@ -22,28 +22,37 @@ pub struct QrFactors<S> {
 ///
 /// On exit the upper triangle of `a` holds `R`, the sub-diagonal columns
 /// hold the reflector tails, and `tau` the reflector scalars.
-pub(crate) fn geqr2<S: Scalar>(mut a: MatMut<'_, S>, tau: &mut [S]) {
+pub(crate) fn geqr2<S: Scalar>(a: MatMut<'_, S>, tau: &mut [S]) {
+    let mut scratch = Vec::with_capacity(a.nrows());
+    geqr2_scratch(a, tau, &mut scratch);
+}
+
+/// [`geqr2`] with a caller-provided scratch buffer for the reflector tail,
+/// so blocked drivers reuse one allocation across all panels instead of
+/// allocating a fresh `Vec` per column.
+pub(crate) fn geqr2_scratch<S: Scalar>(mut a: MatMut<'_, S>, tau: &mut [S], scratch: &mut Vec<S>) {
     let m = a.nrows();
     let n = a.ncols();
     let k = m.min(n);
     debug_assert!(tau.len() >= k);
     for j in 0..k {
         // Generate reflector for column j, rows j..m.
-        let (alpha, tail_reflector) = {
+        let tail_reflector = {
             let col = a.col_mut(j);
             let alpha = col[j];
             let r = larfg(alpha, &mut col[j + 1..]);
             col[j] = S::from_real(r.beta);
-            (alpha, r)
+            r
         };
-        let _ = alpha;
         tau[j] = tail_reflector.tau;
         if tail_reflector.tau != S::ZERO && j + 1 < n {
             // Apply H(j)^H to the trailing submatrix A[j.., j+1..].
-            // Copy the tail (it aliases the matrix storage).
-            let v_tail: Vec<S> = a.col_mut(j)[j + 1..].to_vec();
+            // Copy the tail into the reused scratch (it aliases the
+            // matrix storage larf is about to update).
+            scratch.clear();
+            scratch.extend_from_slice(&a.col_mut(j)[j + 1..]);
             let trailing = a.rb().submatrix(j, j + 1, m - j, n - j - 1);
-            larf(tail_reflector.tau.conj(), &v_tail, trailing);
+            larf(tail_reflector.tau.conj(), scratch, trailing);
         }
     }
 }
@@ -137,11 +146,12 @@ pub fn geqrf_blocked<S: Scalar>(a: &mut Matrix<S>, ib: usize) -> QrFactors<S> {
     let k = m.min(n);
     let ib = ib.max(1);
     let mut tau = vec![S::ZERO; k];
+    let mut scratch = Vec::with_capacity(m);
     let mut j = 0;
     while j < k {
         let jb = ib.min(k - j);
         // Panel factorization.
-        geqr2(a.view_mut(j, j, m - j, jb), &mut tau[j..j + jb]);
+        geqr2_scratch(a.view_mut(j, j, m - j, jb), &mut tau[j..j + jb], &mut scratch);
         // Trailing update with the block reflector.
         if j + jb < n {
             let v = extract_v(a.view(j, j, m - j, jb));
@@ -174,13 +184,14 @@ pub fn geqrf_stacked<S: Scalar>(top_rows: usize, a: &mut Matrix<S>) -> QrFactors
     let ib = DEFAULT_BLOCK.max(1);
     let k = m.min(n);
     let mut tau = vec![S::ZERO; k];
+    let mut scratch = Vec::with_capacity(m);
     let mut j = 0;
     while j < k {
         let jb = ib.min(k - j);
         // active rows: the dense top block plus the filled part of the
         // bottom block (through this panel's own diagonal entries)
         let active = m.min(top_rows + j + jb);
-        geqr2(a.view_mut(j, j, active - j, jb), &mut tau[j..j + jb]);
+        geqr2_scratch(a.view_mut(j, j, active - j, jb), &mut tau[j..j + jb], &mut scratch);
         if j + jb < n {
             let v = extract_v(a.view(j, j, active - j, jb));
             let t = larft(v.as_ref(), &tau[j..j + jb]);
