@@ -28,6 +28,16 @@ step "bench-smoke: packed GEMM vs reference, all types"
 cargo run --offline --release -p polar-bench --bin kernels_perf -- \
     --smoke --out target/bench_smoke.json >/dev/null
 
+step "profile-smoke: instrumented QDWH + Zolo, trace + overhead checks"
+# validates the Chrome trace and profile JSON (re-parsed, non-empty,
+# kernel spans on per-worker lanes) and asserts the disabled-path span
+# overhead stays under 1% of a small gemm
+POLAR_NUM_THREADS="${POLAR_NUM_THREADS:-4}" \
+cargo run --offline --release -p polar-bench --bin solver_profile -- \
+    --smoke --out target/profile_smoke.json --trace target/trace_smoke.json \
+    >/dev/null
+test -s target/trace_smoke.json || { echo "empty trace artifact"; exit 1; }
+
 if [[ "${1:-}" != "fast" ]]; then
     step "workspace tests"
     cargo test --offline -q --workspace

@@ -1,0 +1,226 @@
+//! Instrumented end-to-end solver profile: QDWH and Zolo-PD under full
+//! observability, from the driver loop down to the thread-pool workers.
+//!
+//! Writes two artifacts:
+//!
+//! * a JSON profile (`--out`, default `PROFILE_solver.json`): wall time,
+//!   per-kernel-class achieved GFlop/s, per-iteration records with the
+//!   QR-vs-Cholesky kernel-time split, and pool steal/injection counters;
+//! * a Chrome trace (`--trace`, default `TRACE_solver.json`): open in
+//!   Perfetto — one lane (`pid`) per pool worker, spans for
+//!   gemm/herk/trsm/geqrf/potrf and the solver phases.
+//!
+//! `--smoke` shrinks the problem, re-parses both artifacts to prove they
+//! are well-formed, and asserts the disabled-path overhead budget: one
+//! inactive span guard must cost < 1% of a small gemm.
+
+use polar_bench::Args;
+use polar_gen::generate;
+use polar_matrix::{Matrix, Op};
+use polar_obs::{KernelClass, Report, SpanRecord};
+use polar_qdwh::{qdwh, zolo_pd, IterationRecord, QdwhOptions, ZoloOptions};
+use polar_scalar::Scalar;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn rand_mat(m: usize, n: usize, seed: u64) -> Matrix<f64> {
+    let mut s = seed | 1;
+    Matrix::from_fn(m, n, |_, _| {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+/// Kernel-time split of one iteration: QR-side (geqrf + orgqr) vs
+/// Cholesky-side (potrf + trsm + herk) vs gemm, in seconds.
+fn iteration_split(r: &IterationRecord<f64>) -> (f64, f64, f64) {
+    let ns = |c: KernelClass| r.kernels.get(c).time_ns as f64 * 1e-9;
+    let qr = ns(KernelClass::Geqrf) + ns(KernelClass::Orgqr);
+    let chol = ns(KernelClass::Potrf) + ns(KernelClass::Trsm) + ns(KernelClass::Herk);
+    (qr, chol, ns(KernelClass::Gemm))
+}
+
+fn records_json(records: &[IterationRecord<f64>]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let (qr_s, chol_s, gemm_s) = iteration_split(r);
+        let _ = write!(
+            s,
+            "      {{\"iteration\": {}, \"kind\": \"{:?}\", \"ell\": {:e}, \"convergence\": {:e}, \"seconds\": {:.6}, \"gflops\": {:.3}, \"qr_kernel_seconds\": {qr_s:.6}, \"chol_kernel_seconds\": {chol_s:.6}, \"gemm_kernel_seconds\": {gemm_s:.6}}}",
+            r.iteration,
+            r.kind,
+            r.ell,
+            r.convergence,
+            r.seconds,
+            r.achieved_gflops(),
+        );
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("    ]");
+    s
+}
+
+fn phase_json(name: &str, report: &Report, records: &[IterationRecord<f64>]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "  \"{name}\": {{");
+    let _ = writeln!(s, "    \"wall_seconds\": {:.6},", report.wall_ns as f64 * 1e-9);
+    let _ = writeln!(s, "    \"achieved_gflops\": {:.3},", report.achieved_gflops());
+    let _ = writeln!(s, "    \"spans\": {},", report.spans.len());
+    let _ = writeln!(s, "    \"kernels\": {},", report.kernels.to_json());
+    let _ = writeln!(s, "    \"iteration_records\": {}", records_json(records));
+    s.push_str("  }");
+    s
+}
+
+/// Disabled-path overhead: cost of one inert span guard vs one small gemm.
+/// Returns (ns per guard, ns per gemm).
+fn disabled_overhead() -> (f64, f64) {
+    assert!(!polar_obs::metrics_enabled() && !polar_obs::trace_enabled());
+    const GUARDS: u32 = 1_000_000;
+    let t = Instant::now();
+    for i in 0..GUARDS {
+        let g = polar_obs::kernel_span(
+            KernelClass::Gemm,
+            "overhead_probe",
+            2.0 * 64.0 * 64.0 * 64.0,
+            [64, 64, i as usize],
+        );
+        std::hint::black_box(&g);
+    }
+    let guard_ns = t.elapsed().as_secs_f64() * 1e9 / GUARDS as f64;
+
+    let a = rand_mat(64, 64, 21);
+    let b = rand_mat(64, 64, 22);
+    let mut c = Matrix::<f64>::zeros(64, 64);
+    let mut best = f64::INFINITY;
+    for _ in 0..20 {
+        let t = Instant::now();
+        polar_blas::gemm(Op::NoTrans, Op::NoTrans, 1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    (guard_ns, best * 1e9)
+}
+
+/// Smoke validation: both artifacts re-parse, the trace is non-empty with
+/// the expected event fields and kernel spans, and worker lanes appear.
+fn validate_artifacts(profile_path: &str, trace_path: &str, spans: &[SpanRecord]) {
+    use serde::json::{from_str, Value};
+
+    let profile = from_str(&std::fs::read_to_string(profile_path).expect("read profile"))
+        .expect("profile JSON is well-formed");
+    for phase in ["qdwh", "zolo"] {
+        let p = profile.get(phase).unwrap_or_else(|| panic!("profile has {phase}"));
+        assert!(p.get("wall_seconds").and_then(Value::as_f64).expect("wall_seconds") > 0.0);
+        let recs = p.get("iteration_records").and_then(|v| v.as_array()).expect("records");
+        assert!(!recs.is_empty(), "{phase}: no iteration records");
+        for r in recs {
+            assert!(r.get("gflops").and_then(Value::as_f64).expect("gflops") > 0.0);
+        }
+    }
+
+    let trace = from_str(&std::fs::read_to_string(trace_path).expect("read trace"))
+        .expect("trace JSON is well-formed");
+    let events = trace.as_array().expect("trace is an array");
+    assert!(!events.is_empty(), "trace has no events");
+    assert_eq!(events.len(), spans.len());
+    let mut names = std::collections::BTreeSet::new();
+    let mut lanes = std::collections::BTreeSet::new();
+    for e in events {
+        assert_eq!(e.get("ph").and_then(Value::as_str), Some("X"));
+        assert!(e.get("ts").and_then(Value::as_f64).is_some());
+        assert!(e.get("dur").and_then(Value::as_f64).expect("dur") >= 0.0);
+        names.insert(e.get("name").and_then(Value::as_str).expect("name").to_string());
+        lanes.insert(e.get("pid").and_then(Value::as_f64).expect("pid") as u64);
+    }
+    for expected in ["qdwh", "qdwh_iter", "gemm", "geqrf", "potrf", "trsm", "herk"] {
+        assert!(names.contains(expected), "trace lacks '{expected}' spans: {names:?}");
+    }
+    if rayon::current_num_threads() > 1 {
+        assert!(lanes.iter().any(|&l| l > 0), "no spans on pool-worker lanes");
+    }
+    eprintln!("smoke: artifacts validated ({} events, {} lanes)", events.len(), lanes.len());
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("--smoke");
+    let n: usize = args.get("--n", if smoke { 192 } else { 768 });
+    let seed: u64 = args.get("--seed", 42);
+    let out = std::env::args()
+        .skip_while(|a| a != "--out")
+        .nth(1)
+        .unwrap_or_else(|| "PROFILE_solver.json".into());
+    let trace_out = std::env::args()
+        .skip_while(|a| a != "--trace")
+        .nth(1)
+        .unwrap_or_else(|| "TRACE_solver.json".into());
+
+    // Measure the disabled path before anything enables observability.
+    let (guard_ns, gemm_ns) = disabled_overhead();
+    eprintln!(
+        "disabled-path: {guard_ns:.1} ns/guard vs {:.1} us per 64x64x64 gemm ({:.3}%)",
+        gemm_ns / 1e3,
+        100.0 * guard_ns / gemm_ns
+    );
+    if smoke {
+        assert!(
+            guard_ns < gemm_ns / 100.0,
+            "disabled span guard ({guard_ns:.1} ns) exceeds 1% of a small gemm ({gemm_ns:.1} ns)"
+        );
+    }
+
+    let (a, _) = generate::<f64>(&polar_bench::paper_matrix_spec(n, seed));
+    rayon::join(|| (), || ()); // warm the pool so worker lanes exist up front
+
+    eprintln!("qdwh n={n} (instrumented)...");
+    let scope = polar_obs::scope();
+    let pd = qdwh(&a, &QdwhOptions::default()).expect("qdwh converges");
+    let qdwh_report = scope.finish();
+
+    eprintln!("zolo n={n} (instrumented)...");
+    let scope = polar_obs::scope();
+    let zolo = zolo_pd(&a, &ZoloOptions::default()).expect("zolo converges");
+    let zolo_report = scope.finish();
+
+    // ---- profile JSON ----
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"harness\": \"solver_profile\",");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"n\": {n},");
+    let _ = writeln!(j, "  \"type\": \"{}\",", f64::TYPE_TAG);
+    let _ = writeln!(j, "  \"pool_workers\": {},", rayon::current_num_threads());
+    let _ = writeln!(j, "{},", phase_json("qdwh", &qdwh_report, &pd.info.records));
+    let _ = writeln!(j, "{},", phase_json("zolo", &zolo_report, &zolo.pd.info.records));
+    let pool = polar_obs::counters_snapshot();
+    let get = |name: &str| pool.iter().find(|(k, _)| *k == name).map_or(0, |(_, v)| *v);
+    let _ = writeln!(
+        j,
+        "  \"pool\": {{\"steals\": {}, \"injected_jobs\": {}}}",
+        get("pool.steals"),
+        get("pool.injected_jobs")
+    );
+    j.push_str("}\n");
+    std::fs::write(&out, &j).expect("write profile json");
+
+    // ---- Chrome trace: both phases share the process epoch, so their
+    // spans concatenate into one aligned timeline ----
+    let mut spans = qdwh_report.spans.clone();
+    spans.extend(zolo_report.spans.iter().cloned());
+    let file = std::fs::File::create(&trace_out).expect("create trace file");
+    polar_runtime::write_solver_trace(&spans, std::io::BufWriter::new(file))
+        .expect("write chrome trace");
+
+    println!("{j}");
+    eprintln!(
+        "qdwh: {} iters, {:.2} GFlop/s | zolo: {} iters, {:.2} GFlop/s | trace: {} spans -> {trace_out}",
+        pd.info.iterations,
+        qdwh_report.achieved_gflops(),
+        zolo.pd.info.iterations,
+        zolo_report.achieved_gflops(),
+        spans.len()
+    );
+
+    if smoke {
+        validate_artifacts(&out, &trace_out, &spans);
+    }
+}

@@ -165,6 +165,15 @@ fn gemm_leaf<S: Scalar>(
     k: usize,
 ) {
     let work = c.nrows().saturating_mul(c.ncols()).saturating_mul(k.max(1));
+    // Trace-only leaf span: leaves run on pool workers, so these are what
+    // populate the per-worker Perfetto lanes. Never counted (the public
+    // entry already attributed the whole product's flops).
+    let _leaf = polar_obs::leaf_span(
+        polar_obs::KernelClass::Gemm,
+        "gemm_leaf",
+        crate::flops::type_factor(S::IS_COMPLEX) * crate::flops::gemm(c.nrows(), c.ncols(), k),
+        [c.nrows(), c.ncols(), k],
+    );
     // Complex32 is the one type where the autovectorized axpy column loop
     // beats the tile microkernel (the 8-byte AoS complex multiply defeats
     // the generic kernel's register blocking), so keep it on that path.
@@ -208,6 +217,12 @@ pub fn gemm<S: Scalar>(
     assert_eq!(am, m, "gemm: A rows mismatch");
     assert_eq!(bn, n, "gemm: B cols mismatch");
     assert_eq!(ak, bk, "gemm: inner dim mismatch");
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Gemm,
+        "gemm",
+        crate::flops::type_factor(S::IS_COMPLEX) * crate::flops::gemm(m, n, ak),
+        [m, n, ak],
+    );
     let grain = split_grain(m, n, ak);
     gemm_par(op_a, op_b, alpha, a, b, beta, c, ak, grain);
 }
@@ -290,6 +305,12 @@ pub fn gemm_a<S: Scalar>(
     assert_eq!(am, m, "gemm_a: A rows mismatch");
     assert_eq!(b.nrows(), ak, "gemm_a: inner dim mismatch");
     assert_eq!(b.ncols(), n, "gemm_a: B cols mismatch");
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Gemm,
+        "gemm_a",
+        crate::flops::type_factor(S::IS_COMPLEX) * crate::flops::gemm(m, n, ak),
+        [m, n, ak],
+    );
     let grain = split_grain(m, n, ak);
     gemm_a_par(op_a, alpha, a, b, beta, c, ak, grain);
 }

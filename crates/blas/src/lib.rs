@@ -66,6 +66,31 @@ pub mod flops {
     pub fn trsm_right(m: usize, n: usize) -> f64 {
         m as f64 * (n as f64) * (n as f64)
     }
+
+    /// `geqrf` flops (LAWN 41, `m >= n`): `2 m n^2 - (2/3) n^3`.
+    pub fn geqrf(m: usize, n: usize) -> f64 {
+        let (m, n) = (m as f64, n as f64);
+        2.0 * m * n * n - 2.0 / 3.0 * n * n * n
+    }
+
+    /// `orgqr` flops forming the full `m x n` Q from `n` reflectors
+    /// (LAWN 41 with `k = n`): `2 m n^2 - (2/3) n^3`.
+    pub fn orgqr(m: usize, n: usize) -> f64 {
+        geqrf(m, n)
+    }
+
+    /// `unmqr` flops applying `k` reflectors to an `m x n` C from the
+    /// left (LAWN 41): `4 m n k - 2 n k^2`.
+    pub fn unmqr(m: usize, n: usize, k: usize) -> f64 {
+        let (m, n, k) = (m as f64, n as f64, k as f64);
+        4.0 * m * n * k - 2.0 * n * k * k
+    }
+
+    /// `potrf` flops: `n^3 / 3`.
+    pub fn potrf(n: usize) -> f64 {
+        let n = n as f64;
+        n * n * n / 3.0
+    }
 }
 
 #[cfg(test)]

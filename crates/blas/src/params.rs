@@ -16,7 +16,8 @@
 //! microkernels implement when the CPU supports them); setting the env
 //! vars forces one shape for all types, falling back to the generic
 //! microkernel if no SIMD kernel matches. Values are read once, at first
-//! kernel call, and logged to stderr when `POLAR_DEBUG` is set.
+//! kernel call, and logged at debug level (`POLAR_LOG=debug`, or the
+//! legacy `POLAR_DEBUG=1`).
 
 use std::sync::OnceLock;
 
@@ -56,7 +57,8 @@ pub fn gemm_params() -> &'static GemmParams {
             mr_override: env_usize("POLAR_GEMM_MR").map(|v| v.clamp(1, MAX_MR)),
             nr_override: env_usize("POLAR_GEMM_NR").map(|v| v.clamp(1, MAX_NR)),
         };
-        debug_log(&format!(
+        polar_obs::log!(
+            polar_obs::LogLevel::Debug,
             "blas params: mc={} kc={} nc={} mr={:?} nr={:?} par_threshold={}",
             p.mc,
             p.kc,
@@ -64,7 +66,7 @@ pub fn gemm_params() -> &'static GemmParams {
             p.mr_override,
             p.nr_override,
             par_threshold_flops()
-        ));
+        );
         p
     })
 }
@@ -74,13 +76,6 @@ pub fn gemm_params() -> &'static GemmParams {
 pub fn par_threshold_flops() -> usize {
     static THRESHOLD: OnceLock<usize> = OnceLock::new();
     *THRESHOLD.get_or_init(|| env_usize("POLAR_PAR_THRESHOLD_FLOPS").unwrap_or(1 << 16))
-}
-
-/// One-shot stderr line, emitted only when `POLAR_DEBUG` is set.
-fn debug_log(msg: &str) {
-    if std::env::var_os("POLAR_DEBUG").is_some() {
-        eprintln!("[polar-blas] {msg}");
-    }
 }
 
 #[cfg(test)]

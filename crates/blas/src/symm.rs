@@ -45,6 +45,12 @@ pub fn herk<S: Scalar>(
             a.nrows()
         }
     };
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Herk,
+        "herk",
+        crate::flops::type_factor(S::IS_COMPLEX) * crate::flops::herk(n, k),
+        [n, n, k],
+    );
     herk_rec(uplo, op, alpha, a, beta, c, k);
 }
 

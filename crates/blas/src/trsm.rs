@@ -49,6 +49,17 @@ pub fn trsm<S: Scalar>(
     b: MatMut<'_, S>,
 ) {
     assert_eq!(a.nrows(), a.ncols(), "trsm: A must be square");
+    let flops = crate::flops::type_factor(S::IS_COMPLEX)
+        * match side {
+            Side::Left => crate::flops::trsm_left(b.nrows(), b.ncols()),
+            Side::Right => crate::flops::trsm_right(b.nrows(), b.ncols()),
+        };
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Trsm,
+        "trsm",
+        flops,
+        [b.nrows(), b.ncols(), a.nrows()],
+    );
     match side {
         Side::Left => {
             assert_eq!(a.nrows(), b.nrows(), "trsm: dim mismatch");
@@ -336,6 +347,20 @@ pub fn trmm<S: Scalar>(
     mut b: MatMut<'_, S>,
 ) {
     assert_eq!(a.nrows(), a.ncols(), "trmm: A must be square");
+    // Triangular multiply costs half the dense gemm it runs through below;
+    // attribute the analytic (triangular) flops to the Trsm class and let
+    // suppression hide the inner gemm.
+    let flops = crate::flops::type_factor(S::IS_COMPLEX)
+        * match side {
+            Side::Left => crate::flops::trsm_left(b.nrows(), b.ncols()),
+            Side::Right => crate::flops::trsm_right(b.nrows(), b.ncols()),
+        };
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Trsm,
+        "trmm",
+        flops,
+        [b.nrows(), b.ncols(), a.nrows()],
+    );
     let n = a.nrows();
     let mut t = Matrix::<S>::zeros(n, n);
     for j in 0..n {

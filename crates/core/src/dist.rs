@@ -579,15 +579,19 @@ pub fn qdwh_distributed<S: Scalar>(
         qr_iterations: 0,
         chol_iterations: 0,
         kinds: Vec::new(),
-        convergence_history: Vec::new(),
+        records: Vec::new(),
         flops_estimate: 0.0,
     };
+    let _solve_span = polar_obs::span!("qdwh_dist", m, n);
 
     while conv >= conv_tol || (ell - S::Real::ONE).abs() >= five_eps {
         if info.iterations >= opts.max_iterations {
             return Err(QdwhError::NoConvergence { iterations: info.iterations });
         }
         info.iterations += 1;
+        let kernels_before = polar_obs::kernel_snapshot();
+        let iter_start = std::time::Instant::now();
+        let _iter_span = polar_obs::span!("qdwh_dist_iter", info.iterations, n);
         let p = halley_parameters(ell);
         ell = update_ell(ell, p);
         let use_qr = match opts.path {
@@ -650,7 +654,16 @@ pub fn qdwh_distributed<S: Scalar>(
         polar_blas::add(-S::ONE, x_prev.as_ref(), S::ONE, diff.as_mut());
         let diff_tiled = TiledMatrix::from_dense(&diff, nb, nb, cfg.grid);
         conv = dist_fro_norm(&comm, &diff_tiled);
-        info.convergence_history.push(conv);
+        drop(_iter_span);
+        let kind = *info.kinds.last().expect("kind pushed this iteration");
+        info.records.push(crate::qdwh_impl::IterationRecord {
+            iteration: info.iterations,
+            kind,
+            ell,
+            convergence: conv,
+            seconds: iter_start.elapsed().as_secs_f64(),
+            kernels: polar_obs::kernel_snapshot().delta(&kernels_before),
+        });
     }
 
     // flops per the paper formula

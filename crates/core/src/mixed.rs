@@ -121,11 +121,18 @@ pub fn qdwh_mixed<S: MixedPrecision>(
         qr_iterations: pd_lo.info.qr_iterations,
         chol_iterations: pd_lo.info.chol_iterations,
         kinds: pd_lo.info.kinds.clone(),
-        convergence_history: pd_lo
+        records: pd_lo
             .info
-            .convergence_history
+            .records
             .iter()
-            .map(|&c| S::Real::from_f64(c.to_f64()))
+            .map(|r| crate::qdwh_impl::IterationRecord {
+                iteration: r.iteration,
+                kind: r.kind,
+                ell: S::Real::from_f64(r.ell.to_f64()),
+                convergence: S::Real::from_f64(r.convergence.to_f64()),
+                seconds: r.seconds,
+                kernels: r.kernels,
+            })
             .collect(),
         flops_estimate: pd_lo.info.flops_estimate,
     };

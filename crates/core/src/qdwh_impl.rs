@@ -67,6 +67,45 @@ impl std::fmt::Display for QdwhError {
 
 impl std::error::Error for QdwhError {}
 
+/// Telemetry for one Halley iteration: the paper's per-iteration
+/// convergence data (Fig. 2) plus the kernel-time and achieved-GFlop/s
+/// breakdown from `polar-obs`.
+///
+/// The kernel breakdown (`kernels`) is a [`polar_obs::KernelSnapshot`]
+/// delta covering exactly this iteration; it is all zeros unless metrics
+/// are enabled (`POLAR_METRICS=1`, `polar_obs::scope()`, or
+/// `polar_obs::set_metrics_enabled(true)`). For a QR-based iteration the
+/// time concentrates in the `geqrf`/`orgqr` classes, for a
+/// Cholesky-based one in `herk`/`potrf`/`trsm` — the Eq. (1) vs. Eq. (2)
+/// split the paper's figures are built on.
+#[derive(Debug, Clone)]
+pub struct IterationRecord<R> {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Which update (Eq. (1) QR or Eq. (2) Cholesky) ran.
+    pub kind: IterationKind,
+    /// Lower bound `l_k` after this iteration's update.
+    pub ell: R,
+    /// `||X_k - X_{k-1}||_F` (Algorithm 1 line 48).
+    pub convergence: R,
+    /// Wall time of the iteration in seconds.
+    pub seconds: f64,
+    /// Per-kernel-class calls / analytic flops / time for this iteration.
+    pub kernels: polar_obs::KernelSnapshot,
+}
+
+impl<R: Real> IterationRecord<R> {
+    /// Achieved GFlop/s over the whole iteration (analytic kernel flops
+    /// over iteration wall time); zero when metrics were disabled.
+    pub fn achieved_gflops(&self) -> f64 {
+        if self.seconds <= 0.0 {
+            0.0
+        } else {
+            self.kernels.total_flops() as f64 / self.seconds * 1e-9
+        }
+    }
+}
+
 /// Per-run telemetry: what the benchmark harness and the experiment
 /// reports consume.
 #[derive(Debug, Clone)]
@@ -83,8 +122,9 @@ pub struct QdwhInfo<R> {
     pub chol_iterations: usize,
     /// The kind of each iteration in order.
     pub kinds: Vec<IterationKind>,
-    /// `||A_k - A_{k-1}||_F` per iteration (line 48).
-    pub convergence_history: Vec<R>,
+    /// One [`IterationRecord`] per iteration, in order: convergence
+    /// residual, `l_k`, wall time, and the kernel breakdown.
+    pub records: Vec<IterationRecord<R>>,
     /// Floating-point operation estimate from the paper's complexity
     /// formula (§4), in real flops.
     pub flops_estimate: f64,
@@ -95,6 +135,12 @@ impl<R: Real> QdwhInfo<R> {
     /// (the paper's Fig. 1a metric).
     pub fn orthogonality_error<S: Scalar<Real = R>>(&self, u: &Matrix<S>) -> R {
         orthogonality_error(u)
+    }
+
+    /// `||A_k - A_{k-1}||_F` per iteration (line 48) — the old bare
+    /// convergence history, now a view over [`records`](Self::records).
+    pub fn convergence_history(&self) -> Vec<R> {
+        self.records.iter().map(|r| r.convergence).collect()
     }
 }
 
@@ -155,6 +201,7 @@ pub fn qdwh<S: Scalar>(
 ) -> Result<PolarDecomposition<S>, QdwhError> {
     let m = a.nrows();
     let n = a.ncols();
+    let _solve_span = polar_obs::span!("qdwh", m, n);
     if m < n {
         return Err(QdwhError::Shape("qdwh requires m >= n"));
     }
@@ -246,7 +293,7 @@ pub fn qdwh<S: Scalar>(
         qr_iterations: 0,
         chol_iterations: 0,
         kinds: Vec::new(),
-        convergence_history: Vec::new(),
+        records: Vec::new(),
         flops_estimate: 0.0,
     };
     let mut x_prev = Matrix::<S>::zeros(m, n);
@@ -278,15 +325,22 @@ pub fn qdwh<S: Scalar>(
 
         x_prev.copy_from(&x);
 
-        if use_qr {
+        // Per-iteration kernel-time breakdown: delta of the global kernel
+        // counters around the iteration body (zeros if metrics are off).
+        let kernels_before = polar_obs::kernel_snapshot();
+        let iter_start = std::time::Instant::now();
+        let _iter_span = polar_obs::span!("qdwh_iter", info.iterations, n);
+
+        let kind = if use_qr {
             qr_iteration(&mut x, p.a, p.b, p.c, opts)?;
             info.qr_iterations += 1;
-            info.kinds.push(IterationKind::QrBased);
+            IterationKind::QrBased
         } else {
             chol_iteration(&mut x, p.a, p.b, p.c)?;
             info.chol_iterations += 1;
-            info.kinds.push(IterationKind::CholeskyBased);
-        }
+            IterationKind::CholeskyBased
+        };
+        info.kinds.push(kind);
 
         if x.has_non_finite() {
             return Err(QdwhError::NonFinite { iteration: info.iterations });
@@ -296,7 +350,25 @@ pub fn qdwh<S: Scalar>(
         let mut diff = x_prev.clone();
         add(S::ONE, x.as_ref(), -S::ONE, diff.as_mut());
         conv = norm(Norm::Fro, diff.as_ref());
-        info.convergence_history.push(conv);
+        drop(_iter_span);
+        let record = IterationRecord {
+            iteration: info.iterations,
+            kind,
+            ell,
+            convergence: conv,
+            seconds: iter_start.elapsed().as_secs_f64(),
+            kernels: polar_obs::kernel_snapshot().delta(&kernels_before),
+        };
+        polar_obs::log!(
+            polar_obs::LogLevel::Debug,
+            "qdwh iter {} {:?}: conv={:e} ell={:e} {:.1} GFlop/s",
+            record.iteration,
+            record.kind,
+            record.convergence.to_f64(),
+            record.ell.to_f64(),
+            record.achieved_gflops()
+        );
+        info.records.push(record);
     }
 
     // paper §4 complexity formula (square-matrix form, real flops)
@@ -329,7 +401,7 @@ fn empty_info<R: Real>() -> QdwhInfo<R> {
         qr_iterations: 0,
         chol_iterations: 0,
         kinds: Vec::new(),
-        convergence_history: Vec::new(),
+        records: Vec::new(),
         flops_estimate: 0.0,
     }
 }
@@ -720,9 +792,50 @@ mod tests {
     fn convergence_history_is_decreasing_tail() {
         let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(40, 14));
         let pd = qdwh(&a, &QdwhOptions::default()).unwrap();
-        let h = &pd.info.convergence_history;
+        let h = pd.info.convergence_history();
         assert_eq!(h.len(), pd.info.iterations);
         // cubic convergence: the last step must be tiny
         assert!(*h.last().unwrap() < 1e-8);
+    }
+
+    #[test]
+    fn iteration_records_describe_each_iteration() {
+        let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(40, 14));
+        let pd = qdwh(&a, &QdwhOptions::default()).unwrap();
+        assert_eq!(pd.info.records.len(), pd.info.iterations);
+        for (k, rec) in pd.info.records.iter().enumerate() {
+            assert_eq!(rec.iteration, k + 1);
+            assert_eq!(rec.kind, pd.info.kinds[k]);
+            assert!(rec.seconds >= 0.0);
+        }
+        // l_k marches to 1 (the convergence certificate of Algorithm 1)
+        let last = pd.info.records.last().unwrap();
+        assert!((last.ell - 1.0).abs() < 1e-12, "ell = {}", last.ell);
+    }
+
+    #[test]
+    fn iteration_records_capture_kernel_split_under_metrics() {
+        use polar_obs::KernelClass;
+        // Serialize against other obs-scope users in this test binary.
+        let _guard = polar_obs::scope_lock();
+        let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(48, 15));
+        let scope = polar_obs::scope();
+        let pd = qdwh(&a, &QdwhOptions::default()).unwrap();
+        let _ = scope.finish();
+        assert!(pd.info.qr_iterations >= 1 && pd.info.chol_iterations >= 1);
+        for rec in &pd.info.records {
+            match rec.kind {
+                IterationKind::QrBased => {
+                    assert!(rec.kernels.get(KernelClass::Geqrf).calls >= 1, "{rec:?}");
+                    assert_eq!(rec.kernels.get(KernelClass::Potrf).calls, 0);
+                }
+                IterationKind::CholeskyBased => {
+                    assert_eq!(rec.kernels.get(KernelClass::Potrf).calls, 1, "{rec:?}");
+                    assert!(rec.kernels.get(KernelClass::Trsm).calls >= 2);
+                    assert_eq!(rec.kernels.get(KernelClass::Geqrf).calls, 0);
+                }
+            }
+            assert!(rec.kernels.total_flops() > 0);
+        }
     }
 }

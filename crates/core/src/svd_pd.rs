@@ -46,7 +46,7 @@ pub fn svd_based_polar<S: Scalar>(a: &Matrix<S>) -> Result<PolarDecomposition<S>
             qr_iterations: 0,
             chol_iterations: 0,
             kinds: Vec::new(),
-            convergence_history: Vec::new(),
+            records: Vec::new(),
             flops_estimate: 0.0,
         },
     })

@@ -94,9 +94,10 @@ pub fn zolo_pd<S: Scalar>(a: &Matrix<S>, zopts: &ZoloOptions) -> Result<ZoloOutc
         qr_iterations: 0,
         chol_iterations: 0,
         kinds: Vec::new(),
-        convergence_history: Vec::new(),
+        records: Vec::new(),
         flops_estimate: 0.0,
     };
+    let _solve_span = polar_obs::span!("zolo", m, n);
     let mut qr_count = 0usize;
     // interval-convergence threshold: the sampled [fmin, fmax] bracket is
     // accurate to a few ulps and the initial l0 estimate to a few ulps
@@ -113,6 +114,9 @@ pub fn zolo_pd<S: Scalar>(a: &Matrix<S>, zopts: &ZoloOptions) -> Result<ZoloOutc
         info.iterations += 1;
         info.qr_iterations += 1; // Zolo iterations are QR-based
         info.kinds.push(crate::options::IterationKind::QrBased);
+        let kernels_before = polar_obs::kernel_snapshot();
+        let iter_start = std::time::Instant::now();
+        let _iter_span = polar_obs::span!("zolo_iter", info.iterations, n);
 
         let c = zolotarev_coefficients(ell.min(1.0 - 1e-15), zopts.r);
         let a_w = zolotarev_weights(&c);
@@ -179,7 +183,15 @@ pub fn zolo_pd<S: Scalar>(a: &Matrix<S>, zopts: &ZoloOptions) -> Result<ZoloOutc
         let mut diff = x_next.clone();
         add(-S::ONE, x_prev.as_ref(), S::ONE, diff.as_mut());
         let conv: S::Real = norm(Norm::Fro, diff.as_ref());
-        info.convergence_history.push(conv);
+        drop(_iter_span);
+        info.records.push(crate::qdwh_impl::IterationRecord {
+            iteration: info.iterations,
+            kind: crate::options::IterationKind::QrBased,
+            ell: S::Real::from_f64(ell),
+            convergence: conv,
+            seconds: iter_start.elapsed().as_secs_f64(),
+            kernels: polar_obs::kernel_snapshot().delta(&kernels_before),
+        });
         x = x_next;
     }
 

@@ -50,6 +50,12 @@ fn potf2_lower<S: Scalar>(mut a: MatMut<'_, S>, offset: usize) -> Result<(), Lap
 /// transpose (QDWH only needs `Lower`).
 pub fn potrf<S: Scalar>(uplo: Uplo, a: &mut Matrix<S>) -> Result<(), LapackError> {
     assert!(a.is_square(), "potrf: square matrices only");
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Potrf,
+        "potrf",
+        polar_blas::flops::type_factor(S::IS_COMPLEX) * polar_blas::flops::potrf(a.nrows()),
+        [a.nrows(), a.nrows(), 0],
+    );
     match uplo {
         Uplo::Lower => potrf_lower(a, DEFAULT_BLOCK),
         Uplo::Upper => {

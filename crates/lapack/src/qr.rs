@@ -144,6 +144,12 @@ pub fn geqrf_blocked<S: Scalar>(a: &mut Matrix<S>, ib: usize) -> QrFactors<S> {
     let m = a.nrows();
     let n = a.ncols();
     let k = m.min(n);
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Geqrf,
+        "geqrf",
+        polar_blas::flops::type_factor(S::IS_COMPLEX) * polar_blas::flops::geqrf(m, n),
+        [m, n, 0],
+    );
     let ib = ib.max(1);
     let mut tau = vec![S::ZERO; k];
     let mut scratch = Vec::with_capacity(m);
@@ -181,6 +187,14 @@ pub fn geqrf_stacked<S: Scalar>(top_rows: usize, a: &mut Matrix<S>) -> QrFactors
     let m = a.nrows();
     let n = a.ncols();
     assert!(top_rows <= m, "geqrf_stacked: top block larger than matrix");
+    // Nominal (full geqrf) flops, matching the paper's Eq. (1) accounting;
+    // the structure exploitation below executes fewer.
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Geqrf,
+        "geqrf_stacked",
+        polar_blas::flops::type_factor(S::IS_COMPLEX) * polar_blas::flops::geqrf(m, n),
+        [m, n, 0],
+    );
     let ib = DEFAULT_BLOCK.max(1);
     let k = m.min(n);
     let mut tau = vec![S::ZERO; k];
@@ -212,6 +226,12 @@ pub fn unmqr<S: Scalar>(op: Op, a: &Matrix<S>, f: &QrFactors<S>, c: &mut Matrix<
     let m = a.nrows();
     let k = f.tau.len();
     assert_eq!(c.nrows(), m, "unmqr: C row mismatch");
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Orgqr,
+        "unmqr",
+        polar_blas::flops::type_factor(S::IS_COMPLEX) * polar_blas::flops::unmqr(m, c.ncols(), k),
+        [m, c.ncols(), k],
+    );
     let ib = DEFAULT_BLOCK;
     let nblocks = k.div_ceil(ib);
     // NoTrans applies block reflectors in reverse order, ConjTrans forward.
@@ -235,6 +255,12 @@ pub fn unmqr<S: Scalar>(op: Op, a: &Matrix<S>, f: &QrFactors<S>, c: &mut Matrix<
 pub fn orgqr<S: Scalar>(a: &Matrix<S>, f: &QrFactors<S>) -> Matrix<S> {
     let m = a.nrows();
     let k = f.tau.len();
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Orgqr,
+        "orgqr",
+        polar_blas::flops::type_factor(S::IS_COMPLEX) * polar_blas::flops::orgqr(m, k),
+        [m, k, 0],
+    );
     let mut q = Matrix::<S>::identity(m, k);
     unmqr(Op::NoTrans, a, f, &mut q);
     q

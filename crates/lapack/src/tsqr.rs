@@ -23,6 +23,15 @@ pub fn tsqr<S: Scalar>(a: &Matrix<S>) -> (Matrix<S>, Matrix<S>) {
     let m = a.nrows();
     let n = a.ncols();
     assert!(m >= n, "tsqr requires m >= n");
+    // Nominal factor-then-form-Q flops; the per-block geqrf/orgqr calls
+    // below are nested and therefore not double-counted.
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Geqrf,
+        "tsqr",
+        polar_blas::flops::type_factor(S::IS_COMPLEX)
+            * (polar_blas::flops::geqrf(m, n) + polar_blas::flops::orgqr(m, n)),
+        [m, n, 0],
+    );
     tsqr_rec(a, 0, m)
 }
 

@@ -1,0 +1,194 @@
+//! Log-scale latency histogram (moved here from `crates/svc/src/metrics.rs`
+//! so every layer of the stack can use it; `polar_svc::metrics` re-exports
+//! it for compatibility).
+//!
+//! Histograms bucket by `floor(log2(nanoseconds))` — 64 fixed buckets
+//! cover sub-nanosecond to centuries with bounded ~2x relative error on
+//! reported quantiles, the standard trick used by HDR-style latency
+//! recorders. Everything is atomics, so recording from workers never
+//! contends with export.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Log2-bucketed latency histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; 64],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl Histogram {
+    /// Record one duration sample. Sub-nanosecond samples (including
+    /// `Duration::ZERO`) clamp to 1 ns and land in bucket 0.
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().max(1) as u64);
+    }
+
+    /// Record one sample given directly in nanoseconds (0 clamps to 1).
+    pub fn record_ns(&self, ns: u64) {
+        let ns = ns.max(1);
+        let idx = 63 - ns.leading_zeros() as usize;
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Fold another histogram's counts into this one (used to combine
+    /// per-worker or per-shard histograms at export time). Concurrent
+    /// `record`s on either side are safe; counts merged while `other` is
+    /// still being written may or may not include the in-flight samples.
+    pub fn merge(&self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = src.load(Ordering::Relaxed);
+            if n > 0 {
+                dst.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Approximate quantile (`q` in `[0, 1]`): geometric midpoint of the
+    /// bucket containing the q-th sample. `None` when empty.
+    ///
+    /// Bucket `i` spans `[2^i, 2^(i+1))` ns and the reported value is
+    /// `2^i * sqrt(2)` truncated to whole nanoseconds. Truncation keeps
+    /// the invariant that the report lies **inside** the bucket even for
+    /// bucket 0, which spans [1, 2) ns: `sqrt(2) ≈ 1.414` truncates to
+    /// 1 ns, not rounds to 2 ns (2 ns would be in bucket 1, overstating
+    /// the quantile by up to 2x).
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                // bucket i spans [2^i, 2^(i+1)) ns; report trunc(sqrt(2)*2^i)
+                let ns = (2f64.powi(i as i32) * std::f64::consts::SQRT_2) as u64;
+                debug_assert!(
+                    ns >= 1 << i && (i >= 63 || ns < 1 << (i + 1)),
+                    "bucket {i} midpoint {ns} ns escapes [{}, {}) ns",
+                    1u64 << i,
+                    if i >= 63 { u64::MAX } else { 1 << (i + 1) }
+                );
+                return Some(Duration::from_nanos(ns));
+            }
+        }
+        unreachable!("target <= total")
+    }
+
+    /// Point-in-time `{count, p50, p95, p99}` view.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub p50: Option<Duration>,
+    pub p95: Option<Duration>,
+    pub p99: Option<Duration>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_power_of_two() {
+        let h = Histogram::default();
+        for _ in 0..100 {
+            h.record(Duration::from_micros(100)); // 1e5 ns
+        }
+        h.record(Duration::from_millis(100)); // 1e8 ns outlier
+        assert_eq!(h.count(), 101);
+        let p50 = h.quantile(0.5).unwrap();
+        // 1e5 ns lands in [2^16, 2^17); midpoint ~92.7 us
+        assert!(p50 >= Duration::from_micros(64) && p50 < Duration::from_micros(131));
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 < Duration::from_millis(1), "99/101 samples are 100us");
+        assert_eq!(h.quantile(1.0).unwrap(), h.quantile(0.999).unwrap());
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn zero_duration_is_recorded() {
+        let h = Histogram::default();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(0.5).is_some());
+    }
+
+    #[test]
+    fn reported_midpoint_stays_inside_its_bucket() {
+        // Exhaustively check the midpoint invariant for every bucket a
+        // u64 nanosecond count can land in, including the bucket-0 edge
+        // case: [1, 2) ns must report 1 ns (truncated sqrt(2)), never 2.
+        for i in 0..64u32 {
+            let h = Histogram::default();
+            h.record_ns(1u64 << i);
+            let ns = h.quantile(0.5).unwrap().as_nanos() as u64;
+            assert!(ns >= 1u64 << i, "bucket {i}: {ns} below lower bound");
+            if i < 63 {
+                assert!(ns < 1u64 << (i + 1), "bucket {i}: {ns} above upper bound");
+            }
+        }
+        let h = Histogram::default();
+        h.record(Duration::from_nanos(1));
+        assert_eq!(h.quantile(0.5).unwrap(), Duration::from_nanos(1));
+    }
+
+    #[test]
+    fn merge_adds_counts_bucketwise() {
+        let a = Histogram::default();
+        let b = Histogram::default();
+        for _ in 0..10 {
+            a.record(Duration::from_micros(10));
+        }
+        for _ in 0..5 {
+            b.record(Duration::from_micros(10));
+        }
+        b.record(Duration::from_secs(1));
+        a.merge(&b);
+        assert_eq!(a.count(), 16);
+        assert_eq!(b.count(), 6, "merge leaves the source untouched");
+        // The merged outlier is visible at the tail.
+        assert!(a.quantile(1.0).unwrap() >= Duration::from_millis(500));
+        // p50 still in the 10us bucket.
+        let p50 = a.quantile(0.5).unwrap();
+        assert!(p50 >= Duration::from_micros(8) && p50 < Duration::from_micros(17));
+    }
+
+    #[test]
+    fn merge_empty_is_noop() {
+        let a = Histogram::default();
+        a.record(Duration::from_micros(3));
+        let before = a.snapshot();
+        a.merge(&Histogram::default());
+        assert_eq!(a.snapshot(), before);
+    }
+}

@@ -1,0 +1,156 @@
+//! Global registry of named counters, gauges, and histograms.
+//!
+//! Lookup by name takes a mutex (registration and snapshotting are rare);
+//! callers on hot paths resolve the instrument once into a `&'static`
+//! handle (the instruments are leaked, which is fine for process-lifetime
+//! telemetry) and then increment with plain relaxed atomics.
+
+use crate::hist::{Histogram, HistogramSnapshot};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Monotonic event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    v: AtomicU64,
+}
+
+impl Counter {
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.v.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.v.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous signed level (queue depths, in-flight counts).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    v: AtomicI64,
+}
+
+impl Gauge {
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.v.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Overwrite the level.
+    pub fn set(&self, value: i64) {
+        self.v.store(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.v.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Vec<(&'static str, &'static Counter)>,
+    gauges: Vec<(&'static str, &'static Gauge)>,
+    histograms: Vec<(&'static str, &'static Histogram)>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REG: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REG.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Get-or-register the named counter. The handle is `'static`: resolve
+/// once (e.g. into a `OnceLock`) and increment lock-free afterwards.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut reg = registry().lock().unwrap();
+    if let Some((_, c)) = reg.counters.iter().find(|(n, _)| *n == name) {
+        return c;
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter::default()));
+    reg.counters.push((name, c));
+    c
+}
+
+/// Get-or-register the named gauge.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut reg = registry().lock().unwrap();
+    if let Some((_, g)) = reg.gauges.iter().find(|(n, _)| *n == name) {
+        return g;
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge::default()));
+    reg.gauges.push((name, g));
+    g
+}
+
+/// Get-or-register the named histogram.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut reg = registry().lock().unwrap();
+    if let Some((_, h)) = reg.histograms.iter().find(|(n, _)| *n == name) {
+        return h;
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::default()));
+    reg.histograms.push((name, h));
+    h
+}
+
+/// Name/value pairs for every registered counter, in registration order.
+pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
+    registry().lock().unwrap().counters.iter().map(|(n, c)| (*n, c.get())).collect()
+}
+
+/// Name/level pairs for every registered gauge, in registration order.
+pub fn gauges_snapshot() -> Vec<(&'static str, i64)> {
+    registry().lock().unwrap().gauges.iter().map(|(n, g)| (*n, g.get())).collect()
+}
+
+/// Name/snapshot pairs for every registered histogram.
+pub fn histograms_snapshot() -> Vec<(&'static str, HistogramSnapshot)> {
+    registry().lock().unwrap().histograms.iter().map(|(n, h)| (*n, h.snapshot())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_is_get_or_register() {
+        let a = counter("test.reg.counter");
+        let b = counter("test.reg.counter");
+        assert!(std::ptr::eq(a, b));
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(counters_snapshot().iter().any(|(n, v)| *n == "test.reg.counter" && *v == 3));
+    }
+
+    #[test]
+    fn gauge_tracks_level() {
+        let g = gauge("test.reg.gauge");
+        g.add(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+        assert!(gauges_snapshot().iter().any(|(n, v)| *n == "test.reg.gauge" && *v == -7));
+    }
+
+    #[test]
+    fn histogram_registers_and_snapshots() {
+        let h = histogram("test.reg.hist");
+        h.record(std::time::Duration::from_micros(42));
+        let snaps = histograms_snapshot();
+        let (_, s) = snaps.iter().find(|(n, _)| *n == "test.reg.hist").unwrap();
+        assert_eq!(s.count, 1);
+    }
+}

@@ -31,6 +31,16 @@ pub enum KernelKind {
     /// `polar-svc` emits these so job lifetimes render alongside kernel
     /// rows in the same Chrome trace.
     Job,
+    /// A whole (possibly blocked) QR factorization, as measured by the
+    /// shared-memory solver's kernel spans rather than built tile-by-tile.
+    Geqrf,
+    /// Q formation / application (`orgqr` / `unmqr`) at whole-call
+    /// granularity, from the shared-memory solver's kernel spans.
+    Orgqr,
+    /// One solver iteration (QDWH or Zolo-PD); a phase span, not a kernel.
+    Iter,
+    /// Any other measured span (norms, scaling, setup).
+    Other,
 }
 
 impl KernelKind {

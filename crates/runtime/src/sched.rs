@@ -77,7 +77,10 @@ impl ScheduleStats {
     }
 }
 
-/// One task's placement in a simulated schedule (for trace export).
+/// One task's placement in a simulated schedule (for trace export). Also
+/// the common currency for *measured* solver spans: `solver_trace`
+/// converts `polar_obs` span records into `TraceEvent`s with `rank` = pool
+/// worker lane and `slot` = nesting depth.
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
     pub task: usize,
@@ -86,6 +89,9 @@ pub struct TraceEvent {
     pub start: f64,
     pub end: f64,
     pub kind: crate::graph::KernelKind,
+    /// Span name overriding the `kind` debug name in the exported trace
+    /// (`None` for simulated tile tasks, `Some` for measured spans).
+    pub label: Option<&'static str>,
 }
 
 /// [`simulate`] variant that also returns the full per-task placement,
@@ -110,11 +116,13 @@ pub fn write_chrome_trace<W: std::io::Write>(
     writeln!(w, "[")?;
     for (i, e) in events.iter().enumerate() {
         let comma = if i + 1 == events.len() { "" } else { "," };
+        let name: std::borrow::Cow<'_, str> = match e.label {
+            Some(l) => l.into(),
+            None => format!("{:?}#{}", e.kind, e.task).into(),
+        };
         writeln!(
             w,
-            "  {{\"name\": \"{:?}#{}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": {}, \"tid\": {}}}{comma}",
-            e.kind,
-            e.task,
+            "  {{\"name\": \"{name}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": {}, \"tid\": {}}}{comma}",
             e.start * 1e6,
             (e.end - e.start) * 1e6,
             e.rank,
@@ -220,7 +228,7 @@ fn simulate_impl<M: ExecutionModel>(
         total_task_seconds += dur;
         running_phase_max = running_phase_max.max(end);
         if let Some(ev) = trace.as_deref_mut() {
-            ev.push(TraceEvent { task: t, rank, slot, start, end, kind: task.kind });
+            ev.push(TraceEvent { task: t, rank, slot, start, end, kind: task.kind, label: None });
         }
     }
 

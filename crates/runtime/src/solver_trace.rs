@@ -1,0 +1,119 @@
+//! Export *measured* solver spans (from `polar-obs`) as a Chrome trace.
+//!
+//! The simulated schedulers in [`crate::sched`] produce [`TraceEvent`]s
+//! from a modeled machine; this module produces them from a real run. Each
+//! [`SpanRecord`] becomes one complete (`"ph": "X"`) event:
+//!
+//! * `pid` (Perfetto process row) = the span's **lane**: 0 for spans
+//!   recorded on external threads (the caller driving the solve), `i + 1`
+//!   for pool worker `i` — so a trace of a parallel solve opens with one
+//!   lane per thread-pool worker;
+//! * `tid` (thread row within the process) = nesting **depth**, which
+//!   renders nested spans (`qdwh` > `qdwh_iter` > `gemm`) stacked instead
+//!   of overlapping;
+//! * timestamps are microseconds since the process-wide [`polar_obs::epoch`],
+//!   so solver traces and `polar-svc` job traces concatenate aligned.
+
+use crate::graph::KernelKind;
+use crate::sched::{write_chrome_trace, TraceEvent};
+use polar_obs::{KernelClass, SpanRecord};
+
+/// Map a measured kernel class onto the DAG kernel vocabulary.
+fn class_to_kind(class: Option<KernelClass>, name: &str) -> KernelKind {
+    match class {
+        Some(KernelClass::Gemm) => KernelKind::Gemm,
+        Some(KernelClass::Herk) => KernelKind::Herk,
+        Some(KernelClass::Trsm) => KernelKind::Trsm,
+        Some(KernelClass::Geqrf) => KernelKind::Geqrf,
+        Some(KernelClass::Orgqr) => KernelKind::Orgqr,
+        Some(KernelClass::Potrf) => KernelKind::Potrf,
+        Some(KernelClass::Other) => KernelKind::Other,
+        None if name.ends_with("_iter") => KernelKind::Iter,
+        None => KernelKind::Other,
+    }
+}
+
+/// Convert measured spans into trace events (lane -> rank, depth -> slot,
+/// nanoseconds -> seconds). The span's own name labels the event.
+pub fn spans_to_events(spans: &[SpanRecord]) -> Vec<TraceEvent> {
+    spans
+        .iter()
+        .map(|s| TraceEvent {
+            task: s.seq as usize,
+            rank: s.lane as usize,
+            slot: s.depth as usize,
+            start: s.start_ns as f64 * 1e-9,
+            end: s.end_ns as f64 * 1e-9,
+            kind: class_to_kind(s.class, s.name),
+            label: Some(s.name),
+        })
+        .collect()
+}
+
+/// Serialize measured spans as Chrome tracing JSON (open in Perfetto or
+/// `chrome://tracing`).
+pub fn write_solver_trace<W: std::io::Write>(spans: &[SpanRecord], w: W) -> std::io::Result<()> {
+    write_chrome_trace(&spans_to_events(spans), w)
+}
+
+/// Drain all buffered spans ([`polar_obs::take_spans`]) and write them to
+/// `path`. Returns the number of spans written. This is the sink end of
+/// `POLAR_TRACE=<path>`: call it once the instrumented work is done.
+pub fn write_trace_file<P: AsRef<std::path::Path>>(path: P) -> std::io::Result<usize> {
+    let spans = polar_obs::take_spans();
+    let file = std::fs::File::create(path)?;
+    write_solver_trace(&spans, std::io::BufWriter::new(file))?;
+    Ok(spans.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        name: &'static str,
+        class: Option<KernelClass>,
+        seq: u64,
+        lane: u32,
+        depth: u32,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> SpanRecord {
+        SpanRecord { name, class, seq, lane, depth, start_ns, end_ns, flops: 0, dims: [0; 3] }
+    }
+
+    #[test]
+    fn spans_map_to_lane_and_depth() {
+        let spans = vec![
+            span("qdwh", None, 0, 0, 0, 0, 5_000),
+            span("qdwh_iter", None, 1, 0, 1, 100, 4_000),
+            span("gemm_leaf", Some(KernelClass::Gemm), 2, 3, 0, 200, 900),
+        ];
+        let events = spans_to_events(&spans);
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].kind, KernelKind::Other);
+        assert_eq!(events[1].kind, KernelKind::Iter);
+        assert_eq!(events[2].kind, KernelKind::Gemm);
+        // lane 3 = pool worker 2; depth becomes the tid row
+        assert_eq!(events[2].rank, 3);
+        assert_eq!(events[1].slot, 1);
+        assert!((events[2].start - 200e-9).abs() < 1e-18);
+        assert!((events[2].end - 900e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn solver_trace_uses_span_names() {
+        let spans = vec![
+            span("geqrf", Some(KernelClass::Geqrf), 7, 1, 0, 1_000, 2_000),
+            span("potrf", Some(KernelClass::Potrf), 8, 2, 0, 1_500, 2_500),
+        ];
+        let mut buf = Vec::new();
+        write_solver_trace(&spans, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("\"name\": \"geqrf\""));
+        assert!(s.contains("\"name\": \"potrf\""));
+        assert!(s.contains("\"pid\": 1"));
+        assert!(s.contains("\"pid\": 2"));
+        assert_eq!(s.matches("\"ph\": \"X\"").count(), 2);
+    }
+}

@@ -106,6 +106,10 @@ struct StackJob<F, R> {
     func: UnsafeCell<Option<F>>,
     result: UnsafeCell<Option<std::thread::Result<R>>>,
     latch: Latch,
+    /// Observability context of the forking thread, reinstated around the
+    /// job body wherever it ends up running, so a kernel's internal forks
+    /// stay attributed to the outermost kernel even when stolen.
+    obs_ctx: polar_obs::TaskCtx,
 }
 
 impl<F, R> StackJob<F, R>
@@ -113,7 +117,12 @@ where
     F: FnOnce() -> R,
 {
     fn new(f: F) -> Self {
-        Self { func: UnsafeCell::new(Some(f)), result: UnsafeCell::new(None), latch: Latch::new() }
+        Self {
+            func: UnsafeCell::new(Some(f)),
+            result: UnsafeCell::new(None),
+            latch: Latch::new(),
+            obs_ctx: polar_obs::task_ctx(),
+        }
     }
 
     fn as_job_ref(&self) -> JobRef {
@@ -125,7 +134,8 @@ where
     unsafe fn execute_raw(ptr: *const ()) {
         let this = &*(ptr as *const Self);
         let f = (*this.func.get()).take().expect("job executed twice");
-        let res = panic::catch_unwind(AssertUnwindSafe(f));
+        let ctx = this.obs_ctx;
+        let res = panic::catch_unwind(AssertUnwindSafe(|| polar_obs::run_with_ctx(ctx, f)));
         *this.result.get() = Some(res);
         this.latch.set();
     }
@@ -201,6 +211,9 @@ impl Registry {
             return Some(job);
         }
         if let Some(job) = self.injected.lock().unwrap().pop_front() {
+            if polar_obs::metrics_enabled() {
+                pool_counters().injected.inc();
+            }
             return Some(job);
         }
         let n = self.deques.len();
@@ -211,6 +224,9 @@ impl Registry {
                 continue;
             }
             if let Some(job) = self.deques[victim].lock().unwrap().pop_front() {
+                if polar_obs::metrics_enabled() {
+                    pool_counters().steals.inc();
+                }
                 return Some(job);
             }
         }
@@ -225,6 +241,22 @@ impl Registry {
     }
 }
 
+/// Pool-wide counters registered in the `polar-obs` registry: successful
+/// steals from other workers' deques and pickups of externally injected
+/// jobs. Only incremented when metrics are enabled.
+struct PoolCounters {
+    steals: &'static polar_obs::Counter,
+    injected: &'static polar_obs::Counter,
+}
+
+fn pool_counters() -> &'static PoolCounters {
+    static COUNTERS: OnceLock<PoolCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| PoolCounters {
+        steals: polar_obs::counter("pool.steals"),
+        injected: polar_obs::counter("pool.injected_jobs"),
+    })
+}
+
 thread_local! {
     /// (registry pointer, worker index) when the current thread is a
     /// pool worker. The raw pointer is valid for the worker's lifetime
@@ -234,6 +266,8 @@ thread_local! {
 
 fn worker_main(registry: Arc<Registry>, index: usize) {
     CURRENT_WORKER.with(|c| c.set(Some((Arc::as_ptr(&registry), index))));
+    // Worker i reports on trace lane i + 1 (lane 0 = external threads).
+    polar_obs::set_worker_lane(index);
     let mut idle_rounds = 0u32;
     loop {
         if let Some(job) = registry.find_work(index) {
@@ -414,7 +448,11 @@ fn default_pool_size() -> usize {
 
 fn global_pool() -> &'static ThreadPool {
     static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
-    GLOBAL.get_or_init(|| ThreadPool::new(default_pool_size()))
+    GLOBAL.get_or_init(|| {
+        let workers = default_pool_size();
+        polar_obs::log!(polar_obs::LogLevel::Info, "global pool: {workers} workers");
+        ThreadPool::new(workers)
+    })
 }
 
 /// Number of worker threads in the pool serving the current thread.

@@ -6,9 +6,15 @@
 //! and occasional bounds (satisfied by blanket impls), but carry no
 //! methods — all real serialization in this workspace is handwritten
 //! (see `polar_runtime::write_chrome_trace` and the metrics exporters).
+//!
+//! The [`json`] module is the *reader* counterpart: a small recursive-
+//! descent JSON parser into a dynamic [`json::Value`], enough for tests
+//! and benches to re-parse the traces and profiles the workspace writes.
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
+
+pub mod json;
 
 /// Marker standing in for `serde::Serialize` in bounds; the blanket impl
 /// makes any such bound hold (the no-op derive generates nothing).

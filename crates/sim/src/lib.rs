@@ -21,6 +21,7 @@
 
 pub mod analytic;
 pub mod dag;
+pub mod kernel_flops;
 pub mod machine;
 
 pub use analytic::{estimate_qdwh_time, estimate_zolo_time, AnalyticBreakdown, Implementation};

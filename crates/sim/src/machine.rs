@@ -159,9 +159,13 @@ impl ClusterModel {
             KernelKind::Geqrt | KernelKind::Tsqrt => 0.45,
             KernelKind::Potrf => 0.55,
             KernelKind::Geadd | KernelKind::Norm => 0.10,
-            // service-level job spans never appear in kernel DAGs; if one
-            // does, treat it as composite work at blended efficiency
-            KernelKind::Job => 0.50,
+            // whole-call QR spans blend panel and trailing-update work
+            KernelKind::Geqrf => 0.55,
+            KernelKind::Orgqr => 0.70,
+            // service-level job spans and whole solver iterations never
+            // appear in kernel DAGs; if one does, treat it as composite
+            // work at blended efficiency
+            KernelKind::Job | KernelKind::Iter | KernelKind::Other => 0.50,
         }
     }
 

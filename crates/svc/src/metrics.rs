@@ -1,75 +1,14 @@
 //! Lock-free service telemetry: counters, gauges, log-scale histograms.
 //!
-//! Histograms bucket by `floor(log2(nanoseconds))` — 64 fixed buckets
-//! cover sub-nanosecond to centuries with bounded ~2x relative error on
-//! reported quantiles, the standard trick used by HDR-style latency
-//! recorders. Everything is atomics, so recording from workers never
-//! contends with export.
+//! The log2-bucketed [`Histogram`] lives in `polar-obs` (every layer of
+//! the stack uses it); it is re-exported here so existing `polar_svc`
+//! users keep compiling. Everything is atomics, so recording from workers
+//! never contends with export.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Log2-bucketed latency histogram.
-#[derive(Debug)]
-pub struct Histogram {
-    buckets: [AtomicU64; 64],
-}
-
-impl Default for Histogram {
-    fn default() -> Self {
-        Histogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
-    }
-}
-
-impl Histogram {
-    pub fn record(&self, d: Duration) {
-        let ns = d.as_nanos().max(1) as u64;
-        let idx = 63 - ns.leading_zeros() as usize;
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
-    }
-
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Approximate quantile (`q` in `[0, 1]`): geometric midpoint of the
-    /// bucket containing the q-th sample. `None` when empty.
-    pub fn quantile(&self, q: f64) -> Option<Duration> {
-        let total = self.count();
-        if total == 0 {
-            return None;
-        }
-        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
-            if seen >= target {
-                // bucket i spans [2^i, 2^(i+1)) ns; report sqrt(2)*2^i
-                let ns = (2f64.powi(i as i32) * std::f64::consts::SQRT_2) as u64;
-                return Some(Duration::from_nanos(ns));
-            }
-        }
-        unreachable!("target <= total")
-    }
-
-    fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            count: self.count(),
-            p50: self.quantile(0.50),
-            p95: self.quantile(0.95),
-            p99: self.quantile(0.99),
-        }
-    }
-}
-
-/// Point-in-time view of one histogram.
-#[derive(Debug, Clone, PartialEq)]
-pub struct HistogramSnapshot {
-    pub count: u64,
-    pub p50: Option<Duration>,
-    pub p95: Option<Duration>,
-    pub p99: Option<Duration>,
-}
+pub use polar_obs::{Histogram, HistogramSnapshot};
 
 /// All service counters, gauges, and histograms.
 #[derive(Debug, Default)]
@@ -208,34 +147,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_buckets_power_of_two() {
+    fn reexported_histogram_keeps_the_old_api() {
+        // the definition moved to polar-obs; the svc-facing API (record /
+        // count / quantile) must keep working through the re-export
         let h = Histogram::default();
-        for _ in 0..100 {
-            h.record(Duration::from_micros(100)); // 1e5 ns
-        }
-        h.record(Duration::from_millis(100)); // 1e8 ns outlier
-        assert_eq!(h.count(), 101);
-        let p50 = h.quantile(0.5).unwrap();
-        // 1e5 ns lands in [2^16, 2^17); midpoint ~92.7 us
-        assert!(p50 >= Duration::from_micros(64) && p50 < Duration::from_micros(131));
-        let p99 = h.quantile(0.99).unwrap();
-        assert!(p99 < Duration::from_millis(1), "99/101 samples are 100us");
-        assert_eq!(h.quantile(1.0).unwrap(), h.quantile(0.999).unwrap());
-    }
-
-    #[test]
-    fn empty_histogram_has_no_quantiles() {
-        let h = Histogram::default();
-        assert_eq!(h.quantile(0.5), None);
-        assert_eq!(h.count(), 0);
-    }
-
-    #[test]
-    fn zero_duration_is_recorded() {
-        let h = Histogram::default();
-        h.record(Duration::ZERO);
+        h.record(Duration::from_micros(100));
         assert_eq!(h.count(), 1);
-        assert!(h.quantile(0.5).is_some());
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(p50 >= Duration::from_micros(64) && p50 < Duration::from_micros(131));
     }
 
     #[test]

@@ -4,8 +4,11 @@
 //! Service job lifetimes reuse [`polar_runtime::TraceEvent`] — the same
 //! record the schedule simulator emits — so a service trace opens in
 //! `chrome://tracing`/Perfetto with one row per worker (`pid` = worker,
-//! `tid` = batch lane) exactly like a simulated kernel timeline, and the
-//! two can even be concatenated for side-by-side inspection.
+//! `tid` = batch lane) exactly like a simulated kernel timeline. Spans are
+//! measured from the process-wide [`polar_obs::epoch`] — the same zero the
+//! solver's kernel spans use — so a job trace and a solver trace
+//! concatenate with aligned clocks instead of each starting at its own
+//! arbitrary zero.
 
 use parking_lot::Mutex;
 use polar_runtime::{write_chrome_trace, KernelKind, TraceEvent};
@@ -19,10 +22,11 @@ pub struct SpanLog {
 
 impl SpanLog {
     pub fn new() -> Self {
-        SpanLog { epoch: Instant::now(), events: Mutex::new(Vec::new()) }
+        SpanLog { epoch: polar_obs::epoch(), events: Mutex::new(Vec::new()) }
     }
 
-    /// The instant job spans are measured from.
+    /// The instant job spans are measured from: the process-wide
+    /// [`polar_obs::epoch`], shared with the solver's kernel spans.
     pub fn epoch(&self) -> Instant {
         self.epoch
     }
@@ -37,6 +41,7 @@ impl SpanLog {
             start: start.duration_since(self.epoch).as_secs_f64(),
             end: end.duration_since(self.epoch).as_secs_f64(),
             kind: KernelKind::Job,
+            label: None,
         };
         self.events.lock().push(ev);
     }
@@ -88,6 +93,17 @@ mod tests {
         assert_eq!(s.matches("\"ph\": \"X\"").count(), 2);
         assert!(s.contains("Job#1"), "{s}");
         assert!(s.contains("\"pid\": 1"));
+    }
+
+    #[test]
+    fn epoch_is_the_process_wide_obs_epoch() {
+        // two logs created at different times still share one zero, and
+        // that zero is the solver spans' zero — traces concatenate aligned
+        let a = SpanLog::new();
+        std::thread::sleep(Duration::from_millis(1));
+        let b = SpanLog::new();
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.epoch(), polar_obs::epoch());
     }
 
     #[test]

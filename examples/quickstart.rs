@@ -16,6 +16,9 @@ fn main() {
     let spec = MatrixSpec::ill_conditioned(n, 2023);
     let (a, _) = generate::<f64>(&spec);
 
+    // enable kernel counters so per-iteration records carry GFlop/s
+    polar::obs::set_metrics_enabled(true);
+
     let t0 = std::time::Instant::now();
     let pd = qdwh(&a, &QdwhOptions::default()).expect("qdwh failed");
     let elapsed = t0.elapsed();
@@ -36,9 +39,17 @@ fn main() {
     println!("  orthogonality error (Fig. 1a metric): {orth:.3e}");
     println!("  backward error      (Fig. 1b metric): {berr:.3e}");
 
-    println!("\nconvergence history (||A_k - A_(k-1)||_F):");
-    for (k, c) in pd.info.convergence_history.iter().enumerate() {
-        println!("  iter {:>2} [{:?}]: {c:.3e}", k + 1, pd.info.kinds[k]);
+    println!("\nper-iteration records (||A_k - A_(k-1)||_F, l_k, achieved GFlop/s):");
+    for r in &pd.info.records {
+        println!(
+            "  iter {:>2} [{:?}]: conv={:.3e}  l={:.3e}  {:>6.1} ms  {:>5.1} GFlop/s",
+            r.iteration,
+            r.kind,
+            r.convergence,
+            r.ell,
+            r.seconds * 1e3,
+            r.achieved_gflops(),
+        );
     }
 
     assert!(orth < 1e-12 && berr < 1e-12, "accuracy regression");

@@ -163,6 +163,9 @@ fn cmd_model(args: &[String]) {
 }
 
 fn main() {
+    // POLAR_METRICS=1 enables kernel counters; POLAR_TRACE=<path> also
+    // records spans, written as a Chrome trace on exit (open in Perfetto).
+    let obs_cfg = polar::obs::init_from_env();
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let cmd = argv.first().map(String::as_str).unwrap_or("help");
     let rest = if argv.is_empty() { &[] } else { &argv[1..] };
@@ -185,6 +188,15 @@ fn main() {
             Ok(())
         }
     };
+    if let Some(path) = &obs_cfg.trace_path {
+        match polar::runtime::write_trace_file(path) {
+            Ok(spans) => eprintln!("wrote {spans} spans to {}", path.display()),
+            Err(e) => eprintln!("failed to write trace {}: {e}", path.display()),
+        }
+    }
+    if polar::obs::metrics_enabled() {
+        eprintln!("kernel counters: {}", polar::obs::kernel_snapshot().to_json());
+    }
     if let Err(e) = result {
         eprintln!("error: {e}");
         std::process::exit(1);

@@ -17,6 +17,7 @@
 //! | [`sim`] | `polar-sim` | Summit/Frontier models, performance simulation |
 //! | [`qdwh`] | `polar-qdwh` | **the paper's contribution**: QDWH-PD + applications |
 //! | [`svc`] | `polar-svc` | embeddable job service: admission, batching, retries, telemetry |
+//! | [`obs`] | `polar-obs` | tracing spans, kernel flop counters, achieved-GFlop/s profiling |
 //!
 //! ## Quickstart
 //!
@@ -38,6 +39,7 @@ pub use polar_blas as blas;
 pub use polar_gen as gen;
 pub use polar_lapack as lapack;
 pub use polar_matrix as matrix;
+pub use polar_obs as obs;
 pub use polar_qdwh as qdwh;
 pub use polar_runtime as runtime;
 pub use polar_scalar as scalar;

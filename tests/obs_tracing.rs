@@ -1,0 +1,164 @@
+//! Integration tests for the observability stack: a real instrumented
+//! QDWH solve must produce (a) a well-formed Chrome trace whose spans
+//! nest cleanly per (lane, depth), (b) per-iteration records with a
+//! QR-vs-Cholesky kernel split, and (c) flop counters that agree with the
+//! independent analytic model in `polar_sim::kernel_flops` to within 1%.
+
+use polar::obs::{self, KernelClass};
+use polar::prelude::*;
+use polar::qdwh::IterationKind;
+use polar::sim::kernel_flops;
+
+/// One instrumented solve under the process-global scope lock (obs state
+/// is shared by every test in the binary).
+fn profiled_qdwh(n: usize) -> (PolarDecomposition<f64>, obs::Report) {
+    let _guard = obs::scope_lock();
+    let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(n, 7));
+    rayon::join(|| (), || ()); // make sure pool workers (and lanes) exist
+    let scope = obs::scope();
+    let pd = qdwh(&a, &QdwhOptions::default()).expect("qdwh converges");
+    (pd, scope.finish())
+}
+
+#[test]
+fn trace_round_trips_and_spans_nest_per_lane() {
+    let (_, report) = profiled_qdwh(96);
+    assert!(!report.spans.is_empty());
+
+    // serialize through the runtime's Chrome-trace writer, then re-parse
+    let mut buf = Vec::new();
+    polar::runtime::write_solver_trace(&report.spans, &mut buf).unwrap();
+    let parsed = serde::json::from_str(std::str::from_utf8(&buf).unwrap())
+        .expect("trace is well-formed JSON");
+    let events = parsed.as_array().expect("trace is a JSON array");
+    assert_eq!(events.len(), report.spans.len());
+
+    // every event is a complete-span record with the Perfetto fields
+    for e in events {
+        assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("X"));
+        let name = e.get("name").and_then(|v| v.as_str()).expect("name");
+        assert!(!name.is_empty());
+        assert!(e.get("ts").and_then(|v| v.as_f64()).expect("ts") >= 0.0);
+        assert!(e.get("dur").and_then(|v| v.as_f64()).expect("dur") >= 0.0);
+        e.get("pid").and_then(|v| v.as_f64()).expect("pid");
+        e.get("tid").and_then(|v| v.as_f64()).expect("tid");
+    }
+
+    // the solver phases and the paper's kernel classes all appear
+    let names: std::collections::BTreeSet<&str> = report.spans.iter().map(|s| s.name).collect();
+    for expected in ["qdwh", "qdwh_iter", "gemm", "geqrf", "potrf", "trsm", "herk"] {
+        assert!(names.contains(expected), "missing '{expected}' in {names:?}");
+    }
+
+    // spans on one (lane, depth) row are monotonically ordered and never
+    // overlap: that pair is exactly a Perfetto (pid, tid) row, and a row
+    // with overlapping complete-spans renders garbage
+    let mut rows: std::collections::BTreeMap<(u32, u32), Vec<(u64, u64)>> =
+        std::collections::BTreeMap::new();
+    for s in &report.spans {
+        assert!(s.end_ns >= s.start_ns, "span {} ends before it starts", s.name);
+        rows.entry((s.lane, s.depth)).or_default().push((s.start_ns, s.end_ns));
+    }
+    for ((lane, depth), mut row) in rows {
+        row.sort_unstable();
+        for w in row.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0,
+                "overlapping spans on lane {lane} depth {depth}: \
+                 [{}, {}) then [{}, {})",
+                w[0].0,
+                w[0].1,
+                w[1].0,
+                w[1].1
+            );
+        }
+    }
+}
+
+#[test]
+fn counted_flops_match_the_analytic_model_within_1_percent() {
+    let n = 96usize;
+    let (pd, report) = profiled_qdwh(n);
+    let it_qr = pd.info.qr_iterations as f64;
+    let it_chol = pd.info.chol_iterations as f64;
+    assert!(it_qr >= 1.0 && it_chol >= 1.0, "want both iteration kinds");
+
+    // Analytic model of Algorithm 1, built from polar_sim::kernel_flops
+    // (shares no code with the counting hooks in polar-blas / polar-lapack):
+    //   per QR iteration (Eq. 1): geqrf + orgqr of the stacked 2n x n
+    //   matrix, one n x n gemm for the update, one for H at the end;
+    //   per Cholesky iteration (Eq. 2): herk + potrf + 2 trsm.
+    let stacked = |f: fn(usize, usize) -> f64| f(2 * n, n);
+    let qr_iter =
+        stacked(kernel_flops::geqrf) + stacked(kernel_flops::orgqr) + kernel_flops::gemm(n, n, n);
+    let chol_iter =
+        kernel_flops::herk(n, n) + kernel_flops::potrf(n) + 2.0 * kernel_flops::trsm_right(n, n);
+
+    let counted = report.kernels.get(KernelClass::Geqrf).flops as f64
+        + report.kernels.get(KernelClass::Orgqr).flops as f64;
+    // + one square geqrf: the l_0 condition estimate (Algorithm 1 line 19)
+    let model = it_qr * (stacked(kernel_flops::geqrf) + stacked(kernel_flops::orgqr))
+        + kernel_flops::geqrf(n, n);
+    let rel = (counted - model).abs() / model;
+    assert!(rel < 0.01, "QR-class flops off by {:.3}%: {counted} vs {model}", rel * 100.0);
+
+    let counted_chol = report.kernels.get(KernelClass::Herk).flops as f64
+        + report.kernels.get(KernelClass::Potrf).flops as f64
+        + report.kernels.get(KernelClass::Trsm).flops as f64;
+    let model_chol = it_chol * (chol_iter - 0.0);
+    let rel = (counted_chol - model_chol).abs() / model_chol;
+    assert!(
+        rel < 0.01,
+        "Cholesky-class flops off by {:.3}%: {counted_chol} vs {model_chol}",
+        rel * 100.0
+    );
+
+    // whole-solve total: iterations + condition estimation + final H gemm
+    // land within a few percent of the paper's per-kernel accounting; the
+    // per-class checks above are the tight (1%) contract
+    let total = report.kernels.total_flops() as f64;
+    assert!(total > it_qr * qr_iter + it_chol * chol_iter - 1.0);
+}
+
+#[test]
+fn iteration_records_split_qr_vs_cholesky_kernel_time() {
+    let (pd, _) = profiled_qdwh(96);
+    assert_eq!(pd.info.records.len(), pd.info.iterations);
+    for r in &pd.info.records {
+        let qr_ns =
+            r.kernels.get(KernelClass::Geqrf).time_ns + r.kernels.get(KernelClass::Orgqr).time_ns;
+        let chol_ns = r.kernels.get(KernelClass::Potrf).time_ns;
+        match r.kind {
+            IterationKind::QrBased => {
+                assert!(qr_ns > 0, "iter {}: QR-based but no QR kernel time", r.iteration);
+                assert_eq!(chol_ns, 0, "iter {}: QR-based but potrf ran", r.iteration);
+            }
+            IterationKind::CholeskyBased => {
+                assert!(chol_ns > 0, "iter {}: Cholesky-based but no potrf time", r.iteration);
+                assert_eq!(qr_ns, 0, "iter {}: Cholesky-based but QR ran", r.iteration);
+            }
+        }
+        assert!(r.seconds > 0.0);
+        assert!(r.achieved_gflops() > 0.0);
+        assert!(r.convergence.is_finite());
+    }
+    // convergence_history() is the backward-compatible projection
+    assert_eq!(
+        pd.info.convergence_history(),
+        pd.info.records.iter().map(|r| r.convergence).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn disabled_observability_records_nothing() {
+    let _guard = obs::scope_lock();
+    let before = obs::kernel_snapshot();
+    let (a, _) = generate::<f64>(&MatrixSpec::well_conditioned(48, 3));
+    let pd = qdwh(&a, &QdwhOptions::default()).expect("qdwh converges");
+    let delta = obs::kernel_snapshot().delta(&before);
+    assert_eq!(delta.total_calls(), 0, "counters moved while disabled");
+    assert!(obs::take_spans().is_empty(), "spans recorded while disabled");
+    // records still exist (wall time + convergence), just without kernels
+    assert_eq!(pd.info.records.len(), pd.info.iterations);
+    assert!(pd.info.records.iter().all(|r| r.kernels.total_calls() == 0));
+}
