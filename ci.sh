@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Repository CI gate. Run locally before pushing; the GitHub Actions
-# workflow (.github/workflows/ci.yml) runs the same steps.
+# workflow (.github/workflows/ci.yml) runs these same stages as parallel
+# jobs, so keep all command lines here — the workflow only dispatches.
 #
-#   ./ci.sh          # everything
-#   ./ci.sh fast     # skip the full workspace test pass (tier-1 only)
+#   ./ci.sh             # all stages
+#   ./ci.sh lint        # rustfmt + clippy (deny warnings)
+#   ./ci.sh tier1       # release build, root-package tests, both smokes
+#   ./ci.sh workspace   # full workspace tests + standalone facade build
+#   ./ci.sh verify      # accuracy gate, run twice under deterministic
+#                       # replay — the two reports must be byte-identical
+#   ./ci.sh fast        # lint + tier1 only
 #
 # All cargo invocations are --offline: every external dependency is
 # vendored under crates/shims/ (see Cargo.toml), so CI needs no registry.
@@ -11,39 +17,83 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 step() { printf '\n== %s ==\n' "$*"; }
+fail() { echo "ci.sh: $*" >&2; exit 1; }
 
-step "rustfmt"
-cargo fmt --check
+stage_lint() {
+    step "rustfmt"
+    cargo fmt --check
 
-step "clippy (workspace, all targets, deny warnings)"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+    step "clippy (workspace, all targets, deny warnings)"
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+}
 
-step "tier-1: release build"
-cargo build --offline --release
+stage_tier1() {
+    step "tier-1: release build"
+    cargo build --offline --release
 
-step "tier-1: root package tests"
-cargo test --offline -q
+    step "tier-1: root package tests"
+    cargo test --offline -q
 
-step "bench-smoke: packed GEMM vs reference, all types"
-cargo run --offline --release -p polar-bench --bin kernels_perf -- \
-    --smoke --out target/bench_smoke.json >/dev/null
+    # Smoke artifacts are deleted up front so a leftover file from an
+    # earlier run can never satisfy the non-empty checks below.
+    local artifacts=(
+        target/bench_smoke.json
+        target/profile_smoke.json
+        target/trace_smoke.json
+    )
+    rm -f "${artifacts[@]}"
 
-step "profile-smoke: instrumented QDWH + Zolo, trace + overhead checks"
-# validates the Chrome trace and profile JSON (re-parsed, non-empty,
-# kernel spans on per-worker lanes) and asserts the disabled-path span
-# overhead stays under 1% of a small gemm
-POLAR_NUM_THREADS="${POLAR_NUM_THREADS:-4}" \
-cargo run --offline --release -p polar-bench --bin solver_profile -- \
-    --smoke --out target/profile_smoke.json --trace target/trace_smoke.json \
-    >/dev/null
-test -s target/trace_smoke.json || { echo "empty trace artifact"; exit 1; }
+    step "bench-smoke: packed GEMM vs reference, all types"
+    cargo run --offline --release -p polar-bench --bin kernels_perf -- \
+        --smoke --out target/bench_smoke.json >/dev/null
 
-if [[ "${1:-}" != "fast" ]]; then
+    step "profile-smoke: instrumented QDWH + Zolo, trace + overhead checks"
+    # validates the Chrome trace and profile JSON (re-parsed, non-empty,
+    # kernel spans on per-worker lanes) and asserts the disabled-path span
+    # overhead stays under 1% of a small gemm
+    POLAR_NUM_THREADS="${POLAR_NUM_THREADS:-4}" \
+    cargo run --offline --release -p polar-bench --bin solver_profile -- \
+        --smoke --out target/profile_smoke.json --trace target/trace_smoke.json \
+        >/dev/null
+
+    local f
+    for f in "${artifacts[@]}"; do
+        test -s "$f" || fail "smoke produced empty or missing artifact: $f"
+    done
+}
+
+stage_workspace() {
     step "workspace tests"
     cargo test --offline -q --workspace
 
     step "facade builds standalone"
     cargo build --offline --release -p polar
-fi
+}
+
+stage_verify() {
+    step "accuracy gate (deterministic replay, two runs, byte compare)"
+    rm -f target/verify_run_a.json target/verify_run_b.json ACCURACY_report.json
+    POLAR_DETERMINISTIC=1 POLAR_SEED=42 \
+    cargo run --offline --release -q -p polar-verify -- \
+        --gate --out target/verify_run_a.json
+    POLAR_DETERMINISTIC=1 POLAR_SEED=42 \
+    cargo run --offline --release -q -p polar-verify -- \
+        --gate --out target/verify_run_b.json >/dev/null
+    cmp target/verify_run_a.json target/verify_run_b.json \
+        || fail "deterministic replay broken: the two gate reports differ"
+    cp target/verify_run_a.json ACCURACY_report.json
+    test -s ACCURACY_report.json || fail "empty ACCURACY_report.json"
+    echo "deterministic replay OK: reports byte-identical"
+}
+
+case "${1:-all}" in
+    lint)      stage_lint ;;
+    tier1)     stage_tier1 ;;
+    workspace) stage_workspace ;;
+    verify)    stage_verify ;;
+    fast)      stage_lint; stage_tier1 ;;
+    all)       stage_lint; stage_tier1; stage_workspace; stage_verify ;;
+    *)         fail "unknown stage '${1}' (expected lint|tier1|workspace|verify|fast|all)" ;;
+esac
 
 step "OK"

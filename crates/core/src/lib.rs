@@ -47,7 +47,8 @@ pub use options::{
 pub use params::{halley_parameters, update_ell, HalleyParams};
 pub use partial::{qdwh_partial_eig, qdwh_partial_svd, PartialEig, PartialSvd};
 pub use qdwh_impl::{
-    orthogonality_error, qdwh, IterationRecord, PolarDecomposition, QdwhError, QdwhInfo,
+    hermitian_deviation, orthogonality_error, psd_deviation, qdwh, IterationRecord,
+    PolarDecomposition, QdwhError, QdwhInfo,
 };
 pub use svd_pd::svd_based_polar;
 pub use zolo::{zolo_pd, ZoloOptions, ZoloOutcome};

@@ -144,6 +144,42 @@ impl<R: Real> QdwhInfo<R> {
     }
 }
 
+/// `||H - H^H||_F / max(||H||_F, 1)`: deviation of a computed factor
+/// from exact Hermitian symmetry. On the driver's output this is zero by
+/// construction (line 52 symmetrizes); applied to the raw `U_p^H A`
+/// product it is the paper's third accuracy metric — one of the
+/// backward-stability criteria of Benner/Nakatsukasa/Penke
+/// (arXiv:2104.06659) for QDWH-type iterations.
+pub fn hermitian_deviation<S: Scalar>(h: &Matrix<S>) -> S::Real {
+    let n = h.ncols();
+    if n == 0 || h.nrows() != n {
+        return S::Real::ZERO;
+    }
+    let mut dev = S::Real::ZERO;
+    for j in 0..n {
+        for i in 0..n {
+            let d = h[(i, j)] - h[(j, i)].conj();
+            dev += d.abs_sq();
+        }
+    }
+    let scale: S::Real = norm(Norm::Fro, h.as_ref());
+    dev.sqrt() / scale.max(S::Real::ONE)
+}
+
+/// Positive-semidefiniteness deviation of a Hermitian factor:
+/// `max(0, -lambda_min(H)) / max(lambda_max(H), 1)`, i.e. the most
+/// negative eigenvalue relative to the spectral radius. Zero for an
+/// exactly PSD matrix; `O(eps)` for a backward-stable polar `H`.
+pub fn psd_deviation<S: Scalar>(h: &Matrix<S>) -> Result<S::Real, QdwhError> {
+    if h.ncols() == 0 {
+        return Ok(S::Real::ZERO);
+    }
+    let eig = polar_lapack::jacobi_eig(h)?;
+    let lmax = *eig.values.first().expect("nonempty spectrum");
+    let lmin = *eig.values.last().expect("nonempty spectrum");
+    Ok((-lmin).max(S::Real::ZERO) / lmax.max(S::Real::ONE))
+}
+
 /// `||I - U^H U||_F / sqrt(n)` (Fig. 1a metric), available standalone.
 pub fn orthogonality_error<S: Scalar>(u: &Matrix<S>) -> S::Real {
     let n = u.ncols();
@@ -692,6 +728,37 @@ mod tests {
         add(-1.0, tsqr_pd.u.as_ref(), 1.0, diff.as_mut());
         let d: f64 = norm(Norm::Fro, diff.as_ref());
         assert!(d < 1e-10, "U factors diverged: {d}");
+    }
+
+    #[test]
+    fn hermitian_and_psd_deviation_metrics() {
+        let (a, _) = generate::<Complex64>(&MatrixSpec::ill_conditioned(24, 19));
+        let pd = qdwh(&a, &QdwhOptions::default()).unwrap();
+        // driver output is symmetrized, so the deviation is exactly zero
+        assert_eq!(hermitian_deviation(&pd.h), 0.0);
+        // raw U^H A deviates from Hermitian by O(eps)
+        let mut raw = Matrix::<Complex64>::zeros(24, 24);
+        gemm(
+            Op::ConjTrans,
+            Op::NoTrans,
+            Complex64::ONE,
+            pd.u.as_ref(),
+            a.as_ref(),
+            Complex64::ZERO,
+            raw.as_mut(),
+        );
+        let dev = hermitian_deviation(&raw);
+        assert!(dev > 0.0 && dev < 1e-13, "dev = {dev:e}");
+        // H is PSD to machine precision
+        let psd = psd_deviation(&pd.h).unwrap();
+        assert!(psd < 1e-13, "psd deviation = {psd:e}");
+        // an indefinite matrix is flagged
+        let mut indef = Matrix::<f64>::identity(4, 4);
+        indef[(3, 3)] = -0.5;
+        assert!(psd_deviation(&indef).unwrap() >= 0.5);
+        // non-square / empty inputs are inert
+        assert_eq!(hermitian_deviation(&Matrix::<f64>::zeros(3, 2)), 0.0);
+        assert_eq!(psd_deviation(&Matrix::<f64>::zeros(0, 0)).unwrap(), 0.0);
     }
 
     #[test]

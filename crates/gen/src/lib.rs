@@ -63,6 +63,18 @@ impl MatrixSpec {
         self
     }
 
+    /// Cap the condition number at what a scalar type with machine
+    /// epsilon `eps` can meaningfully resolve: κ ≤ 0.1/eps keeps the
+    /// smallest singular value an order of magnitude above the noise
+    /// floor, so the realized spectrum still matches the prescription.
+    /// Lets one master cond sweep serve all four types (e.g. κ = 1e13
+    /// stays 1e13 in f64 but caps near 8e5 in f32).
+    pub fn cond_capped(mut self, eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1)");
+        self.cond = self.cond.min(0.1 / eps);
+        self
+    }
+
     /// The singular values this spec prescribes.
     pub fn singular_values(&self) -> Vec<f64> {
         let k = self.m.min(self.n);
@@ -279,6 +291,16 @@ mod tests {
         let s = spec.singular_values();
         assert_eq!(s[0], 1.0);
         assert!(s[1..].iter().all(|&x| (x - 1e-8).abs() < 1e-20));
+    }
+
+    #[test]
+    fn cond_capped_per_type() {
+        let spec = MatrixSpec::ill_conditioned(8, 0); // kappa = 1e16
+        assert_eq!(spec.clone().cond_capped(f64::EPSILON).cond, 0.1 / f64::EPSILON);
+        assert_eq!(spec.clone().cond_capped(f32::EPSILON as f64).cond, 0.1 / f32::EPSILON as f64);
+        // already-modest conds pass through unchanged
+        let well = MatrixSpec::well_conditioned(8, 0);
+        assert_eq!(well.clone().cond_capped(f32::EPSILON as f64).cond, well.cond);
     }
 
     #[test]
