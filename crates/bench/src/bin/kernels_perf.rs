@@ -116,6 +116,20 @@ fn bench_geqrf(n: usize, reps: usize) -> f64 {
     (4.0 / 3.0) * (n as f64).powi(3) / secs / 1e9
 }
 
+/// DAG-scheduled tile QR (factorization only, like `bench_geqrf`) under a
+/// pool of `threads` workers.
+fn bench_geqrf_tiled(n: usize, threads: usize, reps: usize) -> f64 {
+    let pool = rayon::ThreadPool::new(threads);
+    let a0 = rand_mat::<f64>(n, n, 6);
+    let nb = polar_lapack::default_tile_nb();
+    let secs = best_time(reps, || {
+        pool.install(|| {
+            let _ = polar_lapack::geqrf_tiled(&a0, nb);
+        });
+    });
+    (4.0 / 3.0) * (n as f64).powi(3) / secs / 1e9
+}
+
 fn bench_qdwh(n: usize) -> (f64, usize) {
     let (a, _) = generate::<f64>(&polar_bench::paper_matrix_spec(n, 42));
     let t = Instant::now();
@@ -179,6 +193,47 @@ fn smoke_check<S: Scalar>() {
     eprintln!("smoke: packed gemm matches gemm_ref for type {}", S::TYPE_TAG);
 }
 
+/// Smoke check: the DAG-scheduled tile drivers must agree with the flat
+/// factorizations — `geqrf_tiled` by reconstruction (`Q R = A` to the same
+/// accuracy as the flat path) and `potrf_tiled` by direct factor equality
+/// (the Cholesky factor with positive diagonal is unique).
+fn smoke_tiled<S: Scalar>() {
+    use polar_blas::{add, norm};
+    use polar_matrix::Norm;
+
+    let tol = S::Real::from_f64(1e-4); // f32 headroom; f64 lands ~1e-14
+    for (m, n, nb) in [(48usize, 32usize, 16usize), (37, 29, 16), (30, 30, 64)] {
+        let a0 = rand_mat::<S>(m, n, 17);
+        let f = polar_lapack::geqrf_tiled(&a0, nb);
+        let q = polar_lapack::orgqr_tiled(&f, n);
+        let r = f.extract_r();
+        let mut qr = Matrix::<S>::zeros(m, n);
+        gemm(Op::NoTrans, Op::NoTrans, S::ONE, q.as_ref(), r.as_ref(), S::ZERO, qr.as_mut());
+        add(-S::ONE, a0.as_ref(), S::ONE, qr.as_mut());
+        let err = norm(Norm::Fro, qr.as_ref()) / norm(Norm::Fro, a0.as_ref()).max(S::Real::ONE);
+        assert!(err <= tol, "smoke tiled QR {}: ||QR-A|| = {err:?} (m={m} n={n})", S::TYPE_TAG);
+    }
+
+    let n = 40;
+    let b = rand_mat::<S>(n, n, 18);
+    let mut spd = Matrix::<S>::zeros(n, n);
+    for d in 0..n {
+        spd[(d, d)] = S::from_parts(S::Real::from_f64(n as f64), S::Real::ZERO);
+    }
+    gemm(Op::NoTrans, Op::ConjTrans, S::ONE, b.as_ref(), b.as_ref(), S::ONE, spd.as_mut());
+    let mut flat = spd.clone();
+    polar_lapack::potrf(Uplo::Lower, &mut flat).expect("flat potrf");
+    let mut tiled = spd;
+    polar_lapack::potrf_tiled(Uplo::Lower, &mut tiled, 16).expect("tiled potrf");
+    for j in 0..n {
+        for i in j..n {
+            let d = (flat[(i, j)] - tiled[(i, j)]).abs();
+            assert!(d <= tol, "smoke tiled potrf {}: L({i},{j}) diff {d:?}", S::TYPE_TAG);
+        }
+    }
+    eprintln!("smoke: tiled QR/Cholesky match flat for type {}", S::TYPE_TAG);
+}
+
 fn json_f(x: f64) -> String {
     if x.is_finite() {
         format!("{x:.4}")
@@ -196,11 +251,13 @@ fn main() {
         .unwrap_or_else(|| "BENCH_kernels.json".into());
 
     let pool_workers = rayon::current_num_threads();
+    let host_cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"harness\": \"kernels_perf\",");
     let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(j, "  \"pool_workers\": {pool_workers},");
+    let _ = writeln!(j, "  \"host_cores\": {host_cores},");
     #[cfg(target_arch = "x86_64")]
     let _ = writeln!(
         j,
@@ -217,6 +274,10 @@ fn main() {
         smoke_check::<f64>();
         smoke_check::<Complex32>();
         smoke_check::<Complex64>();
+        smoke_tiled::<f32>();
+        smoke_tiled::<f64>();
+        smoke_tiled::<Complex32>();
+        smoke_tiled::<Complex64>();
         // one tiny timed row so the artifact shape matches the full run
         let row = bench_gemm::<f64>(64, 2, true);
         let _ = writeln!(
@@ -277,13 +338,49 @@ fn main() {
         json_f(bench_geqrf(512, 2))
     );
 
+    // ---- tiled (DAG-scheduled) vs flat QR ----
+    eprintln!("tiled qr...");
+    let flat_1024 = bench_geqrf(1024, 2);
+    let mut tiled_threads = vec![1usize];
+    if host_cores > 1 || pool_workers > 1 {
+        tiled_threads.push(4.min(host_cores.max(pool_workers)));
+        tiled_threads.dedup();
+    }
+    j.push_str("  \"geqrf_tiled\": [\n");
+    let mut first = true;
+    for n in [512usize, 1024] {
+        let flat = if n == 1024 { flat_1024 } else { bench_geqrf(512, 2) };
+        for &t in &tiled_threads {
+            let g = bench_geqrf_tiled(n, t, 2);
+            if !first {
+                j.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                j,
+                "    {{\"type\": \"d\", \"n\": {n}, \"pool_workers\": {t}, \"host_cores\": {host_cores}, \"gflops\": {}, \"gflops_flat\": {}, \"speedup_vs_flat\": {}}}",
+                json_f(g),
+                json_f(flat),
+                json_f(g / flat)
+            );
+        }
+    }
+    j.push_str("\n  ],\n");
+
     // ---- thread-scaling curve on the work-stealing pool ----
     eprintln!("thread scaling...");
     let mut tset = vec![1usize, 2, 4];
     if !tset.contains(&pool_workers) {
         tset.push(pool_workers);
-        tset.sort_unstable();
     }
+    // sweep up to the machine's real core count so multicore CI records an
+    // honest scaling curve (single-core hosts still record oversubscribed
+    // pool sizes, flagged by the per-entry host_cores field)
+    if !tset.contains(&host_cores) {
+        tset.push(host_cores);
+    }
+    tset.sort_unstable();
+    tset.dedup();
     let base = bench_gemm_threads(1024, 1, 2);
     j.push_str("  \"thread_scaling\": [\n");
     for (i, &t) in tset.iter().enumerate() {
@@ -291,7 +388,7 @@ fn main() {
         let eff = g / (base * t as f64);
         let _ = write!(
             j,
-            "    {{\"threads\": {t}, \"n\": 1024, \"gflops\": {}, \"efficiency_vs_ideal\": {}}}",
+            "    {{\"pool_workers\": {t}, \"host_cores\": {host_cores}, \"n\": 1024, \"gflops\": {}, \"efficiency_vs_ideal\": {}}}",
             json_f(g),
             json_f(eff)
         );

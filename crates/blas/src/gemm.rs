@@ -11,8 +11,8 @@
 //!   (`crate::packed`), with leaf granularity scaled to the pool size so
 //!   packing costs are amortized over large leaves.
 
-use crate::packed::gemm_packed;
-use crate::params::par_threshold_flops;
+use crate::packed::{gemm_packed, gemm_packed_par};
+use crate::params::{gemm_params, par_threshold_flops};
 use polar_matrix::{MatMut, MatRef, Op};
 use polar_scalar::{Complex32, Scalar};
 
@@ -223,6 +223,22 @@ pub fn gemm<S: Scalar>(
         crate::flops::type_factor(S::IS_COMPLEX) * crate::flops::gemm(m, n, ak),
         [m, n, ak],
     );
+    // Block-grid parallel path: share one packed-B panel across workers and
+    // fan the MC row blocks out, instead of recursively halving the output
+    // (which re-packs B in every leaf and caps parallel efficiency). Needs
+    // >= 2 MC blocks to fan out; Complex32 stays on the axpy leaves.
+    let threads = rayon::current_num_threads();
+    let work = m.saturating_mul(n).saturating_mul(ak.max(1));
+    let is_complex32 = std::any::TypeId::of::<S>() == std::any::TypeId::of::<Complex32>();
+    if threads > 1
+        && !is_complex32
+        && m >= 2 * gemm_params().mc
+        && n >= 4
+        && work >= par_threshold_flops()
+    {
+        gemm_packed_par(op_a, op_b, alpha, a, b, beta, c);
+        return;
+    }
     let grain = split_grain(m, n, ak);
     gemm_par(op_a, op_b, alpha, a, b, beta, c, ak, grain);
 }

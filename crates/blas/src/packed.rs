@@ -24,7 +24,7 @@
 
 use crate::params::{gemm_params, MAX_MR, MAX_NR};
 use polar_matrix::{MatMut, MatRef, Op};
-use polar_scalar::Scalar;
+use polar_scalar::{Complex64, Scalar};
 use std::any::TypeId;
 
 /// Microkernel register shape `(MR, NR)` for scalar type `S`, honoring
@@ -65,6 +65,8 @@ enum Kern {
     F64Avx2,
     #[cfg(target_arch = "x86_64")]
     F32Avx2,
+    #[cfg(target_arch = "x86_64")]
+    Z64Avx2,
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -104,6 +106,8 @@ fn select_kernel<S: Scalar>(mr: usize, nr: usize) -> Kern {
             }
         } else if t == TypeId::of::<f32>() && mr == 16 && nr == 6 && cpu_has_avx2_fma() {
             return Kern::F32Avx2;
+        } else if t == TypeId::of::<Complex64>() && mr == 4 && nr == 4 && cpu_has_avx2_fma() {
+            return Kern::Z64Avx2;
         }
     }
     let _ = (mr, nr);
@@ -161,6 +165,91 @@ pub(crate) fn gemm_packed<S: Scalar>(
             }
         }
     }
+}
+
+/// Parallel packed GEMM: the same five-loop structure as [`gemm_packed`],
+/// but the MC-block grid of each rank-KC update fans out over the pool.
+/// The `op(B)` micro-panels are packed *once* per `(jc, pc)` and shared
+/// read-only by every worker; each MC block packs its own A panel and
+/// writes a disjoint row stripe of `C`. The per-element operation order is
+/// identical to the sequential path regardless of thread count, so results
+/// are bitwise reproducible (deterministic replay included).
+pub(crate) fn gemm_packed_par<S: Scalar>(
+    op_a: Op,
+    op_b: Op,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    beta: S,
+    mut c: MatMut<'_, S>,
+) {
+    let m = c.nrows();
+    let n = c.ncols();
+    let k = match op_a {
+        Op::NoTrans => a.ncols(),
+        _ => a.nrows(),
+    };
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == S::ZERO {
+        scale_block(&mut c, beta);
+        return;
+    }
+
+    let p = gemm_params();
+    let (mr, nr) = tile_shape::<S>();
+    let kern = select_kernel::<S>(mr, nr);
+    let kc = p.kc.min(k);
+    let mc = p.mc.min(m);
+    let nc = p.nc.min(n);
+
+    let mut bpack = vec![S::ZERO; nc.next_multiple_of(nr) * kc];
+
+    for jc in (0..n).step_by(nc) {
+        let ncb = nc.min(n - jc);
+        for pc in (0..k).step_by(kc) {
+            let kcb = kc.min(k - pc);
+            let beta_eff = if pc == 0 { beta } else { S::ONE };
+            pack_b(op_b, b, pc, jc, kcb, ncb, nr, &mut bpack);
+            let cband = c.rb().submatrix(0, jc, m, ncb);
+            ic_grid(kern, op_a, alpha, a, &bpack, beta_eff, cband, 0, pc, kcb, mc, mr, nr);
+        }
+    }
+}
+
+/// Fan the MC-block row grid of one rank-KC update out over the pool via a
+/// recursive join tree. Each leaf is exactly one sequential `ic` iteration
+/// of [`gemm_packed`]: pack the A block, sweep the micro-tiles.
+#[allow(clippy::too_many_arguments)] // internal blocked-gemm plumbing
+fn ic_grid<S: Scalar>(
+    kern: Kern,
+    op_a: Op,
+    alpha: S,
+    a: MatRef<'_, S>,
+    bpack: &[S],
+    beta: S,
+    c: MatMut<'_, S>,
+    row0: usize,
+    pc: usize,
+    kcb: usize,
+    mc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    let rows = c.nrows();
+    if rows <= mc {
+        let mut apack = vec![S::ZERO; rows.next_multiple_of(mr) * kcb];
+        pack_a(op_a, a, row0, pc, rows, kcb, mr, &mut apack);
+        macro_kernel(kern, alpha, &apack, bpack, beta, c, kcb, mr, nr);
+        return;
+    }
+    let half = (rows.div_ceil(mc) / 2) * mc;
+    let (c1, c2) = c.split_at_row(half);
+    rayon::join(
+        || ic_grid(kern, op_a, alpha, a, bpack, beta, c1, row0, pc, kcb, mc, mr, nr),
+        || ic_grid(kern, op_a, alpha, a, bpack, beta, c2, row0 + half, pc, kcb, mc, mr, nr),
+    );
 }
 
 /// `C := beta * C` (beta = 0 overwrites, LAPACK semantics).
@@ -397,6 +486,23 @@ fn micro_dispatch<S: Scalar>(
             }
             return;
         }
+        Kern::Z64Avx2 => {
+            // SAFETY: kern selection guarantees S == Complex64 (repr(C)
+            // [re, im] pairs), avx2+fma support, tile shape 4x4, and packed
+            // panels of >= 4*kc complex elements each.
+            unsafe {
+                let cp = col_ptrs::<S, f64>(&mut c, 4);
+                x86::micro_z64_avx2_4x4(
+                    kc,
+                    ap.as_ptr() as *const f64,
+                    bp.as_ptr() as *const f64,
+                    alpha_as(alpha),
+                    alpha_as(beta),
+                    cp,
+                );
+            }
+            return;
+        }
         Kern::Generic => {}
     }
     let _ = kern;
@@ -523,6 +629,7 @@ mod x86 {
     //! updates an MR x NR tile of `C` given by per-column base pointers.
     use super::MAX_NR;
     use core::arch::x86_64::*;
+    use polar_scalar::{Complex64, Scalar};
 
     /// # Safety
     /// Requires avx512f; `ap`/`bp` hold `16*kc` / `8*kc` readable f64;
@@ -598,6 +705,58 @@ mod x86 {
                 let c1 = _mm256_loadu_pd(cp[j].add(4));
                 _mm256_storeu_pd(cp[j], _mm256_fmadd_pd(vb, c0, _mm256_mul_pd(va, accj[0])));
                 _mm256_storeu_pd(cp[j].add(4), _mm256_fmadd_pd(vb, c1, _mm256_mul_pd(va, accj[1])));
+            }
+        }
+    }
+
+    /// Complex-f64 microkernel: 4x4 complex tile, two `ymm` accumulators
+    /// per column (2 interleaved `[re, im]` pairs each). Per k-step the
+    /// complex product is two FMA-class ops per accumulator:
+    /// `acc += fmaddsub(a, re(b), swap(a) * im(b))` — even (re) lanes get
+    /// `ar*br - ai*bi`, odd (im) lanes get `ai*br + ar*bi`.
+    ///
+    /// # Safety
+    /// Requires avx2+fma; `ap`/`bp` hold `4*kc` packed Complex64 (`8*kc`
+    /// readable f64) each; `cp[0..4]` each point at 4 writable Complex64.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn micro_z64_avx2_4x4(
+        kc: usize,
+        ap: *const f64,
+        bp: *const f64,
+        alpha: Complex64,
+        beta: Complex64,
+        cp: [*mut f64; MAX_NR],
+    ) {
+        let mut acc = [[_mm256_setzero_pd(); 2]; 4];
+        for p in 0..kc {
+            let a0 = _mm256_loadu_pd(ap.add(8 * p)); // re0 im0 re1 im1
+            let a1 = _mm256_loadu_pd(ap.add(8 * p + 4)); // re2 im2 re3 im3
+            let s0 = _mm256_permute_pd(a0, 0x5); // im0 re0 im1 re1
+            let s1 = _mm256_permute_pd(a1, 0x5);
+            for (j, accj) in acc.iter_mut().enumerate() {
+                let br = _mm256_broadcast_sd(&*bp.add(8 * p + 2 * j));
+                let bi = _mm256_broadcast_sd(&*bp.add(8 * p + 2 * j + 1));
+                accj[0] = _mm256_add_pd(accj[0], _mm256_fmaddsub_pd(a0, br, _mm256_mul_pd(s0, bi)));
+                accj[1] = _mm256_add_pd(accj[1], _mm256_fmaddsub_pd(a1, br, _mm256_mul_pd(s1, bi)));
+            }
+        }
+        // complex alpha/beta writeback through a stack spill: 16 scalar
+        // complex multiplies, negligible against the kc-deep FMA loop
+        let mut buf = [0.0f64; 8];
+        for (j, accj) in acc.iter().enumerate() {
+            _mm256_storeu_pd(buf.as_mut_ptr(), accj[0]);
+            _mm256_storeu_pd(buf.as_mut_ptr().add(4), accj[1]);
+            let col = cp[j];
+            for r in 0..4 {
+                let v = Complex64::new(buf[2 * r], buf[2 * r + 1]);
+                let out = if beta == Complex64::ZERO {
+                    alpha * v
+                } else {
+                    let old = Complex64::new(*col.add(2 * r), *col.add(2 * r + 1));
+                    alpha * v + beta * old
+                };
+                *col.add(2 * r) = out.re;
+                *col.add(2 * r + 1) = out.im;
             }
         }
     }
@@ -724,6 +883,62 @@ mod tests {
         for j in 0..5 {
             for i in 0..6 {
                 assert!((c1[(i, j)] - c2[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_complex64_kernel_all_ops() {
+        // shapes deep enough to exercise the z microkernel across full and
+        // fringe tiles and a kc-block boundary
+        let k = gemm_params().kc + 9;
+        for op_a in [Op::NoTrans, Op::Trans, Op::ConjTrans] {
+            for op_b in [Op::NoTrans, Op::Trans, Op::ConjTrans] {
+                let (ar, ac) = if op_a == Op::NoTrans { (21, k) } else { (k, 21) };
+                let (br, bc) = if op_b == Op::NoTrans { (k, 14) } else { (14, k) };
+                let mut s = 7u64;
+                let mut next = move || {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+                };
+                let a = Matrix::from_fn(ar, ac, |_, _| Complex64::new(next(), next()));
+                let b = Matrix::from_fn(br, bc, |_, _| Complex64::new(next(), next()));
+                let alpha = Complex64::new(1.25, -0.5);
+                let beta = Complex64::new(-0.75, 0.25);
+                let mut c1 = Matrix::from_fn(21, 14, |_, _| Complex64::new(next(), next()));
+                let mut c2 = c1.clone();
+                gemm_ref(op_a, op_b, alpha, a.as_ref(), b.as_ref(), beta, c1.as_mut());
+                gemm_packed(op_a, op_b, alpha, a.as_ref(), b.as_ref(), beta, c2.as_mut());
+                for j in 0..14 {
+                    for i in 0..21 {
+                        assert!(
+                            (c1[(i, j)] - c2[(i, j)]).abs() < 1e-9 * (k as f64),
+                            "({i},{j}) {op_a:?} {op_b:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_par_bitwise_matches_sequential() {
+        // the block-grid parallel path must be bit-identical to the
+        // sequential packed kernel (thread-count-independent results)
+        let p = gemm_params();
+        let m = 3 * p.mc + 17;
+        let a = rand_mat(m, p.kc + 5, 51);
+        let b = rand_mat(p.kc + 5, 96, 52);
+        let mut c1 = rand_mat(m, 96, 53);
+        let mut c2 = c1.clone();
+        gemm_packed(Op::NoTrans, Op::NoTrans, 1.5, a.as_ref(), b.as_ref(), -0.5, c1.as_mut());
+        gemm_packed_par(Op::NoTrans, Op::NoTrans, 1.5, a.as_ref(), b.as_ref(), -0.5, c2.as_mut());
+        for j in 0..96 {
+            for i in 0..m {
+                assert!(
+                    c1[(i, j)].to_bits() == c2[(i, j)].to_bits(),
+                    "({i},{j}) not bitwise equal"
+                );
             }
         }
     }

@@ -14,6 +14,21 @@ pub enum IterationPath {
     ForceCholesky,
 }
 
+/// Whether the iteration factorizations run on the DAG-scheduled tile
+/// drivers (`geqrf_tiled` / `potrf_tiled`) or the flat blocked kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TiledPath {
+    /// Tiled at and above [`QdwhOptions::tiled_threshold`] columns, flat
+    /// below (tile DAG overheads only pay off once the trailing updates
+    /// dominate). Default. Overridable at runtime with `POLAR_TILED=1`
+    /// (always) or `POLAR_TILED=0` (never).
+    Auto,
+    /// Always use the tile task graph.
+    Always,
+    /// Flat path only (ablation / fallback).
+    Never,
+}
+
 /// Which kind an individual iteration turned out to be (telemetry).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IterationKind {
@@ -94,6 +109,15 @@ pub struct QdwhOptions {
     /// iteration's factorization flops (the standard QDWH structure
     /// optimization). Numerically identical to the general path.
     pub exploit_structure: bool,
+    /// DAG-scheduled tile path selection for the QR / Cholesky iteration
+    /// factorizations.
+    pub tiled: TiledPath,
+    /// Problem size (columns) at which [`TiledPath::Auto`] switches to the
+    /// tile drivers.
+    pub tiled_threshold: usize,
+    /// Tile size for the tiled path; `None` uses
+    /// `polar_lapack::default_tile_nb()` (env `POLAR_TILE_NB`, default 256).
+    pub tile_nb: Option<usize>,
     /// Compute the Hermitian factor `H = U_p^H A` (line 52). Disable when
     /// only the unitary factor is needed (e.g. orthogonalization
     /// applications), saving the final `2 n^3`-flop gemm.
@@ -119,6 +143,9 @@ impl std::fmt::Debug for QdwhOptions {
             .field("max_iterations", &self.max_iterations)
             .field("use_tsqr", &self.use_tsqr)
             .field("exploit_structure", &self.exploit_structure)
+            .field("tiled", &self.tiled)
+            .field("tiled_threshold", &self.tiled_threshold)
+            .field("tile_nb", &self.tile_nb)
             .field("compute_h", &self.compute_h)
             .field("l0_override", &self.l0_override)
             .field("l0_strategy", &self.l0_strategy)
@@ -135,6 +162,9 @@ impl Default for QdwhOptions {
             max_iterations: 50,
             use_tsqr: false,
             exploit_structure: true,
+            tiled: TiledPath::Auto,
+            tiled_threshold: 512,
+            tile_nb: None,
             compute_h: true,
             l0_override: None,
             l0_strategy: L0Strategy::SigmaMinPowerIteration,
@@ -147,6 +177,26 @@ impl QdwhOptions {
     /// Preset used by the unitary-factor-only applications.
     pub fn factor_only() -> Self {
         Self { compute_h: false, ..Self::default() }
+    }
+
+    /// Resolve the tile-path decision for a problem with `n` columns. The
+    /// `POLAR_TILED` env var (`1`/`always` or `0`/`never`) overrides the
+    /// option so CI can pin either path without code changes.
+    pub fn use_tiled(&self, n: usize) -> bool {
+        static ENV: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
+        let env = *ENV.get_or_init(|| match std::env::var("POLAR_TILED").ok().as_deref() {
+            Some("1") | Some("always") | Some("true") => Some(true),
+            Some("0") | Some("never") | Some("false") => Some(false),
+            _ => None,
+        });
+        if let Some(forced) = env {
+            return forced;
+        }
+        match self.tiled {
+            TiledPath::Always => true,
+            TiledPath::Never => false,
+            TiledPath::Auto => n >= self.tiled_threshold,
+        }
     }
 }
 

@@ -3,7 +3,10 @@
 use crate::options::{IterationKind, IterationPath, QdwhOptions};
 use crate::params::{halley_parameters, update_ell};
 use polar_blas::{add, gemm, herk, herk_mirrored, norm, scale_real, symmetrize, trsm};
-use polar_lapack::{geqrf, norm2est, orgqr, potrf, tr_sigma_min_est, trcondest, tsqr, LapackError};
+use polar_lapack::{
+    geqrf, geqrf_tiled, geqrf_tiled_stacked, norm2est, orgqr, orgqr_tiled, potrf, potrf_tiled,
+    tr_sigma_min_est, trcondest, tsqr, LapackError,
+};
 use polar_matrix::{Diag, Matrix, Norm, Op, Side, Uplo};
 use polar_scalar::{Real, Scalar};
 
@@ -372,7 +375,7 @@ pub fn qdwh<S: Scalar>(
             info.qr_iterations += 1;
             IterationKind::QrBased
         } else {
-            chol_iteration(&mut x, p.a, p.b, p.c)?;
+            chol_iteration(&mut x, p.a, p.b, p.c, opts)?;
             info.chol_iterations += 1;
             IterationKind::CholeskyBased
         };
@@ -467,6 +470,16 @@ fn qr_iteration<S: Scalar>(
     // thin QR and explicit Q (lines 31-32)
     let q = if opts.use_tsqr {
         tsqr(&w0).0
+    } else if opts.use_tiled(n) {
+        // DAG-scheduled tile QR on the work-stealing pool; the stacked
+        // variant prunes tasks on still-pristine identity tile rows
+        let nb = opts.tile_nb.unwrap_or_else(polar_lapack::default_tile_nb);
+        let f = if opts.exploit_structure {
+            geqrf_tiled_stacked(m, &w0, nb)
+        } else {
+            geqrf_tiled(&w0, nb)
+        };
+        orgqr_tiled(&f, n)
     } else {
         let mut w = w0;
         let f = if opts.exploit_structure {
@@ -507,6 +520,7 @@ fn chol_iteration<S: Scalar>(
     a: S::Real,
     b: S::Real,
     c: S::Real,
+    opts: &QdwhOptions,
 ) -> Result<(), QdwhError> {
     let n = x.ncols();
     let x_prev = x.clone();
@@ -515,7 +529,12 @@ fn chol_iteration<S: Scalar>(
     // would make Z indefinite — Eq. (2) is the consistent form).
     let mut z = Matrix::<S>::identity(n, n);
     herk(Uplo::Lower, Op::ConjTrans, c, x.as_ref(), S::Real::ONE, z.as_mut());
-    potrf(Uplo::Lower, &mut z)?;
+    if opts.use_tiled(n) {
+        let nb = opts.tile_nb.unwrap_or_else(polar_lapack::default_tile_nb);
+        potrf_tiled(Uplo::Lower, &mut z, nb)?;
+    } else {
+        potrf(Uplo::Lower, &mut z)?;
+    }
 
     // X := X L^{-H} L^{-1}
     trsm(Side::Right, Uplo::Lower, Op::ConjTrans, Diag::NonUnit, S::ONE, z.as_ref(), x.as_mut());

@@ -28,6 +28,7 @@ mod norm2est;
 mod qr;
 mod svd;
 mod tile_qr;
+mod tiled;
 mod tsqr;
 
 pub use chol::{posv, potrf};
@@ -38,7 +39,13 @@ pub use lu::{getrf, getrs, LuFactors};
 pub use norm2est::{norm2est, Norm2Est};
 pub use qr::{extract_r, geqrf, geqrf_blocked, geqrf_stacked, orgqr, unmqr, QrFactors};
 pub use svd::{jacobi_svd, SvdDecomposition};
-pub use tile_qr::{geqrt, tsmqr, tsqrt, unmqr_tile};
+pub use tile_qr::{
+    geqrt, geqrt_blocked, tsmqr, tsmqr_blocked, tsqrt, tsqrt_blocked, unmqr_tile,
+    unmqr_tile_blocked, TileT,
+};
+pub use tiled::{
+    default_tile_nb, geqrf_tiled, geqrf_tiled_stacked, orgqr_tiled, potrf_tiled, TiledQr,
+};
 pub use tsqr::tsqr;
 
 /// Error type for factorizations.

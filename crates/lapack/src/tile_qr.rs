@@ -19,7 +19,7 @@
 //! and power the communication-metered distributed QDWH in `polar-qdwh`.
 
 use crate::householder::larfg;
-use crate::qr::{extract_v, geqr2, larfb_left, larft};
+use crate::qr::{extract_v, geqr2, geqr2_scratch, larfb_left, larft};
 use polar_blas::{dotc, gemm, trmm};
 use polar_matrix::{Diag, Matrix, Op, Side, Uplo};
 use polar_scalar::Scalar;
@@ -146,6 +146,231 @@ pub fn tsmqr<S: Scalar>(
         }
     }
     gemm(Op::NoTrans, Op::NoTrans, -S::ONE, v2.as_ref(), w.as_ref(), S::ONE, a2.as_mut());
+}
+
+/// Per-panel compact `T` factors of a blocked tile factorization, PLASMA's
+/// `ib x nb` T-tile layout: block `b` of width `jb <= ib` stores its upper
+/// triangular `T_b` in `t[0..jb, b*ib..b*ib+jb]`.
+///
+/// Compared to the single full `T` of [`geqrt`]/[`tsqrt`], the per-panel
+/// representation keeps the scalar (non-level-3) work proportional to `ib`
+/// rather than `nb`: applying the factor block-by-block turns everything
+/// outside the `ib`-wide panels into `gemm`/`trmm`.
+#[derive(Debug, Clone)]
+pub struct TileT<S: Scalar> {
+    /// `ib x k` matrix of stacked per-panel `T` blocks.
+    pub t: Matrix<S>,
+    /// Inner blocking factor the tile was factored with.
+    pub ib: usize,
+}
+
+impl<S: Scalar> TileT<S> {
+    /// Number of reflectors covered.
+    pub fn k(&self) -> usize {
+        self.t.ncols()
+    }
+
+    fn block_range(&self, b: usize) -> (usize, usize) {
+        let j = b * self.ib;
+        (j, self.ib.min(self.k() - j))
+    }
+
+    fn nblocks(&self) -> usize {
+        self.k().div_ceil(self.ib)
+    }
+}
+
+/// Blocked [`geqrt`] (PLASMA `GEQRT` with inner blocking `ib`): QR of a
+/// single tile where only `ib`-wide panels run scalar reflector code and
+/// every trailing update is a level-3 `larfb`.
+///
+/// The packed reflector/R output in `a` is bit-identical to
+/// [`crate::geqrf_blocked`] with the same `ib` (same panel code path).
+pub fn geqrt_blocked<S: Scalar>(a: &mut Matrix<S>, ib: usize) -> TileT<S> {
+    let m = a.nrows();
+    let n = a.ncols();
+    let k = m.min(n);
+    let ib = ib.max(1);
+    let mut tau = vec![S::ZERO; k];
+    let mut tt = Matrix::<S>::zeros(ib, k);
+    let mut scratch = Vec::with_capacity(m);
+    let mut j = 0;
+    while j < k {
+        let jb = ib.min(k - j);
+        geqr2_scratch(a.view_mut(j, j, m - j, jb), &mut tau[j..j + jb], &mut scratch);
+        let v = extract_v(a.view(j, j, m - j, jb));
+        let t = larft(v.as_ref(), &tau[j..j + jb]);
+        if j + jb < n {
+            let trailing = a.view_mut(j, j + jb, m - j, n - j - jb);
+            larfb_left(Op::ConjTrans, v.as_ref(), t.as_ref(), trailing);
+        }
+        for c in 0..jb {
+            for r in 0..=c {
+                tt[(r, j + c)] = t[(r, c)];
+            }
+        }
+        j += jb;
+    }
+    TileT { t: tt, ib }
+}
+
+/// Apply `op(Q)` from a [`geqrt_blocked`] factor to a tile `c` (PLASMA
+/// `UNMQR` with inner blocking): `C := op(Q) C`, block reflectors applied
+/// per `ib`-panel.
+pub fn unmqr_tile_blocked<S: Scalar>(
+    op: Op,
+    v_packed: &Matrix<S>,
+    tt: &TileT<S>,
+    c: &mut Matrix<S>,
+) {
+    let m = v_packed.nrows();
+    assert_eq!(m, c.nrows(), "unmqr_tile_blocked: row mismatch");
+    let nblocks = tt.nblocks();
+    let order: Box<dyn Iterator<Item = usize>> = match op {
+        Op::NoTrans => Box::new((0..nblocks).rev()),
+        _ => Box::new(0..nblocks),
+    };
+    for b in order {
+        let (j, jb) = tt.block_range(b);
+        let v = extract_v(v_packed.view(j, j, m - j, jb));
+        let t = tt.t.view(0, j, jb, jb);
+        let csub = c.view_mut(j, 0, m - j, c.ncols());
+        larfb_left(op, v.as_ref(), t, csub);
+    }
+}
+
+/// Blocked [`tsqrt`] (PLASMA `TSQRT` with inner blocking `ib`): factor the
+/// stacked `[R; B]` so that scalar reflector generation touches only the
+/// current `ib`-wide panel; the trailing columns of both `R` and `B` are
+/// updated with the panel's compact block reflector through `gemm`/`trmm`.
+pub fn tsqrt_blocked<S: Scalar>(r: &mut Matrix<S>, b: &mut Matrix<S>, ib: usize) -> TileT<S> {
+    let kb = r.ncols().min(r.nrows());
+    let ncols = r.ncols();
+    assert_eq!(b.ncols(), ncols, "tsqrt_blocked: column mismatch");
+    let m2 = b.nrows();
+    let ib = ib.max(1);
+    let mut tau = vec![S::ZERO; kb];
+    let mut tt = Matrix::<S>::zeros(ib, kb);
+
+    let mut j = 0;
+    while j < kb {
+        let jb = ib.min(kb - j);
+        // --- panel: scalar factorization of columns j..j+jb -------------
+        for c in j..j + jb {
+            let alpha = r[(c, c)];
+            let refl = {
+                let col = b.col_mut(c);
+                larfg(alpha, col)
+            };
+            r[(c, c)] = S::from_real(refl.beta);
+            tau[c] = refl.tau;
+            if refl.tau != S::ZERO {
+                // apply H^H within the panel only
+                let tc = refl.tau.conj();
+                for kcol in c + 1..j + jb {
+                    let mut w = r[(c, kcol)];
+                    w += dotc(b.col(c), b.col(kcol));
+                    let f = tc * w;
+                    r[(c, kcol)] -= f;
+                    for i in 0..m2 {
+                        let vic = b[(i, c)];
+                        b[(i, kcol)] -= f * vic;
+                    }
+                }
+            }
+            // panel-local T column: the identity tops of V are orthogonal
+            // between columns, so V_l^H v_c = V2_l^H v2_c
+            if c > j {
+                let mut w = vec![S::ZERO; c - j];
+                for (l, wl) in w.iter_mut().enumerate() {
+                    *wl = dotc(b.col(j + l), b.col(c));
+                }
+                for row in 0..c - j {
+                    let mut acc = S::ZERO;
+                    for l in row..c - j {
+                        acc += tt[(row, j + l)] * w[l];
+                    }
+                    tt[(row, c)] = -tau[c] * acc;
+                }
+            }
+            tt[(c - j, c)] = tau[c];
+        }
+        // --- blocked trailing update: C := (I - V T^H V^H) C ------------
+        // with V = [e_j..e_{j+jb}; V2_panel] over [R; B] columns j+jb..
+        if j + jb < ncols {
+            let rest = ncols - (j + jb);
+            let (pan, mut btrail) = b.as_mut().split_at_col(j + jb);
+            let v2p = pan.as_ref().submatrix(0, j, m2, jb);
+            // W = R[j..j+jb, rest] + V2p^H B[:, rest]
+            let mut w = r.submatrix_owned(j, j + jb, jb, rest);
+            gemm(Op::ConjTrans, Op::NoTrans, S::ONE, v2p, btrail.as_ref(), S::ONE, w.as_mut());
+            trmm(
+                Side::Left,
+                Uplo::Upper,
+                Op::ConjTrans,
+                Diag::NonUnit,
+                S::ONE,
+                tt.view(0, j, jb, jb),
+                w.as_mut(),
+            );
+            for col in 0..rest {
+                for row in 0..jb {
+                    r[(j + row, j + jb + col)] -= w[(row, col)];
+                }
+            }
+            gemm(Op::NoTrans, Op::NoTrans, -S::ONE, v2p, w.as_ref(), S::ONE, btrail.rb());
+        }
+        j += jb;
+    }
+    TileT { t: tt, ib }
+}
+
+/// Apply a [`tsqrt_blocked`] reflector block to a tile row pair (PLASMA
+/// `TSMQR` with inner blocking): per `ib`-panel `W = A1_panel + V2_b^H A2;
+/// W := op(T_b) W; A1_panel -= W; A2 -= V2_b W` — all level-3.
+pub fn tsmqr_blocked<S: Scalar>(
+    op: Op,
+    v2: &Matrix<S>,
+    tt: &TileT<S>,
+    a1: &mut Matrix<S>,
+    a2: &mut Matrix<S>,
+) {
+    let kb = tt.k();
+    let n = a1.ncols();
+    let m2 = a2.nrows();
+    assert_eq!(a2.ncols(), n, "tsmqr_blocked: column mismatch");
+    assert_eq!(v2.nrows(), m2, "tsmqr_blocked: V2/A2 row mismatch");
+    assert_eq!(v2.ncols(), kb, "tsmqr_blocked: V2/T mismatch");
+    assert!(a1.nrows() >= kb, "tsmqr_blocked: A1 too short");
+    let nblocks = tt.nblocks();
+    // Q = Q_0 Q_1 ... Q_last (panel order): Q^H applies panels forward,
+    // Q applies them in reverse.
+    let order: Box<dyn Iterator<Item = usize>> = match op {
+        Op::NoTrans => Box::new((0..nblocks).rev()),
+        _ => Box::new(0..nblocks),
+    };
+    let t_op = if op == Op::NoTrans { Op::NoTrans } else { Op::ConjTrans };
+    for bblk in order {
+        let (j, jb) = tt.block_range(bblk);
+        let v2b = v2.view(0, j, m2, jb);
+        let mut w = a1.submatrix_owned(j, 0, jb, n);
+        gemm(Op::ConjTrans, Op::NoTrans, S::ONE, v2b, a2.as_ref(), S::ONE, w.as_mut());
+        trmm(
+            Side::Left,
+            Uplo::Upper,
+            t_op,
+            Diag::NonUnit,
+            S::ONE,
+            tt.t.view(0, j, jb, jb),
+            w.as_mut(),
+        );
+        for col in 0..n {
+            for row in 0..jb {
+                a1[(j + row, col)] -= w[(row, col)];
+            }
+        }
+        gemm(Op::NoTrans, Op::NoTrans, -S::ONE, v2b, w.as_ref(), S::ONE, a2.as_mut());
+    }
 }
 
 #[cfg(test)]
@@ -325,6 +550,157 @@ mod tests {
         let e1: f64 = norm(Norm::Fro, d1.as_ref());
         let e2: f64 = norm(Norm::Fro, d2.as_ref());
         assert!(e1 < 1e-12 && e2 < 1e-12, "Q Q^H != I: {e1} {e2}");
+    }
+
+    #[test]
+    fn geqrt_blocked_matches_geqrf_blocked() {
+        // same panel code path => bitwise-identical packed output
+        for (m, n, ib) in [(16usize, 16usize, 4usize), (24, 16, 8), (16, 24, 5), (7, 7, 16)] {
+            let a0 = rand_mat(m, n, 21 + (m * n) as u64);
+            let mut tiled = a0.clone();
+            let tt = geqrt_blocked(&mut tiled, ib);
+            let mut flat = a0.clone();
+            let f = crate::qr::geqrf_blocked(&mut flat, ib);
+            for j in 0..n {
+                for i in 0..m {
+                    assert_eq!(tiled[(i, j)], flat[(i, j)], "packed ({i},{j}) m={m} n={n}");
+                }
+            }
+            // T diagonal blocks carry tau on their diagonals
+            for (c, tau) in f.tau.iter().enumerate() {
+                assert_eq!(tt.t[(c % ib.min(m.min(n)), c)], *tau);
+            }
+        }
+    }
+
+    #[test]
+    fn unmqr_tile_blocked_matches_full_t() {
+        let a0 = rand_mat(12, 12, 31);
+        // full-T reference
+        let mut af = a0.clone();
+        let tf = geqrt(&mut af);
+        let c0 = rand_mat(12, 5, 32);
+        for op in [Op::NoTrans, Op::ConjTrans] {
+            let mut cf = c0.clone();
+            unmqr_tile(op, &af, &tf, &mut cf);
+            // blocked path
+            let mut ab = a0.clone();
+            let tb = geqrt_blocked(&mut ab, 4);
+            let mut cb = c0.clone();
+            unmqr_tile_blocked(op, &ab, &tb, &mut cb);
+            let mut diff = cb.clone();
+            add(-1.0, cf.as_ref(), 1.0, diff.as_mut());
+            let err: f64 = norm(Norm::Fro, diff.as_ref());
+            assert!(err < 1e-12, "op={op:?} err={err}");
+        }
+    }
+
+    #[test]
+    fn tsqrt_blocked_matches_unblocked() {
+        for (nb, m2, ib) in [(8usize, 10usize, 3usize), (6, 6, 2), (5, 9, 8)] {
+            let r0 = {
+                let mut a = rand_mat(nb, nb, 41 + nb as u64);
+                let _ = geqrt(&mut a);
+                Matrix::from_fn(nb, nb, |i, j| if i <= j { a[(i, j)] } else { 0.0 })
+            };
+            let b0 = rand_mat(m2, nb, 42 + m2 as u64);
+            let mut rf = r0.clone();
+            let mut bf = b0.clone();
+            let _tf = tsqrt(&mut rf, &mut bf);
+            let mut rb = r0.clone();
+            let mut bb = b0.clone();
+            let _tb = tsqrt_blocked(&mut rb, &mut bb, ib);
+            // same reflectors up to roundoff (identical math, different
+            // update grouping)
+            for j in 0..nb {
+                for i in 0..=j {
+                    assert!((rf[(i, j)] - rb[(i, j)]).abs() < 1e-12, "R ({i},{j})");
+                }
+                for i in 0..m2 {
+                    assert!((bf[(i, j)] - bb[(i, j)]).abs() < 1e-12, "V2 ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tsmqr_blocked_matches_unblocked() {
+        let nb = 8;
+        let m2 = 11;
+        let n = 6;
+        let r0 = {
+            let mut a = rand_mat(nb, nb, 51);
+            let _ = geqrt(&mut a);
+            Matrix::from_fn(nb, nb, |i, j| if i <= j { a[(i, j)] } else { 0.0 })
+        };
+        let b0 = rand_mat(m2, nb, 52);
+        // full-T factorization for the reference
+        let mut rf = r0.clone();
+        let mut bf = b0.clone();
+        let tf = tsqrt(&mut rf, &mut bf);
+        // blocked factorization (same reflectors within roundoff)
+        let mut rb = r0.clone();
+        let mut bb = b0.clone();
+        let tb = tsqrt_blocked(&mut rb, &mut bb, 3);
+        let a1_0 = rand_mat(nb, n, 53);
+        let a2_0 = rand_mat(m2, n, 54);
+        for op in [Op::NoTrans, Op::ConjTrans] {
+            let mut a1f = a1_0.clone();
+            let mut a2f = a2_0.clone();
+            tsmqr(op, &bf, &tf, &mut a1f, &mut a2f);
+            let mut a1b = a1_0.clone();
+            let mut a2b = a2_0.clone();
+            tsmqr_blocked(op, &bb, &tb, &mut a1b, &mut a2b);
+            for j in 0..n {
+                for i in 0..nb {
+                    assert!((a1f[(i, j)] - a1b[(i, j)]).abs() < 1e-11, "A1 ({i},{j}) {op:?}");
+                }
+                for i in 0..m2 {
+                    assert!((a2f[(i, j)] - a2b[(i, j)]).abs() < 1e-11, "A2 ({i},{j}) {op:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_kernels_complex() {
+        let mut s = 77u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let nb = 6;
+        let m2 = 8;
+        let r0 = Matrix::from_fn(nb, nb, |i, j| {
+            if i <= j {
+                Complex64::new(next() + 2.0, next())
+            } else {
+                Complex64::default()
+            }
+        });
+        let b0 = Matrix::from_fn(m2, nb, |_, _| Complex64::new(next(), next()));
+        let mut rf = r0.clone();
+        let mut bf = b0.clone();
+        let tf = tsqrt(&mut rf, &mut bf);
+        let mut rb = r0.clone();
+        let mut bb = b0.clone();
+        let tb = tsqrt_blocked(&mut rb, &mut bb, 2);
+        let c1 = Matrix::from_fn(nb, 4, |_, _| Complex64::new(next(), next()));
+        let c2 = Matrix::from_fn(m2, 4, |_, _| Complex64::new(next(), next()));
+        let mut a1f = c1.clone();
+        let mut a2f = c2.clone();
+        tsmqr(Op::ConjTrans, &bf, &tf, &mut a1f, &mut a2f);
+        let mut a1b = c1.clone();
+        let mut a2b = c2.clone();
+        tsmqr_blocked(Op::ConjTrans, &bb, &tb, &mut a1b, &mut a2b);
+        for j in 0..4 {
+            for i in 0..nb {
+                assert!((a1f[(i, j)] - a1b[(i, j)]).abs() < 1e-11);
+            }
+            for i in 0..m2 {
+                assert!((a2f[(i, j)] - a2b[(i, j)]).abs() < 1e-11);
+            }
+        }
     }
 
     #[test]

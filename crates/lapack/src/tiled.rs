@@ -1,0 +1,653 @@
+//! DAG-scheduled tile factorizations: `geqrf_tiled` and `potrf_tiled`.
+//!
+//! These are the production counterparts of the symbolic DAG builders in
+//! `polar-sim`: the same PLASMA/SLATE task shapes (`geqrt` → `unmqr` /
+//! `tsqrt` → `tsmqr` per panel step; `potrf`/`trsm`/`herk`/`gemm` for
+//! Cholesky), but with each task carrying a real tile-kernel body, executed
+//! by [`polar_runtime::TaskDag`] on the work-stealing pool with
+//! panel-priority (lookahead) ordering.
+//!
+//! The stacked variant [`geqrf_tiled_stacked`] exploits the QDWH Eq. (1)
+//! `[sqrt(c) A; I]` structure the way `geqrf_stacked` does for the flat
+//! path: at panel `k` only tile rows up to the fill boundary carry
+//! reflector support, so tasks on pristine identity/zero tile rows are
+//! never emitted (~1/3 of the QR flops for square `A`).
+//!
+//! Safety model: tiles of a [`TiledMatrix`] are separate allocations, and
+//! the executor's inferred RAW/WAW/WAR edges order every pair of tasks that
+//! touch the same tile, so handing concurrent tasks raw `&mut` access to
+//! *distinct* tiles is race-free. The `TilePtr`/`SlotPtr` wrappers below
+//! are the single place that unsafety lives.
+
+use crate::tile_qr::{geqrt_blocked, tsmqr_blocked, tsqrt_blocked, unmqr_tile_blocked, TileT};
+use crate::{LapackError, DEFAULT_BLOCK};
+use polar_blas::{flops, gemm, herk, trsm};
+use polar_matrix::{Diag, Matrix, Op, ProcessGrid, Side, TiledMatrix, Tiling, Uplo};
+use polar_runtime::{ExecOutcome, KernelKind, TaskDag, TaskStatus, TileRef};
+use polar_scalar::{Real, Scalar};
+use std::sync::Mutex;
+
+/// Default tile size for the DAG-scheduled drivers, overridable with
+/// `POLAR_TILE_NB`. The paper tunes `nb = 192` CPU / `320` GPU; here 256
+/// measured best on the kernels_perf sweep — big enough that the trailing
+/// `tsmqr`/`gemm` tasks run at packed-microkernel speed, small enough that
+/// a 1024-square problem still yields a 4x4 tile grid for the DAG to
+/// overlap.
+pub fn default_tile_nb() -> usize {
+    static NB: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *NB.get_or_init(|| {
+        std::env::var("POLAR_TILE_NB")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .map(|v| v.max(16))
+            .unwrap_or(256)
+    })
+}
+
+/// Shared mutable access to the tile array of a [`TiledMatrix`] for
+/// dependency-ordered tasks. Tiles are disjoint allocations; the task graph
+/// serializes all conflicting accesses.
+struct TilePtr<S> {
+    tiles: *mut Matrix<S>,
+    mt: usize,
+}
+
+impl<S> Clone for TilePtr<S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S> Copy for TilePtr<S> {}
+unsafe impl<S: Send> Send for TilePtr<S> {}
+unsafe impl<S: Send> Sync for TilePtr<S> {}
+
+impl<S: Scalar> TilePtr<S> {
+    fn new(m: &mut TiledMatrix<S>) -> Self {
+        let mt = m.mt();
+        Self { tiles: m.tiles_mut().as_mut_ptr(), mt }
+    }
+
+    /// # Safety
+    /// Caller must guarantee (via DAG dependencies) that no other task
+    /// holds a reference to tile `(i, j)` concurrently.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn tile<'x>(&self, i: usize, j: usize) -> &'x mut Matrix<S> {
+        &mut *self.tiles.add(i + j * self.mt)
+    }
+}
+
+/// Same idea for the per-tile `T`-factor slots.
+struct SlotPtr<S: Scalar> {
+    slots: *mut Option<TileT<S>>,
+}
+
+impl<S: Scalar> Clone for SlotPtr<S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<S: Scalar> Copy for SlotPtr<S> {}
+unsafe impl<S: Scalar> Send for SlotPtr<S> {}
+unsafe impl<S: Scalar> Sync for SlotPtr<S> {}
+
+impl<S: Scalar> SlotPtr<S> {
+    fn new(v: &mut [Option<TileT<S>>]) -> Self {
+        Self { slots: v.as_mut_ptr() }
+    }
+
+    /// # Safety
+    /// Same contract as [`TilePtr::tile`].
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn slot<'x>(&self, idx: usize) -> &'x mut Option<TileT<S>> {
+        &mut *self.slots.add(idx)
+    }
+}
+
+/// Result of a [`geqrf_tiled`] factorization: packed reflector/R tiles plus
+/// the per-tile compact `T` factors needed to apply or form `Q`.
+pub struct TiledQr<S: Scalar> {
+    /// Packed tiles: `R` on and above the tile diagonal, `geqrt` reflector
+    /// tails below inside diagonal tiles, `tsqrt` `V2` blocks below the
+    /// tile diagonal.
+    pub a: TiledMatrix<S>,
+    /// `T` factors: slot `i + k*mt` holds the `geqrt` T for `i == k`, the
+    /// `tsqrt` T for `i > k`.
+    t: Vec<Option<TileT<S>>>,
+    kt: usize,
+    /// Dense-row count of the stacked top block when the trailing-identity
+    /// structure was exploited.
+    top_rows: Option<usize>,
+}
+
+impl<S: Scalar> TiledQr<S> {
+    /// The upper-triangular `k x n` `R` factor.
+    pub fn extract_r(&self) -> Matrix<S> {
+        let tiling = self.a.tiling();
+        let k = tiling.m().min(tiling.n());
+        let mut r = Matrix::<S>::zeros(k, tiling.n());
+        for kb in 0..self.kt {
+            for jb in kb..tiling.nt() {
+                let (r0, c0) = tiling.tile_origin(kb, jb);
+                let tile = self.a.tile(kb, jb);
+                for j in 0..tile.ncols() {
+                    for i in 0..tile.nrows() {
+                        if r0 + i < k && r0 + i <= c0 + j {
+                            r[(r0 + i, c0 + j)] = tile[(i, j)];
+                        }
+                    }
+                }
+            }
+        }
+        r
+    }
+}
+
+/// Last tile row with reflector support at panel `k` for the stacked
+/// `[B; I]` structure (`None` = dense: all rows).
+fn row_limit(tiling: Tiling, top_rows: Option<usize>, k: usize) -> usize {
+    let mt = tiling.mt();
+    match top_rows {
+        None => mt - 1,
+        Some(tr) => {
+            let nb = tiling.nb();
+            let last_col = ((k + 1) * nb).min(tiling.n());
+            (((tr + last_col - 1) / tiling.mb()).max(k)).min(mt - 1)
+        }
+    }
+}
+
+fn geqrf_tiled_inner<S: Scalar>(
+    a_dense: &Matrix<S>,
+    nb: usize,
+    top_rows: Option<usize>,
+) -> TiledQr<S> {
+    let m = a_dense.nrows();
+    let n = a_dense.ncols();
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Geqrf,
+        "geqrf_tiled",
+        flops::type_factor(S::IS_COMPLEX) * flops::geqrf(m, n),
+        [m, n, nb],
+    );
+    let mut ta = TiledMatrix::from_dense(a_dense, nb, nb, ProcessGrid::single());
+    let tiling = ta.tiling();
+    let mt = tiling.mt();
+    let nt = tiling.nt();
+    let kt = mt.min(nt);
+    let ib = DEFAULT_BLOCK.min(nb);
+    let mut tstore: Vec<Option<TileT<S>>> = (0..mt * kt).map(|_| None).collect();
+    {
+        let tiles = TilePtr::new(&mut ta);
+        let slots = SlotPtr::new(&mut tstore);
+        let mut dag = TaskDag::new();
+        let ma = dag.new_matrix();
+        let mtt = dag.new_matrix();
+        let bytes = (nb * nb * std::mem::size_of::<S>()) as u64;
+        let aref = |i: usize, j: usize| TileRef::new(ma, i, j, bytes);
+        let tref = |i: usize, j: usize| TileRef::new(mtt, i, j, bytes);
+        let nbf = nb as f64;
+        for k in 0..kt {
+            let step = (kt - k) as i32 * 4;
+            // panel: QR of the diagonal tile
+            dag.add(
+                KernelKind::Geqrt,
+                step + 2,
+                2.0 * nbf * nbf * nbf,
+                vec![],
+                vec![aref(k, k), tref(k, k)],
+                move || {
+                    let akk = unsafe { tiles.tile(k, k) };
+                    let t = geqrt_blocked(akk, ib);
+                    *unsafe { slots.slot(k + k * mt) } = Some(t);
+                },
+            );
+            // apply Q_kk^H to the tiles right of the diagonal
+            for j in k + 1..nt {
+                let prio = step + i32::from(j == k + 1);
+                dag.add(
+                    KernelKind::Unmqr,
+                    prio,
+                    3.0 * nbf * nbf * nbf,
+                    vec![aref(k, k), tref(k, k)],
+                    vec![aref(k, j)],
+                    move || {
+                        let v = unsafe { tiles.tile(k, k) };
+                        let t = unsafe { slots.slot(k + k * mt) }.as_ref().unwrap();
+                        let c = unsafe { tiles.tile(k, j) };
+                        unmqr_tile_blocked(Op::ConjTrans, v, t, c);
+                    },
+                );
+            }
+            // annihilate sub-diagonal tiles (only rows with reflector
+            // support when the stacked structure is known)
+            let lim = row_limit(tiling, top_rows, k);
+            for i in k + 1..=lim {
+                dag.add(
+                    KernelKind::Tsqrt,
+                    step + 2,
+                    2.0 * nbf * nbf * nbf,
+                    vec![],
+                    vec![aref(k, k), aref(i, k), tref(i, k)],
+                    move || {
+                        let (r, b) = unsafe { (tiles.tile(k, k), tiles.tile(i, k)) };
+                        let t = tsqrt_blocked(r, b, ib);
+                        *unsafe { slots.slot(i + k * mt) } = Some(t);
+                    },
+                );
+                for j in k + 1..nt {
+                    let prio = step + i32::from(j == k + 1);
+                    dag.add(
+                        KernelKind::Tsmqr,
+                        prio,
+                        4.0 * nbf * nbf * nbf,
+                        vec![aref(i, k), tref(i, k)],
+                        vec![aref(k, j), aref(i, j)],
+                        move || {
+                            let v2 = unsafe { tiles.tile(i, k) };
+                            let t = unsafe { slots.slot(i + k * mt) }.as_ref().unwrap();
+                            let (a1, a2) = unsafe { (tiles.tile(k, j), tiles.tile(i, j)) };
+                            tsmqr_blocked(Op::ConjTrans, v2, t, a1, a2);
+                        },
+                    );
+                }
+            }
+        }
+        dag.execute();
+    }
+    TiledQr { a: ta, t: tstore, kt, top_rows }
+}
+
+/// DAG-scheduled tile QR factorization (PLASMA/SLATE `geqrf`): cuts `a`
+/// into `nb x nb` tiles and factors them with the `geqrt`/`unmqr`/`tsqrt`/
+/// `tsmqr` task graph on the work-stealing pool.
+pub fn geqrf_tiled<S: Scalar>(a: &Matrix<S>, nb: usize) -> TiledQr<S> {
+    geqrf_tiled_inner(a, nb.max(8), None)
+}
+
+/// [`geqrf_tiled`] of the QDWH stacked matrix `W = [B; I]` (`B` is
+/// `top_rows x n`), skipping every task on tile rows that are still
+/// pristine identity/zero at the given panel — the tile-level analogue of
+/// [`crate::geqrf_stacked`]'s shrinking row window.
+pub fn geqrf_tiled_stacked<S: Scalar>(top_rows: usize, a: &Matrix<S>, nb: usize) -> TiledQr<S> {
+    assert!(top_rows <= a.nrows(), "geqrf_tiled_stacked: top block larger than matrix");
+    geqrf_tiled_inner(a, nb.max(8), Some(top_rows))
+}
+
+/// Form the explicit thin `Q` (`m x k_cols`) of a [`geqrf_tiled`]
+/// factorization by applying the stored reflectors to the identity with the
+/// reverse `tsmqr`/`unmqr` task sweep.
+pub fn orgqr_tiled<S: Scalar>(f: &TiledQr<S>, k_cols: usize) -> Matrix<S> {
+    let tiling = f.a.tiling();
+    let m = tiling.m();
+    let nb = tiling.nb();
+    assert!(k_cols <= tiling.n(), "orgqr_tiled: more columns than reflectors");
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Orgqr,
+        "orgqr_tiled",
+        flops::type_factor(S::IS_COMPLEX) * flops::orgqr(m, k_cols),
+        [m, k_cols, nb],
+    );
+    let mt = tiling.mt();
+    let mut q = TiledMatrix::<S>::zeros(Tiling::new(m, k_cols, nb, nb), ProcessGrid::single());
+    let qnt = q.nt();
+    for d in 0..mt.min(qnt) {
+        q.tile_mut(d, d).set_identity();
+    }
+    {
+        let qtiles = TilePtr::new(&mut q);
+        let mut dag = TaskDag::new();
+        let mq = dag.new_matrix();
+        let bytes = (nb * nb * std::mem::size_of::<S>()) as u64;
+        let qref = |i: usize, j: usize| TileRef::new(mq, i, j, bytes);
+        let nbf = nb as f64;
+        let kt = f.kt;
+        for k in (0..kt).rev() {
+            let step = (k + 1) as i32 * 4;
+            let lim = row_limit(tiling, f.top_rows, k);
+            for i in (k + 1..=lim).rev() {
+                for j in k..qnt {
+                    let v2t = f.a.tile(i, k);
+                    let tt = f.t[i + k * mt].as_ref().unwrap();
+                    dag.add(
+                        KernelKind::Tsmqr,
+                        step,
+                        4.0 * nbf * nbf * nbf,
+                        vec![],
+                        vec![qref(k, j), qref(i, j)],
+                        move || {
+                            let (q1, q2) = unsafe { (qtiles.tile(k, j), qtiles.tile(i, j)) };
+                            tsmqr_blocked(Op::NoTrans, v2t, tt, q1, q2);
+                        },
+                    );
+                }
+            }
+            for j in k..qnt {
+                let v = f.a.tile(k, k);
+                let tt = f.t[k + k * mt].as_ref().unwrap();
+                dag.add(
+                    KernelKind::Unmqr,
+                    step + 1,
+                    3.0 * nbf * nbf * nbf,
+                    vec![],
+                    vec![qref(k, j)],
+                    move || {
+                        let c = unsafe { qtiles.tile(k, j) };
+                        unmqr_tile_blocked(Op::NoTrans, v, tt, c);
+                    },
+                );
+            }
+        }
+        dag.execute();
+    }
+    q.to_dense()
+}
+
+/// DAG-scheduled tile Cholesky (right-looking `potrf`/`trsm`/`herk`/`gemm`
+/// task graph). Lower triangle only — the QDWH Cholesky iteration's case.
+/// On failure the executor cancels outstanding tasks and the leading-minor
+/// offset is reported like LAPACK `info`.
+pub fn potrf_tiled<S: Scalar>(uplo: Uplo, a: &mut Matrix<S>, nb: usize) -> Result<(), LapackError> {
+    assert_eq!(a.nrows(), a.ncols(), "potrf_tiled: matrix must be square");
+    if uplo != Uplo::Lower {
+        // the solver only drives the Lower variant; keep Upper on the
+        // (equally valid) flat path
+        return crate::potrf(uplo, a);
+    }
+    let n = a.nrows();
+    let nb = nb.max(8);
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Potrf,
+        "potrf_tiled",
+        flops::type_factor(S::IS_COMPLEX) * flops::potrf(n),
+        [n, n, nb],
+    );
+    let mut ta = TiledMatrix::from_dense(a, nb, nb, ProcessGrid::single());
+    let nt = ta.nt();
+    let failure: Mutex<Option<usize>> = Mutex::new(None);
+    let outcome;
+    {
+        let tiles = TilePtr::new(&mut ta);
+        let fail = &failure;
+        let mut dag = TaskDag::new();
+        let mm = dag.new_matrix();
+        let bytes = (nb * nb * std::mem::size_of::<S>()) as u64;
+        let aref = |i: usize, j: usize| TileRef::new(mm, i, j, bytes);
+        let nbf = nb as f64;
+        for k in 0..nt {
+            let step = (nt - k) as i32 * 4;
+            dag.add_task(
+                KernelKind::Potrf,
+                step + 3,
+                nbf * nbf * nbf / 3.0,
+                vec![],
+                vec![aref(k, k)],
+                move || {
+                    let akk = unsafe { tiles.tile(k, k) };
+                    match crate::potrf(Uplo::Lower, akk) {
+                        Ok(()) => TaskStatus::Continue,
+                        Err(LapackError::NotPositiveDefinite(off)) => {
+                            *fail.lock().unwrap() = Some(k * nb + off);
+                            TaskStatus::Cancel
+                        }
+                        Err(_) => {
+                            *fail.lock().unwrap() = Some(k * nb);
+                            TaskStatus::Cancel
+                        }
+                    }
+                },
+            );
+            for i in k + 1..nt {
+                let prio = step + 2;
+                dag.add(
+                    KernelKind::Trsm,
+                    prio,
+                    nbf * nbf * nbf,
+                    vec![aref(k, k)],
+                    vec![aref(i, k)],
+                    move || {
+                        let (akk, aik) = unsafe { (tiles.tile(k, k), tiles.tile(i, k)) };
+                        trsm(
+                            Side::Right,
+                            Uplo::Lower,
+                            Op::ConjTrans,
+                            Diag::NonUnit,
+                            S::ONE,
+                            akk.as_ref(),
+                            aik.as_mut(),
+                        );
+                    },
+                );
+            }
+            for i in k + 1..nt {
+                // diagonal update; feeding the next panel gets priority
+                let prio = step + i32::from(i == k + 1);
+                dag.add(
+                    KernelKind::Herk,
+                    prio,
+                    nbf * nbf * nbf,
+                    vec![aref(i, k)],
+                    vec![aref(i, i)],
+                    move || {
+                        let (aik, aii) = unsafe { (tiles.tile(i, k), tiles.tile(i, i)) };
+                        herk(
+                            Uplo::Lower,
+                            Op::NoTrans,
+                            -S::Real::ONE,
+                            aik.as_ref(),
+                            S::Real::ONE,
+                            aii.as_mut(),
+                        );
+                    },
+                );
+                for j in k + 1..i {
+                    let prio = step + i32::from(j == k + 1);
+                    dag.add(
+                        KernelKind::Gemm,
+                        prio,
+                        2.0 * nbf * nbf * nbf,
+                        vec![aref(i, k), aref(j, k)],
+                        vec![aref(i, j)],
+                        move || {
+                            let v = unsafe { tiles.tile(i, k) };
+                            let w = unsafe { tiles.tile(j, k) };
+                            let aij = unsafe { tiles.tile(i, j) };
+                            gemm(
+                                Op::NoTrans,
+                                Op::ConjTrans,
+                                -S::ONE,
+                                v.as_ref(),
+                                w.as_ref(),
+                                S::ONE,
+                                aij.as_mut(),
+                            );
+                        },
+                    );
+                }
+            }
+        }
+        outcome = dag.execute();
+    }
+    if outcome == ExecOutcome::Cancelled {
+        let off = failure.lock().unwrap().take().unwrap_or(0);
+        return Err(LapackError::NotPositiveDefinite(off));
+    }
+    // write the factored lower triangle back (upper stays untouched, like
+    // the flat potrf)
+    let tiling = ta.tiling();
+    for j in 0..nt {
+        for i in j..nt {
+            let (r0, c0) = tiling.tile_origin(i, j);
+            let tile = ta.tile(i, j);
+            for jj in 0..tile.ncols() {
+                for ii in 0..tile.nrows() {
+                    if r0 + ii >= c0 + jj {
+                        a[(r0 + ii, c0 + jj)] = tile[(ii, jj)];
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{geqrf, orgqr, potrf};
+    use polar_blas::{add, norm};
+    use polar_matrix::Norm;
+    use polar_scalar::Complex64;
+
+    fn rand_mat(m: usize, n: usize, seed: u64) -> Matrix<f64> {
+        let mut s = seed | 1;
+        Matrix::from_fn(m, n, |_, _| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn check_tiled_qr(a0: &Matrix<f64>, nb: usize, tol: f64) {
+        let (m, n) = (a0.nrows(), a0.ncols());
+        let k = m.min(n);
+        let f = geqrf_tiled(a0, nb);
+        let q = orgqr_tiled(&f, k);
+        // orthonormality
+        let mut qhq = Matrix::<f64>::zeros(k, k);
+        gemm(Op::ConjTrans, Op::NoTrans, 1.0, q.as_ref(), q.as_ref(), 0.0, qhq.as_mut());
+        for j in 0..k {
+            for i in 0..k {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (qhq[(i, j)] - expect).abs() <= tol,
+                    "QhQ({i},{j}) = {} (m={m} n={n} nb={nb})",
+                    qhq[(i, j)]
+                );
+            }
+        }
+        // reconstruction
+        let r = f.extract_r();
+        let mut qr = Matrix::<f64>::zeros(m, n);
+        gemm(Op::NoTrans, Op::NoTrans, 1.0, q.as_ref(), r.as_ref(), 0.0, qr.as_mut());
+        let mut diff = qr;
+        add(-1.0, a0.as_ref(), 1.0, diff.as_mut());
+        let err: f64 = norm(Norm::Fro, diff.as_ref());
+        let scale: f64 = norm(Norm::Fro, a0.as_ref());
+        assert!(err <= tol * (1.0 + scale), "||QR - A|| = {err} (m={m} n={n} nb={nb})");
+    }
+
+    #[test]
+    fn tiled_qr_shapes_and_tile_sizes() {
+        check_tiled_qr(&rand_mat(64, 64, 1), 16, 1e-12);
+        check_tiled_qr(&rand_mat(64, 64, 2), 48, 1e-12); // m not multiple of nb
+        check_tiled_qr(&rand_mat(96, 32, 3), 32, 1e-12); // tall
+        check_tiled_qr(&rand_mat(37, 29, 4), 16, 1e-12); // prime-ish edges
+        check_tiled_qr(&rand_mat(30, 30, 5), 64, 1e-12); // nb > n: single tile
+    }
+
+    #[test]
+    fn tiled_stacked_matches_dense_tiled() {
+        // the windowed task graph must produce the same factorization as
+        // the dense one on [B; I] (the skipped tasks are exact no-ops)
+        for n in [24usize, 40] {
+            let b = rand_mat(n, n, 10 + n as u64);
+            let w = Matrix::vstack(&b, &Matrix::identity(n, n));
+            let dense = geqrf_tiled(&w, 16);
+            let windowed = geqrf_tiled_stacked(n, &w, 16);
+            let qd = orgqr_tiled(&dense, n);
+            let qw = orgqr_tiled(&windowed, n);
+            let mut diff = qd.clone();
+            add(-1.0, qw.as_ref(), 1.0, diff.as_mut());
+            let err: f64 = norm(Norm::Fro, diff.as_ref());
+            assert!(err == 0.0, "windowed Q differs: {err} (n={n})");
+        }
+    }
+
+    #[test]
+    fn tiled_qr_complex() {
+        let mut s = 3u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let a0 = Matrix::from_fn(40, 24, |_, _| Complex64::new(next(), next()));
+        let f = geqrf_tiled(&a0, 16);
+        let q = orgqr_tiled(&f, 24);
+        let r = f.extract_r();
+        let one = Complex64::from_real(1.0);
+        let mut qr = Matrix::<Complex64>::zeros(40, 24);
+        gemm(
+            Op::NoTrans,
+            Op::NoTrans,
+            one,
+            q.as_ref(),
+            r.as_ref(),
+            Complex64::default(),
+            qr.as_mut(),
+        );
+        let mut diff = qr;
+        add(-one, a0.as_ref(), one, diff.as_mut());
+        let err: f64 = norm(Norm::Fro, diff.as_ref());
+        assert!(err < 1e-12, "||QR - A|| = {err}");
+    }
+
+    #[test]
+    fn potrf_tiled_matches_flat() {
+        for (n, nb) in [(48usize, 16usize), (50, 16), (33, 48)] {
+            let b = rand_mat(n, n, 20 + n as u64);
+            // SPD: B B^H + n I
+            let mut spd = Matrix::<f64>::identity(n, n);
+            for d in 0..n {
+                spd[(d, d)] = n as f64;
+            }
+            gemm(Op::NoTrans, Op::ConjTrans, 1.0, b.as_ref(), b.as_ref(), 1.0, spd.as_mut());
+            let mut flat = spd.clone();
+            potrf(Uplo::Lower, &mut flat).unwrap();
+            let mut tiled = spd.clone();
+            potrf_tiled(Uplo::Lower, &mut tiled, nb).unwrap();
+            // Cholesky with positive diagonal is unique: compare directly
+            for j in 0..n {
+                for i in j..n {
+                    assert!(
+                        (flat[(i, j)] - tiled[(i, j)]).abs() <= 1e-10 * (n as f64),
+                        "L({i},{j}) flat={} tiled={} (n={n} nb={nb})",
+                        flat[(i, j)],
+                        tiled[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn potrf_tiled_reports_indefinite() {
+        let n = 40;
+        let mut a = Matrix::<f64>::identity(n, n);
+        a[(25, 25)] = -1.0; // tile 1 with nb=16: local 1-based info 10 → global 26
+        let err = potrf_tiled(Uplo::Lower, &mut a, 16).unwrap_err();
+        match err {
+            LapackError::NotPositiveDefinite(off) => assert_eq!(off, 26),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiled_qr_matches_flat_reconstruction() {
+        // same A, both algorithms: the Q R products must agree even though
+        // the reflectors differ
+        let a0 = rand_mat(48, 48, 99);
+        let mut flat = a0.clone();
+        let ff = geqrf(&mut flat);
+        let qf = orgqr(&flat, &ff);
+        let ft = geqrf_tiled(&a0, 16);
+        let qt = orgqr_tiled(&ft, 48);
+        // compare the orthogonal projectors Q Q^H (basis-independent)
+        let mut pf = Matrix::<f64>::zeros(48, 48);
+        gemm(Op::NoTrans, Op::ConjTrans, 1.0, qf.as_ref(), qf.as_ref(), 0.0, pf.as_mut());
+        let mut pt = Matrix::<f64>::zeros(48, 48);
+        gemm(Op::NoTrans, Op::ConjTrans, 1.0, qt.as_ref(), qt.as_ref(), 0.0, pt.as_mut());
+        let mut diff = pf;
+        add(-1.0, pt.as_ref(), 1.0, diff.as_mut());
+        let err: f64 = norm(Norm::Fro, diff.as_ref());
+        assert!(err < 1e-12, "projector mismatch {err}");
+    }
+}

@@ -3,10 +3,11 @@
 
 use polar_blas::{add, gemm, norm};
 use polar_lapack::{
-    extract_r, geqrf, geqrf_blocked, getrf, getrs, jacobi_eig, jacobi_svd, norm2est, orgqr, posv,
-    potrf, tsqr,
+    extract_r, geqrf, geqrf_blocked, geqrf_tiled, getrf, getrs, jacobi_eig, jacobi_svd, norm2est,
+    orgqr, orgqr_tiled, posv, potrf, potrf_tiled, tsqr,
 };
 use polar_matrix::{Matrix, Norm, Op, Uplo};
+use polar_scalar::{Complex32, Complex64, Real, Scalar};
 use proptest::prelude::*;
 
 fn mat(m: usize, n: usize, seed: u64) -> Matrix<f64> {
@@ -21,6 +22,64 @@ fn fro_diff(a: &Matrix<f64>, b: &Matrix<f64>) -> f64 {
     let mut d = a.clone();
     add(-1.0, b.as_ref(), 1.0, d.as_mut());
     norm(Norm::Fro, d.as_ref())
+}
+
+/// Random matrix in any of the four scalar types (the imaginary draw is
+/// discarded by the real instantiations).
+fn mat_s<S: Scalar>(m: usize, n: usize, seed: u64) -> Matrix<S> {
+    let mut s = seed | 1;
+    Matrix::from_fn(m, n, |_, _| {
+        let mut draw = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let (re, im) = (draw(), draw());
+        S::from_parts(S::Real::from_f64(re), S::Real::from_f64(im))
+    })
+}
+
+/// The tiled QR must reconstruct A, produce an orthonormal Q, and agree
+/// with the flat `geqrf` R factor (unique up to unit phases).
+fn check_tiled_qr_s<S: Scalar>(m: usize, n: usize, nb: usize, seed: u64, tol: f64) {
+    let a0 = mat_s::<S>(m, n, seed);
+    let k = m.min(n);
+    let f = geqrf_tiled(&a0, nb);
+    let q = orgqr_tiled(&f, k);
+    let mut qhq = Matrix::<S>::identity(k, k);
+    gemm(Op::ConjTrans, Op::NoTrans, S::ONE, q.as_ref(), q.as_ref(), -S::ONE, qhq.as_mut());
+    let orth = norm(Norm::Fro, qhq.as_ref()).to_f64();
+    assert!(orth <= tol * (1.0 + k as f64), "||QhQ - I|| = {orth} (m={m} n={n} nb={nb})");
+    let r = f.extract_r();
+    let mut qr = a0.clone();
+    gemm(Op::NoTrans, Op::NoTrans, S::ONE, q.as_ref(), r.as_ref(), -S::ONE, qr.as_mut());
+    let err = norm(Norm::Fro, qr.as_ref()).to_f64();
+    let scale = norm(Norm::Fro, a0.as_ref()).to_f64();
+    assert!(err <= tol * (1.0 + scale), "||QR - A|| = {err} (m={m} n={n} nb={nb})");
+    let mut af = a0.clone();
+    let _ = geqrf(&mut af);
+    for j in 0..k {
+        let (dt, df) = (r[(j, j)].abs().to_f64(), af[(j, j)].abs().to_f64());
+        assert!((dt - df).abs() <= tol * (1.0 + df), "|R[{j},{j}]| {dt} vs flat {df} (nb={nb})");
+    }
+}
+
+/// The tiled Cholesky factor must match the flat one directly (the
+/// factorization is unique, so only rounding separates the two paths).
+fn check_tiled_potrf_s<S: Scalar>(n: usize, nb: usize, seed: u64, tol: f64) {
+    let g = mat_s::<S>(n, n, seed);
+    let mut a = Matrix::<S>::identity(n, n);
+    polar_blas::scale(S::from_f64(1.0 + n as f64), a.as_mut());
+    gemm(Op::ConjTrans, Op::NoTrans, S::ONE, g.as_ref(), g.as_ref(), S::ONE, a.as_mut());
+    let mut at = a.clone();
+    let mut af = a;
+    potrf_tiled(Uplo::Lower, &mut at, nb).unwrap();
+    potrf(Uplo::Lower, &mut af).unwrap();
+    let lf = Matrix::from_fn(n, n, |i, j| if i >= j { af[(i, j)] } else { S::ZERO });
+    let mut diff = Matrix::from_fn(n, n, |i, j| if i >= j { at[(i, j)] } else { S::ZERO });
+    add(-S::ONE, lf.as_ref(), S::ONE, diff.as_mut());
+    let err = norm(Norm::Fro, diff.as_ref()).to_f64();
+    let scale = norm(Norm::Fro, lf.as_ref()).to_f64();
+    assert!(err <= tol * (1.0 + scale), "||L_tiled - L_flat|| = {err} (n={n} nb={nb})");
 }
 
 proptest! {
@@ -150,6 +209,25 @@ proptest! {
     }
 
     #[test]
+    fn tiled_qr_matches_flat_all_types(n in 1usize..36, extra in 0usize..24, nb in 4usize..48, seed in 0u64..300) {
+        // covers square (extra = 0), tall, prime shapes, m % nb != 0, and
+        // nb > n (single-tile degenerate case) across all four scalar types
+        let m = n + extra;
+        check_tiled_qr_s::<f32>(m, n, nb, seed, 2e-3);
+        check_tiled_qr_s::<f64>(m, n, nb, seed, 1e-11);
+        check_tiled_qr_s::<Complex32>(m, n, nb, seed ^ 0x9e37, 2e-3);
+        check_tiled_qr_s::<Complex64>(m, n, nb, seed ^ 0x9e37, 1e-11);
+    }
+
+    #[test]
+    fn tiled_potrf_matches_flat_all_types(n in 1usize..40, nb in 4usize..48, seed in 0u64..300) {
+        check_tiled_potrf_s::<f32>(n, nb, seed, 2e-4);
+        check_tiled_potrf_s::<f64>(n, nb, seed, 1e-12);
+        check_tiled_potrf_s::<Complex32>(n, nb, seed ^ 0x517c, 2e-4);
+        check_tiled_potrf_s::<Complex64>(n, nb, seed ^ 0x517c, 1e-12);
+    }
+
+    #[test]
     fn geqrf_then_unmqr_preserves_norms(m in 2usize..30, seed in 0u64..200) {
         use polar_lapack::unmqr;
         let n = 1 + (seed as usize % m.min(15));
@@ -163,5 +241,45 @@ proptest! {
         let n0: f64 = norm(Norm::Fro, c0.as_ref());
         let n1: f64 = norm(Norm::Fro, c.as_ref());
         prop_assert!((n0 - n1).abs() <= 1e-11 * (1.0 + n0));
+    }
+}
+
+/// Two deterministic-replay tiled solves must be bitwise identical. The
+/// `POLAR_DETERMINISTIC` flag is latched by the thread-pool shim on first
+/// use, so it is set up front; independently of whether replay mode
+/// engaged before another test touched the pool, the tile DAG's results
+/// are schedule-independent by construction, so exact equality must hold.
+#[test]
+fn tiled_qr_deterministic_bitwise_replay() {
+    std::env::set_var("POLAR_DETERMINISTIC", "1");
+    let run_f64 = || {
+        let a = mat(67, 45, 42);
+        let f = geqrf_tiled(&a, 16);
+        (orgqr_tiled(&f, 45), f.extract_r())
+    };
+    let (q1, r1) = run_f64();
+    let (q2, r2) = run_f64();
+    for (x, y) in [(&q1, &q2), (&r1, &r2)] {
+        for j in 0..x.ncols() {
+            for i in 0..x.nrows() {
+                assert_eq!(x[(i, j)].to_bits(), y[(i, j)].to_bits(), "f64 at ({i},{j})");
+            }
+        }
+    }
+    let run_z64 = || {
+        let a = mat_s::<Complex64>(52, 38, 7);
+        let f = geqrf_tiled(&a, 16);
+        (orgqr_tiled(&f, 38), f.extract_r())
+    };
+    let (q1, r1) = run_z64();
+    let (q2, r2) = run_z64();
+    for (x, y) in [(&q1, &q2), (&r1, &r2)] {
+        for j in 0..x.ncols() {
+            for i in 0..x.nrows() {
+                let (u, v) = (x[(i, j)], y[(i, j)]);
+                assert_eq!(u.re.to_bits(), v.re.to_bits(), "z64 re at ({i},{j})");
+                assert_eq!(u.im.to_bits(), v.im.to_bits(), "z64 im at ({i},{j})");
+            }
+        }
     }
 }

@@ -203,6 +203,14 @@ impl<S: Scalar> TiledMatrix<S> {
         }
     }
 
+    /// Mutable view of the raw tile storage, in column-major tile order
+    /// (flat index `i + j * mt()`). Dependency-scheduled executors use this
+    /// to hand *disjoint* tiles to concurrently-running tasks — each tile
+    /// is its own allocation, so there is no aliasing between slots.
+    pub fn tiles_mut(&mut self) -> &mut [Matrix<S>] {
+        &mut self.tiles
+    }
+
     /// Iterate over all tile indices in column-major order.
     pub fn indices(&self) -> impl Iterator<Item = TileIndex> + '_ {
         let mt = self.mt();

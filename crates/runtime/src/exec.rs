@@ -1,0 +1,446 @@
+//! Dependency-driven execution of tile task DAGs on the work-stealing pool.
+//!
+//! [`GraphBuilder`] (see `graph.rs`) infers RAW/WAW/WAR dependencies from
+//! tile read/write sets exactly like OpenMP `task depend` clauses; until
+//! this module existed those graphs were only ever *simulated*. [`TaskDag`]
+//! attaches a real closure to every task and executes the graph for real:
+//!
+//! * tasks become *ready* when their last predecessor completes and enter a
+//!   priority heap (priority descending, submission order ascending);
+//! * panel-priority (lookahead) ordering is expressed by the driver through
+//!   the per-task priority — panel kernels of step `k` outrank trailing
+//!   updates, and updates feeding the next panel outrank the rest — so the
+//!   critical path is released as early as possible, which is how
+//!   PLASMA/SLATE overlap panel factorization with trailing updates;
+//! * the ready set is drained by one worker loop per pool thread; workers
+//!   sleep on a condvar while no task is ready and are woken by completions.
+//!
+//! Under deterministic replay (`POLAR_DETERMINISTIC=1`,
+//! [`rayon::deterministic_mode`]) the DAG runs sequentially on the calling
+//! thread in exact heap order: the release order is then a pure function of
+//! the graph, making two runs schedule — and therefore execute — task
+//! bodies identically. (Task *values* are schedule-independent anyway:
+//! every task writes tiles no concurrent task touches, and all
+//! value-affecting orderings are dependency edges.)
+
+use crate::graph::{GraphBuilder, KernelKind, TaskGraph, TaskId, TileRef};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Why a [`TaskDag`] execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecOutcome {
+    /// Every task ran to completion.
+    Completed,
+    /// A task body requested cancellation (e.g. a `potrf` tile hit a
+    /// non-positive-definite pivot); remaining tasks were abandoned.
+    Cancelled,
+}
+
+/// Control value returned by a task body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// Keep executing the graph.
+    Continue,
+    /// Stop: abandon all not-yet-started tasks. In-flight tasks on other
+    /// workers finish first (they only touch their own tiles).
+    Cancel,
+}
+
+type Body<'a> = Box<dyn FnOnce() -> TaskStatus + Send + 'a>;
+
+/// Max-heap key: higher priority first, then submission (program) order.
+#[derive(PartialEq, Eq)]
+struct ReadyKey {
+    priority: i32,
+    id: TaskId,
+}
+
+impl Ord for ReadyKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority.cmp(&other.priority).then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for ReadyKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A task graph under construction, with an executable body per task.
+///
+/// The builder side mirrors [`GraphBuilder`]: tasks are appended in program
+/// order with tile read/write sets, and dependencies are inferred. Bodies
+/// may borrow from the caller's stack (`'a`): [`TaskDag::execute`] blocks
+/// until the whole graph is drained, so the borrows stay live.
+pub struct TaskDag<'a> {
+    builder: GraphBuilder,
+    bodies: Vec<Option<Body<'a>>>,
+    priorities: Vec<i32>,
+}
+
+impl<'a> Default for TaskDag<'a> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct ExecState<'a> {
+    ready: BinaryHeap<ReadyKey>,
+    indeg: Vec<usize>,
+    bodies: Vec<Option<Body<'a>>>,
+    remaining: usize,
+    cancelled: bool,
+}
+
+impl<'a> TaskDag<'a> {
+    pub fn new() -> Self {
+        Self { builder: GraphBuilder::new(), bodies: Vec::new(), priorities: Vec::new() }
+    }
+
+    /// Allocate a fresh matrix id for [`TileRef`]s.
+    pub fn new_matrix(&mut self) -> u32 {
+        self.builder.new_matrix()
+    }
+
+    /// Number of tasks submitted so far.
+    pub fn len(&self) -> usize {
+        self.bodies.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.bodies.is_empty()
+    }
+
+    /// Append a task whose body can cancel the whole graph.
+    ///
+    /// `priority` orders the ready set (higher runs first). `flops` feeds
+    /// the graph's critical-path accounting, not the obs counters — bodies
+    /// report their own kernel spans.
+    pub fn add_task(
+        &mut self,
+        kind: KernelKind,
+        priority: i32,
+        flops: f64,
+        reads: Vec<TileRef>,
+        writes: Vec<TileRef>,
+        body: impl FnOnce() -> TaskStatus + Send + 'a,
+    ) -> TaskId {
+        let id = self.builder.add_task(kind, flops, 0, reads, writes);
+        debug_assert_eq!(id, self.bodies.len());
+        self.bodies.push(Some(Box::new(body)));
+        self.priorities.push(priority);
+        id
+    }
+
+    /// [`TaskDag::add_task`] for infallible bodies.
+    pub fn add(
+        &mut self,
+        kind: KernelKind,
+        priority: i32,
+        flops: f64,
+        reads: Vec<TileRef>,
+        writes: Vec<TileRef>,
+        body: impl FnOnce() + Send + 'a,
+    ) -> TaskId {
+        self.add_task(kind, priority, flops, reads, writes, move || {
+            body();
+            TaskStatus::Continue
+        })
+    }
+
+    /// Build the dependency graph and run every task, respecting
+    /// dependencies and priorities. Blocks until the graph is drained (or
+    /// cancelled). Uses the global work-stealing pool; under deterministic
+    /// replay the schedule collapses to a fixed sequential order.
+    pub fn execute(self) -> ExecOutcome {
+        let TaskDag { builder, bodies, priorities } = self;
+        let graph = builder.build();
+        let n = graph.len();
+        if n == 0 {
+            return ExecOutcome::Completed;
+        }
+
+        let indeg: Vec<usize> = graph.preds.iter().map(Vec::len).collect();
+        let mut ready = BinaryHeap::with_capacity(n);
+        for (id, &d) in indeg.iter().enumerate() {
+            if d == 0 {
+                ready.push(ReadyKey { priority: priorities[id], id });
+            }
+        }
+
+        if rayon::deterministic_mode().is_some() || rayon::current_num_threads() <= 1 {
+            return Self::execute_sequential(&graph, &priorities, bodies, ready, indeg);
+        }
+
+        let state = Mutex::new(ExecState { ready, indeg, bodies, remaining: n, cancelled: false });
+        let work = Condvar::new();
+        let workers = rayon::current_num_threads().min(n);
+        fanout(workers, &|| worker_loop(&graph, &priorities, &state, &work));
+        let cancelled = state.lock().unwrap().cancelled;
+        // take/drop the leftover bodies before `state` unwinds borrows
+        if cancelled {
+            ExecOutcome::Cancelled
+        } else {
+            ExecOutcome::Completed
+        }
+    }
+
+    /// Fixed-order sequential drain: the deterministic-replay schedule.
+    fn execute_sequential(
+        graph: &TaskGraph,
+        priorities: &[i32],
+        mut bodies: Vec<Option<Body<'a>>>,
+        mut ready: BinaryHeap<ReadyKey>,
+        mut indeg: Vec<usize>,
+    ) -> ExecOutcome {
+        while let Some(ReadyKey { id, .. }) = ready.pop() {
+            let body = bodies[id].take().expect("task body ran twice");
+            let _t = task_span(graph, id);
+            if body() == TaskStatus::Cancel {
+                return ExecOutcome::Cancelled;
+            }
+            for &s in &graph.succs[id] {
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    ready.push(ReadyKey { priority: priorities[s], id: s });
+                }
+            }
+        }
+        ExecOutcome::Completed
+    }
+}
+
+/// One ready-queue worker; runs on a pool thread until the graph drains.
+fn worker_loop<'a>(
+    graph: &TaskGraph,
+    priorities: &[i32],
+    state: &Mutex<ExecState<'a>>,
+    work: &Condvar,
+) {
+    let mut guard = state.lock().unwrap();
+    loop {
+        if guard.cancelled || guard.remaining == 0 {
+            work.notify_all();
+            return;
+        }
+        let Some(ReadyKey { id, .. }) = guard.ready.pop() else {
+            guard = work.wait(guard).unwrap();
+            continue;
+        };
+        let body = guard.bodies[id].take().expect("task body ran twice");
+        drop(guard);
+
+        let status = {
+            let _t = task_span(graph, id);
+            body()
+        };
+
+        guard = state.lock().unwrap();
+        if status == TaskStatus::Cancel {
+            guard.cancelled = true;
+            work.notify_all();
+            return;
+        }
+        guard.remaining -= 1;
+        if guard.remaining == 0 {
+            work.notify_all();
+            return;
+        }
+        let mut released = 0usize;
+        for &s in &graph.succs[id] {
+            guard.indeg[s] -= 1;
+            if guard.indeg[s] == 0 {
+                guard.ready.push(ReadyKey { priority: priorities[s], id: s });
+                released += 1;
+            }
+        }
+        // wake sleepers for every newly-ready task beyond the one this
+        // worker will take itself
+        if released > 1 {
+            work.notify_all();
+        } else if released == 1 {
+            work.notify_one();
+        }
+    }
+}
+
+/// Trace-only span for one tile task (suppressed-counting `leaf_span`, so
+/// the driver-level `kernel_span` keeps sole ownership of the flop totals).
+fn task_span(graph: &TaskGraph, id: TaskId) -> polar_obs::SpanGuard {
+    let t = &graph.tasks[id];
+    let (class, name) = kind_label(t.kind);
+    let (i, j) = t.writes.first().map(|w| (w.i as usize, w.j as usize)).unwrap_or((0, 0));
+    polar_obs::leaf_span(class, name, t.flops, [i, j, 0])
+}
+
+fn kind_label(kind: KernelKind) -> (polar_obs::KernelClass, &'static str) {
+    use polar_obs::KernelClass as C;
+    match kind {
+        KernelKind::Geqrt => (C::Geqrf, "task_geqrt"),
+        KernelKind::Tsqrt => (C::Geqrf, "task_tsqrt"),
+        KernelKind::Unmqr => (C::Orgqr, "task_unmqr"),
+        KernelKind::Tsmqr => (C::Orgqr, "task_tsmqr"),
+        KernelKind::Potrf => (C::Potrf, "task_potrf"),
+        KernelKind::Trsm => (C::Trsm, "task_trsm"),
+        KernelKind::Gemm => (C::Gemm, "task_gemm"),
+        KernelKind::Herk => (C::Herk, "task_herk"),
+        _ => (C::Other, "task_other"),
+    }
+}
+
+/// Run `f` once on each of `n` pool lanes via a recursive join tree.
+fn fanout<F: Fn() + Sync>(n: usize, f: &F) {
+    if n <= 1 {
+        f();
+    } else {
+        let half = n / 2;
+        rayon::join(|| fanout(n - half, f), || fanout(half, f));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering as AtOrd};
+    use std::sync::Mutex as StdMutex;
+
+    fn tile(m: u32, i: usize, j: usize) -> TileRef {
+        TileRef::new(m, i, j, 64)
+    }
+
+    #[test]
+    fn runs_every_task_once() {
+        let counter = AtomicUsize::new(0);
+        let mut dag = TaskDag::new();
+        let m = dag.new_matrix();
+        for j in 0..16 {
+            dag.add(KernelKind::Gemm, 0, 1.0, vec![], vec![tile(m, 0, j)], || {
+                counter.fetch_add(1, AtOrd::SeqCst);
+            });
+        }
+        assert_eq!(dag.execute(), ExecOutcome::Completed);
+        assert_eq!(counter.load(AtOrd::SeqCst), 16);
+    }
+
+    #[test]
+    fn respects_dependency_chain() {
+        // a chain writing the same tile must execute in program order
+        let log = StdMutex::new(Vec::new());
+        let mut dag = TaskDag::new();
+        let m = dag.new_matrix();
+        let log = &log;
+        for k in 0..32 {
+            // deliberately inverted priority: deps must still win
+            dag.add(KernelKind::Potrf, -k, 1.0, vec![], vec![tile(m, 0, 0)], move || {
+                log.lock().unwrap().push(k);
+            });
+        }
+        assert_eq!(dag.execute(), ExecOutcome::Completed);
+        assert_eq!(*log.lock().unwrap(), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn diamond_orders_join_after_branches() {
+        let log = StdMutex::new(Vec::new());
+        let mut dag = TaskDag::new();
+        let m = dag.new_matrix();
+        dag.add(KernelKind::Geqrt, 0, 1.0, vec![], vec![tile(m, 0, 0)], || {
+            log.lock().unwrap().push(0);
+        });
+        {
+            let log = &log;
+            for b in 1..=2 {
+                dag.add(
+                    KernelKind::Trsm,
+                    0,
+                    1.0,
+                    vec![tile(m, 0, 0)],
+                    vec![tile(m, b, 0)],
+                    move || {
+                        // branch ids recorded as 1/2 in any order
+                        log.lock().unwrap().push(b);
+                    },
+                );
+            }
+        }
+        dag.add(
+            KernelKind::Gemm,
+            0,
+            1.0,
+            vec![tile(m, 1, 0), tile(m, 2, 0)],
+            vec![tile(m, 3, 0)],
+            || {
+                log.lock().unwrap().push(3);
+            },
+        );
+        assert_eq!(dag.execute(), ExecOutcome::Completed);
+        let got = log.lock().unwrap().clone();
+        assert_eq!(got[0], 0);
+        assert_eq!(got[3], 3);
+        assert_eq!(
+            {
+                let mut mid = got[1..3].to_vec();
+                mid.sort_unstable();
+                mid
+            },
+            vec![1, 2]
+        );
+    }
+
+    #[test]
+    fn cancel_abandons_remaining_tasks() {
+        let ran = AtomicUsize::new(0);
+        let mut dag = TaskDag::new();
+        let m = dag.new_matrix();
+        // serialized chain so the cancel point is deterministic
+        let ran_ref = &ran;
+        for k in 0..10 {
+            dag.add_task(KernelKind::Potrf, 0, 1.0, vec![], vec![tile(m, 0, 0)], move || {
+                ran_ref.fetch_add(1, AtOrd::SeqCst);
+                if k == 3 {
+                    TaskStatus::Cancel
+                } else {
+                    TaskStatus::Continue
+                }
+            });
+        }
+        assert_eq!(dag.execute(), ExecOutcome::Cancelled);
+        assert_eq!(ran.load(AtOrd::SeqCst), 4);
+    }
+
+    #[test]
+    fn priority_orders_independent_ready_tasks() {
+        // sequential drain (deterministic order) exposes the heap order;
+        // with >1 worker the order is only a preference, so pin to the
+        // sequential path by checking via a fresh single-use ordering test
+        let log = StdMutex::new(Vec::new());
+        let mut dag = TaskDag::new();
+        let m = dag.new_matrix();
+        {
+            let log = &log;
+            for (idx, prio) in [(0usize, 1i32), (1, 5), (2, 3)] {
+                dag.add(KernelKind::Gemm, prio, 1.0, vec![], vec![tile(m, 0, idx)], move || {
+                    log.lock().unwrap().push(idx);
+                });
+            }
+        }
+        // run on the sequential path regardless of pool size
+        let TaskDag { builder, bodies, priorities } = dag;
+        let graph = builder.build();
+        let mut ready = BinaryHeap::new();
+        for (id, &priority) in priorities.iter().enumerate() {
+            ready.push(ReadyKey { priority, id });
+        }
+        let indeg: Vec<usize> = graph.preds.iter().map(Vec::len).collect();
+        TaskDag::execute_sequential(&graph, &priorities, bodies, ready, indeg);
+        assert_eq!(*log.lock().unwrap(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_dag_completes() {
+        assert_eq!(TaskDag::new().execute(), ExecOutcome::Completed);
+    }
+}

@@ -12,7 +12,11 @@ use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// Complex number over a [`Real`] field.
+///
+/// `repr(C)` pins the `[re, im]` memory layout that the packed SIMD
+/// microkernels rely on when streaming complex panels as real pairs.
 #[derive(Copy, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[repr(C)]
 pub struct Complex<T> {
     /// Real part.
     pub re: T,
