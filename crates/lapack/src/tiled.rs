@@ -14,10 +14,12 @@
 //! never emitted (~1/3 of the QR flops for square `A`).
 //!
 //! Safety model: tiles of a [`TiledMatrix`] are separate allocations, and
-//! the executor's inferred RAW/WAW/WAR edges order every pair of tasks that
-//! touch the same tile, so handing concurrent tasks raw `&mut` access to
-//! *distinct* tiles is race-free. The `TilePtr`/`SlotPtr` wrappers below
-//! are the single place that unsafety lives.
+//! the executor's inferred RAW/WAW/WAR edges order every pair of tasks
+//! whose accesses to the same tile conflict. A task takes `&mut` only to
+//! tiles in its *write* set (no other task touches those concurrently) and
+//! `&` to tiles in its *read* set (concurrent readers may alias, so a
+//! shared reference is mandatory there). The `TilePtr`/`SlotPtr` wrappers
+//! below are the single place that unsafety lives.
 
 use crate::tile_qr::{geqrt_blocked, tsmqr_blocked, tsqrt_blocked, unmqr_tile_blocked, TileT};
 use crate::{LapackError, DEFAULT_BLOCK};
@@ -69,10 +71,22 @@ impl<S: Scalar> TilePtr<S> {
 
     /// # Safety
     /// Caller must guarantee (via DAG dependencies) that no other task
-    /// holds a reference to tile `(i, j)` concurrently.
+    /// holds *any* reference to tile `(i, j)` concurrently — i.e. the tile
+    /// is in the calling task's write set.
     #[allow(clippy::mut_from_ref)]
     unsafe fn tile<'x>(&self, i: usize, j: usize) -> &'x mut Matrix<S> {
         &mut *self.tiles.add(i + j * self.mt)
+    }
+
+    /// Shared access for tiles in a task's *read* set: concurrent readers
+    /// (e.g. every `unmqr` task of one panel reading the diagonal tile) may
+    /// alias, which `&mut` must never do.
+    ///
+    /// # Safety
+    /// Caller must guarantee (via DAG dependencies) that no task holds a
+    /// `&mut` to tile `(i, j)` concurrently.
+    unsafe fn tile_ref<'x>(&self, i: usize, j: usize) -> &'x Matrix<S> {
+        &*self.tiles.add(i + j * self.mt)
     }
 }
 
@@ -100,6 +114,12 @@ impl<S: Scalar> SlotPtr<S> {
     #[allow(clippy::mut_from_ref)]
     unsafe fn slot<'x>(&self, idx: usize) -> &'x mut Option<TileT<S>> {
         &mut *self.slots.add(idx)
+    }
+
+    /// # Safety
+    /// Same contract as [`TilePtr::tile_ref`].
+    unsafe fn slot_ref<'x>(&self, idx: usize) -> &'x Option<TileT<S>> {
+        &*self.slots.add(idx)
     }
 }
 
@@ -211,8 +231,8 @@ fn geqrf_tiled_inner<S: Scalar>(
                     vec![aref(k, k), tref(k, k)],
                     vec![aref(k, j)],
                     move || {
-                        let v = unsafe { tiles.tile(k, k) };
-                        let t = unsafe { slots.slot(k + k * mt) }.as_ref().unwrap();
+                        let v = unsafe { tiles.tile_ref(k, k) };
+                        let t = unsafe { slots.slot_ref(k + k * mt) }.as_ref().unwrap();
                         let c = unsafe { tiles.tile(k, j) };
                         unmqr_tile_blocked(Op::ConjTrans, v, t, c);
                     },
@@ -243,8 +263,8 @@ fn geqrf_tiled_inner<S: Scalar>(
                         vec![aref(i, k), tref(i, k)],
                         vec![aref(k, j), aref(i, j)],
                         move || {
-                            let v2 = unsafe { tiles.tile(i, k) };
-                            let t = unsafe { slots.slot(i + k * mt) }.as_ref().unwrap();
+                            let v2 = unsafe { tiles.tile_ref(i, k) };
+                            let t = unsafe { slots.slot_ref(i + k * mt) }.as_ref().unwrap();
                             let (a1, a2) = unsafe { (tiles.tile(k, j), tiles.tile(i, j)) };
                             tsmqr_blocked(Op::ConjTrans, v2, t, a1, a2);
                         },
@@ -252,7 +272,10 @@ fn geqrf_tiled_inner<S: Scalar>(
                 }
             }
         }
-        dag.execute();
+        // QR bodies never cancel; guard against a partially-factored result
+        // if the executor ever grows new outcomes.
+        let outcome = dag.execute();
+        debug_assert_eq!(outcome, ExecOutcome::Completed);
     }
     TiledQr { a: ta, t: tstore, kt, top_rows }
 }
@@ -337,7 +360,8 @@ pub fn orgqr_tiled<S: Scalar>(f: &TiledQr<S>, k_cols: usize) -> Matrix<S> {
                 );
             }
         }
-        dag.execute();
+        let outcome = dag.execute();
+        debug_assert_eq!(outcome, ExecOutcome::Completed);
     }
     q.to_dense()
 }
@@ -405,7 +429,7 @@ pub fn potrf_tiled<S: Scalar>(uplo: Uplo, a: &mut Matrix<S>, nb: usize) -> Resul
                     vec![aref(k, k)],
                     vec![aref(i, k)],
                     move || {
-                        let (akk, aik) = unsafe { (tiles.tile(k, k), tiles.tile(i, k)) };
+                        let (akk, aik) = unsafe { (tiles.tile_ref(k, k), tiles.tile(i, k)) };
                         trsm(
                             Side::Right,
                             Uplo::Lower,
@@ -428,7 +452,7 @@ pub fn potrf_tiled<S: Scalar>(uplo: Uplo, a: &mut Matrix<S>, nb: usize) -> Resul
                     vec![aref(i, k)],
                     vec![aref(i, i)],
                     move || {
-                        let (aik, aii) = unsafe { (tiles.tile(i, k), tiles.tile(i, i)) };
+                        let (aik, aii) = unsafe { (tiles.tile_ref(i, k), tiles.tile(i, i)) };
                         herk(
                             Uplo::Lower,
                             Op::NoTrans,
@@ -448,8 +472,8 @@ pub fn potrf_tiled<S: Scalar>(uplo: Uplo, a: &mut Matrix<S>, nb: usize) -> Resul
                         vec![aref(i, k), aref(j, k)],
                         vec![aref(i, j)],
                         move || {
-                            let v = unsafe { tiles.tile(i, k) };
-                            let w = unsafe { tiles.tile(j, k) };
+                            let v = unsafe { tiles.tile_ref(i, k) };
+                            let w = unsafe { tiles.tile_ref(j, k) };
                             let aij = unsafe { tiles.tile(i, j) };
                             gemm(
                                 Op::NoTrans,

@@ -24,9 +24,24 @@
 //! value-affecting orderings are dependency edges.)
 
 use crate::graph::{GraphBuilder, KernelKind, TaskGraph, TaskId, TileRef};
+use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::{Condvar, Mutex};
+
+thread_local! {
+    /// Set while this thread is executing a DAG task body. Worker lanes are
+    /// spawned as rayon jobs (see [`fanout`]), and task bodies call parallel
+    /// BLAS whose nested `rayon::join` steals arbitrary pending jobs while
+    /// waiting — including a not-yet-started lane of this (or another) DAG.
+    /// A lane entered on top of a task body must return immediately: it
+    /// would otherwise park on the condvar waiting for `remaining == 0`,
+    /// which can never happen while the task that has to complete first is
+    /// blocked beneath it on the same stack. The remaining lanes (at least
+    /// the one on the `execute` caller's thread, which is never inside a
+    /// body when the fanout starts) still drain the whole graph.
+    static IN_TASK_BODY: Cell<bool> = const { Cell::new(false) };
+}
 
 /// Why a [`TaskDag`] execution stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,7 +186,13 @@ impl<'a> TaskDag<'a> {
             }
         }
 
-        if rayon::deterministic_mode().is_some() || rayon::current_num_threads() <= 1 {
+        // A nested execute (a task body building its own graph) must not
+        // fan out: its lanes would be guarded into no-ops by IN_TASK_BODY
+        // and the graph would be silently skipped. Drain it inline instead.
+        if rayon::deterministic_mode().is_some()
+            || rayon::current_num_threads() <= 1
+            || IN_TASK_BODY.with(|c| c.get())
+        {
             return Self::execute_sequential(&graph, &priorities, bodies, ready, indeg);
         }
 
@@ -213,6 +234,30 @@ impl<'a> TaskDag<'a> {
     }
 }
 
+/// Cancels the graph and wakes every waiter if dropped while still armed,
+/// i.e. when a task body panics: without this the unwind would skip the
+/// `remaining` bookkeeping and every other lane (plus the caller blocked in
+/// the fanout) would wait on the condvar forever — a kernel assertion
+/// failure must surface as a propagated panic, not a silent hang. Also
+/// clears the [`IN_TASK_BODY`] flag on both the normal and unwind paths.
+struct BodyGuard<'s, 'a> {
+    state: &'s Mutex<ExecState<'a>>,
+    work: &'s Condvar,
+    armed: bool,
+}
+
+impl Drop for BodyGuard<'_, '_> {
+    fn drop(&mut self) {
+        IN_TASK_BODY.with(|c| c.set(false));
+        if self.armed {
+            if let Ok(mut guard) = self.state.lock() {
+                guard.cancelled = true;
+            }
+            self.work.notify_all();
+        }
+    }
+}
+
 /// One ready-queue worker; runs on a pool thread until the graph drains.
 fn worker_loop<'a>(
     graph: &TaskGraph,
@@ -220,6 +265,11 @@ fn worker_loop<'a>(
     state: &Mutex<ExecState<'a>>,
     work: &Condvar,
 ) {
+    // Re-entrancy guard: stolen onto a thread whose task body is blocked in
+    // a nested join beneath us — bail out (see IN_TASK_BODY).
+    if IN_TASK_BODY.with(|c| c.get()) {
+        return;
+    }
     let mut guard = state.lock().unwrap();
     loop {
         if guard.cancelled || guard.remaining == 0 {
@@ -233,10 +283,14 @@ fn worker_loop<'a>(
         let body = guard.bodies[id].take().expect("task body ran twice");
         drop(guard);
 
+        IN_TASK_BODY.with(|c| c.set(true));
+        let mut unwind_guard = BodyGuard { state, work, armed: true };
         let status = {
             let _t = task_span(graph, id);
             body()
         };
+        unwind_guard.armed = false;
+        drop(unwind_guard);
 
         guard = state.lock().unwrap();
         if status == TaskStatus::Cancel {
@@ -442,5 +496,74 @@ mod tests {
     #[test]
     fn empty_dag_completes() {
         assert_eq!(TaskDag::new().execute(), ExecOutcome::Completed);
+    }
+
+    #[test]
+    fn bodies_may_call_nested_rayon_join() {
+        // task bodies run parallel BLAS internally; the nested join may
+        // steal a pending worker lane, which must no-op instead of parking
+        // on the condvar under a blocked task (the review deadlock)
+        let counter = AtomicUsize::new(0);
+        let mut dag = TaskDag::new();
+        let m = dag.new_matrix();
+        let counter = &counter;
+        for j in 0..64 {
+            dag.add(KernelKind::Gemm, 0, 1.0, vec![], vec![tile(m, 0, j)], move || {
+                let (a, b) = rayon::join(|| 1usize, || 2usize);
+                counter.fetch_add(a + b, AtOrd::SeqCst);
+            });
+        }
+        assert_eq!(dag.execute(), ExecOutcome::Completed);
+        assert_eq!(counter.load(AtOrd::SeqCst), 64 * 3);
+    }
+
+    #[test]
+    fn panic_in_body_propagates_instead_of_hanging() {
+        let mut dag = TaskDag::new();
+        let m = dag.new_matrix();
+        for j in 0..8 {
+            dag.add(KernelKind::Gemm, 0, 1.0, vec![], vec![tile(m, 0, j)], move || {
+                if j == 3 {
+                    panic!("tile kernel assertion");
+                }
+            });
+        }
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| dag.execute()));
+        assert!(res.is_err(), "body panic must unwind out of execute()");
+        // the executor (and pool) survive: a fresh graph still runs
+        let ran = AtomicUsize::new(0);
+        let mut dag2 = TaskDag::new();
+        let m2 = dag2.new_matrix();
+        let ran_ref = &ran;
+        for j in 0..8 {
+            dag2.add(KernelKind::Gemm, 0, 1.0, vec![], vec![tile(m2, 0, j)], move || {
+                ran_ref.fetch_add(1, AtOrd::SeqCst);
+            });
+        }
+        assert_eq!(dag2.execute(), ExecOutcome::Completed);
+        assert_eq!(ran.load(AtOrd::SeqCst), 8);
+    }
+
+    #[test]
+    fn nested_execute_inside_body_drains_inline() {
+        // a task body may itself build and execute a graph; it must drain
+        // sequentially (its fanned-out lanes would be no-op'd by the
+        // re-entrancy guard) rather than being silently skipped
+        let inner_ran = AtomicUsize::new(0);
+        let mut dag = TaskDag::new();
+        let m = dag.new_matrix();
+        let inner_ran = &inner_ran;
+        dag.add(KernelKind::Gemm, 0, 1.0, vec![], vec![tile(m, 0, 0)], move || {
+            let mut inner = TaskDag::new();
+            let mi = inner.new_matrix();
+            for j in 0..4 {
+                inner.add(KernelKind::Gemm, 0, 1.0, vec![], vec![tile(mi, 0, j)], move || {
+                    inner_ran.fetch_add(1, AtOrd::SeqCst);
+                });
+            }
+            assert_eq!(inner.execute(), ExecOutcome::Completed);
+        });
+        assert_eq!(dag.execute(), ExecOutcome::Completed);
+        assert_eq!(inner_ran.load(AtOrd::SeqCst), 4);
     }
 }
