@@ -68,6 +68,17 @@ stage_workspace() {
 
     step "facade builds standalone"
     cargo build --offline --release -p polar
+
+    step "batch-sweep smoke: fused service batches + engine comparison"
+    # exercises JobKind::Batched end-to-end (submit_batch -> dispatcher
+    # coalescing -> fused worker path) and re-parses the artifact; the
+    # full sweep that refreshes the checked-in BENCH_svc.json runs
+    # nightly (.github/workflows/nightly.yml)
+    rm -f target/svc_sweep_smoke.json
+    cargo run --offline --release -p polar-bench --bin svc_loadgen -- \
+        --batch-sweep --smoke --out target/svc_sweep_smoke.json >/dev/null
+    test -s target/svc_sweep_smoke.json \
+        || fail "batch-sweep smoke produced empty or missing artifact"
 }
 
 stage_verify() {

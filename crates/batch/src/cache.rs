@@ -1,0 +1,161 @@
+//! Shared condition-estimate cache keyed by `(n, scalar type, cond class)`.
+//!
+//! The QDWH prologue spends one `geqrf` plus a condition estimate per
+//! solve deriving `l_0`, the lower bound on the smallest singular value
+//! of the scaled input — for an `n = 64` solve that is a significant
+//! slice of the total work. Serving streams are highly repetitive: the
+//! same shape, type, and conditioning class arrive over and over (e.g.
+//! every tensor-network truncation step emits matrices with near-identical
+//! spectra). This cache lets a batch reuse the bound computed for earlier
+//! same-class entries.
+//!
+//! # Why folding with `min` is safe
+//!
+//! `l_0` only has to be a **lower** bound: the dynamically weighted Halley
+//! iteration converges for any `l_0 ∈ (0, 1]`, and an underestimate costs
+//! at most extra iterations (the weights adapt more conservatively), never
+//! accuracy. Folding every computed estimate with `min` therefore keeps
+//! the cached value a valid bound for every entry that contributed — the
+//! cache can slow an unusually well-conditioned entry down, but it can
+//! never produce a wrong factor. Entries *consume* the cache only when
+//! they carry an explicit condition hint (so the class key is meaningful);
+//! unhinted entries always compute their own bound but still contribute
+//! to the [`UNHINTED_CLASS`] statistics bucket.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Class value for entries without a condition hint. Such entries never
+/// consume cached bounds (their true conditioning is unknown), they only
+/// record what they computed.
+pub const UNHINTED_CLASS: u8 = 0xFF;
+
+/// Bucket a condition-number hint into a decade class: `log10(cond)`
+/// clamped to `[0, 30]`, or [`UNHINTED_CLASS`] when absent. Two matrices
+/// in the same decade produce `l_0` bounds within a small factor of each
+/// other, which the `min` fold absorbs.
+pub fn cond_class(hint: Option<f64>) -> u8 {
+    match hint {
+        Some(c) if c.is_finite() && c >= 1.0 => c.log10().clamp(0.0, 30.0) as u8,
+        Some(_) => UNHINTED_CLASS,
+        None => UNHINTED_CLASS,
+    }
+}
+
+/// Cache key: problem columns, scalar type tag (`polar_scalar::Scalar::TYPE_TAG`),
+/// and the condition decade class from [`cond_class`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CondestKey {
+    pub n: usize,
+    pub type_tag: &'static str,
+    pub class: u8,
+}
+
+/// Keyed `min`-fold cache of `l_0` condition-estimate bounds, shared
+/// across batches (and threads) of [`crate::qdwh_batched`].
+#[derive(Default)]
+pub struct CondestCache {
+    map: Mutex<HashMap<CondestKey, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CondestCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached bound for `key`, if any; counts a hit or a miss.
+    pub fn lookup(&self, key: CondestKey) -> Option<f64> {
+        let got = self.map.lock().expect("condest cache poisoned").get(&key).copied();
+        match got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Fold a freshly computed bound into the cache (`min` with any
+    /// existing value — see the module docs for why `min` is the safe
+    /// combiner).
+    pub fn fold_min(&self, key: CondestKey, l0: f64) {
+        if l0 <= 0.0 || !l0.is_finite() {
+            return; // degenerate estimates never enter the cache
+        }
+        let mut map = self.map.lock().expect("condest cache poisoned");
+        map.entry(key).and_modify(|v| *v = v.min(l0)).or_insert(l0);
+    }
+
+    /// Lookups that found a cached bound.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Distinct `(n, type, class)` keys currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("condest cache poisoned").len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for CondestCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CondestCache {{ keys: {}, hits: {}, misses: {} }}",
+            self.len(),
+            self.hits(),
+            self.misses()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_bucket_by_decade() {
+        assert_eq!(cond_class(None), UNHINTED_CLASS);
+        assert_eq!(cond_class(Some(f64::NAN)), UNHINTED_CLASS);
+        assert_eq!(cond_class(Some(0.5)), UNHINTED_CLASS);
+        assert_eq!(cond_class(Some(1.0)), 0);
+        assert_eq!(cond_class(Some(9.0)), 0);
+        assert_eq!(cond_class(Some(1e3)), 3);
+        assert_eq!(cond_class(Some(1e16)), 16);
+        assert_eq!(cond_class(Some(1e40)), 30);
+    }
+
+    #[test]
+    fn fold_keeps_minimum() {
+        let c = CondestCache::new();
+        let key = CondestKey { n: 64, type_tag: "d", class: 3 };
+        assert_eq!(c.lookup(key), None);
+        c.fold_min(key, 1e-3);
+        c.fold_min(key, 5e-4);
+        c.fold_min(key, 1e-2);
+        assert_eq!(c.lookup(key), Some(5e-4));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn degenerate_estimates_rejected() {
+        let c = CondestCache::new();
+        let key = CondestKey { n: 8, type_tag: "s", class: 1 };
+        c.fold_min(key, 0.0);
+        c.fold_min(key, -1.0);
+        c.fold_min(key, f64::NAN);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+//! Batched small-matrix QDWH polar engine for the serving tier.
+//!
+//! The paper's task-based QDWH targets matrices large enough that one
+//! factorization fills the machine. The serving workload is the opposite
+//! shape: streams of *small* (`n ≲ 256`) independent polar decompositions
+//! where per-solve overhead — allocation, pool dispatch, condition
+//! estimation — dominates the flops. [`qdwh_batched`] amortizes that
+//! overhead across a same-shape batch:
+//!
+//! * **Batch-major storage** ([`polar_matrix::BatchedDense`]): the whole
+//!   batch of iterates lives in one contiguous allocation, entry stride
+//!   `m * n`, so buffers are allocated once per *batch* and batch-wide
+//!   elementwise work fuses into single wide-matrix kernel calls.
+//! * **One fused DAG per iteration**: every Halley iteration runs as a
+//!   single [`polar_runtime::TaskDag`] spanning the whole batch — two
+//!   dependency-chained tasks per entry (factor → update), so a batch of
+//!   32 matrices fills the work-stealing pool with one graph instead of
+//!   32 independent solver invocations.
+//! * **Shared condition estimation** ([`CondestCache`]): repeated
+//!   `(n, scalar type, condition class)` streams skip the per-entry
+//!   `geqrf` + condition-estimate prologue after the first sighting. The
+//!   cache folds with `min`, so a shared bound is always a *lower* bound
+//!   on what a fresh estimate would produce — an underestimated `l_0`
+//!   costs at most extra iterations, never accuracy (the dynamically
+//!   weighted map converges for any `l_0 ∈ (0, 1]`).
+//! * The final `H_k = U_k^H A_k` for every entry is one
+//!   [`polar_blas::gemm_batched`] call over the packed factors.
+//!
+//! Numerics per entry are the scalar [`polar_qdwh::qdwh`] driver's,
+//! iteration for iteration; the batched-vs-sequential parity and
+//! determinism suites in `tests/` pin that contract.
+
+mod cache;
+mod engine;
+
+pub use cache::{cond_class, CondestCache, CondestKey, UNHINTED_CLASS};
+pub use engine::{qdwh_batched, BatchEntry, BatchError, BatchOptions};

@@ -1,0 +1,69 @@
+//! Bitwise determinism of the batched engine under `POLAR_DETERMINISTIC=1`.
+//!
+//! Runs in its own test binary so the env var is set before the global
+//! pool (or any `OnceLock`-cached mode flag) is first touched. Under
+//! deterministic replay the fused iteration DAGs drain in a fixed
+//! sequential order and every kernel's fork tree is a function of shape
+//! alone, so two runs over identical inputs must agree bit for bit.
+
+use polar_batch::{qdwh_batched, BatchEntry, BatchOptions, CondestCache};
+use polar_gen::{generate, MatrixSpec, SigmaDistribution};
+use polar_matrix::Matrix;
+use polar_scalar::{Complex64, Scalar};
+use std::sync::Arc;
+
+fn entries<S: Scalar>(m: usize, n: usize, batch: usize, seed: u64, ill: f64) -> Vec<BatchEntry<S>> {
+    (0..batch)
+        .map(|k| {
+            let cond = if k % 2 == 0 { ill } else { 50.0 }; // mix QR and Cholesky rounds
+            let spec = MatrixSpec {
+                m,
+                n,
+                cond,
+                distribution: SigmaDistribution::Geometric,
+                seed: seed + k as u64,
+            };
+            BatchEntry::new(generate::<S>(&spec).0)
+        })
+        .collect()
+}
+
+fn assert_bitwise_equal<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>, what: &str, k: usize) {
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert!(x == y, "{what} entry {k} element {i}: {x:?} != {y:?} (not bitwise equal)");
+    }
+}
+
+fn run_twice_and_compare<S: Scalar>(m: usize, n: usize, batch: usize, seed: u64, ill: f64) {
+    let opts =
+        BatchOptions { condest_cache: Some(Arc::new(CondestCache::new())), ..Default::default() };
+    let mut first = entries::<S>(m, n, batch, seed, ill);
+    let infos_a = qdwh_batched(&mut first, &opts).expect("first run converged");
+    let mut second = entries::<S>(m, n, batch, seed, ill);
+    let infos_b = qdwh_batched(&mut second, &opts).expect("second run converged");
+    for k in 0..batch {
+        assert_bitwise_equal(&first[k].u, &second[k].u, "U", k);
+        assert_bitwise_equal(&first[k].h, &second[k].h, "H", k);
+        assert_eq!(infos_a[k].iterations, infos_b[k].iterations, "entry {k} iterations");
+        assert_eq!(infos_a[k].kinds, infos_b[k].kinds, "entry {k} kinds");
+        assert!(infos_a[k].alpha == infos_b[k].alpha, "entry {k} alpha");
+        assert!(infos_a[k].l0 == infos_b[k].l0, "entry {k} l0");
+        for (ra, rb) in infos_a[k].records.iter().zip(&infos_b[k].records) {
+            assert!(ra.convergence == rb.convergence, "entry {k} convergence history");
+            assert!(ra.ell == rb.ell, "entry {k} ell history");
+        }
+    }
+}
+
+#[test]
+fn batched_runs_are_bitwise_deterministic() {
+    // Must precede any pool/mode initialization in this process.
+    std::env::set_var("POLAR_DETERMINISTIC", "1");
+    run_twice_and_compare::<f64>(48, 48, 6, 11, 1e10);
+    run_twice_and_compare::<f64>(40, 16, 4, 23, 1e10); // rectangular
+    run_twice_and_compare::<Complex64>(24, 24, 3, 31, 1e10);
+    // single precision: keep kappa well inside 1/eps_f32 (~8e6)
+    run_twice_and_compare::<f32>(32, 32, 4, 41, 1e4);
+}

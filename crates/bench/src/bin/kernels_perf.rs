@@ -250,14 +250,13 @@ fn main() {
         .nth(1)
         .unwrap_or_else(|| "BENCH_kernels.json".into());
 
-    let pool_workers = rayon::current_num_threads();
-    let host_cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let prov = polar_bench::Provenance::collect();
+    let (pool_workers, host_cores) = (prov.pool_workers, prov.host_cores);
     let mut j = String::new();
     j.push_str("{\n");
     let _ = writeln!(j, "  \"harness\": \"kernels_perf\",");
     let _ = writeln!(j, "  \"smoke\": {smoke},");
-    let _ = writeln!(j, "  \"pool_workers\": {pool_workers},");
-    let _ = writeln!(j, "  \"host_cores\": {host_cores},");
+    j.push_str(&prov.json_fields());
     #[cfg(target_arch = "x86_64")]
     let _ = writeln!(
         j,

@@ -188,7 +188,7 @@ fn main() {
     let _ = writeln!(j, "  \"smoke\": {smoke},");
     let _ = writeln!(j, "  \"n\": {n},");
     let _ = writeln!(j, "  \"type\": \"{}\",", f64::TYPE_TAG);
-    let _ = writeln!(j, "  \"pool_workers\": {},", rayon::current_num_threads());
+    j.push_str(&polar_bench::Provenance::collect().json_fields());
     let _ = writeln!(j, "{},", phase_json("qdwh", &qdwh_report, &pd.info.records));
     let _ = writeln!(j, "{},", phase_json("zolo", &zolo_report, &zolo.pd.info.records));
     let pool = polar_obs::counters_snapshot();

@@ -13,14 +13,218 @@
 //!     [--large-n 96] [--large-every 8] [--fault-nth 0] [--seed 1] \
 //!     [--trace results/svc_trace.json] [--json]
 //! ```
+//!
+//! `--batch-sweep` switches to the fused-engine benchmark instead: a
+//! batch-size × matrix-size service throughput sweep
+//! (`JobKind::Batched` waves through `submit_batch`) plus a direct
+//! looped-scalar-vs-`qdwh_batched` engine comparison across scalar
+//! types, written to `BENCH_svc.json` (`--out` to override). `--smoke`
+//! shrinks it to a seconds-long CI pass with the same artifact shape.
 
 use polar_bench::Args;
-use polar_gen::{generate, MatrixSpec};
+use polar_gen::{generate, MatrixSpec, SigmaDistribution};
 use polar_svc::{FaultPlan, JobKind, JobSpec, PolarService, ServiceConfig, SubmitError};
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
+
+/// One well-conditioned square spec for sweep workloads (κ = 100: the
+/// serving-tier profile the batched engine targets — Cholesky-only
+/// iterations after the prologue).
+fn sweep_spec(n: usize, seed: u64) -> MatrixSpec {
+    MatrixSpec { m: n, n, cond: 100.0, distribution: SigmaDistribution::Geometric, seed }
+}
+
+/// Time `batch`-sized matrices through the looped scalar driver and the
+/// fused engine; returns `(looped_seconds, batched_seconds)`, each
+/// best-of-`reps`.
+fn engine_pair<S: polar_scalar::Scalar>(
+    n: usize,
+    batch: usize,
+    reps: usize,
+    seed: u64,
+) -> (f64, f64) {
+    use polar_batch::{qdwh_batched, BatchEntry, BatchOptions};
+    use polar_qdwh::{qdwh, QdwhOptions};
+
+    let inputs: Vec<polar_matrix::Matrix<S>> =
+        (0..batch).map(|k| generate::<S>(&sweep_spec(n, seed + k as u64)).0).collect();
+
+    let mut looped = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        for a in &inputs {
+            let _ = qdwh(a, &QdwhOptions::default()).expect("scalar qdwh converges");
+        }
+        looped = looped.min(t.elapsed().as_secs_f64());
+    }
+
+    let opts = BatchOptions::default();
+    let mut batched = f64::INFINITY;
+    for _ in 0..reps {
+        let mut entries: Vec<BatchEntry<S>> = inputs.iter().cloned().map(BatchEntry::new).collect();
+        let t = Instant::now();
+        let _ = qdwh_batched(&mut entries, &opts).expect("batched qdwh converges");
+        batched = batched.min(t.elapsed().as_secs_f64());
+    }
+    (looped, batched)
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+/// The fused-engine benchmark: service-level batched throughput sweep +
+/// direct engine comparison, written as `BENCH_svc.json`.
+fn batch_sweep(args: &Args) {
+    let smoke = args.flag("--smoke");
+    let workers: usize = args.get("--workers", 4);
+    let rounds: usize = args.get("--rounds", if smoke { 2 } else { 8 });
+    let seed: u64 = args.get("--seed", 1);
+    let out: String = args.get("--out", "BENCH_svc.json".to_string());
+
+    let sizes: Vec<usize> = if smoke { vec![16] } else { vec![32, 64, 96] };
+    let batches: Vec<usize> = if smoke { vec![4] } else { vec![1, 8, 32, 64] };
+
+    let prov = polar_bench::Provenance::collect();
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"harness\": \"svc_loadgen_batch_sweep\",");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    j.push_str(&prov.json_fields());
+    let _ = writeln!(j, "  \"workers\": {workers},");
+    let _ = writeln!(j, "  \"rounds\": {rounds},");
+
+    // ---- service-level sweep: waves of submit_batch through the svc ----
+    eprintln!("service sweep ({} sizes x {} batches)...", sizes.len(), batches.len());
+    let us = |d: Option<Duration>| d.map(|d| d.as_secs_f64() * 1e6).unwrap_or(0.0);
+    let mut solves_n64_d: Option<f64> = None;
+    j.push_str("  \"service_sweep\": [\n");
+    let mut first = true;
+    for &n in &sizes {
+        for &batch in &batches {
+            let svc = PolarService::start(ServiceConfig {
+                workers,
+                queue_capacity: (batch * 4).max(64),
+                batch_max: batch.max(1),
+                ..Default::default()
+            });
+            let waves: Vec<Vec<JobSpec>> = (0..rounds)
+                .map(|r| {
+                    (0..batch)
+                        .map(|k| {
+                            let s = seed + (r * batch + k) as u64;
+                            JobSpec::batched(generate::<f64>(&sweep_spec(n, s)).0)
+                        })
+                        .collect()
+                })
+                .collect();
+            let t = Instant::now();
+            for wave in waves {
+                let handles = svc.submit_batch(wave).expect("submit batch wave");
+                for h in handles {
+                    h.wait().output.expect("batched job succeeds");
+                }
+            }
+            let wall = t.elapsed().as_secs_f64();
+            svc.drain();
+            let m = svc.metrics();
+            svc.shutdown();
+            let solves_per_sec = (rounds * batch) as f64 / wall;
+            if n == 64 {
+                // best across batch sizes: the acceptance target reads this
+                solves_n64_d =
+                    Some(solves_n64_d.map_or(solves_per_sec, |v: f64| v.max(solves_per_sec)));
+            }
+            if !first {
+                j.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                j,
+                "    {{\"type\": \"d\", \"n\": {n}, \"batch\": {batch}, \"solves_per_sec\": {}, \"run_p50_us\": {:.1}, \"run_p99_us\": {:.1}, \"fused_batches\": {}, \"batch_size_p50\": {:.0}}}",
+                json_f(solves_per_sec),
+                us(m.run.p50),
+                us(m.run.p99),
+                m.fused_batches,
+                m.batch_size.p50.map(|d| d.as_nanos() as f64).unwrap_or(0.0),
+            );
+            eprintln!("  n={n} batch={batch}: {solves_per_sec:.0} solves/s");
+        }
+    }
+    j.push_str("\n  ],\n");
+
+    // ---- direct engine comparison: looped scalar vs one fused call ----
+    eprintln!("engine comparison...");
+    let (cmp_n, cmp_batch, reps) = if smoke { (16, 4, 1) } else { (64, 32, 3) };
+    j.push_str("  \"engine\": [\n");
+    let mut rows: Vec<String> = Vec::new();
+    let mut push_row = |tag: &str, looped: f64, batched: f64| {
+        rows.push(format!(
+            "    {{\"type\": \"{tag}\", \"n\": {cmp_n}, \"batch\": {cmp_batch}, \"looped_seconds\": {}, \"batched_seconds\": {}, \"speedup\": {}}}",
+            json_f(looped),
+            json_f(batched),
+            json_f(looped / batched)
+        ));
+        eprintln!("  {tag}: {:.2}x", looped / batched);
+    };
+    let (ld, bd) = engine_pair::<f64>(cmp_n, cmp_batch, reps, seed);
+    let speedup_d = ld / bd;
+    push_row("d", ld, bd);
+    if !smoke {
+        let (l, b) = engine_pair::<f32>(cmp_n, cmp_batch, reps, seed + 100);
+        push_row("s", l, b);
+        let (l, b) = engine_pair::<polar_scalar::Complex64>(cmp_n, cmp_batch, reps, seed + 200);
+        push_row("z", l, b);
+        let (l, b) = engine_pair::<polar_scalar::Complex32>(cmp_n, cmp_batch, reps, seed + 300);
+        push_row("c", l, b);
+    }
+    j.push_str(&rows.join(",\n"));
+    j.push_str("\n  ],\n");
+
+    // ---- acceptance targets ----
+    j.push_str("  \"targets\": {\n");
+    let _ = writeln!(
+        j,
+        "    \"solves_per_sec_n64_d\": {},",
+        solves_n64_d.map(json_f).unwrap_or_else(|| "null".into())
+    );
+    let _ = writeln!(j, "    \"target_solves_per_sec_n64_d\": 10000,");
+    let _ = writeln!(j, "    \"speedup_vs_looped_scalar\": {},", json_f(speedup_d));
+    let _ = writeln!(j, "    \"target_speedup_vs_looped_scalar\": 3.0");
+    j.push_str("  }\n}\n");
+
+    std::fs::write(&out, &j).expect("write BENCH_svc.json");
+    println!("{j}");
+    eprintln!("batch sweep -> {out}");
+
+    if smoke {
+        // artifact must re-parse and carry the provenance + target fields
+        use serde::json::{from_str, Value};
+        let v = from_str(&std::fs::read_to_string(&out).expect("read artifact"))
+            .expect("BENCH_svc.json is well-formed");
+        for key in ["host_cores", "pool_workers", "git_rev", "service_sweep", "engine", "targets"] {
+            assert!(v.get(key).is_some(), "artifact lacks '{key}'");
+        }
+        let sweep = v.get("service_sweep").and_then(Value::as_array).expect("sweep array");
+        assert!(!sweep.is_empty(), "empty sweep");
+        for row in sweep {
+            assert!(
+                row.get("solves_per_sec").and_then(Value::as_f64).expect("solves_per_sec") > 0.0
+            );
+        }
+        eprintln!("smoke: BENCH_svc.json validated");
+    }
+}
 
 fn main() {
     let args = Args::parse();
+    if args.flag("--batch-sweep") {
+        batch_sweep(&args);
+        return;
+    }
     let jobs: usize = args.get("--jobs", 200);
     let workers: usize = args.get("--workers", 4);
     let queue: usize = args.get("--queue", 32);
@@ -143,8 +347,15 @@ fn main() {
     println!("  jobs/sec (uptime)    : {:.1}", m.throughput_per_sec);
 
     if args.flag("--json") {
+        // wrap the metrics snapshot with run provenance so the artifact
+        // stands alone, like every other bench JSON
         println!();
-        println!("{}", m.to_json());
+        let mut j = String::from("{\n");
+        let _ = writeln!(j, "  \"harness\": \"svc_loadgen\",");
+        j.push_str(&polar_bench::Provenance::collect().json_fields());
+        let _ = writeln!(j, "  \"metrics\": {}", m.to_json());
+        j.push('}');
+        println!("{j}");
     }
 
     svc.shutdown();

@@ -30,6 +30,74 @@ impl Args {
     }
 }
 
+/// Run provenance stamped into every benchmark artifact header, so a
+/// checked-in JSON can always answer "what machine, how many workers,
+/// which commit": host core count, pool width, the `POLAR_NUM_THREADS`
+/// pin (if any), and the git revision the harness ran from.
+pub struct Provenance {
+    pub host_cores: usize,
+    pub pool_workers: usize,
+    pub polar_num_threads: Option<String>,
+    pub git_rev: Option<String>,
+}
+
+impl Provenance {
+    pub fn collect() -> Self {
+        Self {
+            host_cores: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+            pool_workers: rayon::current_num_threads(),
+            polar_num_threads: std::env::var("POLAR_NUM_THREADS").ok(),
+            git_rev: git_rev(),
+        }
+    }
+
+    /// The provenance fields as JSON object lines (two-space indent, each
+    /// ending `",\n"`) for splicing into a hand-rolled artifact header.
+    pub fn json_fields(&self) -> String {
+        let quote = |v: &Option<String>| match v {
+            Some(s) => format!("\"{s}\""),
+            None => "null".into(),
+        };
+        format!(
+            "  \"host_cores\": {},\n  \"pool_workers\": {},\n  \"polar_num_threads\": {},\n  \"git_rev\": {},\n",
+            self.host_cores,
+            self.pool_workers,
+            quote(&self.polar_num_threads),
+            quote(&self.git_rev)
+        )
+    }
+}
+
+/// Current git revision, read from `.git` directly (the workspace takes
+/// no subprocess or git dependency): follow `HEAD` through one level of
+/// symref, consulting loose refs and then `packed-refs`, walking up from
+/// the current directory so harnesses work from any subdirectory.
+pub fn git_rev() -> Option<String> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let git = dir.join(".git");
+        if git.is_dir() {
+            let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+            let head = head.trim();
+            let Some(sym) = head.strip_prefix("ref: ") else {
+                return Some(head.to_string()); // detached HEAD
+            };
+            if let Ok(h) = std::fs::read_to_string(git.join(sym)) {
+                return Some(h.trim().to_string());
+            }
+            let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+            return packed.lines().find_map(|l| {
+                l.split_once(' ').and_then(
+                    |(hash, name)| if name == sym { Some(hash.to_string()) } else { None },
+                )
+            });
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
 /// The paper's benchmark matrix: ill-conditioned, κ = 1e16, geometric
 /// spectrum (§7.1).
 pub fn paper_matrix_spec(n: usize, seed: u64) -> MatrixSpec {
@@ -97,5 +165,29 @@ mod tests {
     fn paper_spec_is_ill_conditioned() {
         let s = paper_matrix_spec(100, 1);
         assert_eq!(s.cond, 1e16);
+    }
+
+    #[test]
+    fn provenance_fields_are_valid_json_lines() {
+        let p = Provenance::collect();
+        assert!(p.host_cores >= 1);
+        assert!(p.pool_workers >= 1);
+        let fields = p.json_fields();
+        // splices into an object: every line "key": value with a comma
+        for line in fields.lines() {
+            assert!(line.trim_end().ends_with(','), "no trailing comma: {line}");
+            assert!(line.contains(':'), "not a field: {line}");
+        }
+        assert!(fields.contains("\"git_rev\""));
+        assert!(fields.contains("\"polar_num_threads\""));
+    }
+
+    #[test]
+    fn git_rev_resolves_in_this_repo() {
+        // the workspace is a git repo; the revision must resolve to a
+        // 40-hex commit hash
+        let rev = git_rev().expect("repo has a resolvable HEAD");
+        assert_eq!(rev.len(), 40, "{rev}");
+        assert!(rev.chars().all(|c| c.is_ascii_hexdigit()), "{rev}");
     }
 }

@@ -1,0 +1,236 @@
+//! Batch-strided GEMM over [`BatchedDense`] operands.
+//!
+//! `gemm_batched` computes `C_k := alpha * op(A_k) * op(B_k) + beta * C_k`
+//! for every entry `k` of a same-shape batch. Per-solve overhead is
+//! amortized across the batch instead of paid per matrix:
+//!
+//! * dimension checks, microkernel selection, and the observability span
+//!   happen **once** per batch, not once per entry;
+//! * each entry runs the sequential `gemm_leaf` (the packed BLIS-style
+//!   microkernel path for problems that amortize packing, the
+//!   autovectorized axpy loop below that) — no per-entry parallel-split
+//!   decision trees;
+//! * parallelism comes from one recursive fork over the *batch index*,
+//!   so a batch of small GEMMs fills the work-stealing pool with exactly
+//!   one parallel region.
+
+use crate::gemm::gemm_leaf;
+use crate::params::par_threshold_flops;
+use polar_matrix::{BatchedDense, Op};
+use polar_scalar::Scalar;
+
+/// Batched GEMM: `C_k := alpha * op_a(A_k) * op_b(B_k) + beta * C_k` for
+/// every entry of the batch. All three batches must have the same batch
+/// count; shapes are validated once (they are shared by construction).
+pub fn gemm_batched<S: Scalar>(
+    op_a: Op,
+    op_b: Op,
+    alpha: S,
+    a: &BatchedDense<S>,
+    b: &BatchedDense<S>,
+    beta: S,
+    c: &mut BatchedDense<S>,
+) {
+    let batch = c.batch();
+    assert_eq!(a.batch(), batch, "gemm_batched: A batch mismatch");
+    assert_eq!(b.batch(), batch, "gemm_batched: B batch mismatch");
+    let m = c.nrows();
+    let n = c.ncols();
+    let (am, ak) = op_a.apply_dims(a.nrows(), a.ncols());
+    let (bk, bn) = op_b.apply_dims(b.nrows(), b.ncols());
+    assert_eq!(am, m, "gemm_batched: A rows mismatch");
+    assert_eq!(bn, n, "gemm_batched: B cols mismatch");
+    assert_eq!(ak, bk, "gemm_batched: inner dim mismatch");
+    if batch == 0 || m == 0 || n == 0 {
+        return;
+    }
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Gemm,
+        "gemm_batched",
+        batch as f64 * crate::flops::type_factor(S::IS_COMPLEX) * crate::flops::gemm(m, n, ak),
+        [m, n, batch],
+    );
+
+    // Fork grain over the batch index: each side of a split owns a
+    // contiguous run of entries. One entry is the smallest unit (entries
+    // are independent, and per-entry problems are small by design).
+    let per_entry = m.saturating_mul(n).saturating_mul(ak.max(1));
+    let threads = rayon::current_num_threads();
+    let grain = if threads <= 1 {
+        batch
+    } else {
+        (par_threshold_flops() / per_entry.max(1)).clamp(1, batch.max(1))
+    };
+
+    let ctx = BatchCtx { op_a, op_b, alpha, beta, k: ak };
+    batched_rec(&ctx, a, b, EntriesMut::new(c), 0, grain);
+}
+
+struct BatchCtx<S> {
+    op_a: Op,
+    op_b: Op,
+    alpha: S,
+    beta: S,
+    k: usize,
+}
+
+/// Mutable per-entry access to a range of a batched C, splittable at an
+/// entry boundary (entries are disjoint slices of the backing buffer).
+struct EntriesMut<'a, S> {
+    rows: usize,
+    cols: usize,
+    data: &'a mut [S],
+}
+
+impl<'a, S: Scalar> EntriesMut<'a, S> {
+    fn new(c: &'a mut BatchedDense<S>) -> Self {
+        let (rows, cols) = (c.nrows(), c.ncols());
+        Self { rows, cols, data: c.as_mut_slice() }
+    }
+
+    fn len(&self) -> usize {
+        self.data.len().checked_div(self.rows * self.cols).unwrap_or(0)
+    }
+
+    fn split_at(self, k: usize) -> (Self, Self) {
+        let (lo, hi) = self.data.split_at_mut(k * self.rows * self.cols);
+        (
+            Self { rows: self.rows, cols: self.cols, data: lo },
+            Self { rows: self.rows, cols: self.cols, data: hi },
+        )
+    }
+
+    fn mat_mut(&mut self, k: usize) -> polar_matrix::MatMut<'_, S> {
+        let per = self.rows * self.cols;
+        polar_matrix::MatMut::from_slice(
+            &mut self.data[k * per..(k + 1) * per],
+            self.rows,
+            self.cols,
+            self.rows,
+        )
+    }
+}
+
+fn batched_rec<S: Scalar>(
+    ctx: &BatchCtx<S>,
+    a: &BatchedDense<S>,
+    b: &BatchedDense<S>,
+    mut c: EntriesMut<'_, S>,
+    base: usize,
+    grain: usize,
+) {
+    let count = c.len();
+    if count <= grain {
+        for k in 0..count {
+            gemm_leaf(
+                ctx.op_a,
+                ctx.op_b,
+                ctx.alpha,
+                a.mat(base + k),
+                b.mat(base + k),
+                ctx.beta,
+                c.mat_mut(k),
+                ctx.k,
+            );
+        }
+        return;
+    }
+    let h = count / 2;
+    let (c1, c2) = c.split_at(h);
+    rayon::join(
+        || batched_rec(ctx, a, b, c1, base, grain),
+        || batched_rec(ctx, a, b, c2, base + h, grain),
+    );
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::gemm_ref;
+    use polar_matrix::Matrix;
+    use polar_scalar::{Complex32, Complex64, Real};
+
+    fn rand_batch<S: Scalar>(m: usize, n: usize, batch: usize, seed: u64) -> BatchedDense<S> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let mut out = BatchedDense::zeros(m, n, batch);
+        for v in out.as_mut_slice() {
+            let re = next();
+            let im = next();
+            *v = S::from_parts(S::Real::from_f64(re), S::Real::from_f64(im));
+        }
+        out
+    }
+
+    fn check_type<S: Scalar>(m: usize, n: usize, k: usize, batch: usize, tol: f64) {
+        let a = rand_batch::<S>(m, k, batch, 1);
+        let b = rand_batch::<S>(k, n, batch, 2);
+        let mut c = rand_batch::<S>(m, n, batch, 3);
+        let alpha = S::from_f64(0.75);
+        let beta = S::from_f64(-0.5);
+
+        let mut expect: Vec<Matrix<S>> = (0..batch).map(|i| c.to_matrix(i)).collect();
+        for i in 0..batch {
+            gemm_ref(Op::NoTrans, Op::NoTrans, alpha, a.mat(i), b.mat(i), beta, expect[i].as_mut());
+        }
+        gemm_batched(Op::NoTrans, Op::NoTrans, alpha, &a, &b, beta, &mut c);
+        for i in 0..batch {
+            for j in 0..n {
+                for r in 0..m {
+                    let d = (c.mat(i).at(r, j) - expect[i][(r, j)]).abs().to_f64();
+                    assert!(d <= tol, "{} entry {i} ({r},{j}) diff {d}", S::TYPE_TAG);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_all_types() {
+        check_type::<f64>(16, 16, 16, 5, 1e-12);
+        check_type::<f32>(16, 16, 16, 5, 1e-4);
+        check_type::<Complex64>(12, 12, 12, 4, 1e-12);
+        check_type::<Complex32>(12, 12, 12, 4, 1e-4);
+    }
+
+    #[test]
+    fn transposed_operands_and_odd_shapes() {
+        // op(A): 7x13 from A 13x7 transposed, odd batch, rectangular C
+        let batch = 3;
+        let a = rand_batch::<f64>(13, 7, batch, 11);
+        let b = rand_batch::<f64>(13, 5, batch, 12);
+        let mut c = BatchedDense::<f64>::zeros(7, 5, batch);
+        let mut expect: Vec<Matrix<f64>> = (0..batch).map(|i| c.to_matrix(i)).collect();
+        for i in 0..batch {
+            gemm_ref(Op::Trans, Op::NoTrans, 1.0, a.mat(i), b.mat(i), 0.0, expect[i].as_mut());
+        }
+        gemm_batched(Op::Trans, Op::NoTrans, 1.0, &a, &b, 0.0, &mut c);
+        for i in 0..batch {
+            for j in 0..5 {
+                for r in 0..7 {
+                    assert!((c.mat(i).at(r, j) - expect[i][(r, j)]).abs() <= 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_inert() {
+        let a = BatchedDense::<f64>::zeros(4, 4, 0);
+        let b = BatchedDense::<f64>::zeros(4, 4, 0);
+        let mut c = BatchedDense::<f64>::zeros(4, 4, 0);
+        gemm_batched(Op::NoTrans, Op::NoTrans, 1.0, &a, &b, 0.0, &mut c);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch mismatch")]
+    fn batch_count_mismatch_rejected() {
+        let a = BatchedDense::<f64>::zeros(4, 4, 2);
+        let b = BatchedDense::<f64>::zeros(4, 4, 3);
+        let mut c = BatchedDense::<f64>::zeros(4, 4, 2);
+        gemm_batched(Op::NoTrans, Op::NoTrans, 1.0, &a, &b, 0.0, &mut c);
+    }
+}

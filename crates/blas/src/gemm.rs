@@ -154,7 +154,7 @@ const PACK_MIN_FLOPS: usize = 8 * 1024;
 /// Sequential leaf: packed kernel when the problem amortizes packing,
 /// unpacked axpy/dot otherwise.
 #[allow(clippy::too_many_arguments)] // internal blocked-gemm plumbing
-fn gemm_leaf<S: Scalar>(
+pub(crate) fn gemm_leaf<S: Scalar>(
     op_a: Op,
     op_b: Op,
     alpha: S,

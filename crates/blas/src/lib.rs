@@ -21,6 +21,7 @@
 //!   operations of Algorithm 1;
 //! * [`norm`], [`col_sums`] — matrix norms (lines 9, 18, 48; Algorithm 2).
 
+mod batched;
 mod gemm;
 mod level1;
 mod norms;
@@ -29,6 +30,7 @@ pub mod params;
 mod symm;
 mod trsm;
 
+pub use batched::gemm_batched;
 pub use gemm::{gemm, gemm_a, gemm_axpy, gemm_ref};
 pub use level1::{add, axpy, copy_into, dot, dotc, iamax, nrm2, scale, scale_real};
 pub use norms::{col_sums, norm, norm_triangular, row_sums};

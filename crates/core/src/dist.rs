@@ -581,6 +581,7 @@ pub fn qdwh_distributed<S: Scalar>(
         kinds: Vec::new(),
         records: Vec::new(),
         flops_estimate: 0.0,
+        tiled_decision: None,
     };
     let _solve_span = polar_obs::span!("qdwh_dist", m, n);
 

@@ -42,7 +42,7 @@ pub use elliptic::{
 pub use mixed::{qdwh_mixed, MixedPrecision};
 pub use options::{
     IterationDecision, IterationKind, IterationPath, IterationProgress, L0Strategy, ProgressHook,
-    QdwhOptions, TiledPath,
+    QdwhOptions, TiledDecision, TiledPath,
 };
 pub use params::{halley_parameters, update_ell, HalleyParams};
 pub use partial::{qdwh_partial_eig, qdwh_partial_svd, PartialEig, PartialSvd};

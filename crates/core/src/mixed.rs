@@ -135,6 +135,7 @@ pub fn qdwh_mixed<S: MixedPrecision>(
             })
             .collect(),
         flops_estimate: pd_lo.info.flops_estimate,
+        tiled_decision: pd_lo.info.tiled_decision,
     };
 
     Ok((PolarDecomposition { u, h, info }, steps))

@@ -36,6 +36,37 @@ pub enum IterationKind {
     CholeskyBased,
 }
 
+/// How the tiled-vs-flat choice for a run was resolved, recorded in
+/// [`crate::QdwhInfo::tiled_decision`]. The granularity guard exists
+/// because the tile DAG only pays for its scheduling overhead when there
+/// are both enough tiles to keep workers busy *and* workers to keep busy:
+/// single-threaded, flat kernels always win, so [`TiledPath::Auto`] must
+/// never route there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TiledDecision {
+    /// The tile DAG drivers ran ([`TiledPath::Auto`] above the threshold
+    /// with enough parallelism, an explicit [`TiledPath::Always`], or a
+    /// `POLAR_TILED=1` pin).
+    Tiled,
+    /// Flat kernels by request: [`TiledPath::Never`], a `POLAR_TILED=0`
+    /// pin, or [`TiledPath::Auto`] below
+    /// [`QdwhOptions::tiled_threshold`].
+    FlatRequested,
+    /// Granularity guard: the pool has a single worker, so the tile DAG
+    /// could only add scheduling overhead.
+    FlatSingleWorker,
+    /// Granularity guard: fewer than two column tiles at the configured
+    /// tile size — no inter-tile parallelism to exploit.
+    FlatTooFewTiles,
+}
+
+impl TiledDecision {
+    /// Whether the resolution selects the tile DAG drivers.
+    pub fn is_tiled(self) -> bool {
+        self == TiledDecision::Tiled
+    }
+}
+
 /// How the lower bound `l_0` on the smallest singular value of the scaled
 /// input is estimated (Algorithm 1 lines 14–19).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,6 +214,19 @@ impl QdwhOptions {
     /// `POLAR_TILED` env var (`1`/`always` or `0`/`never`) overrides the
     /// option so CI can pin either path without code changes.
     pub fn use_tiled(&self, n: usize) -> bool {
+        self.resolve_tiled(n).is_tiled()
+    }
+
+    /// [`QdwhOptions::use_tiled`] with the *reason* attached (recorded in
+    /// [`crate::QdwhInfo::tiled_decision`]).
+    ///
+    /// Explicit pins — the `POLAR_TILED` env var or
+    /// [`TiledPath::Always`]/[`TiledPath::Never`] — are always honored
+    /// (CI gates and ablations rely on forcing a path). Only
+    /// [`TiledPath::Auto`] is subject to the granularity guard: a
+    /// single-worker pool or a sub-2-tile grid routes back to the flat
+    /// kernels, so tiled never loses where it cannot win.
+    pub fn resolve_tiled(&self, n: usize) -> TiledDecision {
         static ENV: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
         let env = *ENV.get_or_init(|| match std::env::var("POLAR_TILED").ok().as_deref() {
             Some("1") | Some("always") | Some("true") => Some(true),
@@ -190,12 +234,23 @@ impl QdwhOptions {
             _ => None,
         });
         if let Some(forced) = env {
-            return forced;
+            return if forced { TiledDecision::Tiled } else { TiledDecision::FlatRequested };
         }
         match self.tiled {
-            TiledPath::Always => true,
-            TiledPath::Never => false,
-            TiledPath::Auto => n >= self.tiled_threshold,
+            TiledPath::Always => TiledDecision::Tiled,
+            TiledPath::Never => TiledDecision::FlatRequested,
+            TiledPath::Auto => {
+                if n < self.tiled_threshold {
+                    TiledDecision::FlatRequested
+                } else if rayon::current_num_threads() <= 1 {
+                    TiledDecision::FlatSingleWorker
+                } else if n.div_ceil(self.tile_nb.unwrap_or_else(polar_lapack::default_tile_nb)) < 2
+                {
+                    TiledDecision::FlatTooFewTiles
+                } else {
+                    TiledDecision::Tiled
+                }
+            }
         }
     }
 }
@@ -215,5 +270,66 @@ mod tests {
     #[test]
     fn factor_only_skips_h() {
         assert!(!QdwhOptions::factor_only().compute_h);
+    }
+
+    // Granularity-guard tests run without POLAR_TILED set (CI pins it only
+    // in dedicated stages); if the env pin is active the resolution is
+    // forced and the guard logic is deliberately bypassed, so skip.
+    fn env_pinned() -> bool {
+        std::env::var("POLAR_TILED").is_ok()
+    }
+
+    #[test]
+    fn explicit_paths_bypass_guard() {
+        if env_pinned() {
+            return;
+        }
+        let always = QdwhOptions { tiled: TiledPath::Always, ..Default::default() };
+        assert_eq!(always.resolve_tiled(4), TiledDecision::Tiled);
+        let never = QdwhOptions { tiled: TiledPath::Never, ..Default::default() };
+        assert_eq!(never.resolve_tiled(100_000), TiledDecision::FlatRequested);
+    }
+
+    #[test]
+    fn auto_below_threshold_is_flat_by_request() {
+        if env_pinned() {
+            return;
+        }
+        let o = QdwhOptions { tiled_threshold: 512, ..Default::default() };
+        assert_eq!(o.resolve_tiled(511), TiledDecision::FlatRequested);
+        assert!(!o.use_tiled(511));
+    }
+
+    #[test]
+    fn auto_guards_on_tile_count_and_pool_width() {
+        if env_pinned() {
+            return;
+        }
+        // tile_nb >= n: a single column tile -> no inter-tile parallelism
+        let coarse = QdwhOptions { tiled_threshold: 64, tile_nb: Some(4096), ..Default::default() };
+        let fine = QdwhOptions { tiled_threshold: 64, tile_nb: Some(64), ..Default::default() };
+        let single_worker = rayon::current_num_threads() <= 1;
+        assert_eq!(
+            coarse.resolve_tiled(1024),
+            if single_worker {
+                TiledDecision::FlatSingleWorker
+            } else {
+                TiledDecision::FlatTooFewTiles
+            }
+        );
+        assert!(!coarse.use_tiled(1024));
+        // plenty of tiles: only the pool width can still veto
+        assert_eq!(
+            fine.resolve_tiled(1024),
+            if single_worker { TiledDecision::FlatSingleWorker } else { TiledDecision::Tiled }
+        );
+    }
+
+    #[test]
+    fn decision_reports_tiled_flag() {
+        assert!(TiledDecision::Tiled.is_tiled());
+        assert!(!TiledDecision::FlatRequested.is_tiled());
+        assert!(!TiledDecision::FlatSingleWorker.is_tiled());
+        assert!(!TiledDecision::FlatTooFewTiles.is_tiled());
     }
 }

@@ -1,6 +1,6 @@
 //! The QDWH driver — Algorithm 1 of the paper, line by line.
 
-use crate::options::{IterationKind, IterationPath, QdwhOptions};
+use crate::options::{IterationKind, IterationPath, QdwhOptions, TiledDecision};
 use crate::params::{halley_parameters, update_ell};
 use polar_blas::{add, gemm, herk, herk_mirrored, norm, scale_real, symmetrize, trsm};
 use polar_lapack::{
@@ -131,6 +131,12 @@ pub struct QdwhInfo<R> {
     /// Floating-point operation estimate from the paper's complexity
     /// formula (§4), in real flops.
     pub flops_estimate: f64,
+    /// How the tiled-vs-flat path was resolved for this run, including
+    /// granularity-guard reroutes (see
+    /// [`QdwhOptions::resolve_tiled`](crate::options::QdwhOptions::resolve_tiled)).
+    /// `None` for drivers that never consult the tile path (batched
+    /// engine, viewed/derived infos, trivial inputs).
+    pub tiled_decision: Option<TiledDecision>,
 }
 
 impl<R: Real> QdwhInfo<R> {
@@ -323,6 +329,11 @@ pub fn qdwh<S: Scalar>(
     };
 
     // ---- lines 21-50: the dynamically weighted Halley iteration ----
+    // Resolve the tiled-vs-flat choice once up front (the granularity
+    // guard consults pool width, which is stable for the run) so every
+    // iteration takes the same path and the decision is reportable.
+    let tiled_decision = opts.resolve_tiled(n);
+    let tiled = tiled_decision.is_tiled();
     let mut ell = l0;
     let mut conv = S::Real::from_f64(100.0);
     let mut info = QdwhInfo {
@@ -334,6 +345,7 @@ pub fn qdwh<S: Scalar>(
         kinds: Vec::new(),
         records: Vec::new(),
         flops_estimate: 0.0,
+        tiled_decision: Some(tiled_decision),
     };
     let mut x_prev = Matrix::<S>::zeros(m, n);
 
@@ -371,11 +383,11 @@ pub fn qdwh<S: Scalar>(
         let _iter_span = polar_obs::span!("qdwh_iter", info.iterations, n);
 
         let kind = if use_qr {
-            qr_iteration(&mut x, p.a, p.b, p.c, opts)?;
+            qr_iteration(&mut x, p.a, p.b, p.c, opts, tiled)?;
             info.qr_iterations += 1;
             IterationKind::QrBased
         } else {
-            chol_iteration(&mut x, p.a, p.b, p.c, opts)?;
+            chol_iteration(&mut x, p.a, p.b, p.c, opts, tiled)?;
             info.chol_iterations += 1;
             IterationKind::CholeskyBased
         };
@@ -442,6 +454,7 @@ fn empty_info<R: Real>() -> QdwhInfo<R> {
         kinds: Vec::new(),
         records: Vec::new(),
         flops_estimate: 0.0,
+        tiled_decision: None,
     }
 }
 
@@ -457,6 +470,7 @@ fn qr_iteration<S: Scalar>(
     b: S::Real,
     c: S::Real,
     opts: &QdwhOptions,
+    tiled: bool,
 ) -> Result<(), QdwhError> {
     let m = x.nrows();
     let n = x.ncols();
@@ -470,7 +484,7 @@ fn qr_iteration<S: Scalar>(
     // thin QR and explicit Q (lines 31-32)
     let q = if opts.use_tsqr {
         tsqr(&w0).0
-    } else if opts.use_tiled(n) {
+    } else if tiled {
         // DAG-scheduled tile QR on the work-stealing pool; the stacked
         // variant prunes tasks on still-pristine identity tile rows
         let nb = opts.tile_nb.unwrap_or_else(polar_lapack::default_tile_nb);
@@ -521,6 +535,7 @@ fn chol_iteration<S: Scalar>(
     b: S::Real,
     c: S::Real,
     opts: &QdwhOptions,
+    tiled: bool,
 ) -> Result<(), QdwhError> {
     let n = x.ncols();
     let x_prev = x.clone();
@@ -529,7 +544,7 @@ fn chol_iteration<S: Scalar>(
     // would make Z indefinite — Eq. (2) is the consistent form).
     let mut z = Matrix::<S>::identity(n, n);
     herk(Uplo::Lower, Op::ConjTrans, c, x.as_ref(), S::Real::ONE, z.as_mut());
-    if opts.use_tiled(n) {
+    if tiled {
         let nb = opts.tile_nb.unwrap_or_else(polar_lapack::default_tile_nb);
         potrf_tiled(Uplo::Lower, &mut z, nb)?;
     } else {

@@ -48,6 +48,7 @@ pub fn svd_based_polar<S: Scalar>(a: &Matrix<S>) -> Result<PolarDecomposition<S>
             kinds: Vec::new(),
             records: Vec::new(),
             flops_estimate: 0.0,
+            tiled_decision: None,
         },
     })
 }

@@ -96,6 +96,7 @@ pub fn zolo_pd<S: Scalar>(a: &Matrix<S>, zopts: &ZoloOptions) -> Result<ZoloOutc
         kinds: Vec::new(),
         records: Vec::new(),
         flops_estimate: 0.0,
+        tiled_decision: None,
     };
     let _solve_span = polar_obs::span!("zolo", m, n);
     let mut qr_count = 0usize;

@@ -1,0 +1,225 @@
+//! Batch-major packed storage for streams of same-shape small matrices.
+//!
+//! The serving tier's production workload (tensor-network / VUMPS
+//! streams) issues millions of *small* (`n ≲ 256`) polar decompositions;
+//! at that size per-solve overhead — allocation, pool dispatch, packing
+//! setup — dominates the flops. [`BatchedDense`] packs a whole batch of
+//! same-shape matrices into **one** contiguous allocation so that
+//!
+//! * a batched kernel allocates (and frees) once per *batch* instead of
+//!   once per matrix,
+//! * entry `k` is itself a dense column-major matrix (stride `m * n`),
+//!   so every existing `MatRef`-based kernel applies to one entry with
+//!   zero copying, and
+//! * because the entry stride is exactly `m * n`, the whole batch doubles
+//!   as a single column-major `m x (n * batch)` matrix — elementwise and
+//!   column-parallel operations (scaling, adds, norms, packing for the
+//!   SIMD GEMM microkernels) fuse across the batch in one call instead of
+//!   `batch` calls.
+
+use crate::{MatMut, MatRef};
+use polar_scalar::Scalar;
+
+/// `batch` dense column-major `m x n` matrices in one contiguous buffer.
+///
+/// Entry `k` occupies `data[k * m * n .. (k + 1) * m * n]` in column-major
+/// order, i.e. element `(i, j)` of entry `k` lives at
+/// `data[k * m * n + i + j * m]`.
+#[derive(Clone, PartialEq)]
+pub struct BatchedDense<S> {
+    rows: usize,
+    cols: usize,
+    batch: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> BatchedDense<S> {
+    /// Zero-filled batch of `batch` matrices of shape `m x n`.
+    pub fn zeros(rows: usize, cols: usize, batch: usize) -> Self {
+        Self { rows, cols, batch, data: vec![S::ZERO; rows * cols * batch] }
+    }
+
+    /// Pack owned matrices into batched storage.
+    ///
+    /// # Panics
+    /// If the matrices do not all share one shape.
+    pub fn from_matrices(mats: &[crate::Matrix<S>]) -> Self {
+        let (rows, cols) = mats.first().map(|a| (a.nrows(), a.ncols())).unwrap_or((0, 0));
+        let mut out = Self::zeros(rows, cols, mats.len());
+        for (k, a) in mats.iter().enumerate() {
+            assert_eq!(
+                (a.nrows(), a.ncols()),
+                (rows, cols),
+                "BatchedDense::from_matrices: entry {k} has a different shape"
+            );
+            out.entry_slice_mut(k).copy_from_slice(a.as_slice());
+        }
+        out
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of matrices in the batch.
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Elements per entry (`m * n`), the batch stride.
+    #[inline]
+    pub fn entry_len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The whole buffer, entry-major.
+    #[inline]
+    pub fn as_slice(&self) -> &[S] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Contiguous column-major storage of entry `k`.
+    #[inline]
+    pub fn entry_slice(&self, k: usize) -> &[S] {
+        let len = self.entry_len();
+        &self.data[k * len..(k + 1) * len]
+    }
+
+    #[inline]
+    pub fn entry_slice_mut(&mut self, k: usize) -> &mut [S] {
+        let len = self.entry_len();
+        &mut self.data[k * len..(k + 1) * len]
+    }
+
+    /// Borrowed view of entry `k` — plugs into every `MatRef` kernel.
+    #[inline]
+    pub fn mat(&self, k: usize) -> MatRef<'_, S> {
+        MatRef::from_slice(self.entry_slice(k), self.rows, self.cols, self.rows)
+    }
+
+    /// Mutable view of entry `k`.
+    #[inline]
+    pub fn mat_mut(&mut self, k: usize) -> MatMut<'_, S> {
+        let (rows, cols) = (self.rows, self.cols);
+        MatMut::from_slice(self.entry_slice_mut(k), rows, cols, rows)
+    }
+
+    /// The batch viewed as one `m x (n * batch)` column-major matrix:
+    /// entry strides equal `m * n`, so entry `k`'s columns are wide
+    /// columns `k * n .. (k + 1) * n`. Lets elementwise / column-blocked
+    /// kernels fuse over the whole batch in a single call.
+    #[inline]
+    pub fn as_wide(&self) -> MatRef<'_, S> {
+        MatRef::from_slice(&self.data, self.rows, self.cols * self.batch, self.rows)
+    }
+
+    /// Mutable fused view (see [`BatchedDense::as_wide`]).
+    #[inline]
+    pub fn as_wide_mut(&mut self) -> MatMut<'_, S> {
+        let (rows, wide) = (self.rows, self.cols * self.batch);
+        MatMut::from_slice(&mut self.data, rows, wide, rows)
+    }
+
+    /// Copy entry `k` out into an owned [`crate::Matrix`].
+    pub fn to_matrix(&self, k: usize) -> crate::Matrix<S> {
+        crate::Matrix::from_col_major(self.rows, self.cols, self.entry_slice(k).to_vec())
+    }
+
+    /// Overwrite entry `k` from a same-shape matrix.
+    ///
+    /// # Panics
+    /// On shape mismatch.
+    pub fn set_entry(&mut self, k: usize, a: &crate::Matrix<S>) {
+        assert_eq!((a.nrows(), a.ncols()), (self.rows, self.cols), "set_entry shape mismatch");
+        self.entry_slice_mut(k).copy_from_slice(a.as_slice());
+    }
+
+    /// Copy every entry of `src` into `self` (shapes and batch must match).
+    pub fn copy_from(&mut self, src: &Self) {
+        assert_eq!((self.rows, self.cols, self.batch), (src.rows, src.cols, src.batch));
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// `true` if any element across the batch is non-finite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+}
+
+impl<S: Scalar> std::fmt::Debug for BatchedDense<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BatchedDense {{ {} x {} x batch {} }}", self.rows, self.cols, self.batch)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    #[test]
+    fn layout_matches_per_entry_column_major() {
+        let mats: Vec<Matrix<f64>> =
+            (0..3).map(|k| Matrix::from_fn(4, 2, |i, j| (100 * k + 10 * i + j) as f64)).collect();
+        let b = BatchedDense::from_matrices(&mats);
+        assert_eq!(b.batch(), 3);
+        assert_eq!(b.entry_len(), 8);
+        for k in 0..3 {
+            assert_eq!(b.to_matrix(k), mats[k]);
+            // MatRef view addresses the same elements
+            let v = b.mat(k);
+            assert_eq!(v.at(3, 1), mats[k][(3, 1)]);
+        }
+        // entry k column j is wide column k*n + j
+        let wide = b.as_wide();
+        assert_eq!(wide.ncols(), 6);
+        assert_eq!(wide.at(2, 2 * 2 + 1), mats[2][(2, 1)]);
+    }
+
+    #[test]
+    fn mutable_views_write_through() {
+        let mut b = BatchedDense::<f64>::zeros(2, 2, 2);
+        b.mat_mut(1).set(0, 1, 7.0);
+        assert_eq!(b.as_slice()[4 + 2], 7.0);
+        b.as_wide_mut().set(1, 3, -3.0);
+        assert_eq!(b.mat(1).at(1, 1), -3.0);
+    }
+
+    #[test]
+    fn set_entry_and_non_finite() {
+        let mut b = BatchedDense::<f64>::zeros(2, 2, 2);
+        assert!(!b.has_non_finite());
+        let mut a = Matrix::<f64>::identity(2, 2);
+        a[(0, 1)] = f64::NAN;
+        b.set_entry(1, &a);
+        assert!(b.has_non_finite());
+        assert_eq!(b.mat(0).at(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different shape")]
+    fn mixed_shapes_rejected() {
+        let mats = vec![Matrix::<f64>::zeros(2, 2), Matrix::<f64>::zeros(3, 2)];
+        let _ = BatchedDense::from_matrices(&mats);
+    }
+
+    #[test]
+    fn empty_batch() {
+        let b = BatchedDense::<f64>::from_matrices(&[]);
+        assert_eq!(b.batch(), 0);
+        assert_eq!(b.as_wide().ncols(), 0);
+    }
+}

@@ -7,15 +7,19 @@
 //! * [`MatRef`] / [`MatMut`] — borrowed rectangular views with `split_at_*`
 //!   operations, the foundation of the recursive (rayon `join`) parallel
 //!   kernels in `polar-blas`;
+//! * [`BatchedDense`] — batch-major packed storage for streams of
+//!   same-shape small matrices (the `polar-batch` serving engine);
 //! * [`Tiling`] / [`TiledMatrix`] — SLATE-style tile decomposition;
 //! * [`ProcessGrid`] / [`BlockCyclic`] — the 2D block-cyclic tile→rank map
 //!   used by the simulated distributed runtime.
 
+mod batched;
 mod dense;
 mod grid;
 mod tile;
 mod view;
 
+pub use batched::BatchedDense;
 pub use dense::Matrix;
 pub use grid::{BlockCyclic, ProcessGrid};
 pub use tile::{TileIndex, TiledMatrix, Tiling};

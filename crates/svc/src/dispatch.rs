@@ -35,7 +35,9 @@ pub fn estimate_flops(kind: JobKind, m: usize, n: usize) -> f64 {
     // rectangular inputs pay the initial QR reduction on top
     let rect = if m > n { 2.0 * (m as f64) * (n as f64) * (n as f64) } else { 0.0 };
     match kind {
-        JobKind::Qdwh => base + rect,
+        // the fused engine saves wall time, not modeled flops: cost a
+        // Batched job exactly like a scalar QDWH of the same shape
+        JobKind::Qdwh | JobKind::Batched => base + rect,
         JobKind::QdwhSvd => base + rect + 12.0 * n3,
         JobKind::SvdPolar => 30.0 * n3 + rect,
     }
@@ -46,11 +48,15 @@ pub(crate) struct RunnableJob {
     pub job: AdmittedJob,
 }
 
-/// What a worker receives: one large job, or a coalesced batch of small
-/// ones.
+/// What a worker receives: one large job, a coalesced batch of small
+/// ones (each solved independently), or a shape-homogeneous fused group
+/// for the whole-batch engine.
 pub(crate) enum WorkItem {
     Single(RunnableJob),
     Batch(Vec<RunnableJob>),
+    /// Same-shape [`crate::job::JobKind::Batched`] jobs, solved as one
+    /// `polar_batch::qdwh_batched` call.
+    Fused(Vec<RunnableJob>),
 }
 
 struct Queued {
@@ -134,9 +140,16 @@ pub(crate) fn run_dispatcher(
             continue;
         }
 
-        // form the next work item: batch small jobs, isolate large ones
+        // form the next work item: fuse same-shape Batched jobs, batch
+        // small jobs, isolate large ones
         let top = heap.pop().unwrap();
-        let item = if top.cost <= cfg.small_job_flops && cfg.batch_max > 1 {
+        let item = if top.job.spec.kind == JobKind::Batched {
+            let batch = collect_fused(&mut heap, top, cfg.batch_max.max(1));
+            MetricsRegistry::inc(&metrics.fused_batches);
+            metrics.batch_size.record_ns(batch.len() as u64);
+            metrics.queue_depth.fetch_sub(batch.len() as i64, std::sync::atomic::Ordering::Relaxed);
+            WorkItem::Fused(batch)
+        } else if top.cost <= cfg.small_job_flops && cfg.batch_max > 1 {
             let mut batch = vec![RunnableJob { job: top.job }];
             while batch.len() < cfg.batch_max {
                 match heap.peek() {
@@ -161,6 +174,34 @@ pub(crate) fn run_dispatcher(
             break; // workers gone: shutting down
         }
     }
+}
+
+/// Pull every queued [`JobKind::Batched`] job sharing `top`'s shape key
+/// (`(rows, cols)`; the service scalar is `f64`, so shape is the whole
+/// key) out of the heap, up to `batch_max`. Coalescing deliberately
+/// ignores priority among same-shape batched jobs — riding an
+/// already-dispatched fused batch is strictly cheaper than waiting for a
+/// later slot. Everything else is pushed back untouched.
+fn collect_fused(heap: &mut BinaryHeap<Queued>, top: Queued, batch_max: usize) -> Vec<RunnableJob> {
+    let key = (top.job.spec.matrix.nrows(), top.job.spec.matrix.ncols());
+    let mut batch = vec![RunnableJob { job: top.job }];
+    let mut rest = Vec::new();
+    while batch.len() < batch_max {
+        match heap.pop() {
+            Some(q)
+                if q.job.spec.kind == JobKind::Batched
+                    && (q.job.spec.matrix.nrows(), q.job.spec.matrix.ncols()) == key =>
+            {
+                batch.push(RunnableJob { job: q.job });
+            }
+            Some(q) => rest.push(q),
+            None => break,
+        }
+    }
+    for q in rest {
+        heap.push(q);
+    }
+    batch
 }
 
 #[cfg(test)]

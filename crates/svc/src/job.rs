@@ -24,6 +24,16 @@ pub enum JobKind {
     QdwhSvd,
     /// SVD-based polar decomposition, the paper's §3 baseline.
     SvdPolar,
+    /// QDWH via the fused batched engine (`polar-batch`): the dispatcher
+    /// coalesces same-shape `Batched` jobs into one group and the worker
+    /// solves the whole group as fused whole-batch DAGs — one dispatch
+    /// slot, one prologue, one task graph per iteration. Falls back to
+    /// per-job scalar QDWH if the fused engine rejects the group.
+    ///
+    /// Caveat: fused execution has no between-iteration hook, so
+    /// cancellation and deadlines are only honored before the batch
+    /// starts (or on the scalar fallback path).
+    Batched,
 }
 
 /// A unit of work: solver kind, input matrix, and scheduling knobs.
@@ -45,6 +55,11 @@ pub struct JobSpec {
 impl JobSpec {
     pub fn qdwh(matrix: Matrix<f64>) -> Self {
         Self::new(JobKind::Qdwh, matrix)
+    }
+
+    /// A job for the fused batched engine (see [`JobKind::Batched`]).
+    pub fn batched(matrix: Matrix<f64>) -> Self {
+        Self::new(JobKind::Batched, matrix)
     }
 
     pub fn new(kind: JobKind, matrix: Matrix<f64>) -> Self {

@@ -22,6 +22,9 @@ pub struct MetricsRegistry {
     pub timed_out: AtomicU64,
     pub retries: AtomicU64,
     pub batches: AtomicU64,
+    /// Shape-homogeneous groups dispatched to the fused batched engine
+    /// (one per `WorkItem::Fused`, regardless of group size).
+    pub fused_batches: AtomicU64,
     pub injected_faults: AtomicU64,
     // gauges
     pub queue_depth: AtomicI64,
@@ -29,6 +32,10 @@ pub struct MetricsRegistry {
     // histograms
     pub wait: Histogram,
     pub run: Histogram,
+    /// Fused-batch size distribution. The log2 histogram is time-typed;
+    /// sizes are recorded via `record_ns(len)`, so quantiles read back as
+    /// "nanoseconds" whose numeric value is a job count.
+    pub batch_size: Histogram,
 }
 
 impl MetricsRegistry {
@@ -48,12 +55,14 @@ impl MetricsRegistry {
             timed_out: self.timed_out.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            fused_batches: self.fused_batches.load(Ordering::Relaxed),
             injected_faults: self.injected_faults.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
             in_flight: self.in_flight.load(Ordering::Relaxed).max(0) as u64,
             throughput_per_sec: if secs > 0.0 { completed as f64 / secs } else { 0.0 },
             wait: self.wait.snapshot(),
             run: self.run.snapshot(),
+            batch_size: self.batch_size.snapshot(),
         }
     }
 }
@@ -69,16 +78,26 @@ pub struct MetricsSnapshot {
     pub timed_out: u64,
     pub retries: u64,
     pub batches: u64,
+    pub fused_batches: u64,
     pub injected_faults: u64,
     pub queue_depth: u64,
     pub in_flight: u64,
     pub throughput_per_sec: f64,
     pub wait: HistogramSnapshot,
     pub run: HistogramSnapshot,
+    /// Fused-batch sizes, in jobs (see
+    /// [`MetricsRegistry::batch_size`]).
+    pub batch_size: HistogramSnapshot,
 }
 
 fn opt_us(d: Option<Duration>) -> f64 {
     d.map(|d| d.as_secs_f64() * 1e6).unwrap_or(0.0)
+}
+
+/// Decode a size-valued histogram quantile (recorded with `record_ns`,
+/// so the nanosecond count *is* the job count).
+fn opt_jobs(d: Option<Duration>) -> f64 {
+    d.map(|d| d.as_nanos() as f64).unwrap_or(0.0)
 }
 
 impl MetricsSnapshot {
@@ -92,6 +111,7 @@ impl MetricsSnapshot {
             ("timed_out", self.timed_out as f64),
             ("retries", self.retries as f64),
             ("batches", self.batches as f64),
+            ("fused_batches", self.fused_batches as f64),
             ("injected_faults", self.injected_faults as f64),
             ("queue_depth", self.queue_depth as f64),
             ("in_flight", self.in_flight as f64),
@@ -104,6 +124,10 @@ impl MetricsSnapshot {
             ("run_p50_us", opt_us(self.run.p50)),
             ("run_p95_us", opt_us(self.run.p95)),
             ("run_p99_us", opt_us(self.run.p99)),
+            // batch sizes are stored as "nanoseconds": read back as jobs
+            ("batch_size_count", self.batch_size.count as f64),
+            ("batch_size_p50", opt_jobs(self.batch_size.p50)),
+            ("batch_size_p99", opt_jobs(self.batch_size.p99)),
         ]
     }
 

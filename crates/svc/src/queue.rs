@@ -24,6 +24,17 @@ pub enum SubmitError {
     QueueFull,
     /// The service is draining or stopped; no new work is accepted.
     Stopped,
+    /// A batch submission mixed shapes: the fused engine packs entries
+    /// into one contiguous panel, so every matrix in a batch must share
+    /// `(rows, cols)`. Nothing was admitted.
+    MixedShapes {
+        /// Index of the first offending entry.
+        index: usize,
+        /// Shape of entry 0, `(rows, cols)`.
+        expected: (usize, usize),
+        /// Shape of the offending entry.
+        got: (usize, usize),
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -31,6 +42,12 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::QueueFull => write!(f, "admission queue full"),
             SubmitError::Stopped => write!(f, "service is draining or stopped"),
+            SubmitError::MixedShapes { index, expected, got } => write!(
+                f,
+                "batch entry {index} is {}x{} but entry 0 is {}x{}: fused batches must be \
+                 shape-homogeneous",
+                got.0, got.1, expected.0, expected.1
+            ),
         }
     }
 }

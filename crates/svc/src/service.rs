@@ -136,6 +136,45 @@ impl PolarService {
         self.queue()?.submit(spec, deadline)
     }
 
+    /// Submit a group of same-shape matrices for the fused batched
+    /// engine ([`crate::job::JobKind::Batched`]): each spec's kind is
+    /// forced to `Batched` and the dispatcher re-coalesces them (with any
+    /// other queued `Batched` jobs of that shape) into whole-batch
+    /// solves.
+    ///
+    /// Mixed shapes are rejected up front with
+    /// [`SubmitError::MixedShapes`] — the fused engine packs entries into
+    /// one contiguous panel, so a group must be shape-homogeneous. If the
+    /// queue fills partway through, the already-admitted jobs are
+    /// cancelled and [`SubmitError::QueueFull`] is returned, so the call
+    /// is all-or-nothing from the caller's perspective.
+    pub fn submit_batch(&self, specs: Vec<JobSpec>) -> Result<Vec<JobHandle>, SubmitError> {
+        if let Some(first) = specs.first() {
+            let expected = (first.matrix.nrows(), first.matrix.ncols());
+            for (index, spec) in specs.iter().enumerate() {
+                let got = (spec.matrix.nrows(), spec.matrix.ncols());
+                if got != expected {
+                    return Err(SubmitError::MixedShapes { index, expected, got });
+                }
+            }
+        }
+        let queue = self.queue()?;
+        let mut handles = Vec::with_capacity(specs.len());
+        for mut spec in specs {
+            spec.kind = crate::job::JobKind::Batched;
+            match queue.try_submit(spec) {
+                Ok(h) => handles.push(h),
+                Err(e) => {
+                    for h in &handles {
+                        h.cancel();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(handles)
+    }
+
     /// Point-in-time metrics (counters, gauges, latency quantiles,
     /// throughput over service uptime).
     pub fn metrics(&self) -> MetricsSnapshot {

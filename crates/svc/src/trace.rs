@@ -34,6 +34,20 @@ impl SpanLog {
     /// Record one executed span. `lane` distinguishes jobs a worker ran
     /// concurrently out of one batch.
     pub fn record(&self, job_id: u64, worker: usize, lane: usize, start: Instant, end: Instant) {
+        self.record_labeled(job_id, worker, lane, start, end, None);
+    }
+
+    /// [`SpanLog::record`] with an explicit span name (used for fused
+    /// whole-batch spans, which cover several jobs at once).
+    pub fn record_labeled(
+        &self,
+        job_id: u64,
+        worker: usize,
+        lane: usize,
+        start: Instant,
+        end: Instant,
+        label: Option<&'static str>,
+    ) {
         let ev = TraceEvent {
             task: job_id as usize,
             rank: worker,
@@ -41,7 +55,7 @@ impl SpanLog {
             start: start.duration_since(self.epoch).as_secs_f64(),
             end: end.duration_since(self.epoch).as_secs_f64(),
             kind: KernelKind::Job,
-            label: None,
+            label,
         };
         self.events.lock().push(ev);
     }

@@ -13,8 +13,11 @@ use crate::job::{JobError, JobOutput, JobResult, JobSpec};
 use crate::metrics::MetricsRegistry;
 use crate::trace::SpanLog;
 use crossbeam::channel::Receiver;
+use polar_batch::{qdwh_batched, BatchEntry, BatchOptions};
 use polar_lapack::FailureClass;
-use polar_qdwh::{qdwh, qdwh_svd, svd_based_polar, IterationDecision, ProgressHook, QdwhError};
+use polar_qdwh::{
+    qdwh, qdwh_svd, svd_based_polar, IterationDecision, PolarDecomposition, ProgressHook, QdwhError,
+};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -37,6 +40,7 @@ pub(crate) fn run_worker(worker_id: usize, work: Receiver<WorkItem>, ctx: Arc<Ex
         match item {
             WorkItem::Single(rj) => execute_job(rj, worker_id, 0, &ctx),
             WorkItem::Batch(batch) => run_batch(batch, worker_id, &ctx),
+            WorkItem::Fused(batch) => run_fused(batch, worker_id, &ctx),
         }
     }
 }
@@ -64,11 +68,97 @@ fn run_batch_rec(mut jobs: Vec<(usize, RunnableJob)>, worker_id: usize, ctx: &Ar
     }
 }
 
+/// Execute a shape-homogeneous group of [`crate::job::JobKind::Batched`]
+/// jobs as one `qdwh_batched` call. Jobs that are already cancelled or
+/// flagged by the fault injector take the scalar path (which owns those
+/// semantics); if the fused engine rejects the group, every member falls
+/// back to scalar execution, so per-job retry/timeout behavior is
+/// preserved on failure.
+fn run_fused(batch: Vec<RunnableJob>, worker_id: usize, ctx: &Arc<ExecContext>) {
+    let mut fused: Vec<RunnableJob> = Vec::new();
+    for rj in batch {
+        if rj.job.cancel.is_cancelled() || ctx.fault.should_fail(rj.job.id.0, 1) {
+            execute_job(rj, worker_id, 0, ctx);
+        } else {
+            fused.push(rj);
+        }
+    }
+    if fused.is_empty() {
+        return;
+    }
+
+    let metrics = &ctx.metrics;
+    let lanes = fused.len();
+    metrics.in_flight.fetch_add(lanes as i64, Ordering::Relaxed);
+    let start = Instant::now();
+
+    let mut entries: Vec<BatchEntry<f64>> =
+        fused.iter().map(|rj| BatchEntry::new(rj.job.spec.matrix.clone())).collect();
+    // one option set drives the whole group; the first member's solver
+    // knobs apply (the dispatcher only guarantees shape homogeneity)
+    let opts = BatchOptions {
+        qdwh: {
+            let mut o = fused[0].job.spec.opts.clone();
+            o.progress = None; // no between-iteration hook in fused mode
+            o
+        },
+        ..Default::default()
+    };
+    let result = qdwh_batched(&mut entries, &opts);
+    let end = Instant::now();
+    let run = end.duration_since(start);
+    metrics.in_flight.fetch_sub(lanes as i64, Ordering::Relaxed);
+
+    match result {
+        Ok(infos) => {
+            // one whole-batch span (slot 0), then a lane span per member
+            ctx.spans.record_labeled(
+                fused[0].job.id.0,
+                worker_id,
+                0,
+                start,
+                end,
+                Some("fused_batch"),
+            );
+            for (lane, ((rj, entry), info)) in fused.into_iter().zip(entries).zip(infos).enumerate()
+            {
+                let job = rj.job;
+                let wait = start.duration_since(job.submitted);
+                metrics.wait.record(wait);
+                metrics.run.record(run);
+                MetricsRegistry::inc(&metrics.completed);
+                ctx.spans.record(job.id.0, worker_id, lane + 1, start, end);
+                let pd = PolarDecomposition { u: entry.u, h: entry.h, info };
+                let _ = job.result_tx.send(JobResult {
+                    id: job.id,
+                    attempts: 1,
+                    wait,
+                    run,
+                    output: Ok(JobOutput::Polar(pd)),
+                });
+            }
+        }
+        Err(e) => {
+            polar_obs::log!(
+                polar_obs::LogLevel::Error,
+                "fused batch of {lanes} rejected ({e}); falling back to scalar jobs"
+            );
+            for rj in fused {
+                execute_job(rj, worker_id, 0, ctx);
+            }
+        }
+    }
+}
+
 fn solve(spec: &JobSpec, hook: ProgressHook) -> Result<JobOutput, QdwhError> {
     let mut opts = spec.opts.clone();
     opts.progress = Some(hook);
     match spec.kind {
-        crate::job::JobKind::Qdwh => qdwh(&spec.matrix, &opts).map(JobOutput::Polar),
+        // a Batched job on the scalar path (fallback, cancellation,
+        // fault injection) is just a QDWH solve
+        crate::job::JobKind::Qdwh | crate::job::JobKind::Batched => {
+            qdwh(&spec.matrix, &opts).map(JobOutput::Polar)
+        }
         crate::job::JobKind::QdwhSvd => qdwh_svd(&spec.matrix, &opts).map(JobOutput::Svd),
         // the Jacobi baseline has no iteration hook; cancellation and
         // deadline are checked between attempts only

@@ -310,3 +310,90 @@ fn priorities_order_queued_work() {
     assert!(jumped <= 1, "{jumped} low-priority jobs ran before the high-priority one");
     svc.shutdown();
 }
+
+// ---- fused batched engine (JobKind::Batched) ----
+
+#[test]
+fn batched_jobs_fuse_and_produce_correct_factors() {
+    let svc = PolarService::start(ServiceConfig { workers: 2, batch_max: 8, ..Default::default() });
+    let specs: Vec<JobSpec> = (0..6)
+        .map(|s| {
+            let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(32, 100 + s));
+            JobSpec::batched(a)
+        })
+        .collect();
+    let handles = svc.submit_batch(specs).unwrap();
+    for h in handles {
+        let r = h.wait();
+        let out = r.output.expect("fused job succeeds");
+        assert!(polar_qdwh::orthogonality_error(out.u()) < 1e-12);
+        assert_eq!(r.attempts, 1);
+    }
+    svc.drain();
+    let m = svc.metrics();
+    assert!(m.fused_batches >= 1, "no fused dispatch recorded: {m:?}");
+    assert_eq!(m.batch_size.count, m.fused_batches);
+    assert_eq!(m.completed, 6);
+    // the fused span is in the trace
+    let mut buf = Vec::new();
+    svc.write_chrome_trace(&mut buf).unwrap();
+    assert!(String::from_utf8(buf).unwrap().contains("fused_batch"));
+    svc.shutdown();
+}
+
+#[test]
+fn mixed_shape_batch_rejected_with_typed_error_and_nothing_admitted() {
+    let svc = PolarService::start(ServiceConfig::default());
+    let mk = |n: usize, s: u64| {
+        let (a, _) = generate::<f64>(&MatrixSpec::well_conditioned(n, s));
+        JobSpec::batched(a)
+    };
+    let err = match svc.submit_batch(vec![mk(16, 1), mk(16, 2), mk(24, 3)]) {
+        Err(e) => e,
+        Ok(_) => panic!("mixed-shape batch was admitted"),
+    };
+    assert_eq!(err, SubmitError::MixedShapes { index: 2, expected: (16, 16), got: (24, 24) });
+    assert_eq!(svc.metrics().submitted, 0, "rejection must not admit anything");
+    svc.shutdown();
+}
+
+#[test]
+fn dispatcher_only_fuses_matching_shapes() {
+    // two shape groups interleaved: every job must still complete, and
+    // each fused group is shape-pure by construction (wrong grouping
+    // would panic inside the engine's shape validation)
+    let svc =
+        PolarService::start(ServiceConfig { workers: 2, batch_max: 16, ..Default::default() });
+    let mut handles = Vec::new();
+    for s in 0..4u64 {
+        for &n in &[16usize, 24] {
+            let (a, _) = generate::<f64>(&MatrixSpec::well_conditioned(n, 7 * s + n as u64));
+            handles.push(svc.try_submit(JobSpec::batched(a)).unwrap());
+        }
+    }
+    for h in handles {
+        let r = h.wait();
+        assert!(r.output.is_ok(), "{:?}", r.output.err());
+    }
+    svc.shutdown();
+}
+
+#[test]
+fn cancelled_batched_job_takes_scalar_path_and_reports_cancelled() {
+    let svc = PolarService::start(ServiceConfig { workers: 1, ..Default::default() });
+    // occupy the single worker so the batched jobs sit in the queue
+    let blocker = svc.try_submit(slow_job()).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let specs: Vec<JobSpec> = (0..2)
+        .map(|s| {
+            let (a, _) = generate::<f64>(&MatrixSpec::well_conditioned(16, 200 + s));
+            JobSpec::batched(a)
+        })
+        .collect();
+    let handles = svc.submit_batch(specs).unwrap();
+    handles[0].cancel();
+    assert!(blocker.wait().output.is_ok());
+    let r0 = handles.into_iter().next().unwrap().wait();
+    assert_eq!(r0.output.unwrap_err(), JobError::Cancelled);
+    svc.shutdown();
+}
