@@ -151,6 +151,69 @@ pub fn gemm_axpy<S: Scalar>(
 /// Below this many multiply-adds the unpacked kernel beats packing.
 const PACK_MIN_FLOPS: usize = 8 * 1024;
 
+/// Complex32 is the one type where the two kernels measure within a few
+/// percent of each other (the 8-byte AoS complex multiply defeats the
+/// generic microkernel's register blocking, historically 0.98x), and the
+/// winner flips across microarchitectures. Instead of a hard-coded pin,
+/// probe both once per process on a packing-sized product and route to
+/// whichever wins.
+///
+/// * `POLAR_C32_GEMM=axpy|packed` pins the choice (CI, A/B runs);
+/// * deterministic replay (`POLAR_DETERMINISTIC=1`) pins axpy, because the
+///   two kernels sum in different orders and a timing-dependent choice
+///   would break bitwise run-to-run equality.
+fn complex32_prefers_axpy() -> bool {
+    static PREF: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *PREF.get_or_init(|| {
+        match std::env::var("POLAR_C32_GEMM").ok().as_deref() {
+            Some("axpy") => return true,
+            Some("packed") => return false,
+            _ => {}
+        }
+        if rayon::deterministic_mode().is_some() {
+            return true;
+        }
+        // probe: one NN product big enough to amortize packing, best of 3
+        // per kernel; ~10 MFlop total, a one-time cost of a few ms
+        let n = 96usize;
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        let a =
+            polar_matrix::Matrix::<Complex32>::from_fn(n, n, |_, _| Complex32::new(next(), next()));
+        let b =
+            polar_matrix::Matrix::<Complex32>::from_fn(n, n, |_, _| Complex32::new(next(), next()));
+        let mut c = polar_matrix::Matrix::<Complex32>::zeros(n, n);
+        let best = |f: &mut dyn FnMut()| {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let t = std::time::Instant::now();
+                f();
+                best = best.min(t.elapsed().as_secs_f64());
+            }
+            best
+        };
+        let one = Complex32::new(1.0, 0.0);
+        let zero = Complex32::new(0.0, 0.0);
+        let t_packed = best(&mut || {
+            gemm_packed(Op::NoTrans, Op::NoTrans, one, a.as_ref(), b.as_ref(), zero, c.as_mut());
+        });
+        let t_axpy = best(&mut || {
+            gemm_axpy(Op::NoTrans, Op::NoTrans, one, a.as_ref(), b.as_ref(), zero, c.as_mut());
+        });
+        t_axpy <= t_packed
+    })
+}
+
+/// Whether leaf products of type `S` should take the unpacked axpy kernel
+/// regardless of size (see [`complex32_prefers_axpy`]).
+#[inline]
+fn prefers_axpy<S: Scalar>() -> bool {
+    std::any::TypeId::of::<S>() == std::any::TypeId::of::<Complex32>() && complex32_prefers_axpy()
+}
+
 /// Sequential leaf: packed kernel when the problem amortizes packing,
 /// unpacked axpy/dot otherwise.
 #[allow(clippy::too_many_arguments)] // internal blocked-gemm plumbing
@@ -174,11 +237,7 @@ pub(crate) fn gemm_leaf<S: Scalar>(
         crate::flops::type_factor(S::IS_COMPLEX) * crate::flops::gemm(c.nrows(), c.ncols(), k),
         [c.nrows(), c.ncols(), k],
     );
-    // Complex32 is the one type where the autovectorized axpy column loop
-    // beats the tile microkernel (the 8-byte AoS complex multiply defeats
-    // the generic kernel's register blocking), so keep it on that path.
-    let is_complex32 = std::any::TypeId::of::<S>() == std::any::TypeId::of::<Complex32>();
-    if work < PACK_MIN_FLOPS || c.nrows().min(c.ncols()) < 4 || is_complex32 {
+    if work < PACK_MIN_FLOPS || c.nrows().min(c.ncols()) < 4 || prefers_axpy::<S>() {
         gemm_axpy(op_a, op_b, alpha, a, b, beta, c);
     } else {
         gemm_packed(op_a, op_b, alpha, a, b, beta, c);
@@ -226,12 +285,11 @@ pub fn gemm<S: Scalar>(
     // Block-grid parallel path: share one packed-B panel across workers and
     // fan the MC row blocks out, instead of recursively halving the output
     // (which re-packs B in every leaf and caps parallel efficiency). Needs
-    // >= 2 MC blocks to fan out; Complex32 stays on the axpy leaves.
+    // >= 2 MC blocks to fan out; axpy-routed types stay on axpy leaves.
     let threads = rayon::current_num_threads();
     let work = m.saturating_mul(n).saturating_mul(ak.max(1));
-    let is_complex32 = std::any::TypeId::of::<S>() == std::any::TypeId::of::<Complex32>();
     if threads > 1
-        && !is_complex32
+        && !prefers_axpy::<S>()
         && m >= 2 * gemm_params().mc
         && n >= 4
         && work >= par_threshold_flops()

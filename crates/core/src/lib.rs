@@ -26,6 +26,7 @@
 mod applications;
 mod dist;
 mod elliptic;
+mod fused;
 mod mixed;
 mod options;
 mod params;

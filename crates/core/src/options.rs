@@ -38,22 +38,25 @@ pub enum IterationKind {
 
 /// How the tiled-vs-flat choice for a run was resolved, recorded in
 /// [`crate::QdwhInfo::tiled_decision`]. The granularity guard exists
-/// because the tile DAG only pays for its scheduling overhead when there
-/// are both enough tiles to keep workers busy *and* workers to keep busy:
-/// single-threaded, flat kernels always win, so [`TiledPath::Auto`] must
-/// never route there.
+/// because the tile DAG only pays for its scheduling overhead when the
+/// problem yields enough tiles to form a graph worth scheduling. Pool
+/// width is *not* part of the guard: with the whole-solve fused DAG the
+/// tiled route wins even on a single worker (tiled trsm/herk decompose
+/// into gemm-rich tile tasks that the flat kernels cannot match), so
+/// [`TiledPath::Auto`] routes every large-enough problem there.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TiledDecision {
     /// The tile DAG drivers ran ([`TiledPath::Auto`] above the threshold
-    /// with enough parallelism, an explicit [`TiledPath::Always`], or a
+    /// with enough tiles, an explicit [`TiledPath::Always`], or a
     /// `POLAR_TILED=1` pin).
     Tiled,
     /// Flat kernels by request: [`TiledPath::Never`], a `POLAR_TILED=0`
     /// pin, or [`TiledPath::Auto`] below
     /// [`QdwhOptions::tiled_threshold`].
     FlatRequested,
-    /// Granularity guard: the pool has a single worker, so the tile DAG
-    /// could only add scheduling overhead.
+    /// Granularity guard of earlier releases: single-worker pools routed
+    /// flat. Retained for record compatibility; `resolve_tiled` no longer
+    /// produces it now that the fused whole-solve DAG wins at one worker.
     FlatSingleWorker,
     /// Granularity guard: fewer than two column tiles at the configured
     /// tile size — no inter-tile parallelism to exploit.
@@ -224,8 +227,9 @@ impl QdwhOptions {
     /// [`TiledPath::Always`]/[`TiledPath::Never`] — are always honored
     /// (CI gates and ablations rely on forcing a path). Only
     /// [`TiledPath::Auto`] is subject to the granularity guard: a
-    /// single-worker pool or a sub-2-tile grid routes back to the flat
-    /// kernels, so tiled never loses where it cannot win.
+    /// sub-2-tile grid routes back to the flat kernels, so tiled never
+    /// loses where it cannot win. Pool width no longer matters — the
+    /// fused whole-solve DAG wins at one worker too.
     pub fn resolve_tiled(&self, n: usize) -> TiledDecision {
         static ENV: std::sync::OnceLock<Option<bool>> = std::sync::OnceLock::new();
         let env = *ENV.get_or_init(|| match std::env::var("POLAR_TILED").ok().as_deref() {
@@ -240,12 +244,10 @@ impl QdwhOptions {
             TiledPath::Always => TiledDecision::Tiled,
             TiledPath::Never => TiledDecision::FlatRequested,
             TiledPath::Auto => {
+                let nb = self.tile_nb.unwrap_or_else(|| polar_lapack::auto_tile_nb(n));
                 if n < self.tiled_threshold {
                     TiledDecision::FlatRequested
-                } else if rayon::current_num_threads() <= 1 {
-                    TiledDecision::FlatSingleWorker
-                } else if n.div_ceil(self.tile_nb.unwrap_or_else(polar_lapack::default_tile_nb)) < 2
-                {
+                } else if n.div_ceil(nb) < 2 {
                     TiledDecision::FlatTooFewTiles
                 } else {
                     TiledDecision::Tiled
@@ -308,21 +310,15 @@ mod tests {
         // tile_nb >= n: a single column tile -> no inter-tile parallelism
         let coarse = QdwhOptions { tiled_threshold: 64, tile_nb: Some(4096), ..Default::default() };
         let fine = QdwhOptions { tiled_threshold: 64, tile_nb: Some(64), ..Default::default() };
-        let single_worker = rayon::current_num_threads() <= 1;
-        assert_eq!(
-            coarse.resolve_tiled(1024),
-            if single_worker {
-                TiledDecision::FlatSingleWorker
-            } else {
-                TiledDecision::FlatTooFewTiles
-            }
-        );
+        assert_eq!(coarse.resolve_tiled(1024), TiledDecision::FlatTooFewTiles);
         assert!(!coarse.use_tiled(1024));
-        // plenty of tiles: only the pool width can still veto
-        assert_eq!(
-            fine.resolve_tiled(1024),
-            if single_worker { TiledDecision::FlatSingleWorker } else { TiledDecision::Tiled }
-        );
+        // plenty of tiles: tiled runs regardless of pool width — the fused
+        // whole-solve DAG wins even on a single worker
+        assert_eq!(fine.resolve_tiled(1024), TiledDecision::Tiled);
+        // the auto tile size always yields >= 2 column tiles above the
+        // threshold, so default Auto resolves tiled too
+        let auto = QdwhOptions { tiled_threshold: 512, ..Default::default() };
+        assert_eq!(auto.resolve_tiled(1024), TiledDecision::Tiled);
     }
 
     #[test]

@@ -349,6 +349,15 @@ pub fn qdwh<S: Scalar>(
     };
     let mut x_prev = Matrix::<S>::zeros(m, n);
 
+    // Whole-solve fused path: when the tiled route is selected and no
+    // per-iteration cancellation hook is installed, run the entire
+    // planned Halley sequence as one task graph (see `crate::fused`).
+    // The loop below then acts as the continuation for anything the plan
+    // could not cover — normally it exits immediately.
+    if tiled && opts.progress.is_none() && !opts.use_tsqr {
+        crate::fused::qdwh_fused(&mut x, &mut ell, &mut conv, &mut info, opts)?;
+    }
+
     while conv >= conv_tol || (ell - S::Real::ONE).abs() >= five_eps {
         if info.iterations >= opts.max_iterations {
             return Err(QdwhError::NoConvergence { iterations: info.iterations });
@@ -487,7 +496,7 @@ fn qr_iteration<S: Scalar>(
     } else if tiled {
         // DAG-scheduled tile QR on the work-stealing pool; the stacked
         // variant prunes tasks on still-pristine identity tile rows
-        let nb = opts.tile_nb.unwrap_or_else(polar_lapack::default_tile_nb);
+        let nb = opts.tile_nb.unwrap_or_else(|| polar_lapack::auto_tile_nb(n));
         let f = if opts.exploit_structure {
             geqrf_tiled_stacked(m, &w0, nb)
         } else {
@@ -545,7 +554,7 @@ fn chol_iteration<S: Scalar>(
     let mut z = Matrix::<S>::identity(n, n);
     herk(Uplo::Lower, Op::ConjTrans, c, x.as_ref(), S::Real::ONE, z.as_mut());
     if tiled {
-        let nb = opts.tile_nb.unwrap_or_else(polar_lapack::default_tile_nb);
+        let nb = opts.tile_nb.unwrap_or_else(|| polar_lapack::auto_tile_nb(n));
         potrf_tiled(Uplo::Lower, &mut z, nb)?;
     } else {
         potrf(Uplo::Lower, &mut z)?;

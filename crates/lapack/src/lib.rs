@@ -40,11 +40,12 @@ pub use norm2est::{norm2est, Norm2Est};
 pub use qr::{extract_r, geqrf, geqrf_blocked, geqrf_stacked, orgqr, unmqr, QrFactors};
 pub use svd::{jacobi_svd, SvdDecomposition};
 pub use tile_qr::{
-    geqrt, geqrt_blocked, tsmqr, tsmqr_blocked, tsqrt, tsqrt_blocked, unmqr_tile,
-    unmqr_tile_blocked, TileT,
+    geqrt, geqrt_blocked, geqrt_blocked_into, tsmqr, tsmqr_blocked, tsqrt, tsqrt_blocked,
+    tsqrt_blocked_into, unmqr_tile, unmqr_tile_blocked, TileT,
 };
 pub use tiled::{
-    default_tile_nb, geqrf_tiled, geqrf_tiled_stacked, orgqr_tiled, potrf_tiled, TiledQr,
+    auto_tile_nb, default_tile_nb, geqrf_tiled, geqrf_tiled_stacked, orgqr_tiled, potrf_tiled,
+    stacked_row_limit, SlotPtr, TilePtr, TiledQr,
 };
 pub use tsqr::tsqr;
 

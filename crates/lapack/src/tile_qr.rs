@@ -165,6 +165,15 @@ pub struct TileT<S: Scalar> {
 }
 
 impl<S: Scalar> TileT<S> {
+    /// Zero-initialized storage for `k` reflectors with inner blocking
+    /// `ib`, ready for [`geqrt_blocked_into`] / [`tsqrt_blocked_into`].
+    /// Preallocating the whole T store of a factorization as a slab keeps
+    /// `malloc` out of the task bodies (and off the executor's hot path).
+    pub fn new(ib: usize, k: usize) -> Self {
+        let ib = ib.max(1);
+        Self { t: Matrix::zeros(ib, k), ib }
+    }
+
     /// Number of reflectors covered.
     pub fn k(&self) -> usize {
         self.t.ncols()
@@ -187,12 +196,21 @@ impl<S: Scalar> TileT<S> {
 /// The packed reflector/R output in `a` is bit-identical to
 /// [`crate::geqrf_blocked`] with the same `ib` (same panel code path).
 pub fn geqrt_blocked<S: Scalar>(a: &mut Matrix<S>, ib: usize) -> TileT<S> {
+    let mut tt = TileT::new(ib, a.nrows().min(a.ncols()));
+    geqrt_blocked_into(a, &mut tt);
+    tt
+}
+
+/// [`geqrt_blocked`] writing into preallocated `T` storage (see
+/// [`TileT::new`]); `tt` supplies the inner blocking factor.
+pub fn geqrt_blocked_into<S: Scalar>(a: &mut Matrix<S>, tt: &mut TileT<S>) {
     let m = a.nrows();
     let n = a.ncols();
     let k = m.min(n);
-    let ib = ib.max(1);
+    let ib = tt.ib;
+    assert_eq!(tt.k(), k, "geqrt_blocked_into: T storage sized for a different tile");
+    tt.t.fill(S::ZERO);
     let mut tau = vec![S::ZERO; k];
-    let mut tt = Matrix::<S>::zeros(ib, k);
     let mut scratch = Vec::with_capacity(m);
     let mut j = 0;
     while j < k {
@@ -206,12 +224,11 @@ pub fn geqrt_blocked<S: Scalar>(a: &mut Matrix<S>, ib: usize) -> TileT<S> {
         }
         for c in 0..jb {
             for r in 0..=c {
-                tt[(r, j + c)] = t[(r, c)];
+                tt.t[(r, j + c)] = t[(r, c)];
             }
         }
         j += jb;
     }
-    TileT { t: tt, ib }
 }
 
 /// Apply `op(Q)` from a [`geqrt_blocked`] factor to a tile `c` (PLASMA
@@ -244,13 +261,23 @@ pub fn unmqr_tile_blocked<S: Scalar>(
 /// current `ib`-wide panel; the trailing columns of both `R` and `B` are
 /// updated with the panel's compact block reflector through `gemm`/`trmm`.
 pub fn tsqrt_blocked<S: Scalar>(r: &mut Matrix<S>, b: &mut Matrix<S>, ib: usize) -> TileT<S> {
+    let mut tt = TileT::new(ib, r.ncols().min(r.nrows()));
+    tsqrt_blocked_into(r, b, &mut tt);
+    tt
+}
+
+/// [`tsqrt_blocked`] writing into preallocated `T` storage (see
+/// [`TileT::new`]); `tt` supplies the inner blocking factor.
+pub fn tsqrt_blocked_into<S: Scalar>(r: &mut Matrix<S>, b: &mut Matrix<S>, tt_out: &mut TileT<S>) {
     let kb = r.ncols().min(r.nrows());
     let ncols = r.ncols();
     assert_eq!(b.ncols(), ncols, "tsqrt_blocked: column mismatch");
     let m2 = b.nrows();
-    let ib = ib.max(1);
+    let ib = tt_out.ib;
+    assert_eq!(tt_out.k(), kb, "tsqrt_blocked_into: T storage sized for a different tile");
+    tt_out.t.fill(S::ZERO);
     let mut tau = vec![S::ZERO; kb];
-    let mut tt = Matrix::<S>::zeros(ib, kb);
+    let tt = &mut tt_out.t;
 
     let mut j = 0;
     while j < kb {
@@ -322,7 +349,6 @@ pub fn tsqrt_blocked<S: Scalar>(r: &mut Matrix<S>, b: &mut Matrix<S>, ib: usize)
         }
         j += jb;
     }
-    TileT { t: tt, ib }
 }
 
 /// Apply a [`tsqrt_blocked`] reflector block to a tile row pair (PLASMA
@@ -350,11 +376,27 @@ pub fn tsmqr_blocked<S: Scalar>(
         _ => Box::new(0..nblocks),
     };
     let t_op = if op == Op::NoTrans { Op::NoTrans } else { Op::ConjTrans };
+    // one W scratch for the whole call, reused across ib-panels (the
+    // per-panel `submatrix_owned` allocations used to dominate the task
+    // executor's per-task overhead at fine tile sizes)
+    let mut wbuf = Matrix::<S>::zeros(tt.ib.min(kb), n);
     for bblk in order {
         let (j, jb) = tt.block_range(bblk);
         let v2b = v2.view(0, j, m2, jb);
-        let mut w = a1.submatrix_owned(j, 0, jb, n);
-        gemm(Op::ConjTrans, Op::NoTrans, S::ONE, v2b, a2.as_ref(), S::ONE, w.as_mut());
+        for col in 0..n {
+            for row in 0..jb {
+                wbuf[(row, col)] = a1[(j + row, col)];
+            }
+        }
+        gemm(
+            Op::ConjTrans,
+            Op::NoTrans,
+            S::ONE,
+            v2b,
+            a2.as_ref(),
+            S::ONE,
+            wbuf.view_mut(0, 0, jb, n),
+        );
         trmm(
             Side::Left,
             Uplo::Upper,
@@ -362,14 +404,14 @@ pub fn tsmqr_blocked<S: Scalar>(
             Diag::NonUnit,
             S::ONE,
             tt.t.view(0, j, jb, jb),
-            w.as_mut(),
+            wbuf.view_mut(0, 0, jb, n),
         );
         for col in 0..n {
             for row in 0..jb {
-                a1[(j + row, col)] -= w[(row, col)];
+                a1[(j + row, col)] -= wbuf[(row, col)];
             }
         }
-        gemm(Op::NoTrans, Op::NoTrans, -S::ONE, v2b, w.as_ref(), S::ONE, a2.as_mut());
+        gemm(Op::NoTrans, Op::NoTrans, -S::ONE, v2b, wbuf.view(0, 0, jb, n), S::ONE, a2.as_mut());
     }
 }
 

@@ -21,7 +21,9 @@
 //! shared reference is mandatory there). The `TilePtr`/`SlotPtr` wrappers
 //! below are the single place that unsafety lives.
 
-use crate::tile_qr::{geqrt_blocked, tsmqr_blocked, tsqrt_blocked, unmqr_tile_blocked, TileT};
+use crate::tile_qr::{
+    geqrt_blocked_into, tsmqr_blocked, tsqrt_blocked_into, unmqr_tile_blocked, TileT,
+};
 use crate::{LapackError, DEFAULT_BLOCK};
 use polar_blas::{flops, gemm, herk, trsm};
 use polar_matrix::{Diag, Matrix, Op, ProcessGrid, Side, TiledMatrix, Tiling, Uplo};
@@ -46,10 +48,31 @@ pub fn default_tile_nb() -> usize {
     })
 }
 
+/// Tile size tuned to the pool width for an `n`-column problem.
+/// `POLAR_TILE_NB` still pins the size unconditionally. 256 measures best
+/// at every pool width on the whole-solve sweep (at one worker the win
+/// comes from tiled trsm/herk decomposing into gemm-rich tasks, which
+/// favors the same size as the parallel case); with more workers the grid
+/// must additionally offer at least a couple of tile columns per worker
+/// or the DAG starves.
+pub fn auto_tile_nb(n: usize) -> usize {
+    if std::env::var("POLAR_TILE_NB").is_ok() {
+        return default_tile_nb();
+    }
+    let workers = rayon::current_num_threads().max(1);
+    let mut nb: usize = 256;
+    while nb > 128 && n.div_ceil(nb) < 2 * workers.min(8) {
+        nb -= 64;
+    }
+    nb
+}
+
 /// Shared mutable access to the tile array of a [`TiledMatrix`] for
 /// dependency-ordered tasks. Tiles are disjoint allocations; the task graph
-/// serializes all conflicting accesses.
-struct TilePtr<S> {
+/// serializes all conflicting accesses. Public so whole-solve DAG builders
+/// (the fused QDWH driver in `polar-core`) can reuse the same access
+/// discipline instead of reinventing the unsafety.
+pub struct TilePtr<S> {
     tiles: *mut Matrix<S>,
     mt: usize,
 }
@@ -64,7 +87,7 @@ unsafe impl<S: Send> Send for TilePtr<S> {}
 unsafe impl<S: Send> Sync for TilePtr<S> {}
 
 impl<S: Scalar> TilePtr<S> {
-    fn new(m: &mut TiledMatrix<S>) -> Self {
+    pub fn new(m: &mut TiledMatrix<S>) -> Self {
         let mt = m.mt();
         Self { tiles: m.tiles_mut().as_mut_ptr(), mt }
     }
@@ -74,7 +97,7 @@ impl<S: Scalar> TilePtr<S> {
     /// holds *any* reference to tile `(i, j)` concurrently — i.e. the tile
     /// is in the calling task's write set.
     #[allow(clippy::mut_from_ref)]
-    unsafe fn tile<'x>(&self, i: usize, j: usize) -> &'x mut Matrix<S> {
+    pub unsafe fn tile<'x>(&self, i: usize, j: usize) -> &'x mut Matrix<S> {
         &mut *self.tiles.add(i + j * self.mt)
     }
 
@@ -85,14 +108,16 @@ impl<S: Scalar> TilePtr<S> {
     /// # Safety
     /// Caller must guarantee (via DAG dependencies) that no task holds a
     /// `&mut` to tile `(i, j)` concurrently.
-    unsafe fn tile_ref<'x>(&self, i: usize, j: usize) -> &'x Matrix<S> {
+    pub unsafe fn tile_ref<'x>(&self, i: usize, j: usize) -> &'x Matrix<S> {
         &*self.tiles.add(i + j * self.mt)
     }
 }
 
-/// Same idea for the per-tile `T`-factor slots.
-struct SlotPtr<S: Scalar> {
-    slots: *mut Option<TileT<S>>,
+/// Same idea for the per-tile `T`-factor slots: a slab of preallocated
+/// [`TileT`]s ([`TileT::new`]) written in place by the `_into` kernels, so
+/// task bodies never allocate T storage.
+pub struct SlotPtr<S: Scalar> {
+    slots: *mut TileT<S>,
 }
 
 impl<S: Scalar> Clone for SlotPtr<S> {
@@ -105,20 +130,20 @@ unsafe impl<S: Scalar> Send for SlotPtr<S> {}
 unsafe impl<S: Scalar> Sync for SlotPtr<S> {}
 
 impl<S: Scalar> SlotPtr<S> {
-    fn new(v: &mut [Option<TileT<S>>]) -> Self {
+    pub fn new(v: &mut [TileT<S>]) -> Self {
         Self { slots: v.as_mut_ptr() }
     }
 
     /// # Safety
     /// Same contract as [`TilePtr::tile`].
     #[allow(clippy::mut_from_ref)]
-    unsafe fn slot<'x>(&self, idx: usize) -> &'x mut Option<TileT<S>> {
+    pub unsafe fn slot<'x>(&self, idx: usize) -> &'x mut TileT<S> {
         &mut *self.slots.add(idx)
     }
 
     /// # Safety
     /// Same contract as [`TilePtr::tile_ref`].
-    unsafe fn slot_ref<'x>(&self, idx: usize) -> &'x Option<TileT<S>> {
+    pub unsafe fn slot_ref<'x>(&self, idx: usize) -> &'x TileT<S> {
         &*self.slots.add(idx)
     }
 }
@@ -131,8 +156,9 @@ pub struct TiledQr<S: Scalar> {
     /// tile diagonal.
     pub a: TiledMatrix<S>,
     /// `T` factors: slot `i + k*mt` holds the `geqrt` T for `i == k`, the
-    /// `tsqrt` T for `i > k`.
-    t: Vec<Option<TileT<S>>>,
+    /// `tsqrt` T for `i > k`. Preallocated as a slab before the DAG runs;
+    /// slots outside the factorization's row window stay empty (`k() == 0`).
+    t: Vec<TileT<S>>,
     kt: usize,
     /// Dense-row count of the stacked top block when the trailing-identity
     /// structure was exploited.
@@ -163,8 +189,9 @@ impl<S: Scalar> TiledQr<S> {
 }
 
 /// Last tile row with reflector support at panel `k` for the stacked
-/// `[B; I]` structure (`None` = dense: all rows).
-fn row_limit(tiling: Tiling, top_rows: Option<usize>, k: usize) -> usize {
+/// `[B; I]` structure (`None` = dense: all rows). Public for whole-solve
+/// DAG builders that emit the same pruned task shape.
+pub fn stacked_row_limit(tiling: Tiling, top_rows: Option<usize>, k: usize) -> usize {
     let mt = tiling.mt();
     match top_rows {
         None => mt - 1,
@@ -195,7 +222,18 @@ fn geqrf_tiled_inner<S: Scalar>(
     let nt = tiling.nt();
     let kt = mt.min(nt);
     let ib = DEFAULT_BLOCK.min(nb);
-    let mut tstore: Vec<Option<TileT<S>>> = (0..mt * kt).map(|_| None).collect();
+    // Preallocate the whole T slab up front: slot (i, k) needs ib x kk
+    // storage, where kk is the reflector count of panel k. Slots beyond the
+    // stacked row window are never written — they get zero-width stubs.
+    let mut tstore: Vec<TileT<S>> = Vec::with_capacity(mt * kt);
+    for k in 0..kt {
+        let kk = tiling.tile_rows(k).min(tiling.tile_cols(k));
+        let lim = stacked_row_limit(tiling, top_rows, k);
+        for i in 0..mt {
+            let used = i == k || (i > k && i <= lim);
+            tstore.push(TileT::new(ib, if used { kk } else { 0 }));
+        }
+    }
     {
         let tiles = TilePtr::new(&mut ta);
         let slots = SlotPtr::new(&mut tstore);
@@ -217,8 +255,7 @@ fn geqrf_tiled_inner<S: Scalar>(
                 vec![aref(k, k), tref(k, k)],
                 move || {
                     let akk = unsafe { tiles.tile(k, k) };
-                    let t = geqrt_blocked(akk, ib);
-                    *unsafe { slots.slot(k + k * mt) } = Some(t);
+                    geqrt_blocked_into(akk, unsafe { slots.slot(k + k * mt) });
                 },
             );
             // apply Q_kk^H to the tiles right of the diagonal
@@ -232,7 +269,7 @@ fn geqrf_tiled_inner<S: Scalar>(
                     vec![aref(k, j)],
                     move || {
                         let v = unsafe { tiles.tile_ref(k, k) };
-                        let t = unsafe { slots.slot_ref(k + k * mt) }.as_ref().unwrap();
+                        let t = unsafe { slots.slot_ref(k + k * mt) };
                         let c = unsafe { tiles.tile(k, j) };
                         unmqr_tile_blocked(Op::ConjTrans, v, t, c);
                     },
@@ -240,7 +277,7 @@ fn geqrf_tiled_inner<S: Scalar>(
             }
             // annihilate sub-diagonal tiles (only rows with reflector
             // support when the stacked structure is known)
-            let lim = row_limit(tiling, top_rows, k);
+            let lim = stacked_row_limit(tiling, top_rows, k);
             for i in k + 1..=lim {
                 dag.add(
                     KernelKind::Tsqrt,
@@ -250,8 +287,7 @@ fn geqrf_tiled_inner<S: Scalar>(
                     vec![aref(k, k), aref(i, k), tref(i, k)],
                     move || {
                         let (r, b) = unsafe { (tiles.tile(k, k), tiles.tile(i, k)) };
-                        let t = tsqrt_blocked(r, b, ib);
-                        *unsafe { slots.slot(i + k * mt) } = Some(t);
+                        tsqrt_blocked_into(r, b, unsafe { slots.slot(i + k * mt) });
                     },
                 );
                 for j in k + 1..nt {
@@ -264,7 +300,7 @@ fn geqrf_tiled_inner<S: Scalar>(
                         vec![aref(k, j), aref(i, j)],
                         move || {
                             let v2 = unsafe { tiles.tile_ref(i, k) };
-                            let t = unsafe { slots.slot_ref(i + k * mt) }.as_ref().unwrap();
+                            let t = unsafe { slots.slot_ref(i + k * mt) };
                             let (a1, a2) = unsafe { (tiles.tile(k, j), tiles.tile(i, j)) };
                             tsmqr_blocked(Op::ConjTrans, v2, t, a1, a2);
                         },
@@ -326,11 +362,11 @@ pub fn orgqr_tiled<S: Scalar>(f: &TiledQr<S>, k_cols: usize) -> Matrix<S> {
         let kt = f.kt;
         for k in (0..kt).rev() {
             let step = (k + 1) as i32 * 4;
-            let lim = row_limit(tiling, f.top_rows, k);
+            let lim = stacked_row_limit(tiling, f.top_rows, k);
             for i in (k + 1..=lim).rev() {
                 for j in k..qnt {
                     let v2t = f.a.tile(i, k);
-                    let tt = f.t[i + k * mt].as_ref().unwrap();
+                    let tt = &f.t[i + k * mt];
                     dag.add(
                         KernelKind::Tsmqr,
                         step,
@@ -346,7 +382,7 @@ pub fn orgqr_tiled<S: Scalar>(f: &TiledQr<S>, k_cols: usize) -> Matrix<S> {
             }
             for j in k..qnt {
                 let v = f.a.tile(k, k);
-                let tt = f.t[k + k * mt].as_ref().unwrap();
+                let tt = &f.t[k + k * mt];
                 dag.add(
                     KernelKind::Unmqr,
                     step + 1,

@@ -107,19 +107,22 @@ impl<S: Scalar> TiledMatrix<S> {
     /// Cut a dense matrix into tiles.
     pub fn from_dense(a: &Matrix<S>, mb: usize, nb: usize, grid: ProcessGrid) -> Self {
         let tiling = Tiling::new(a.nrows(), a.ncols(), mb, nb);
-        let mut t = Self::zeros(tiling, grid);
+        let mut tiles = Vec::with_capacity(tiling.mt() * tiling.nt());
         for j in 0..tiling.nt() {
             for i in 0..tiling.mt() {
                 let (r0, c0) = tiling.tile_origin(i, j);
-                let tile = t.tile_mut(i, j);
-                for jj in 0..tile.ncols() {
-                    for ii in 0..tile.nrows() {
-                        tile[(ii, jj)] = a[(r0 + ii, c0 + jj)];
-                    }
+                let rows = tiling.tile_rows(i);
+                let cols = tiling.tile_cols(j);
+                // each tile column is one contiguous run of the source
+                // column, so the cut is a strided memcpy, not an index loop
+                let mut data = Vec::with_capacity(rows * cols);
+                for jj in 0..cols {
+                    data.extend_from_slice(&a.col(c0 + jj)[r0..r0 + rows]);
                 }
+                tiles.push(Matrix::from_col_major(rows, cols, data));
             }
         }
-        t
+        Self { tiling, dist: BlockCyclic::new(tiling, grid), tiles }
     }
 
     /// Reassemble into a dense matrix.
@@ -130,9 +133,7 @@ impl<S: Scalar> TiledMatrix<S> {
                 let (r0, c0) = self.tiling.tile_origin(i, j);
                 let tile = self.tile(i, j);
                 for jj in 0..tile.ncols() {
-                    for ii in 0..tile.nrows() {
-                        a[(r0 + ii, c0 + jj)] = tile[(ii, jj)];
-                    }
+                    a.col_mut(c0 + jj)[r0..r0 + tile.nrows()].copy_from_slice(tile.col(jj));
                 }
             }
         }

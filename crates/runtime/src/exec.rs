@@ -6,12 +6,19 @@
 //! attaches a real closure to every task and executes the graph for real:
 //!
 //! * tasks become *ready* when their last predecessor completes and enter a
-//!   priority heap (priority descending, submission order ascending);
-//! * panel-priority (lookahead) ordering is expressed by the driver through
-//!   the per-task priority — panel kernels of step `k` outrank trailing
-//!   updates, and updates feeding the next panel outrank the rest — so the
-//!   critical path is released as early as possible, which is how
-//!   PLASMA/SLATE overlap panel factorization with trailing updates;
+//!   priority heap;
+//! * ready tasks are ordered by **computed critical-path priority**: the
+//!   longest flop-weighted path from the task to a sink of the graph
+//!   ([`TaskGraph::critical_path_to_sink`]). A ready task with more
+//!   unfinished work downstream runs first, which releases panel chains as
+//!   early as possible — the PLASMA/SLATE mechanism for overlapping panel
+//!   factorization with trailing updates. Driver-assigned priorities
+//!   survive only as a tiebreak between equal critical paths;
+//! * a **lookahead window** bounds run-ahead: tasks whose phase (solver
+//!   iteration) is more than `POLAR_LOOKAHEAD` (default 2) steps beyond the
+//!   oldest incomplete phase sort behind every in-window task, so step-k+1
+//!   panel kernels overtake step-k trailing updates but step-k+5 work does
+//!   not flush the caches while step k is still in flight;
 //! * the ready set is drained by one worker loop per pool thread; workers
 //!   sleep on a condvar while no task is ready and are woken by completions.
 //!
@@ -27,7 +34,7 @@ use crate::graph::{GraphBuilder, KernelKind, TaskGraph, TaskId, TileRef};
 use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 
 thread_local! {
     /// Set while this thread is executing a DAG task body. Worker lanes are
@@ -41,6 +48,14 @@ thread_local! {
     /// the one on the `execute` caller's thread, which is never inside a
     /// body when the fanout starts) still drain the whole graph.
     static IN_TASK_BODY: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Lookahead window width in phases; see the module docs.
+fn lookahead_window() -> u32 {
+    static WINDOW: OnceLock<u32> = OnceLock::new();
+    *WINDOW.get_or_init(|| {
+        std::env::var("POLAR_LOOKAHEAD").ok().and_then(|v| v.parse().ok()).unwrap_or(2)
+    })
 }
 
 /// Why a [`TaskDag`] execution stopped.
@@ -65,22 +80,61 @@ pub enum TaskStatus {
 
 type Body<'a> = Box<dyn FnOnce() -> TaskStatus + Send + 'a>;
 
-/// Max-heap key: higher priority first, then submission (program) order.
-#[derive(PartialEq, Eq)]
+/// Max-heap key. Ordering, most significant first: inside the lookahead
+/// window, critical-path length to sink, driver hint, submission order.
 struct ReadyKey {
-    priority: i32,
+    /// Task phase lies within the lookahead window of the oldest
+    /// incomplete phase (computed when the task became ready; the frontier
+    /// only advances, so a stale `false` is merely a weaker preference).
+    ahead: bool,
+    /// Critical-path-to-sink flops ([`TaskGraph::critical_path_to_sink`]).
+    cp: f64,
+    /// Driver-assigned static priority; tiebreak between equal paths.
+    hint: i32,
     id: TaskId,
 }
 
+impl PartialEq for ReadyKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for ReadyKey {}
+
 impl Ord for ReadyKey {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.priority.cmp(&other.priority).then_with(|| other.id.cmp(&self.id))
+        self.ahead
+            .cmp(&other.ahead)
+            .then_with(|| self.cp.total_cmp(&other.cp))
+            .then_with(|| self.hint.cmp(&other.hint))
+            .then_with(|| other.id.cmp(&self.id))
     }
 }
 
 impl PartialOrd for ReadyKey {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
+    }
+}
+
+/// Immutable per-execution scheduling inputs shared by all workers.
+struct KeyCtx {
+    /// Critical-path-to-sink per task, from the built graph.
+    cp: Vec<f64>,
+    /// Driver-assigned static priorities (tiebreak only).
+    hints: Vec<i32>,
+    lookahead: u32,
+}
+
+impl KeyCtx {
+    fn key(&self, graph: &TaskGraph, frontier: u32, id: TaskId) -> ReadyKey {
+        ReadyKey {
+            ahead: graph.tasks[id].phase <= frontier.saturating_add(self.lookahead),
+            cp: self.cp[id],
+            hint: self.hints[id],
+            id,
+        }
     }
 }
 
@@ -108,6 +162,30 @@ struct ExecState<'a> {
     bodies: Vec<Option<Body<'a>>>,
     remaining: usize,
     cancelled: bool,
+    /// Unfinished task count per phase; drives the lookahead frontier.
+    phase_rem: Vec<usize>,
+    /// Oldest phase with unfinished tasks.
+    frontier: u32,
+}
+
+impl ExecState<'_> {
+    fn advance_frontier(&mut self, completed_phase: u32) {
+        self.phase_rem[completed_phase as usize] -= 1;
+        while (self.frontier as usize) < self.phase_rem.len()
+            && self.phase_rem[self.frontier as usize] == 0
+        {
+            self.frontier += 1;
+        }
+    }
+}
+
+fn phase_counts(graph: &TaskGraph) -> Vec<usize> {
+    let max_phase = graph.tasks.iter().map(|t| t.phase).max().unwrap_or(0);
+    let mut counts = vec![0usize; max_phase as usize + 1];
+    for t in &graph.tasks {
+        counts[t.phase as usize] += 1;
+    }
+    counts
 }
 
 impl<'a> TaskDag<'a> {
@@ -118,6 +196,16 @@ impl<'a> TaskDag<'a> {
     /// Allocate a fresh matrix id for [`TileRef`]s.
     pub fn new_matrix(&mut self) -> u32 {
         self.builder.new_matrix()
+    }
+
+    /// Begin a new phase (solver iteration) for lookahead-window purposes.
+    pub fn next_phase(&mut self) {
+        self.builder.next_phase();
+    }
+
+    /// Phase subsequently-added tasks will carry.
+    pub fn current_phase(&self) -> u32 {
+        self.builder.current_phase()
     }
 
     /// Number of tasks submitted so far.
@@ -131,9 +219,11 @@ impl<'a> TaskDag<'a> {
 
     /// Append a task whose body can cancel the whole graph.
     ///
-    /// `priority` orders the ready set (higher runs first). `flops` feeds
-    /// the graph's critical-path accounting, not the obs counters — bodies
-    /// report their own kernel spans.
+    /// `priority` is a static scheduling *hint*: the executor orders ready
+    /// tasks by computed critical-path length and consults the hint only to
+    /// break ties. `flops` feeds that critical-path computation (and the
+    /// graph accounting), not the obs counters — bodies report their own
+    /// kernel spans.
     pub fn add_task(
         &mut self,
         kind: KernelKind,
@@ -178,11 +268,16 @@ impl<'a> TaskDag<'a> {
             return ExecOutcome::Completed;
         }
 
-        let indeg: Vec<usize> = graph.preds.iter().map(Vec::len).collect();
+        let ctx = KeyCtx {
+            cp: graph.critical_path_to_sink(),
+            hints: priorities,
+            lookahead: lookahead_window(),
+        };
+        let indeg: Vec<usize> = (0..n).map(|t| graph.preds(t).len()).collect();
         let mut ready = BinaryHeap::with_capacity(n);
         for (id, &d) in indeg.iter().enumerate() {
             if d == 0 {
-                ready.push(ReadyKey { priority: priorities[id], id });
+                ready.push(ctx.key(&graph, 0, id));
             }
         }
 
@@ -193,13 +288,21 @@ impl<'a> TaskDag<'a> {
             || rayon::current_num_threads() <= 1
             || IN_TASK_BODY.with(|c| c.get())
         {
-            return Self::execute_sequential(&graph, &priorities, bodies, ready, indeg);
+            return Self::execute_sequential(&graph, &ctx, bodies, ready, indeg);
         }
 
-        let state = Mutex::new(ExecState { ready, indeg, bodies, remaining: n, cancelled: false });
+        let state = Mutex::new(ExecState {
+            ready,
+            indeg,
+            bodies,
+            remaining: n,
+            cancelled: false,
+            phase_rem: phase_counts(&graph),
+            frontier: 0,
+        });
         let work = Condvar::new();
         let workers = rayon::current_num_threads().min(n);
-        fanout(workers, &|| worker_loop(&graph, &priorities, &state, &work));
+        fanout(workers, &|| worker_loop(&graph, &ctx, &state, &work));
         let cancelled = state.lock().unwrap().cancelled;
         // take/drop the leftover bodies before `state` unwinds borrows
         if cancelled {
@@ -212,21 +315,31 @@ impl<'a> TaskDag<'a> {
     /// Fixed-order sequential drain: the deterministic-replay schedule.
     fn execute_sequential(
         graph: &TaskGraph,
-        priorities: &[i32],
+        ctx: &KeyCtx,
         mut bodies: Vec<Option<Body<'a>>>,
         mut ready: BinaryHeap<ReadyKey>,
         mut indeg: Vec<usize>,
     ) -> ExecOutcome {
-        while let Some(ReadyKey { id, .. }) = ready.pop() {
+        let mut phase_rem = phase_counts(graph);
+        let mut frontier = 0u32;
+        while let Some(ReadyKey { id, cp, .. }) = ready.pop() {
             let body = bodies[id].take().expect("task body ran twice");
-            let _t = task_span(graph, id);
-            if body() == TaskStatus::Cancel {
-                return ExecOutcome::Cancelled;
+            {
+                let _t = task_span(graph, id, cp, ready.len());
+                if body() == TaskStatus::Cancel {
+                    return ExecOutcome::Cancelled;
+                }
             }
-            for &s in &graph.succs[id] {
+            let phase = graph.tasks[id].phase as usize;
+            phase_rem[phase] -= 1;
+            while (frontier as usize) < phase_rem.len() && phase_rem[frontier as usize] == 0 {
+                frontier += 1;
+            }
+            for &s in graph.succs(id) {
+                let s = s as usize;
                 indeg[s] -= 1;
                 if indeg[s] == 0 {
-                    ready.push(ReadyKey { priority: priorities[s], id: s });
+                    ready.push(ctx.key(graph, frontier, s));
                 }
             }
         }
@@ -259,12 +372,7 @@ impl Drop for BodyGuard<'_, '_> {
 }
 
 /// One ready-queue worker; runs on a pool thread until the graph drains.
-fn worker_loop<'a>(
-    graph: &TaskGraph,
-    priorities: &[i32],
-    state: &Mutex<ExecState<'a>>,
-    work: &Condvar,
-) {
+fn worker_loop<'a>(graph: &TaskGraph, ctx: &KeyCtx, state: &Mutex<ExecState<'a>>, work: &Condvar) {
     // Re-entrancy guard: stolen onto a thread whose task body is blocked in
     // a nested join beneath us — bail out (see IN_TASK_BODY).
     if IN_TASK_BODY.with(|c| c.get()) {
@@ -276,17 +384,18 @@ fn worker_loop<'a>(
             work.notify_all();
             return;
         }
-        let Some(ReadyKey { id, .. }) = guard.ready.pop() else {
+        let Some(ReadyKey { id, cp, .. }) = guard.ready.pop() else {
             guard = work.wait(guard).unwrap();
             continue;
         };
+        let depth = guard.ready.len();
         let body = guard.bodies[id].take().expect("task body ran twice");
         drop(guard);
 
         IN_TASK_BODY.with(|c| c.set(true));
         let mut unwind_guard = BodyGuard { state, work, armed: true };
         let status = {
-            let _t = task_span(graph, id);
+            let _t = task_span(graph, id, cp, depth);
             body()
         };
         unwind_guard.armed = false;
@@ -303,11 +412,14 @@ fn worker_loop<'a>(
             work.notify_all();
             return;
         }
+        guard.advance_frontier(graph.tasks[id].phase);
+        let frontier = guard.frontier;
         let mut released = 0usize;
-        for &s in &graph.succs[id] {
+        for &s in graph.succs(id) {
+            let s = s as usize;
             guard.indeg[s] -= 1;
             if guard.indeg[s] == 0 {
-                guard.ready.push(ReadyKey { priority: priorities[s], id: s });
+                guard.ready.push(ctx.key(graph, frontier, s));
                 released += 1;
             }
         }
@@ -323,11 +435,13 @@ fn worker_loop<'a>(
 
 /// Trace-only span for one tile task (suppressed-counting `leaf_span`, so
 /// the driver-level `kernel_span` keeps sole ownership of the flop totals).
-fn task_span(graph: &TaskGraph, id: TaskId) -> polar_obs::SpanGuard {
+/// The span dims carry the scheduler's decision inputs — critical-path
+/// priority (flops), ready-queue depth at dispatch, and phase — which
+/// `solver_trace` surfaces as Chrome-trace args.
+fn task_span(graph: &TaskGraph, id: TaskId, cp: f64, ready_depth: usize) -> polar_obs::SpanGuard {
     let t = &graph.tasks[id];
     let (class, name) = kind_label(t.kind);
-    let (i, j) = t.writes.first().map(|w| (w.i as usize, w.j as usize)).unwrap_or((0, 0));
-    polar_obs::leaf_span(class, name, t.flops, [i, j, 0])
+    polar_obs::leaf_span(class, name, t.flops, [cp as usize, ready_depth, t.phase as usize])
 }
 
 fn kind_label(kind: KernelKind) -> (polar_obs::KernelClass, &'static str) {
@@ -466,10 +580,9 @@ mod tests {
     }
 
     #[test]
-    fn priority_orders_independent_ready_tasks() {
-        // sequential drain (deterministic order) exposes the heap order;
-        // with >1 worker the order is only a preference, so pin to the
-        // sequential path by checking via a fresh single-use ordering test
+    fn hint_breaks_ties_between_equal_critical_paths() {
+        // independent tasks with equal flops have equal critical paths; the
+        // driver hint must decide the sequential drain order
         let log = StdMutex::new(Vec::new());
         let mut dag = TaskDag::new();
         let m = dag.new_matrix();
@@ -484,13 +597,85 @@ mod tests {
         // run on the sequential path regardless of pool size
         let TaskDag { builder, bodies, priorities } = dag;
         let graph = builder.build();
+        let ctx = KeyCtx { cp: graph.critical_path_to_sink(), hints: priorities, lookahead: 2 };
         let mut ready = BinaryHeap::new();
-        for (id, &priority) in priorities.iter().enumerate() {
-            ready.push(ReadyKey { priority, id });
+        for id in 0..graph.len() {
+            ready.push(ctx.key(&graph, 0, id));
         }
-        let indeg: Vec<usize> = graph.preds.iter().map(Vec::len).collect();
-        TaskDag::execute_sequential(&graph, &priorities, bodies, ready, indeg);
+        let indeg: Vec<usize> = (0..graph.len()).map(|t| graph.preds(t).len()).collect();
+        TaskDag::execute_sequential(&graph, &ctx, bodies, ready, indeg);
         assert_eq!(*log.lock().unwrap(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn critical_path_outranks_hint() {
+        // a 3-deep chain head (cp = 3) must beat a lone task (cp = 1) even
+        // when the lone task carries a larger driver hint
+        let log = StdMutex::new(Vec::new());
+        let mut dag = TaskDag::new();
+        let m = dag.new_matrix();
+        {
+            let log = &log;
+            for k in 0..3 {
+                dag.add(KernelKind::Gemm, 0, 1.0, vec![], vec![tile(m, 0, 0)], move || {
+                    log.lock().unwrap().push(k);
+                });
+            }
+            dag.add(KernelKind::Gemm, 100, 1.0, vec![], vec![tile(m, 1, 1)], move || {
+                log.lock().unwrap().push(99);
+            });
+        }
+        let TaskDag { builder, bodies, priorities } = dag;
+        let graph = builder.build();
+        let ctx = KeyCtx { cp: graph.critical_path_to_sink(), hints: priorities, lookahead: 2 };
+        let mut ready = BinaryHeap::new();
+        for id in 0..graph.len() {
+            if graph.preds(id).is_empty() {
+                ready.push(ctx.key(&graph, 0, id));
+            }
+        }
+        let indeg: Vec<usize> = (0..graph.len()).map(|t| graph.preds(t).len()).collect();
+        TaskDag::execute_sequential(&graph, &ctx, bodies, ready, indeg);
+        // chain head first (cp 3.0 beats hint 100 at cp 1.0); once the
+        // remaining chain link ties at cp 1.0 the hint decides again
+        assert_eq!(*log.lock().unwrap(), vec![0, 1, 99, 2]);
+    }
+
+    #[test]
+    fn lookahead_window_defers_far_future_phases() {
+        // two independent tasks: one in phase 0 with a short path, one in
+        // phase 9 with a long downstream chain. Outside the window the
+        // far-future task must wait despite its larger critical path.
+        let log = StdMutex::new(Vec::new());
+        let mut dag = TaskDag::new();
+        let m = dag.new_matrix();
+        {
+            let log = &log;
+            dag.add(KernelKind::Gemm, 0, 1.0, vec![], vec![tile(m, 0, 0)], move || {
+                log.lock().unwrap().push(0);
+            });
+            for _ in 0..9 {
+                dag.next_phase();
+            }
+            for k in 0..3 {
+                dag.add(KernelKind::Gemm, 0, 1.0, vec![], vec![tile(m, 1, 1)], move || {
+                    log.lock().unwrap().push(10 + k);
+                });
+            }
+        }
+        let TaskDag { builder, bodies, priorities } = dag;
+        let graph = builder.build();
+        let ctx = KeyCtx { cp: graph.critical_path_to_sink(), hints: priorities, lookahead: 2 };
+        let mut ready = BinaryHeap::new();
+        for id in 0..graph.len() {
+            if graph.preds(id).is_empty() {
+                ready.push(ctx.key(&graph, 0, id));
+            }
+        }
+        let indeg: Vec<usize> = (0..graph.len()).map(|t| graph.preds(t).len()).collect();
+        TaskDag::execute_sequential(&graph, &ctx, bodies, ready, indeg);
+        // phase-0 task first even though the phase-9 chain is longer
+        assert_eq!(*log.lock().unwrap(), vec![0, 10, 11, 12]);
     }
 
     #[test]

@@ -92,20 +92,28 @@ pub struct Task {
     /// Executing rank (owner of the primary output tile).
     pub rank: usize,
     /// Fork-join phase: the bulk-synchronous scheduler inserts a global
-    /// barrier between distinct phases.
+    /// barrier between distinct phases. The whole-solve QDWH DAG also uses
+    /// it as the iteration index for lookahead-window scheduling.
     pub phase: u32,
     pub reads: Vec<TileRef>,
     pub writes: Vec<TileRef>,
 }
 
-/// Immutable task graph with predecessor lists.
+/// Immutable task graph. Dependency edges are stored in two CSR
+/// (offset + flat adjacency) arrays rather than per-task `Vec`s: building
+/// and walking the graph then touches two contiguous slabs instead of one
+/// heap allocation per task, which is what makes the per-task executor
+/// overhead small enough for fine tiles.
 #[derive(Debug, Clone)]
 pub struct TaskGraph {
     pub tasks: Vec<Task>,
-    /// `preds[t]` = tasks that must complete before `t`.
-    pub preds: Vec<Vec<TaskId>>,
-    /// `succs[t]` = tasks unblocked by `t` (mirror of `preds`).
-    pub succs: Vec<Vec<TaskId>>,
+    /// CSR offsets into `pred_adj`: predecessors of `t` are
+    /// `pred_adj[pred_off[t]..pred_off[t + 1]]`.
+    pred_off: Vec<u32>,
+    pred_adj: Vec<u32>,
+    /// CSR offsets into `succ_adj` (mirror of the predecessor edges).
+    succ_off: Vec<u32>,
+    succ_adj: Vec<u32>,
 }
 
 impl TaskGraph {
@@ -117,23 +125,42 @@ impl TaskGraph {
         self.tasks.is_empty()
     }
 
+    /// Tasks that must complete before `t`.
+    #[inline]
+    pub fn preds(&self, t: TaskId) -> &[u32] {
+        &self.pred_adj[self.pred_off[t] as usize..self.pred_off[t + 1] as usize]
+    }
+
+    /// Tasks unblocked by `t`.
+    #[inline]
+    pub fn succs(&self, t: TaskId) -> &[u32] {
+        &self.succ_adj[self.succ_off[t] as usize..self.succ_off[t + 1] as usize]
+    }
+
     /// Total real flops over all tasks.
     pub fn total_flops(&self) -> f64 {
         self.tasks.iter().map(|t| t.flops).sum()
     }
 
+    /// Longest flop-weighted path from each task to a sink, *including* the
+    /// task's own flops — the computed critical-path priority of the
+    /// scheduler: a ready task with more unfinished work downstream of it
+    /// runs first. Tasks are created in program order and dependencies only
+    /// point backwards, so a single reverse sweep suffices.
+    pub fn critical_path_to_sink(&self) -> Vec<f64> {
+        let n = self.tasks.len();
+        let mut dist = vec![0.0f64; n];
+        for t in (0..n).rev() {
+            let below = self.succs(t).iter().map(|&s| dist[s as usize]).fold(0.0f64, f64::max);
+            dist[t] = below + self.tasks[t].flops;
+        }
+        dist
+    }
+
     /// Longest path through the graph measured in flops — an idealized
     /// infinite-parallelism lower bound on execution (communication-free).
     pub fn critical_path_flops(&self) -> f64 {
-        let n = self.tasks.len();
-        let mut dist = vec![0.0f64; n];
-        // tasks are created in program order, and dependencies only point
-        // backwards, so a single forward sweep is a topological order
-        for t in 0..n {
-            let base = self.preds[t].iter().map(|&p| dist[p]).fold(0.0f64, f64::max);
-            dist[t] = base + self.tasks[t].flops;
-        }
-        dist.into_iter().fold(0.0, f64::max)
+        self.critical_path_to_sink().into_iter().fold(0.0, f64::max)
     }
 
     /// Bytes that must cross rank boundaries (producer rank != consumer
@@ -162,7 +189,12 @@ impl TaskGraph {
 /// `task depend(in/out)` that SLATE relies on.
 pub struct GraphBuilder {
     tasks: Vec<Task>,
-    preds: Vec<Vec<TaskId>>,
+    /// Flat `(task, pred)` edge slab; compiled into CSR form by
+    /// [`GraphBuilder::build`]. One growable buffer for the whole graph
+    /// instead of a `Vec<TaskId>` per task.
+    edges: Vec<(u32, u32)>,
+    /// Per-task scratch for dependency dedup, reused across `add_task`.
+    scratch: Vec<TaskId>,
     last_writer: HashMap<(u32, u32, u32), TaskId>,
     readers_since_write: HashMap<(u32, u32, u32), Vec<TaskId>>,
     phase: u32,
@@ -179,7 +211,8 @@ impl GraphBuilder {
     pub fn new() -> Self {
         Self {
             tasks: Vec::new(),
-            preds: Vec::new(),
+            edges: Vec::new(),
+            scratch: Vec::new(),
             last_writer: HashMap::new(),
             readers_since_write: HashMap::new(),
             phase: 0,
@@ -195,7 +228,8 @@ impl GraphBuilder {
     }
 
     /// Begin a new fork-join phase (a barrier point for the
-    /// bulk-synchronous scheduler; a no-op for the task-based one).
+    /// bulk-synchronous scheduler; a scheduling *hint* — the lookahead
+    /// window — for the task-based one).
     pub fn next_phase(&mut self) {
         self.phase += 1;
     }
@@ -214,26 +248,28 @@ impl GraphBuilder {
         writes: Vec<TileRef>,
     ) -> TaskId {
         let id = self.tasks.len();
-        let mut preds: Vec<TaskId> = Vec::new();
+        self.scratch.clear();
         // RAW: this task reads tiles someone wrote
         for r in &reads {
             if let Some(&w) = self.last_writer.get(&r.key()) {
-                preds.push(w);
+                self.scratch.push(w);
             }
         }
         for w in &writes {
             // WAW: ordering against the previous writer
             if let Some(&prev) = self.last_writer.get(&w.key()) {
-                preds.push(prev);
+                self.scratch.push(prev);
             }
             // WAR: ordering against readers of the previous value
             if let Some(readers) = self.readers_since_write.get(&w.key()) {
-                preds.extend_from_slice(readers);
+                self.scratch.extend_from_slice(readers);
             }
         }
-        preds.sort_unstable();
-        preds.dedup();
-        preds.retain(|&p| p != id);
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        for &p in self.scratch.iter().filter(|&&p| p != id) {
+            self.edges.push((id as u32, p as u32));
+        }
 
         for r in &reads {
             self.readers_since_write.entry(r.key()).or_default().push(id);
@@ -244,19 +280,33 @@ impl GraphBuilder {
         }
 
         self.tasks.push(Task { id, kind, flops, rank, phase: self.phase, reads, writes });
-        self.preds.push(preds);
         id
     }
 
     pub fn build(self) -> TaskGraph {
         let n = self.tasks.len();
-        let mut succs = vec![Vec::new(); n];
-        for (t, preds) in self.preds.iter().enumerate() {
-            for &p in preds {
-                succs[p].push(t);
-            }
+        // counting sort of the flat edge list into both CSR directions
+        let mut pred_off = vec![0u32; n + 1];
+        let mut succ_off = vec![0u32; n + 1];
+        for &(t, p) in &self.edges {
+            pred_off[t as usize + 1] += 1;
+            succ_off[p as usize + 1] += 1;
         }
-        TaskGraph { tasks: self.tasks, preds: self.preds, succs }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+            succ_off[i + 1] += succ_off[i];
+        }
+        let mut pred_adj = vec![0u32; self.edges.len()];
+        let mut succ_adj = vec![0u32; self.edges.len()];
+        let mut pred_fill = pred_off.clone();
+        let mut succ_fill = succ_off.clone();
+        for &(t, p) in &self.edges {
+            pred_adj[pred_fill[t as usize] as usize] = p;
+            pred_fill[t as usize] += 1;
+            succ_adj[succ_fill[p as usize] as usize] = t;
+            succ_fill[p as usize] += 1;
+        }
+        TaskGraph { tasks: self.tasks, pred_off, pred_adj, succ_off, succ_adj }
     }
 }
 
@@ -275,9 +325,9 @@ mod tests {
         let t0 = b.add_task(KernelKind::Potrf, 100.0, 0, vec![], vec![tile(m, 0, 0)]);
         let t1 = b.add_task(KernelKind::Trsm, 200.0, 1, vec![tile(m, 0, 0)], vec![tile(m, 1, 0)]);
         let g = b.build();
-        assert_eq!(g.preds[t1], vec![t0]);
-        assert_eq!(g.succs[t0], vec![t1]);
-        assert!(g.preds[t0].is_empty());
+        assert_eq!(g.preds(t1), &[t0 as u32]);
+        assert_eq!(g.succs(t0), &[t1 as u32]);
+        assert!(g.preds(t0).is_empty());
     }
 
     #[test]
@@ -289,8 +339,8 @@ mod tests {
         let w2 = b.add_task(KernelKind::Geadd, 1.0, 0, vec![], vec![tile(m, 0, 0)]);
         let g = b.build();
         // w2 must wait for the reader r1 (WAR) and the writer w1 (WAW)
-        assert!(g.preds[w2].contains(&r1));
-        assert!(g.preds[w2].contains(&w1));
+        assert!(g.preds(w2).contains(&(r1 as u32)));
+        assert!(g.preds(w2).contains(&(w1 as u32)));
     }
 
     #[test]
@@ -301,7 +351,7 @@ mod tests {
             b.add_task(KernelKind::Gemm, 10.0, j, vec![], vec![tile(m, 0, j)]);
         }
         let g = b.build();
-        assert!(g.preds.iter().all(|p| p.is_empty()));
+        assert!((0..g.len()).all(|t| g.preds(t).is_empty()));
         assert_eq!(g.critical_path_flops(), 10.0);
         assert_eq!(g.total_flops(), 40.0);
     }
@@ -321,6 +371,24 @@ mod tests {
         }
         let g = b.build();
         assert_eq!(g.critical_path_flops(), 1.0 + 2.0 + 3.0 + 4.0 + 5.0);
+    }
+
+    #[test]
+    fn critical_path_to_sink_orders_chain_heads_first() {
+        // two chains: a long one (3 unit tasks) and a short one (1 task);
+        // the long chain's head must carry the larger remaining-work value
+        let mut b = GraphBuilder::new();
+        let m = b.new_matrix();
+        for _ in 0..3 {
+            b.add_task(KernelKind::Gemm, 1.0, 0, vec![], vec![tile(m, 0, 0)]);
+        }
+        let lone = b.add_task(KernelKind::Gemm, 1.0, 0, vec![], vec![tile(m, 1, 1)]);
+        let g = b.build();
+        let cp = g.critical_path_to_sink();
+        assert_eq!(cp[0], 3.0);
+        assert_eq!(cp[1], 2.0);
+        assert_eq!(cp[2], 1.0);
+        assert_eq!(cp[lone], 1.0);
     }
 
     #[test]

@@ -77,6 +77,19 @@ impl ScheduleStats {
     }
 }
 
+/// Scheduler-decision metadata attached to measured task spans: what the
+/// executor knew when it dispatched the task. Rendered as Chrome-trace
+/// `args` so Perfetto shows them on click.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedArgs {
+    /// Computed critical-path-to-sink priority (flops) of the task.
+    pub cp_flops: u64,
+    /// Ready-queue depth at the moment the task was popped.
+    pub ready_depth: u32,
+    /// Phase / solver-iteration index the task belongs to.
+    pub step: u32,
+}
+
 /// One task's placement in a simulated schedule (for trace export). Also
 /// the common currency for *measured* solver spans: `solver_trace`
 /// converts `polar_obs` span records into `TraceEvent`s with `rank` = pool
@@ -92,6 +105,8 @@ pub struct TraceEvent {
     /// Span name overriding the `kind` debug name in the exported trace
     /// (`None` for simulated tile tasks, `Some` for measured spans).
     pub label: Option<&'static str>,
+    /// Scheduler metadata for measured DAG task spans.
+    pub args: Option<SchedArgs>,
 }
 
 /// [`simulate`] variant that also returns the full per-task placement,
@@ -120,9 +135,17 @@ pub fn write_chrome_trace<W: std::io::Write>(
             Some(l) => l.into(),
             None => format!("{:?}#{}", e.kind, e.task).into(),
         };
+        let args: std::borrow::Cow<'_, str> = match e.args {
+            Some(a) => format!(
+                ", \"args\": {{\"cp_flops\": {}, \"ready_depth\": {}, \"step\": {}}}",
+                a.cp_flops, a.ready_depth, a.step
+            )
+            .into(),
+            None => "".into(),
+        };
         writeln!(
             w,
-            "  {{\"name\": \"{name}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": {}, \"tid\": {}}}{comma}",
+            "  {{\"name\": \"{name}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": {}, \"tid\": {}{args}}}{comma}",
             e.start * 1e6,
             (e.end - e.start) * 1e6,
             e.rank,
@@ -182,7 +205,8 @@ fn simulate_impl<M: ExecutionModel>(
 
         // data-ready: predecessors + tile transfer for cross-rank edges
         let mut ready = if mode == SchedulingMode::ForkJoin { phase_end } else { 0.0 };
-        for &p in &graph.preds[t] {
+        for &p in graph.preds(t) {
+            let p = p as usize;
             let pred = &graph.tasks[p];
             let prank = pred.rank.min(ranks - 1);
             let mut when = finish[p];
@@ -228,7 +252,16 @@ fn simulate_impl<M: ExecutionModel>(
         total_task_seconds += dur;
         running_phase_max = running_phase_max.max(end);
         if let Some(ev) = trace.as_deref_mut() {
-            ev.push(TraceEvent { task: t, rank, slot, start, end, kind: task.kind, label: None });
+            ev.push(TraceEvent {
+                task: t,
+                rank,
+                slot,
+                start,
+                end,
+                kind: task.kind,
+                label: None,
+                args: None,
+            });
         }
     }
 
@@ -441,6 +474,24 @@ mod tests {
         assert!(s.contains("Potrf#0"));
         // exactly one separating comma between the two event objects
         assert_eq!(s.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn chrome_trace_emits_sched_args() {
+        let events = vec![TraceEvent {
+            task: 0,
+            rank: 0,
+            slot: 0,
+            start: 0.0,
+            end: 1e-6,
+            kind: KernelKind::Gemm,
+            label: Some("task_gemm"),
+            args: Some(SchedArgs { cp_flops: 123456, ready_depth: 7, step: 3 }),
+        }];
+        let mut buf = Vec::new();
+        write_chrome_trace(&events, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("\"args\": {\"cp_flops\": 123456, \"ready_depth\": 7, \"step\": 3}"));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   so solver traces and `polar-svc` job traces concatenate aligned.
 
 use crate::graph::KernelKind;
-use crate::sched::{write_chrome_trace, TraceEvent};
+use crate::sched::{write_chrome_trace, SchedArgs, TraceEvent};
 use polar_obs::{KernelClass, SpanRecord};
 
 /// Map a measured kernel class onto the DAG kernel vocabulary.
@@ -34,7 +34,11 @@ fn class_to_kind(class: Option<KernelClass>, name: &str) -> KernelKind {
 }
 
 /// Convert measured spans into trace events (lane -> rank, depth -> slot,
-/// nanoseconds -> seconds). The span's own name labels the event.
+/// nanoseconds -> seconds). The span's own name labels the event. DAG task
+/// spans (`task_*`) carry the executor's scheduling decision in their dims
+/// — critical-path priority, ready-queue depth at dispatch, phase — which
+/// become Chrome-trace `args` so scheduler behaviour is inspectable in
+/// Perfetto.
 pub fn spans_to_events(spans: &[SpanRecord]) -> Vec<TraceEvent> {
     spans
         .iter()
@@ -46,6 +50,11 @@ pub fn spans_to_events(spans: &[SpanRecord]) -> Vec<TraceEvent> {
             end: s.end_ns as f64 * 1e-9,
             kind: class_to_kind(s.class, s.name),
             label: Some(s.name),
+            args: s.name.starts_with("task_").then(|| SchedArgs {
+                cp_flops: s.dims[0] as u64,
+                ready_depth: s.dims[1] as u32,
+                step: s.dims[2] as u32,
+            }),
         })
         .collect()
 }
@@ -99,6 +108,23 @@ mod tests {
         assert_eq!(events[1].slot, 1);
         assert!((events[2].start - 200e-9).abs() < 1e-18);
         assert!((events[2].end - 900e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn task_spans_carry_sched_args() {
+        let mut s = span("task_gemm", Some(KernelClass::Gemm), 4, 2, 1, 100, 500);
+        s.dims = [987654, 11, 2];
+        let events = spans_to_events(&[s.clone()]);
+        assert_eq!(events[0].args, Some(SchedArgs { cp_flops: 987654, ready_depth: 11, step: 2 }));
+        let mut buf = Vec::new();
+        write_solver_trace(&[s], &mut buf).unwrap();
+        let out = String::from_utf8(buf).unwrap();
+        assert!(out.contains("\"cp_flops\": 987654"));
+        assert!(out.contains("\"ready_depth\": 11"));
+        assert!(out.contains("\"step\": 2"));
+        // non-task spans stay arg-free
+        let plain = spans_to_events(&[span("gemm_leaf", Some(KernelClass::Gemm), 5, 0, 0, 0, 1)]);
+        assert_eq!(plain[0].args, None);
     }
 
     #[test]

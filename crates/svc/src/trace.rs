@@ -56,6 +56,7 @@ impl SpanLog {
             end: end.duration_since(self.epoch).as_secs_f64(),
             kind: KernelKind::Job,
             label,
+            args: None,
         };
         self.events.lock().push(ev);
     }
