@@ -40,6 +40,7 @@ stage_tier1() {
         target/bench_smoke.json
         target/profile_smoke.json
         target/trace_smoke.json
+        target/analyze_smoke.json
     )
     rm -f "${artifacts[@]}"
 
@@ -47,14 +48,17 @@ stage_tier1() {
     cargo run --offline --release -p polar-bench --bin kernels_perf -- \
         --smoke --out target/bench_smoke.json >/dev/null
 
-    step "profile-smoke: instrumented QDWH + Zolo, trace + overhead checks"
-    # validates the Chrome trace and profile JSON (re-parsed, non-empty,
-    # kernel spans on per-worker lanes) and asserts the disabled-path span
-    # overhead stays under 1% of a small gemm
+    step "profile-smoke: instrumented QDWH + Zolo, trace + post-mortem checks"
+    # validates the Chrome trace, profile JSON, and scheduler post-mortem
+    # (per-worker utilization <= 1, makespan >= measured critical path,
+    # the sim-vs-real row re-parses) and asserts the disabled-path span
+    # overhead stays under 1% of a small gemm; --analyze runs the fused
+    # whole-solve DAG (n = 512), so the post-mortem covers a real graph
     POLAR_NUM_THREADS="${POLAR_NUM_THREADS:-4}" \
     cargo run --offline --release -p polar-bench --bin solver_profile -- \
-        --smoke --out target/profile_smoke.json --trace target/trace_smoke.json \
-        >/dev/null
+        --smoke --analyze --out target/profile_smoke.json \
+        --trace target/trace_smoke.json \
+        --analyze-out target/analyze_smoke.json >/dev/null
 
     local f
     for f in "${artifacts[@]}"; do

@@ -1,17 +1,26 @@
 //! Instrumented end-to-end solver profile: QDWH and Zolo-PD under full
 //! observability, from the driver loop down to the thread-pool workers.
 //!
-//! Writes two artifacts:
+//! Writes up to three artifacts:
 //!
 //! * a JSON profile (`--out`, default `PROFILE_solver.json`): wall time,
 //!   per-kernel-class achieved GFlop/s, per-iteration records with the
-//!   QR-vs-Cholesky kernel-time split, and pool steal/injection counters;
+//!   QR-vs-Cholesky kernel-time split, and pool counters;
 //! * a Chrome trace (`--trace`, default `TRACE_solver.json`): open in
 //!   Perfetto — one lane (`pid`) per pool worker, spans for
-//!   gemm/herk/trsm/geqrf/potrf and the solver phases.
+//!   gemm/herk/trsm/geqrf/potrf and the solver phases, plus
+//!   `worker_occupancy` / `ready_queue_depth` counter tracks.
+//!   `--trace-max-events N` bounds the complete-event count (head+tail
+//!   kept, `"truncated": true` recorded);
+//! * with `--analyze`, a scheduler post-mortem (`--analyze-out`, default
+//!   `ANALYZE_solver.json`): per executed dag the measured critical path,
+//!   per-worker utilization, queue-wait and ready-starvation histograms,
+//!   top-slack bottlenecks, and a sim-vs-real row replaying the executed
+//!   graph through the calibrated discrete-event scheduler.
+//!   `--drift-gate PCT` fails the run when |makespan error| exceeds PCT.
 //!
-//! `--smoke` shrinks the problem, re-parses both artifacts to prove they
-//! are well-formed, and asserts the disabled-path overhead budget: one
+//! `--smoke` shrinks the problem, re-parses every artifact to prove it is
+//! well-formed, and asserts the disabled-path overhead budget: one
 //! inactive span guard must cost < 1% of a small gemm.
 
 use polar_bench::Args;
@@ -19,8 +28,10 @@ use polar_gen::generate;
 use polar_matrix::{Matrix, Op};
 use polar_obs::{KernelClass, Report, SpanRecord};
 use polar_qdwh::{qdwh, zolo_pd, IterationRecord, QdwhOptions, ZoloOptions};
+use polar_runtime::TaskGraph;
 use polar_scalar::Scalar;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn rand_mat(m: usize, n: usize, seed: u64) -> Matrix<f64> {
@@ -101,9 +112,123 @@ fn disabled_overhead() -> (f64, f64) {
     (guard_ns, best * 1e9)
 }
 
-/// Smoke validation: both artifacts re-parse, the trace is non-empty with
+/// All `pool.*` counters as a JSON object body (key order fixed by the
+/// registry's sorted snapshot; the `pool.` prefix is stripped).
+fn pool_json() -> String {
+    let mut rows: Vec<(String, u64)> = polar_obs::counters_snapshot()
+        .into_iter()
+        .filter(|(k, _)| k.starts_with("pool."))
+        .map(|(k, v)| (k["pool.".len()..].to_string(), v))
+        .collect();
+    rows.sort();
+    let body: Vec<String> = rows.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// Scheduler post-mortem over the drained spans + executed graphs: writes
+/// `ANALYZE_solver.json` and enforces the structural invariants (worker
+/// utilization <= 1, makespan >= measured critical path) plus the
+/// optional sim-vs-real drift gate.
+fn write_analysis(
+    path: &str,
+    n: usize,
+    smoke: bool,
+    spans: &[SpanRecord],
+    graphs: &[(u32, Arc<TaskGraph>)],
+    drift_gate_pct: f64,
+) {
+    let pm = polar_runtime::analyze(spans, graphs);
+    assert!(
+        !pm.dags.is_empty(),
+        "--analyze saw no executed task dags; the fused tiled path needs n >= 512 \
+         (or POLAR_TILED=1), got n={n}"
+    );
+
+    for d in &pm.dags {
+        assert!(
+            d.makespan_ns >= d.critical_path_ns,
+            "dag {}: makespan {} ns < measured critical path {} ns",
+            d.dag,
+            d.makespan_ns,
+            d.critical_path_ns
+        );
+        assert!(
+            d.parallel_efficiency <= 1.0 + 1e-9,
+            "dag {}: parallel efficiency {} > 1",
+            d.dag,
+            d.parallel_efficiency
+        );
+        for w in &d.workers {
+            assert!(
+                w.utilization <= 1.0 + 1e-9,
+                "lane {} utilization {} > 1",
+                w.lane,
+                w.utilization
+            );
+        }
+    }
+
+    // Sim-vs-real on the largest dag (the fused QDWH solve).
+    let big = pm.dags.iter().max_by_key(|d| d.spans).expect("non-empty");
+    let graph = graphs
+        .iter()
+        .find(|(id, _)| *id == big.dag)
+        .map(|(_, g)| g)
+        .expect("analyzed dag has its recorded graph");
+    let cmp = polar_sim::sim_vs_real(graph, big);
+
+    let mut j = String::from("{\n");
+    let _ = writeln!(j, "  \"harness\": \"solver_profile_analyze\",");
+    let _ = writeln!(j, "  \"smoke\": {smoke},");
+    let _ = writeln!(j, "  \"n\": {n},");
+    j.push_str(&polar_bench::Provenance::collect().json_fields());
+    let _ = writeln!(j, "  \"dags\": {},", pm.to_json());
+    let _ = writeln!(j, "  \"pool\": {},", pool_json());
+    let _ = writeln!(j, "  \"sim_vs_real\": {}", cmp.to_json());
+    j.push_str("}\n");
+    std::fs::write(path, &j).expect("write analyze json");
+
+    for d in &pm.dags {
+        eprintln!(
+            "dag {}: {} tasks, makespan {:.3} ms, CP {:.3} ms over {} tasks (stretch {:.2}), \
+             {} lanes, efficiency {:.1}%, queue-wait p95 {:?}, {} migrated",
+            d.dag,
+            d.spans,
+            d.makespan_ns as f64 * 1e-6,
+            d.critical_path_ns as f64 * 1e-6,
+            d.critical_path_tasks,
+            d.cp_stretch(),
+            d.workers.len(),
+            d.parallel_efficiency * 100.0,
+            d.queue_wait.hist.p95,
+            d.migrated_tasks,
+        );
+    }
+    eprintln!(
+        "sim-vs-real (dag {}): predicted {:.3} ms vs measured {:.3} ms ({:+.2}%)",
+        big.dag,
+        cmp.predicted.makespan * 1e3,
+        cmp.measured_makespan_s * 1e3,
+        cmp.makespan_error_pct
+    );
+    if drift_gate_pct > 0.0 {
+        assert!(
+            cmp.makespan_error_pct.abs() <= drift_gate_pct,
+            "sim-vs-real drift gate: |{:.2}%| > {:.2}%",
+            cmp.makespan_error_pct,
+            drift_gate_pct
+        );
+    }
+}
+
+/// Smoke validation: every artifact re-parses, the trace is non-empty with
 /// the expected event fields and kernel spans, and worker lanes appear.
-fn validate_artifacts(profile_path: &str, trace_path: &str, spans: &[SpanRecord]) {
+fn validate_artifacts(
+    profile_path: &str,
+    trace_path: &str,
+    analyze_path: Option<&str>,
+    spans: &[SpanRecord],
+) {
     use serde::json::{from_str, Value};
 
     let profile = from_str(&std::fs::read_to_string(profile_path).expect("read profile"))
@@ -113,39 +238,114 @@ fn validate_artifacts(profile_path: &str, trace_path: &str, spans: &[SpanRecord]
         assert!(p.get("wall_seconds").and_then(Value::as_f64).expect("wall_seconds") > 0.0);
         let recs = p.get("iteration_records").and_then(|v| v.as_array()).expect("records");
         assert!(!recs.is_empty(), "{phase}: no iteration records");
+        // per-iteration kernel attribution: on the fused whole-solve path
+        // the task graph executes as one unit, so kernel flops accrue to
+        // the record that drained them — some iterations read 0 GFlop/s
+        let mut any_gflops = false;
         for r in recs {
-            assert!(r.get("gflops").and_then(Value::as_f64).expect("gflops") > 0.0);
+            let g = r.get("gflops").and_then(Value::as_f64).expect("gflops");
+            assert!(g >= 0.0);
+            any_gflops |= g > 0.0;
         }
+        assert!(any_gflops, "{phase}: no iteration recorded kernel flops");
     }
 
     let trace = from_str(&std::fs::read_to_string(trace_path).expect("read trace"))
         .expect("trace JSON is well-formed");
-    let events = trace.as_array().expect("trace is an array");
+    let truncated = trace.get("truncated").and_then(Value::as_bool).expect("trace has 'truncated'");
+    let total =
+        trace.get("totalTaskEvents").and_then(Value::as_f64).expect("totalTaskEvents") as usize;
+    assert_eq!(total, spans.len());
+    let events = trace.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents array");
     assert!(!events.is_empty(), "trace has no events");
-    assert_eq!(events.len(), spans.len());
     let mut names = std::collections::BTreeSet::new();
     let mut lanes = std::collections::BTreeSet::new();
+    let mut complete = 0usize;
+    let mut counters = 0usize;
+    let mut last_ts = f64::NEG_INFINITY;
     for e in events {
-        assert_eq!(e.get("ph").and_then(Value::as_str), Some("X"));
-        assert!(e.get("ts").and_then(Value::as_f64).is_some());
-        assert!(e.get("dur").and_then(Value::as_f64).expect("dur") >= 0.0);
-        names.insert(e.get("name").and_then(Value::as_str).expect("name").to_string());
-        lanes.insert(e.get("pid").and_then(Value::as_f64).expect("pid") as u64);
+        let ts = e.get("ts").and_then(Value::as_f64).expect("ts");
+        assert!(ts >= last_ts, "trace events out of timestamp order");
+        last_ts = ts;
+        match e.get("ph").and_then(Value::as_str).expect("ph") {
+            "X" => {
+                complete += 1;
+                assert!(e.get("dur").and_then(Value::as_f64).expect("dur") >= 0.0);
+                names.insert(e.get("name").and_then(Value::as_str).expect("name").to_string());
+                lanes.insert(e.get("pid").and_then(Value::as_f64).expect("pid") as u64);
+            }
+            "C" => {
+                counters += 1;
+                let args = e.get("args").expect("counter args");
+                assert!(args.get("value").and_then(Value::as_f64).is_some());
+            }
+            other => panic!("unexpected trace phase {other:?}"),
+        }
     }
-    for expected in ["qdwh", "qdwh_iter", "gemm", "geqrf", "potrf", "trsm", "herk"] {
+    if truncated {
+        assert!(complete < spans.len(), "truncated trace kept every event");
+    } else {
+        assert_eq!(complete, spans.len());
+    }
+    assert!(counters > 0, "trace lacks counter-track samples");
+    for expected in ["qdwh", "gemm", "geqrf", "potrf", "trsm", "herk"] {
         assert!(names.contains(expected), "trace lacks '{expected}' spans: {names:?}");
     }
+    // flat path runs per-iteration phases; the fused path one whole-solve
+    // task graph
+    assert!(
+        names.contains("qdwh_iter") || names.contains("qdwh_fused"),
+        "trace lacks qdwh iteration/fused spans: {names:?}"
+    );
     if rayon::current_num_threads() > 1 {
         assert!(lanes.iter().any(|&l| l > 0), "no spans on pool-worker lanes");
     }
-    eprintln!("smoke: artifacts validated ({} events, {} lanes)", events.len(), lanes.len());
+
+    if let Some(path) = analyze_path {
+        let analysis = from_str(&std::fs::read_to_string(path).expect("read analysis"))
+            .expect("analysis JSON is well-formed");
+        let dags = analysis.get("dags").and_then(|v| v.as_array()).expect("dags array");
+        assert!(!dags.is_empty(), "analysis has no dags");
+        for d in dags {
+            let makespan = d.get("makespan_ns").and_then(Value::as_f64).expect("makespan_ns");
+            let cp = d.get("critical_path_ns").and_then(Value::as_f64).expect("critical_path_ns");
+            assert!(makespan >= cp);
+            for w in d.get("workers").and_then(|v| v.as_array()).expect("workers") {
+                let u = w.get("utilization").and_then(Value::as_f64).expect("utilization");
+                assert!(u <= 1.0 + 1e-9);
+            }
+            assert!(d.get("queue_wait").is_some() && d.get("park").is_some());
+        }
+        let svr = analysis.get("sim_vs_real").expect("sim_vs_real row");
+        assert!(svr.get("makespan_error_pct").and_then(Value::as_f64).is_some());
+        assert!(svr.get("predicted_makespan_s").and_then(Value::as_f64).is_some());
+    }
+    eprintln!(
+        "smoke: artifacts validated ({complete} complete + {counters} counter events, {} lanes{})",
+        lanes.len(),
+        if analyze_path.is_some() { ", analysis ok" } else { "" }
+    );
 }
 
 fn main() {
     let args = Args::parse();
     let smoke = args.flag("--smoke");
-    let n: usize = args.get("--n", if smoke { 192 } else { 768 });
+    let analyze = args.flag("--analyze");
+    // the post-mortem needs the fused tiled DAG, which engages at n >= 512
+    let n: usize = args.get(
+        "--n",
+        if smoke && analyze {
+            512
+        } else if smoke {
+            192
+        } else {
+            768
+        },
+    );
     let seed: u64 = args.get("--seed", 42);
+    let trace_max: usize = args.get("--trace-max-events", 0);
+    let trace_cap = if trace_max == 0 { usize::MAX } else { trace_max };
+    let drift_gate: f64 = args.get("--drift-gate", 0.0);
     let out = std::env::args()
         .skip_while(|a| a != "--out")
         .nth(1)
@@ -154,6 +354,10 @@ fn main() {
         .skip_while(|a| a != "--trace")
         .nth(1)
         .unwrap_or_else(|| "TRACE_solver.json".into());
+    let analyze_out = std::env::args()
+        .skip_while(|a| a != "--analyze-out")
+        .nth(1)
+        .unwrap_or_else(|| "ANALYZE_solver.json".into());
 
     // Measure the disabled path before anything enables observability.
     let (guard_ns, gemm_ns) = disabled_overhead();
@@ -191,14 +395,7 @@ fn main() {
     j.push_str(&polar_bench::Provenance::collect().json_fields());
     let _ = writeln!(j, "{},", phase_json("qdwh", &qdwh_report, &pd.info.records));
     let _ = writeln!(j, "{},", phase_json("zolo", &zolo_report, &zolo.pd.info.records));
-    let pool = polar_obs::counters_snapshot();
-    let get = |name: &str| pool.iter().find(|(k, _)| *k == name).map_or(0, |(_, v)| *v);
-    let _ = writeln!(
-        j,
-        "  \"pool\": {{\"steals\": {}, \"injected_jobs\": {}}}",
-        get("pool.steals"),
-        get("pool.injected_jobs")
-    );
+    let _ = writeln!(j, "  \"pool\": {}", pool_json());
     j.push_str("}\n");
     std::fs::write(&out, &j).expect("write profile json");
 
@@ -207,8 +404,14 @@ fn main() {
     let mut spans = qdwh_report.spans.clone();
     spans.extend(zolo_report.spans.iter().cloned());
     let file = std::fs::File::create(&trace_out).expect("create trace file");
-    polar_runtime::write_solver_trace(&spans, std::io::BufWriter::new(file))
+    polar_runtime::write_solver_trace_capped(&spans, std::io::BufWriter::new(file), trace_cap)
         .expect("write chrome trace");
+
+    // ---- scheduler post-mortem over the executed dags ----
+    let graphs = polar_runtime::take_executed_graphs();
+    if analyze {
+        write_analysis(&analyze_out, n, smoke, &spans, &graphs, drift_gate);
+    }
 
     println!("{j}");
     eprintln!(
@@ -221,6 +424,6 @@ fn main() {
     );
 
     if smoke {
-        validate_artifacts(&out, &trace_out, &spans);
+        validate_artifacts(&out, &trace_out, analyze.then_some(analyze_out.as_str()), &spans);
     }
 }

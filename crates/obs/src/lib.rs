@@ -41,9 +41,9 @@ pub use registry::{
 pub use span::{
     epoch, init_from_env, kernel_snapshot, kernel_span, leaf_span, metrics_enabled, now_ns,
     phase_span, phase_span_dims, reset_kernel_counters, run_with_ctx, scope, scope_lock,
-    set_metrics_enabled, set_trace_enabled, set_worker_lane, take_spans, task_ctx, trace_enabled,
-    worker_lane, EnvConfig, KernelClass, KernelCounts, KernelSnapshot, Report, Scope, SpanGuard,
-    SpanRecord, TaskCtx, KERNEL_CLASSES,
+    set_metrics_enabled, set_trace_enabled, set_worker_lane, take_spans, task_ctx, task_span,
+    trace_enabled, worker_lane, EnvConfig, KernelClass, KernelCounts, KernelSnapshot, Report,
+    Scope, SpanGuard, SpanRecord, TaskCtx, TaskLifecycle, KERNEL_CLASSES,
 };
 
 /// Open a structured span that lasts until the returned guard is dropped.

@@ -341,6 +341,25 @@ pub fn run_with_ctx<R>(ctx: TaskCtx, f: impl FnOnce() -> R) -> R {
 // Span records and per-thread buffers
 // ---------------------------------------------------------------------------
 
+/// Scheduler-lifecycle metadata attached to DAG task spans by the
+/// executor: which executed graph the task belongs to, its task id within
+/// that graph, when its last dependency resolved (so queue wait is
+/// `start_ns - ready_ns`), and the lane that released it (so a span whose
+/// recording lane differs from `ready_lane` migrated between workers —
+/// the shared-heap analogue of a deque steal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskLifecycle {
+    /// Id of the executed DAG (one per `TaskDag::execute`).
+    pub dag: u32,
+    /// Task id within that DAG (index into the recorded `TaskGraph`).
+    pub task: u32,
+    /// Nanoseconds since [`epoch`] when the task's last predecessor
+    /// completed (source tasks: when the ready heap was seeded).
+    pub ready_ns: u64,
+    /// Lane of the worker that made the task ready.
+    pub ready_lane: u32,
+}
+
 /// One completed span: a named interval on a worker lane at a nesting
 /// depth, optionally tagged with a kernel class and analytic flops.
 #[derive(Debug, Clone, PartialEq)]
@@ -363,6 +382,9 @@ pub struct SpanRecord {
     pub flops: u64,
     /// Up to three problem dimensions (m, n, k); zeros when unused.
     pub dims: [usize; 3],
+    /// Executor lifecycle metadata; `Some` only for DAG task spans
+    /// recorded via [`task_span`].
+    pub lifecycle: Option<TaskLifecycle>,
 }
 
 struct SpanBuf {
@@ -412,6 +434,7 @@ struct ActiveSpan {
     class: Option<KernelClass>,
     flops: f64,
     dims: [usize; 3],
+    lifecycle: Option<TaskLifecycle>,
     start_ns: u64,
     depth: u32,
     /// This span is the outermost kernel on its task and owns the
@@ -452,7 +475,7 @@ pub fn kernel_span(
     if state() == 0 {
         return SpanGuard::INERT;
     }
-    span_slow(name, Some(class), flops, dims, true)
+    span_slow(name, Some(class), flops, dims, None, true)
 }
 
 /// Open a trace-only span tagged with a kernel class: never touches the
@@ -469,7 +492,26 @@ pub fn leaf_span(
     if state() & TRACE_BIT == 0 {
         return SpanGuard::INERT;
     }
-    span_slow(name, Some(class), flops, dims, false)
+    span_slow(name, Some(class), flops, dims, None, false)
+}
+
+/// [`leaf_span`] for DAG task bodies: a trace-only span additionally
+/// carrying the executor's [`TaskLifecycle`] metadata, from which the
+/// post-mortem analyzer reconstructs the executed graph (queue waits,
+/// measured critical path, worker occupancy). Disabled path: one relaxed
+/// load.
+#[inline]
+pub fn task_span(
+    class: KernelClass,
+    name: &'static str,
+    flops: f64,
+    dims: [usize; 3],
+    lifecycle: TaskLifecycle,
+) -> SpanGuard {
+    if state() & TRACE_BIT == 0 {
+        return SpanGuard::INERT;
+    }
+    span_slow(name, Some(class), flops, dims, Some(lifecycle), false)
 }
 
 /// Open a named phase span (no kernel class, no flops): QDWH iterations,
@@ -485,7 +527,7 @@ pub fn phase_span_dims(name: &'static str, dims: [usize; 3]) -> SpanGuard {
     if state() & TRACE_BIT == 0 {
         return SpanGuard::INERT;
     }
-    span_slow(name, None, 0.0, dims, false)
+    span_slow(name, None, 0.0, dims, None, false)
 }
 
 #[cold]
@@ -494,6 +536,7 @@ fn span_slow(
     class: Option<KernelClass>,
     flops: f64,
     dims: [usize; 3],
+    lifecycle: Option<TaskLifecycle>,
     want_counts: bool,
 ) -> SpanGuard {
     let st = state();
@@ -519,6 +562,7 @@ fn span_slow(
             class,
             flops,
             dims,
+            lifecycle,
             start_ns: now_ns(),
             depth,
             counts,
@@ -554,6 +598,7 @@ impl Drop for SpanGuard {
                 end_ns,
                 flops: a.flops.max(0.0).round() as u64,
                 dims: a.dims,
+                lifecycle: a.lifecycle,
             });
         }
     }

@@ -34,7 +34,7 @@ use crate::graph::{GraphBuilder, KernelKind, TaskGraph, TaskId, TileRef};
 use std::cell::Cell;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 thread_local! {
     /// Set while this thread is executing a DAG task body. Worker lanes are
@@ -156,6 +156,47 @@ impl<'a> Default for TaskDag<'a> {
     }
 }
 
+/// Per-task lifecycle stamps for the post-mortem layer: the instant each
+/// task's last dependency cleared (entered the ready heap) and the lane
+/// that released it. Empty — and free — unless tracing was enabled when
+/// the execution started, so the disabled path pays nothing beyond an
+/// `is_empty` branch per release.
+struct LifeTable {
+    dag: u32,
+    ready_ns: Vec<u64>,
+    ready_lane: Vec<u32>,
+}
+
+impl LifeTable {
+    fn new(dag: u32, n: usize) -> Self {
+        LifeTable { dag, ready_ns: vec![0; n], ready_lane: vec![0; n] }
+    }
+
+    fn disabled() -> Self {
+        LifeTable { dag: 0, ready_ns: Vec::new(), ready_lane: Vec::new() }
+    }
+
+    /// Record that `id`'s last predecessor just completed on this lane.
+    fn stamp(&mut self, id: TaskId) {
+        if !self.ready_ns.is_empty() {
+            self.ready_ns[id] = polar_obs::now_ns();
+            self.ready_lane[id] = polar_obs::worker_lane();
+        }
+    }
+
+    fn lifecycle(&self, id: TaskId) -> Option<polar_obs::TaskLifecycle> {
+        if self.ready_ns.is_empty() {
+            return None;
+        }
+        Some(polar_obs::TaskLifecycle {
+            dag: self.dag,
+            task: id as u32,
+            ready_ns: self.ready_ns[id],
+            ready_lane: self.ready_lane[id],
+        })
+    }
+}
+
 struct ExecState<'a> {
     ready: BinaryHeap<ReadyKey>,
     indeg: Vec<usize>,
@@ -166,6 +207,8 @@ struct ExecState<'a> {
     phase_rem: Vec<usize>,
     /// Oldest phase with unfinished tasks.
     frontier: u32,
+    /// Lifecycle stamps (empty when tracing is off).
+    life: LifeTable,
 }
 
 impl ExecState<'_> {
@@ -262,11 +305,21 @@ impl<'a> TaskDag<'a> {
     /// replay the schedule collapses to a fixed sequential order.
     pub fn execute(self) -> ExecOutcome {
         let TaskDag { builder, bodies, priorities } = self;
-        let graph = builder.build();
+        let graph = Arc::new(builder.build());
         let n = graph.len();
         if n == 0 {
             return ExecOutcome::Completed;
         }
+
+        // When tracing, register the built graph in the post-mortem side
+        // table under a fresh dag id so the analyzer can rejoin executed
+        // spans (tagged with the same id) to their dependency structure.
+        let mut life = if polar_obs::trace_enabled() {
+            let dag = crate::postmortem::record_graph(Arc::clone(&graph));
+            LifeTable::new(dag, n)
+        } else {
+            LifeTable::disabled()
+        };
 
         let ctx = KeyCtx {
             cp: graph.critical_path_to_sink(),
@@ -278,6 +331,7 @@ impl<'a> TaskDag<'a> {
         for (id, &d) in indeg.iter().enumerate() {
             if d == 0 {
                 ready.push(ctx.key(&graph, 0, id));
+                life.stamp(id);
             }
         }
 
@@ -288,7 +342,7 @@ impl<'a> TaskDag<'a> {
             || rayon::current_num_threads() <= 1
             || IN_TASK_BODY.with(|c| c.get())
         {
-            return Self::execute_sequential(&graph, &ctx, bodies, ready, indeg);
+            return Self::execute_sequential(&graph, &ctx, bodies, ready, indeg, life);
         }
 
         let state = Mutex::new(ExecState {
@@ -299,6 +353,7 @@ impl<'a> TaskDag<'a> {
             cancelled: false,
             phase_rem: phase_counts(&graph),
             frontier: 0,
+            life,
         });
         let work = Condvar::new();
         let workers = rayon::current_num_threads().min(n);
@@ -319,13 +374,14 @@ impl<'a> TaskDag<'a> {
         mut bodies: Vec<Option<Body<'a>>>,
         mut ready: BinaryHeap<ReadyKey>,
         mut indeg: Vec<usize>,
+        mut life: LifeTable,
     ) -> ExecOutcome {
         let mut phase_rem = phase_counts(graph);
         let mut frontier = 0u32;
         while let Some(ReadyKey { id, cp, .. }) = ready.pop() {
             let body = bodies[id].take().expect("task body ran twice");
             {
-                let _t = task_span(graph, id, cp, ready.len());
+                let _t = task_span(graph, id, cp, ready.len(), life.lifecycle(id));
                 if body() == TaskStatus::Cancel {
                     return ExecOutcome::Cancelled;
                 }
@@ -340,6 +396,7 @@ impl<'a> TaskDag<'a> {
                 indeg[s] -= 1;
                 if indeg[s] == 0 {
                     ready.push(ctx.key(graph, frontier, s));
+                    life.stamp(s);
                 }
             }
         }
@@ -385,17 +442,27 @@ fn worker_loop<'a>(graph: &TaskGraph, ctx: &KeyCtx, state: &Mutex<ExecState<'a>>
             return;
         }
         let Some(ReadyKey { id, cp, .. }) = guard.ready.pop() else {
+            // Ready starvation: this worker found no runnable task. The
+            // park interval is recorded as a `dag_park` span (dims[0] =
+            // dag id) so the post-mortem can build idle/starvation
+            // profiles per worker lane; `phase_span_dims` self-gates on
+            // the trace bit, so the disabled path only pays one relaxed
+            // load. The span covers the whole condvar wait, including
+            // spurious wakeups that loop straight back in.
+            let dag = guard.life.dag;
+            let _park = polar_obs::phase_span_dims("dag_park", [dag as usize, 0, 0]);
             guard = work.wait(guard).unwrap();
             continue;
         };
         let depth = guard.ready.len();
         let body = guard.bodies[id].take().expect("task body ran twice");
+        let lifecycle = guard.life.lifecycle(id);
         drop(guard);
 
         IN_TASK_BODY.with(|c| c.set(true));
         let mut unwind_guard = BodyGuard { state, work, armed: true };
         let status = {
-            let _t = task_span(graph, id, cp, depth);
+            let _t = task_span(graph, id, cp, depth, lifecycle);
             body()
         };
         unwind_guard.armed = false;
@@ -420,6 +487,7 @@ fn worker_loop<'a>(graph: &TaskGraph, ctx: &KeyCtx, state: &Mutex<ExecState<'a>>
             guard.indeg[s] -= 1;
             if guard.indeg[s] == 0 {
                 guard.ready.push(ctx.key(graph, frontier, s));
+                guard.life.stamp(s);
                 released += 1;
             }
         }
@@ -437,14 +505,27 @@ fn worker_loop<'a>(graph: &TaskGraph, ctx: &KeyCtx, state: &Mutex<ExecState<'a>>
 /// the driver-level `kernel_span` keeps sole ownership of the flop totals).
 /// The span dims carry the scheduler's decision inputs — critical-path
 /// priority (flops), ready-queue depth at dispatch, and phase — which
-/// `solver_trace` surfaces as Chrome-trace args.
-fn task_span(graph: &TaskGraph, id: TaskId, cp: f64, ready_depth: usize) -> polar_obs::SpanGuard {
+/// `solver_trace` surfaces as Chrome-trace args. When the executor has a
+/// lifecycle stamp for the task (tracing was on when the graph launched)
+/// the span additionally carries `{dag, task, ready_ns, ready_lane}` so
+/// the post-mortem layer can rejoin it to the recorded [`TaskGraph`].
+fn task_span(
+    graph: &TaskGraph,
+    id: TaskId,
+    cp: f64,
+    ready_depth: usize,
+    lifecycle: Option<polar_obs::TaskLifecycle>,
+) -> polar_obs::SpanGuard {
     let t = &graph.tasks[id];
     let (class, name) = kind_label(t.kind);
-    polar_obs::leaf_span(class, name, t.flops, [cp as usize, ready_depth, t.phase as usize])
+    let dims = [cp as usize, ready_depth, t.phase as usize];
+    match lifecycle {
+        Some(l) => polar_obs::task_span(class, name, t.flops, dims, l),
+        None => polar_obs::leaf_span(class, name, t.flops, dims),
+    }
 }
 
-fn kind_label(kind: KernelKind) -> (polar_obs::KernelClass, &'static str) {
+pub(crate) fn kind_label(kind: KernelKind) -> (polar_obs::KernelClass, &'static str) {
     use polar_obs::KernelClass as C;
     match kind {
         KernelKind::Geqrt => (C::Geqrf, "task_geqrt"),
@@ -603,7 +684,7 @@ mod tests {
             ready.push(ctx.key(&graph, 0, id));
         }
         let indeg: Vec<usize> = (0..graph.len()).map(|t| graph.preds(t).len()).collect();
-        TaskDag::execute_sequential(&graph, &ctx, bodies, ready, indeg);
+        TaskDag::execute_sequential(&graph, &ctx, bodies, ready, indeg, LifeTable::disabled());
         assert_eq!(*log.lock().unwrap(), vec![1, 2, 0]);
     }
 
@@ -635,7 +716,7 @@ mod tests {
             }
         }
         let indeg: Vec<usize> = (0..graph.len()).map(|t| graph.preds(t).len()).collect();
-        TaskDag::execute_sequential(&graph, &ctx, bodies, ready, indeg);
+        TaskDag::execute_sequential(&graph, &ctx, bodies, ready, indeg, LifeTable::disabled());
         // chain head first (cp 3.0 beats hint 100 at cp 1.0); once the
         // remaining chain link ties at cp 1.0 the hint decides again
         assert_eq!(*log.lock().unwrap(), vec![0, 1, 99, 2]);
@@ -673,7 +754,7 @@ mod tests {
             }
         }
         let indeg: Vec<usize> = (0..graph.len()).map(|t| graph.preds(t).len()).collect();
-        TaskDag::execute_sequential(&graph, &ctx, bodies, ready, indeg);
+        TaskDag::execute_sequential(&graph, &ctx, bodies, ready, indeg, LifeTable::disabled());
         // phase-0 task first even though the phase-9 chain is longer
         assert_eq!(*log.lock().unwrap(), vec![0, 10, 11, 12]);
     }

@@ -88,6 +88,9 @@ pub struct SchedArgs {
     pub ready_depth: u32,
     /// Phase / solver-iteration index the task belongs to.
     pub step: u32,
+    /// Nanoseconds the task waited in the ready heap before dispatch
+    /// (`start - deps_ready`); 0 when the span carried no lifecycle.
+    pub queue_wait_ns: u64,
 }
 
 /// One task's placement in a simulated schedule (for trace export). Also
@@ -121,36 +124,48 @@ pub fn simulate_traced<M: ExecutionModel>(
     (stats, events)
 }
 
+/// Serialize one complete event as a Chrome-trace JSON object (no trailing
+/// comma/newline). Shared by [`write_chrome_trace`] and `solver_trace`.
+pub(crate) fn event_json(e: &TraceEvent) -> String {
+    let name: std::borrow::Cow<'_, str> = match e.label {
+        Some(l) => l.into(),
+        None => format!("{:?}#{}", e.kind, e.task).into(),
+    };
+    let args: std::borrow::Cow<'_, str> = match e.args {
+        Some(a) => format!(
+            ", \"args\": {{\"cp_flops\": {}, \"ready_depth\": {}, \"step\": {}, \"queue_wait_ns\": {}}}",
+            a.cp_flops, a.ready_depth, a.step, a.queue_wait_ns
+        )
+        .into(),
+        None => "".into(),
+    };
+    format!(
+        "{{\"name\": \"{name}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": {}, \"tid\": {}{args}}}",
+        e.start * 1e6,
+        (e.end - e.start) * 1e6,
+        e.rank,
+        e.slot,
+    )
+}
+
 /// Serialize a traced schedule as Chrome tracing JSON (open in
 /// `chrome://tracing` or Perfetto): one row per (rank, slot), durations in
-/// microseconds of simulated time.
+/// microseconds of simulated time. Events are emitted in ascending start
+/// order regardless of input order — Perfetto tolerates unordered complete
+/// events but *drops* out-of-order counter samples, and measured traces
+/// (svc `SpanLog`, `solver_trace`) interleave buffers from many threads on
+/// the shared `polar_obs::epoch` clock, so serialization is where ordering
+/// is enforced once for every producer.
 pub fn write_chrome_trace<W: std::io::Write>(
     events: &[TraceEvent],
     mut w: W,
 ) -> std::io::Result<()> {
+    let mut order: Vec<&TraceEvent> = events.iter().collect();
+    order.sort_by(|a, b| a.start.total_cmp(&b.start));
     writeln!(w, "[")?;
-    for (i, e) in events.iter().enumerate() {
-        let comma = if i + 1 == events.len() { "" } else { "," };
-        let name: std::borrow::Cow<'_, str> = match e.label {
-            Some(l) => l.into(),
-            None => format!("{:?}#{}", e.kind, e.task).into(),
-        };
-        let args: std::borrow::Cow<'_, str> = match e.args {
-            Some(a) => format!(
-                ", \"args\": {{\"cp_flops\": {}, \"ready_depth\": {}, \"step\": {}}}",
-                a.cp_flops, a.ready_depth, a.step
-            )
-            .into(),
-            None => "".into(),
-        };
-        writeln!(
-            w,
-            "  {{\"name\": \"{name}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \"pid\": {}, \"tid\": {}{args}}}{comma}",
-            e.start * 1e6,
-            (e.end - e.start) * 1e6,
-            e.rank,
-            e.slot,
-        )?;
+    for (i, e) in order.iter().enumerate() {
+        let comma = if i + 1 == order.len() { "" } else { "," };
+        writeln!(w, "  {}{comma}", event_json(e))?;
     }
     writeln!(w, "]")
 }
@@ -486,12 +501,38 @@ mod tests {
             end: 1e-6,
             kind: KernelKind::Gemm,
             label: Some("task_gemm"),
-            args: Some(SchedArgs { cp_flops: 123456, ready_depth: 7, step: 3 }),
+            args: Some(SchedArgs { cp_flops: 123456, ready_depth: 7, step: 3, queue_wait_ns: 42 }),
         }];
         let mut buf = Vec::new();
         write_chrome_trace(&events, &mut buf).unwrap();
         let s = String::from_utf8(buf).unwrap();
-        assert!(s.contains("\"args\": {\"cp_flops\": 123456, \"ready_depth\": 7, \"step\": 3}"));
+        assert!(s.contains(
+            "\"args\": {\"cp_flops\": 123456, \"ready_depth\": 7, \"step\": 3, \"queue_wait_ns\": 42}"
+        ));
+    }
+
+    #[test]
+    fn chrome_trace_orders_events_by_timestamp() {
+        // events arriving out of order (multi-thread buffers) must be
+        // serialized in ascending ts
+        let mk = |task: usize, start: f64| TraceEvent {
+            task,
+            rank: 0,
+            slot: 0,
+            start,
+            end: start + 1e-6,
+            kind: KernelKind::Gemm,
+            label: None,
+            args: None,
+        };
+        let events = vec![mk(0, 3e-6), mk(1, 1e-6), mk(2, 2e-6)];
+        let mut buf = Vec::new();
+        write_chrome_trace(&events, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let ts: Vec<usize> = s.match_indices("\"ts\": ").map(|(i, _)| i).collect();
+        let vals: Vec<f64> =
+            ts.iter().map(|&i| s[i + 6..].split(',').next().unwrap().parse().unwrap()).collect();
+        assert_eq!(vals, vec![1.0, 2.0, 3.0]);
     }
 
     #[test]

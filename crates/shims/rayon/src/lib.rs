@@ -306,6 +306,12 @@ impl Registry {
                 return Some(job);
             }
         }
+        // Full scan found nothing: a failed steal spin. The counter sizes
+        // how much of the pool's idle time is spent probing empty deques
+        // versus parked on the condvar (`pool.parks`).
+        if polar_obs::metrics_enabled() {
+            pool_counters().failed_steals.inc();
+        }
         None
     }
 
@@ -318,11 +324,14 @@ impl Registry {
 }
 
 /// Pool-wide counters registered in the `polar-obs` registry: successful
-/// steals from other workers' deques and pickups of externally injected
-/// jobs. Only incremented when metrics are enabled.
+/// steals from other workers' deques, pickups of externally injected
+/// jobs, full scans that found nothing (`failed_steal_spins`), and condvar
+/// parks. Only incremented when metrics are enabled.
 struct PoolCounters {
     steals: &'static polar_obs::Counter,
     injected: &'static polar_obs::Counter,
+    failed_steals: &'static polar_obs::Counter,
+    parks: &'static polar_obs::Counter,
 }
 
 fn pool_counters() -> &'static PoolCounters {
@@ -330,7 +339,24 @@ fn pool_counters() -> &'static PoolCounters {
     COUNTERS.get_or_init(|| PoolCounters {
         steals: polar_obs::counter("pool.steals"),
         injected: polar_obs::counter("pool.injected_jobs"),
+        failed_steals: polar_obs::counter("pool.failed_steal_spins"),
+        parks: polar_obs::counter("pool.parks"),
     })
+}
+
+/// Per-worker tasks-executed counter (`pool.worker<i>.tasks`), registered
+/// lazily per index. Names are leaked once per distinct index — the obs
+/// registry requires `&'static str` — and shared across pools.
+fn worker_tasks_counter(index: usize) -> &'static polar_obs::Counter {
+    static PER_WORKER: OnceLock<Mutex<Vec<&'static polar_obs::Counter>>> = OnceLock::new();
+    let table = PER_WORKER.get_or_init(|| Mutex::new(Vec::new()));
+    let mut v = table.lock().unwrap();
+    while v.len() <= index {
+        let name: &'static str =
+            Box::leak(format!("pool.worker{}.tasks", v.len()).into_boxed_str());
+        v.push(polar_obs::counter(name));
+    }
+    v[index]
 }
 
 thread_local! {
@@ -349,12 +375,16 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
     }
     // Worker i reports on trace lane i + 1 (lane 0 = external threads).
     polar_obs::set_worker_lane(index);
+    let tasks = worker_tasks_counter(index);
     let mut idle_rounds = 0u32;
     loop {
         if let Some(job) = registry.find_work(index) {
             // SAFETY: the job's owner keeps the StackJob alive until the
             // latch (set inside execute) is observed.
             unsafe { job.execute() };
+            if polar_obs::metrics_enabled() {
+                tasks.inc();
+            }
             idle_rounds = 0;
             continue;
         }
@@ -374,6 +404,9 @@ fn worker_main(registry: Arc<Registry>, index: usize) {
             continue;
         }
         // the timeout bounds any lost-wakeup race
+        if polar_obs::metrics_enabled() {
+            pool_counters().parks.inc();
+        }
         let _ = registry.wake.wait_timeout(guard, Duration::from_millis(2)).unwrap();
     }
     CURRENT_WORKER.with(|c| c.set(None));

@@ -23,10 +23,12 @@ pub mod analytic;
 pub mod dag;
 pub mod kernel_flops;
 pub mod machine;
+pub mod real;
 
 pub use analytic::{estimate_qdwh_time, estimate_zolo_time, AnalyticBreakdown, Implementation};
 pub use dag::{qdwh_graph, QdwhGraphSpec};
 pub use machine::{ClusterModel, ExecTarget, NodeSpec};
+pub use real::{compare as sim_vs_real, MeasuredHost, SimVsReal};
 
 /// The paper's §4 flop-count formula for square QDWH (real flops):
 /// `(4/3)n³ + (8 + 2/3)n³·it_qr + (4 + 1/3)n³·it_chol + 2n³`.

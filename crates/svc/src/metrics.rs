@@ -5,10 +5,85 @@
 //! users keep compiling. Everything is atomics, so recording from workers
 //! never contends with export.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 pub use polar_obs::{Histogram, HistogramSnapshot};
+
+/// Jobs kept in the scheduler-health rolling window.
+const HEALTH_WINDOW: usize = 256;
+
+/// One completed job's timing, on the shared `polar_obs` clock.
+#[derive(Debug, Clone, Copy)]
+struct HealthSample {
+    end_ns: u64,
+    wait_ns: u64,
+    run_ns: u64,
+}
+
+/// Rolling window of recent job timings: the service-side scheduler-health
+/// view. Whereas the cumulative histograms never forget, this window
+/// answers "how is the pool doing *right now*" — mean wait/run and worker
+/// utilization over the last [`HEALTH_WINDOW`] jobs.
+#[derive(Debug, Default)]
+pub struct SchedulerHealth {
+    ring: Mutex<VecDeque<HealthSample>>,
+}
+
+impl SchedulerHealth {
+    /// Record one finished job (`end_ns` on the [`polar_obs::now_ns`]
+    /// clock, so samples order consistently with solver spans).
+    pub fn record(&self, end_ns: u64, wait_ns: u64, run_ns: u64) {
+        let mut ring = self.ring.lock().unwrap();
+        if ring.len() == HEALTH_WINDOW {
+            ring.pop_front();
+        }
+        ring.push_back(HealthSample { end_ns, wait_ns, run_ns });
+    }
+
+    /// Summarize the current window given the worker count.
+    pub fn snapshot(&self, workers: u64) -> SchedulerHealthSnapshot {
+        let ring = self.ring.lock().unwrap();
+        let jobs = ring.len() as u64;
+        if jobs == 0 {
+            return SchedulerHealthSnapshot::default();
+        }
+        let total_wait: u64 = ring.iter().map(|s| s.wait_ns).sum();
+        let total_run: u64 = ring.iter().map(|s| s.run_ns).sum();
+        // window span: earliest job start (end - run) to latest end
+        let span_end = ring.iter().map(|s| s.end_ns).max().unwrap_or(0);
+        let span_start = ring.iter().map(|s| s.end_ns.saturating_sub(s.run_ns)).min().unwrap_or(0);
+        let span_ns = span_end.saturating_sub(span_start);
+        let utilization = if span_ns == 0 || workers == 0 {
+            0.0
+        } else {
+            (total_run as f64 / (span_ns as f64 * workers as f64)).min(1.0)
+        };
+        SchedulerHealthSnapshot {
+            window_jobs: jobs,
+            window_span_ns: span_ns,
+            utilization,
+            mean_wait_us: total_wait as f64 / jobs as f64 / 1e3,
+            mean_run_us: total_run as f64 / jobs as f64 / 1e3,
+        }
+    }
+}
+
+/// Point-in-time view of the [`SchedulerHealth`] window.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SchedulerHealthSnapshot {
+    /// Jobs currently in the window (saturates at the window size).
+    pub window_jobs: u64,
+    /// Wall span the window covers, ns.
+    pub window_span_ns: u64,
+    /// `sum(run) / (span * workers)`, clamped to 1.0 — fraction of worker
+    /// capacity spent inside solves over the window.
+    pub utilization: f64,
+    pub mean_wait_us: f64,
+    pub mean_run_us: f64,
+}
 
 /// All service counters, gauges, and histograms.
 #[derive(Debug, Default)]
@@ -36,6 +111,11 @@ pub struct MetricsRegistry {
     /// sizes are recorded via `record_ns(len)`, so quantiles read back as
     /// "nanoseconds" whose numeric value is a job count.
     pub batch_size: Histogram,
+    /// Dispatch worker count, set once at service start (0 = unknown);
+    /// denominators for window utilization.
+    pub workers: AtomicU64,
+    /// Rolling-window scheduler health over recent jobs.
+    pub health: SchedulerHealth,
 }
 
 impl MetricsRegistry {
@@ -46,7 +126,10 @@ impl MetricsRegistry {
     pub fn snapshot(&self, uptime: Duration) -> MetricsSnapshot {
         let completed = self.completed.load(Ordering::Relaxed);
         let secs = uptime.as_secs_f64();
+        let workers = self.workers.load(Ordering::Relaxed);
         MetricsSnapshot {
+            workers,
+            health: self.health.snapshot(workers),
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected_full: self.rejected_full.load(Ordering::Relaxed),
             completed,
@@ -88,6 +171,10 @@ pub struct MetricsSnapshot {
     /// Fused-batch sizes, in jobs (see
     /// [`MetricsRegistry::batch_size`]).
     pub batch_size: HistogramSnapshot,
+    /// Dispatch worker count (0 when the registry is used standalone).
+    pub workers: u64,
+    /// Rolling-window scheduler health.
+    pub health: SchedulerHealthSnapshot,
 }
 
 fn opt_us(d: Option<Duration>) -> f64 {
@@ -128,6 +215,12 @@ impl MetricsSnapshot {
             ("batch_size_count", self.batch_size.count as f64),
             ("batch_size_p50", opt_jobs(self.batch_size.p50)),
             ("batch_size_p99", opt_jobs(self.batch_size.p99)),
+            // rolling-window scheduler health
+            ("sched_workers", self.workers as f64),
+            ("window_jobs", self.health.window_jobs as f64),
+            ("window_utilization", self.health.utilization),
+            ("window_mean_wait_us", self.health.mean_wait_us),
+            ("window_mean_run_us", self.health.mean_run_us),
         ]
     }
 
@@ -205,6 +298,53 @@ mod tests {
         assert_eq!(header.split(',').count(), values.split(',').count());
         assert!(header.starts_with("submitted,"));
         assert!(values.starts_with("2,"));
+    }
+
+    #[test]
+    fn health_window_utilization_and_means() {
+        let h = SchedulerHealth::default();
+        // two workers, two jobs back-to-back: lane A runs [0, 1ms],
+        // lane B runs [0, 1ms]; window span 1ms, busy 2ms => 100% of 2
+        h.record(1_000_000, 10_000, 1_000_000);
+        h.record(1_000_000, 30_000, 1_000_000);
+        let s = h.snapshot(2);
+        assert_eq!(s.window_jobs, 2);
+        assert_eq!(s.window_span_ns, 1_000_000);
+        assert!((s.utilization - 1.0).abs() < 1e-12);
+        assert!((s.mean_wait_us - 20.0).abs() < 1e-9);
+        assert!((s.mean_run_us - 1000.0).abs() < 1e-9);
+        // four workers halves utilization
+        assert!((h.snapshot(4).utilization - 0.5).abs() < 1e-12);
+        // zero workers / empty window degenerate cleanly
+        assert_eq!(h.snapshot(0).utilization, 0.0);
+        assert_eq!(SchedulerHealth::default().snapshot(2), SchedulerHealthSnapshot::default());
+    }
+
+    #[test]
+    fn health_window_evicts_oldest_beyond_capacity() {
+        let h = SchedulerHealth::default();
+        for i in 0..(HEALTH_WINDOW as u64 + 10) {
+            h.record(i * 1_000, 0, 500);
+        }
+        let s = h.snapshot(1);
+        assert_eq!(s.window_jobs, HEALTH_WINDOW as u64);
+        // oldest samples (end 0..10_000) evicted: span starts at sample 10
+        assert_eq!(s.window_span_ns, (HEALTH_WINDOW as u64 + 9) * 1_000 - (10 * 1_000 - 500));
+    }
+
+    #[test]
+    fn snapshot_exports_health_rows() {
+        let m = MetricsRegistry::default();
+        m.workers.store(3, Ordering::Relaxed);
+        m.health.record(2_000_000, 5_000, 1_000_000);
+        let s = m.snapshot(Duration::from_secs(1));
+        assert_eq!(s.workers, 3);
+        assert_eq!(s.health.window_jobs, 1);
+        let json = s.to_json();
+        for key in ["sched_workers", "window_jobs", "window_utilization", "window_mean_wait_us"] {
+            assert!(json.contains(key), "missing {key}");
+        }
+        assert!(json.contains("\"sched_workers\": 3"));
     }
 
     #[test]

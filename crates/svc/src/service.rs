@@ -69,6 +69,7 @@ impl PolarService {
     /// Spawn the dispatcher and worker pool and start accepting jobs.
     pub fn start(cfg: ServiceConfig) -> Self {
         let metrics = Arc::new(MetricsRegistry::default());
+        metrics.workers.store(cfg.workers.max(1) as u64, std::sync::atomic::Ordering::Relaxed);
         let spans = Arc::new(SpanLog::new());
         let accepting = Arc::new(AtomicBool::new(true));
 

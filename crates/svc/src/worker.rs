@@ -126,6 +126,11 @@ fn run_fused(batch: Vec<RunnableJob>, worker_id: usize, ctx: &Arc<ExecContext>) 
                 let wait = start.duration_since(job.submitted);
                 metrics.wait.record(wait);
                 metrics.run.record(run);
+                metrics.health.record(
+                    polar_obs::now_ns(),
+                    wait.as_nanos() as u64,
+                    run.as_nanos() as u64,
+                );
                 MetricsRegistry::inc(&metrics.completed);
                 ctx.spans.record(job.id.0, worker_id, lane + 1, start, end);
                 let pd = PolarDecomposition { u: entry.u, h: entry.h, info };
@@ -252,6 +257,7 @@ fn execute_job(rj: RunnableJob, worker_id: usize, lane: usize, ctx: &Arc<ExecCon
     let end = Instant::now();
     let run = end.duration_since(start);
     metrics.run.record(run);
+    metrics.health.record(polar_obs::now_ns(), wait.as_nanos() as u64, run.as_nanos() as u64);
     metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
     ctx.spans.record(job.id.0, worker_id, lane, start, end);
 

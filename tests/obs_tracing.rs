@@ -30,18 +30,35 @@ fn trace_round_trips_and_spans_nest_per_lane() {
     polar::runtime::write_solver_trace(&report.spans, &mut buf).unwrap();
     let parsed = serde::json::from_str(std::str::from_utf8(&buf).unwrap())
         .expect("trace is well-formed JSON");
-    let events = parsed.as_array().expect("trace is a JSON array");
-    assert_eq!(events.len(), report.spans.len());
+    let obj = parsed.as_object().expect("trace is a JSON object");
+    assert_eq!(obj.get("truncated").and_then(|v| v.as_bool()), Some(false));
+    let events = obj.get("traceEvents").and_then(|v| v.as_array()).expect("traceEvents array");
+    let complete: Vec<_> =
+        events.iter().filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X")).collect();
+    assert_eq!(complete.len(), report.spans.len());
 
-    // every event is a complete-span record with the Perfetto fields
+    // every complete event has the Perfetto fields; counter events carry a
+    // value; and the stream is globally timestamp-ordered (Perfetto drops
+    // out-of-order counter samples)
+    let mut last_ts = f64::MIN;
     for e in events {
-        assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("X"));
-        let name = e.get("name").and_then(|v| v.as_str()).expect("name");
-        assert!(!name.is_empty());
-        assert!(e.get("ts").and_then(|v| v.as_f64()).expect("ts") >= 0.0);
-        assert!(e.get("dur").and_then(|v| v.as_f64()).expect("dur") >= 0.0);
-        e.get("pid").and_then(|v| v.as_f64()).expect("pid");
-        e.get("tid").and_then(|v| v.as_f64()).expect("tid");
+        let ts = e.get("ts").and_then(|v| v.as_f64()).expect("ts");
+        assert!(ts >= 0.0);
+        assert!(ts >= last_ts, "events not timestamp-sorted");
+        last_ts = ts;
+        match e.get("ph").and_then(|v| v.as_str()) {
+            Some("X") => {
+                let name = e.get("name").and_then(|v| v.as_str()).expect("name");
+                assert!(!name.is_empty());
+                assert!(e.get("dur").and_then(|v| v.as_f64()).expect("dur") >= 0.0);
+                e.get("pid").and_then(|v| v.as_f64()).expect("pid");
+                e.get("tid").and_then(|v| v.as_f64()).expect("tid");
+            }
+            Some("C") => {
+                e.get("args").and_then(|a| a.get("value")).and_then(|v| v.as_f64()).expect("value");
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
     }
 
     // the solver phases and the paper's kernel classes all appear
