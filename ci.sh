@@ -5,11 +5,17 @@
 #
 #   ./ci.sh             # all stages
 #   ./ci.sh lint        # rustfmt + clippy (deny warnings)
-#   ./ci.sh tier1       # release build, root-package tests, both smokes
+#   ./ci.sh tier1       # release build, root-package tests, smokes + zolo leg
+#   ./ci.sh zolo        # fused r-way Zolo: parity/determinism tests + CP gate
 #   ./ci.sh workspace   # full workspace tests + standalone facade build
 #   ./ci.sh verify      # accuracy gate, run twice under deterministic
 #                       # replay — the two reports must be byte-identical
 #   ./ci.sh fast        # lint + tier1 only
+#   ./ci.sh artifacts S # print stage S's artifact paths, one per line
+#
+# `artifacts` is the single source of truth for what each stage produces;
+# the workflow upload steps consume it (./ci.sh artifacts tier1), so a
+# new smoke artifact added here can never silently miss upload.
 #
 # All cargo invocations are --offline: every external dependency is
 # vendored under crates/shims/ (see Cargo.toml), so CI needs no registry.
@@ -18,6 +24,43 @@ cd "$(dirname "$0")"
 
 step() { printf '\n== %s ==\n' "$*"; }
 fail() { echo "ci.sh: $*" >&2; exit 1; }
+
+# Artifact manifest per stage (tier1 includes its embedded zolo leg).
+artifacts_for() {
+    case "$1" in
+        tier1)
+            printf '%s\n' \
+                target/bench_smoke.json \
+                target/profile_smoke.json \
+                target/trace_smoke.json \
+                target/analyze_smoke.json
+            artifacts_for zolo
+            ;;
+        zolo)
+            printf '%s\n' \
+                target/profile_zolo_smoke.json \
+                target/trace_zolo_smoke.json \
+                target/analyze_zolo_smoke.json
+            ;;
+        workspace)
+            printf '%s\n' target/svc_sweep_smoke.json
+            ;;
+        verify)
+            printf '%s\n' ACCURACY_report.json
+            ;;
+        *) fail "no artifact manifest for stage '$1'" ;;
+    esac
+}
+
+# Delete a stage's artifacts up front (a leftover file from an earlier
+# run must never satisfy the non-empty checks), run the stage body, then
+# require every manifest entry to exist non-empty.
+check_artifacts() {
+    local f
+    while IFS= read -r f; do
+        test -s "$f" || fail "stage produced empty or missing artifact: $f"
+    done < <(artifacts_for "$1")
+}
 
 stage_lint() {
     step "rustfmt"
@@ -34,15 +77,7 @@ stage_tier1() {
     step "tier-1: root package tests"
     cargo test --offline -q
 
-    # Smoke artifacts are deleted up front so a leftover file from an
-    # earlier run can never satisfy the non-empty checks below.
-    local artifacts=(
-        target/bench_smoke.json
-        target/profile_smoke.json
-        target/trace_smoke.json
-        target/analyze_smoke.json
-    )
-    rm -f "${artifacts[@]}"
+    artifacts_for tier1 | xargs rm -f
 
     step "bench-smoke: packed GEMM vs reference, all types"
     cargo run --offline --release -p polar-bench --bin kernels_perf -- \
@@ -60,10 +95,35 @@ stage_tier1() {
         --trace target/trace_smoke.json \
         --analyze-out target/analyze_smoke.json >/dev/null
 
-    local f
-    for f in "${artifacts[@]}"; do
-        test -s "$f" || fail "smoke produced empty or missing artifact: $f"
-    done
+    stage_zolo
+    check_artifacts tier1
+}
+
+stage_zolo() {
+    step "zolo: fused-vs-serial parity + bitwise determinism (pinned schedule)"
+    # the fused r-way graph must reproduce the serial loop's plan, QR
+    # accounting, and accuracy for every scalar type, and be bitwise
+    # deterministic via its fixed-order reduction; POLAR_DETERMINISTIC=1
+    # additionally pins the pool schedule so the run is replayable
+    POLAR_DETERMINISTIC=1 \
+    cargo test --offline --release -q -p polar-qdwh zolo
+
+    artifacts_for zolo | xargs rm -f
+
+    step "zolo: r=4 fused solve, post-mortem branch-concurrency gate"
+    # --zolo-cp-gate asserts the measured critical path of the fused r=4
+    # dag sits strictly below the serial sum of its QR-class task
+    # durations — i.e. the analyzer saw >= 2 concurrently-runnable QR
+    # branches. The CP is computed from the dependency graph, so the
+    # gate holds even on single-core runners.
+    POLAR_NUM_THREADS="${POLAR_NUM_THREADS:-4}" \
+    cargo run --offline --release -p polar-bench --bin solver_profile -- \
+        --smoke --analyze --zolo-r 4 --zolo-cp-gate \
+        --out target/profile_zolo_smoke.json \
+        --trace target/trace_zolo_smoke.json \
+        --analyze-out target/analyze_zolo_smoke.json >/dev/null
+
+    check_artifacts zolo
 }
 
 stage_workspace() {
@@ -78,11 +138,10 @@ stage_workspace() {
     # coalescing -> fused worker path) and re-parses the artifact; the
     # full sweep that refreshes the checked-in BENCH_svc.json runs
     # nightly (.github/workflows/nightly.yml)
-    rm -f target/svc_sweep_smoke.json
+    artifacts_for workspace | xargs rm -f
     cargo run --offline --release -p polar-bench --bin svc_loadgen -- \
         --batch-sweep --smoke --out target/svc_sweep_smoke.json >/dev/null
-    test -s target/svc_sweep_smoke.json \
-        || fail "batch-sweep smoke produced empty or missing artifact"
+    check_artifacts workspace
 }
 
 stage_verify() {
@@ -97,18 +156,20 @@ stage_verify() {
     cmp target/verify_run_a.json target/verify_run_b.json \
         || fail "deterministic replay broken: the two gate reports differ"
     cp target/verify_run_a.json ACCURACY_report.json
-    test -s ACCURACY_report.json || fail "empty ACCURACY_report.json"
+    check_artifacts verify
     echo "deterministic replay OK: reports byte-identical"
 }
 
 case "${1:-all}" in
     lint)      stage_lint ;;
     tier1)     stage_tier1 ;;
+    zolo)      stage_zolo ;;
     workspace) stage_workspace ;;
     verify)    stage_verify ;;
     fast)      stage_lint; stage_tier1 ;;
     all)       stage_lint; stage_tier1; stage_workspace; stage_verify ;;
-    *)         fail "unknown stage '${1}' (expected lint|tier1|workspace|verify|fast|all)" ;;
+    artifacts) artifacts_for "${2:?usage: ./ci.sh artifacts <stage>}"; exit 0 ;;
+    *)         fail "unknown stage '${1}' (expected lint|tier1|zolo|workspace|verify|fast|all|artifacts)" ;;
 esac
 
 step "OK"

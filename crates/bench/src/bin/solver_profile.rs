@@ -221,6 +221,44 @@ fn write_analysis(
     }
 }
 
+/// The `--zolo-cp-gate` branch-concurrency check: analyze only the dags
+/// the zolo phase executed and assert the measured critical path of the
+/// fused solve sits strictly below the serial sum of its QR-class task
+/// durations. With r >= 2 independent stacked-QR branches per iteration
+/// that inequality holds structurally (the CP can traverse only one
+/// branch per iteration), so the gate proves the analyzer saw at least
+/// two concurrently-runnable QR branches — even on a single-core runner,
+/// because the measured CP is computed from the dependency graph, not
+/// the schedule.
+fn zolo_cp_gate(spans: &[SpanRecord], zolo_graphs: &[(u32, Arc<TaskGraph>)], r: usize) {
+    let pm = polar_runtime::analyze(spans, zolo_graphs);
+    let d = pm.dags.iter().max_by_key(|d| d.spans).unwrap_or_else(|| {
+        panic!(
+            "--zolo-cp-gate saw no fused zolo dag; the tiled path needs n >= 512 or POLAR_TILED=1"
+        )
+    });
+    let qr_busy: u64 = d
+        .classes
+        .iter()
+        .filter(|c| matches!(c.name, "task_geqrt" | "task_tsqrt" | "task_unmqr" | "task_tsmqr"))
+        .map(|c| c.busy_ns)
+        .sum();
+    assert!(qr_busy > 0, "zolo dag {} recorded no QR-class tasks", d.dag);
+    assert!(
+        d.critical_path_ns < qr_busy,
+        "zolo cp gate: measured critical path {} ns >= serial sum of QR task durations {} ns \
+         at r={r} — the r branches did not run as independent dag work",
+        d.critical_path_ns,
+        qr_busy
+    );
+    eprintln!(
+        "zolo cp gate: r={r}, CP {:.3} ms < serial QR sum {:.3} ms ({:.2}x concurrency headroom), pass",
+        d.critical_path_ns as f64 * 1e-6,
+        qr_busy as f64 * 1e-6,
+        qr_busy as f64 / d.critical_path_ns.max(1) as f64
+    );
+}
+
 /// Smoke validation: every artifact re-parses, the trace is non-empty with
 /// the expected event fields and kernel spans, and worker lanes appear.
 fn validate_artifacts(
@@ -297,6 +335,10 @@ fn validate_artifacts(
         names.contains("qdwh_iter") || names.contains("qdwh_fused"),
         "trace lacks qdwh iteration/fused spans: {names:?}"
     );
+    assert!(
+        names.contains("zolo_iter") || names.contains("zolo_fused"),
+        "trace lacks zolo iteration/fused spans: {names:?}"
+    );
     if rayon::current_num_threads() > 1 {
         assert!(lanes.iter().any(|&l| l > 0), "no spans on pool-worker lanes");
     }
@@ -343,6 +385,8 @@ fn main() {
         },
     );
     let seed: u64 = args.get("--seed", 42);
+    let zolo_r: usize = args.get("--zolo-r", 8);
+    let cp_gate = args.flag("--zolo-cp-gate");
     let trace_max: usize = args.get("--trace-max-events", 0);
     let trace_cap = if trace_max == 0 { usize::MAX } else { trace_max };
     let drift_gate: f64 = args.get("--drift-gate", 0.0);
@@ -380,11 +424,21 @@ fn main() {
     let scope = polar_obs::scope();
     let pd = qdwh(&a, &QdwhOptions::default()).expect("qdwh converges");
     let qdwh_report = scope.finish();
+    // drain the qdwh dags now so the next drain isolates the zolo ones
+    let mut graphs = polar_runtime::take_executed_graphs();
 
-    eprintln!("zolo n={n} (instrumented)...");
+    eprintln!("zolo n={n} r={zolo_r} (instrumented)...");
+    let zopts = ZoloOptions {
+        r: zolo_r,
+        // small r converges slowly on the kappa = 1e16 spec
+        max_iterations: 20,
+        ..Default::default()
+    };
     let scope = polar_obs::scope();
-    let zolo = zolo_pd(&a, &ZoloOptions::default()).expect("zolo converges");
+    let zolo = zolo_pd(&a, &zopts).expect("zolo converges");
     let zolo_report = scope.finish();
+    let zolo_graphs = polar_runtime::take_executed_graphs();
+    graphs.extend(zolo_graphs.iter().cloned());
 
     // ---- profile JSON ----
     let mut j = String::from("{\n");
@@ -408,9 +462,11 @@ fn main() {
         .expect("write chrome trace");
 
     // ---- scheduler post-mortem over the executed dags ----
-    let graphs = polar_runtime::take_executed_graphs();
     if analyze {
         write_analysis(&analyze_out, n, smoke, &spans, &graphs, drift_gate);
+    }
+    if cp_gate {
+        zolo_cp_gate(&spans, &zolo_graphs, zolo_r);
     }
 
     println!("{j}");

@@ -98,7 +98,7 @@ pub(crate) fn plan_iterations<R: Real>(l0: R, opts: &QdwhOptions) -> Option<Vec<
 /// Raw-pointer access to a slab of per-tile scalar slots (convergence
 /// partials / per-iteration results), with the same contract as
 /// [`TilePtr`]: the task graph orders all conflicting accesses.
-struct RealSlots<R> {
+pub(crate) struct RealSlots<R> {
     p: *mut R,
 }
 
@@ -112,17 +112,17 @@ unsafe impl<R: Send> Send for RealSlots<R> {}
 unsafe impl<R: Send> Sync for RealSlots<R> {}
 
 impl<R: Copy> RealSlots<R> {
-    fn new(v: &mut [R]) -> Self {
+    pub(crate) fn new(v: &mut [R]) -> Self {
         Self { p: v.as_mut_ptr() }
     }
     /// # Safety
     /// Slot `i` must be in the calling task's write set.
-    unsafe fn set(&self, i: usize, v: R) {
+    pub(crate) unsafe fn set(&self, i: usize, v: R) {
         *self.p.add(i) = v;
     }
     /// # Safety
     /// Slot `i` must be in the calling task's read set.
-    unsafe fn get(&self, i: usize) -> R {
+    pub(crate) unsafe fn get(&self, i: usize) -> R {
         *self.p.add(i)
     }
 }
@@ -130,7 +130,7 @@ impl<R: Copy> RealSlots<R> {
 /// Preallocate the `T`-factor slab for one stacked-QR parity (same layout
 /// as `geqrf_tiled`'s: slot `i + k * mt`, zero-width stubs outside the
 /// pruned row window).
-fn t_slab<S: Scalar>(wt: Tiling, top_rows: Option<usize>, ib: usize) -> Vec<TileT<S>> {
+pub(crate) fn t_slab<S: Scalar>(wt: Tiling, top_rows: Option<usize>, ib: usize) -> Vec<TileT<S>> {
     let mt = wt.mt();
     let kt = mt.min(wt.nt());
     let mut v = Vec::with_capacity(mt * kt);

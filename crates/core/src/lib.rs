@@ -34,6 +34,7 @@ mod partial;
 mod qdwh_impl;
 mod svd_pd;
 mod zolo;
+mod zolo_fused;
 
 pub use applications::{qdwh_eig, qdwh_svd, QdwhEig, QdwhSvd};
 pub use dist::{qdwh_distributed, DistConfig, DistOutcome};

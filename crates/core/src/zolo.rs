@@ -14,7 +14,9 @@
 //! paper wants for strong scaling.
 
 use crate::elliptic::{zolotarev_coefficients, zolotarev_eval, zolotarev_weights};
-use crate::options::QdwhOptions;
+use crate::options::{
+    IterationDecision, IterationProgress, ProgressHook, QdwhOptions, TiledDecision, TiledPath,
+};
 use crate::qdwh_impl::{PolarDecomposition, QdwhError, QdwhInfo};
 use polar_blas::{add, gemm, norm, scale_real, symmetrize};
 use polar_lapack::{geqrf, norm2est, orgqr, tr_sigma_min_est};
@@ -23,7 +25,7 @@ use polar_matrix::{Matrix, Norm, Op};
 use polar_scalar::{Real, Scalar};
 
 /// Options for [`zolo_pd`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ZoloOptions {
     /// Zolotarev degree parameter: `r` partial-fraction terms, i.e. a
     /// type-(2r+1, 2r) rational map per iteration. `r = 8` gives the
@@ -34,11 +36,65 @@ pub struct ZoloOptions {
     pub max_iterations: usize,
     /// Compute the Hermitian factor.
     pub compute_h: bool,
+    /// Whole-solve fused DAG selection: when the tile path resolves (same
+    /// semantics and `POLAR_TILED` pin as
+    /// [`QdwhOptions::tiled`](crate::options::QdwhOptions::tiled)), the
+    /// `r` stacked-QR terms of every iteration run as concurrent task
+    /// branches of one graph (`zolo_fused`); otherwise the serial
+    /// term-by-term loop runs.
+    pub tiled: TiledPath,
+    /// Problem size (columns) at which [`TiledPath::Auto`] routes to the
+    /// fused graph.
+    pub tiled_threshold: usize,
+    /// Tile size for the fused path; `None` picks
+    /// `polar_lapack::auto_tile_nb`.
+    pub tile_nb: Option<usize>,
+    /// Optional per-iteration progress/cancellation hook. Setting it
+    /// forces the serial loop (the fused graph has no between-iteration
+    /// boundary to stop at — the same caveat as `JobKind::Batched`).
+    pub progress: Option<ProgressHook>,
+}
+
+impl std::fmt::Debug for ZoloOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZoloOptions")
+            .field("r", &self.r)
+            .field("max_iterations", &self.max_iterations)
+            .field("compute_h", &self.compute_h)
+            .field("tiled", &self.tiled)
+            .field("tiled_threshold", &self.tiled_threshold)
+            .field("tile_nb", &self.tile_nb)
+            .field("progress", &self.progress.as_ref().map(|_| "<hook>"))
+            .finish()
+    }
 }
 
 impl Default for ZoloOptions {
     fn default() -> Self {
-        Self { r: 8, max_iterations: 6, compute_h: true }
+        Self {
+            r: 8,
+            max_iterations: 6,
+            compute_h: true,
+            tiled: TiledPath::Auto,
+            tiled_threshold: 512,
+            tile_nb: None,
+            progress: None,
+        }
+    }
+}
+
+impl ZoloOptions {
+    /// Resolve the fused-vs-serial decision for `n` columns, honoring the
+    /// same `POLAR_TILED` env pin and granularity guard as the QDWH
+    /// driver (the decision logic is shared).
+    pub fn resolve_tiled(&self, n: usize) -> TiledDecision {
+        QdwhOptions {
+            tiled: self.tiled,
+            tiled_threshold: self.tiled_threshold,
+            tile_nb: self.tile_nb,
+            ..QdwhOptions::default()
+        }
+        .resolve_tiled(n)
     }
 }
 
@@ -87,6 +143,7 @@ pub fn zolo_pd<S: Scalar>(a: &Matrix<S>, zopts: &ZoloOptions) -> Result<ZoloOutc
         raw.max(eps * eps).min(S::Real::ONE - eps).to_f64()
     };
 
+    let tiled_decision = zopts.resolve_tiled(n);
     let mut info = QdwhInfo {
         alpha,
         l0: S::Real::from_f64(ell),
@@ -96,7 +153,7 @@ pub fn zolo_pd<S: Scalar>(a: &Matrix<S>, zopts: &ZoloOptions) -> Result<ZoloOutc
         kinds: Vec::new(),
         records: Vec::new(),
         flops_estimate: 0.0,
-        tiled_decision: None,
+        tiled_decision: Some(tiled_decision),
     };
     let _solve_span = polar_obs::span!("zolo", m, n);
     let mut qr_count = 0usize;
@@ -108,9 +165,26 @@ pub fn zolo_pd<S: Scalar>(a: &Matrix<S>, zopts: &ZoloOptions) -> Result<ZoloOutc
     // stability, not by this stop test
     let tol = 50.0 * eps.to_f64();
 
+    // Whole-solve fused path: all r stacked-QR terms of every iteration as
+    // concurrent branches of one task graph. The serial loop below stays
+    // as the progress-hook fallback and the planner-overflow continuation
+    // (a `None` plan leaves `ell` untouched, so the loop's own iteration
+    // cap reports `NoConvergence` with the usual bookkeeping).
+    if tiled_decision.is_tiled() && zopts.progress.is_none() {
+        crate::zolo_fused::zolo_fused(&mut x, &mut ell, &mut info, &mut qr_count, zopts)?;
+    }
+
+    let mut last_conv = f64::MAX;
     while (ell - 1.0).abs() >= tol {
         if info.iterations >= zopts.max_iterations {
             return Err(QdwhError::NoConvergence { iterations: info.iterations });
+        }
+        if let Some(hook) = &zopts.progress {
+            let snapshot =
+                IterationProgress { iteration: info.iterations + 1, convergence: last_conv, ell };
+            if hook(&snapshot) == IterationDecision::Cancel {
+                return Err(QdwhError::Cancelled { iteration: info.iterations + 1 });
+            }
         }
         info.iterations += 1;
         info.qr_iterations += 1; // Zolo iterations are QR-based
@@ -184,6 +258,7 @@ pub fn zolo_pd<S: Scalar>(a: &Matrix<S>, zopts: &ZoloOptions) -> Result<ZoloOutc
         let mut diff = x_next.clone();
         add(-S::ONE, x_prev.as_ref(), S::ONE, diff.as_mut());
         let conv: S::Real = norm(Norm::Fro, diff.as_ref());
+        last_conv = conv.to_f64();
         drop(_iter_span);
         info.records.push(crate::qdwh_impl::IterationRecord {
             iteration: info.iterations,
@@ -276,7 +351,8 @@ mod tests {
     fn small_r_needs_more_iterations() {
         let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(32, 4));
         let r8 = zolo_pd(&a, &ZoloOptions::default()).unwrap();
-        let r2 = zolo_pd(&a, &ZoloOptions { r: 2, max_iterations: 10, compute_h: true }).unwrap();
+        let r2 =
+            zolo_pd(&a, &ZoloOptions { r: 2, max_iterations: 10, ..Default::default() }).unwrap();
         assert!(r2.pd.info.iterations > r8.pd.info.iterations);
         assert!(orthogonality_error(&r2.pd.u) < 1e-12);
         // trade-off: fewer iterations but more total QRs for big r

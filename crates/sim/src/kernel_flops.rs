@@ -68,6 +68,22 @@ pub fn potrf(n: usize) -> f64 {
     n * n * n / 3.0
 }
 
+/// One Zolotarev term of an `m x n` iterate: the stacked QR of the
+/// `(m+n) x n` panel `[X; sqrt(c) I]`, forming its Q, and the rank-n
+/// `Q1 Q2^H` accumulation into the private term slab. For square inputs
+/// this is `((10/3)·2 + 2) n³` — the per-term factor of the serial
+/// `zolo_pd` flop estimate.
+pub fn zolo_term(m: usize, n: usize) -> f64 {
+    geqrf(m + n, n) + orgqr(m + n, n) + gemm(m, n, n)
+}
+
+/// One r-way Zolotarev iteration: the r independent terms of the fused
+/// graph (the fixed-order combine and interval update are `O(n²)` noise
+/// the model ignores, matching the serial estimate).
+pub fn zolo_iteration(m: usize, n: usize, r: usize) -> f64 {
+    r as f64 * zolo_term(m, n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,6 +101,27 @@ mod tests {
         assert_eq!(unmqr(4, 4, 2), 4.0 * 32.0 - 2.0 * 16.0);
         assert_eq!(complex_factor(true), 4.0);
         assert_eq!(complex_factor(false), 1.0);
+    }
+
+    #[test]
+    fn zolo_term_matches_the_serial_estimate_factor() {
+        // the serial zolo_pd accuracy-gate flop model charges
+        // ((10/3)*2 + 2) n^3 per term for square inputs; the structural
+        // per-kernel sum must agree within 1%
+        for n in [64usize, 256, 1000] {
+            let nf = n as f64;
+            let serial_factor = ((10.0 / 3.0) * 2.0 + 2.0) * nf * nf * nf;
+            let structural = zolo_term(n, n);
+            assert!(
+                (structural - serial_factor).abs() <= 0.01 * serial_factor,
+                "n={n}: structural {structural:e} vs serial factor {serial_factor:e}"
+            );
+        }
+        for r in [1usize, 2, 4, 8] {
+            assert_eq!(zolo_iteration(128, 128, r), r as f64 * zolo_term(128, 128));
+        }
+        // rectangular panels pay the taller stacked QR
+        assert!(zolo_term(200, 100) > zolo_term(100, 100));
     }
 
     #[test]

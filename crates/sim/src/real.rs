@@ -240,6 +240,84 @@ mod tests {
         }
     }
 
+    /// The fused Zolo shape: r independent QR branches, each feeding a
+    /// private-slab gemm, joined by one fixed-order combine. The replay
+    /// must track the measured makespan, and the *structural* measured
+    /// critical path must sit strictly below the serial sum of the
+    /// per-term QR durations — the property the ci.sh zolo leg gates on.
+    #[test]
+    fn r_way_zolo_graph_replays_and_shows_branch_concurrency() {
+        const R: usize = 4;
+        let mut b = GraphBuilder::new();
+        let mw = b.new_matrix();
+        let my = b.new_matrix();
+        let mx = b.new_matrix();
+        for j in 0..R {
+            b.add_task(KernelKind::Geqrt, 2e6, 0, vec![], vec![tile(mw, j, 0)]);
+        }
+        for j in 0..R {
+            b.add_task(KernelKind::Gemm, 1e6, 0, vec![tile(mw, j, 0)], vec![tile(my, j, 0)]);
+        }
+        b.add_task(
+            KernelKind::Geadd,
+            0.5e6,
+            0,
+            (0..R).map(|j| tile(my, j, 0)).collect(),
+            vec![tile(mx, 0, 0)],
+        );
+        let graph = b.build();
+
+        // two lanes, greedy: [qr0 qr1] [g0 g1] [qr2 qr3] [g2 g3] [combine]
+        let mk = |t: u32, name: &'static str, class, lane, s_ms: f64, e_ms: f64| SpanRecord {
+            name,
+            class: Some(class),
+            seq: t as u64,
+            lane,
+            depth: 0,
+            start_ns: (s_ms * 1e6) as u64,
+            end_ns: (e_ms * 1e6) as u64,
+            flops: 0,
+            dims: [0, 1, 0],
+            lifecycle: Some(TaskLifecycle { dag: 3, task: t, ready_ns: 0, ready_lane: 0 }),
+        };
+        let spans = vec![
+            mk(0, "task_geqrt", KernelClass::Geqrf, 1, 0.0, 2.0),
+            mk(1, "task_geqrt", KernelClass::Geqrf, 2, 0.0, 2.0),
+            mk(4, "task_gemm", KernelClass::Gemm, 1, 2.0, 3.0),
+            mk(5, "task_gemm", KernelClass::Gemm, 2, 2.0, 3.0),
+            mk(2, "task_geqrt", KernelClass::Geqrf, 1, 3.0, 5.0),
+            mk(3, "task_geqrt", KernelClass::Geqrf, 2, 3.0, 5.0),
+            mk(6, "task_gemm", KernelClass::Gemm, 1, 5.0, 6.0),
+            mk(7, "task_gemm", KernelClass::Gemm, 2, 5.0, 6.0),
+            mk(8, "task_geadd", KernelClass::Other, 1, 6.0, 6.5),
+        ];
+        let pm = analyze(&spans, &[(3, Arc::new(graph.clone()))]);
+        let d = &pm.dags[0];
+
+        // branch concurrency: structural CP = qr + gemm + combine = 3.5 ms,
+        // strictly below the 4 x 2 ms serial sum of the QR terms
+        let qr_busy: u64 =
+            d.classes.iter().filter(|c| c.name == "task_geqrt").map(|c| c.busy_ns).sum();
+        assert_eq!(qr_busy, 8_000_000);
+        assert_eq!(d.critical_path_ns, 3_500_000);
+        assert!(
+            d.critical_path_ns < qr_busy,
+            "r-way graph must expose concurrent QR branches: CP {} >= serial sum {}",
+            d.critical_path_ns,
+            qr_busy
+        );
+
+        // calibrated replay of the same graph stays close to the measured
+        // 6.5 ms makespan
+        let cmp = compare(&graph, d);
+        assert!((cmp.measured_makespan_s - 6.5e-3).abs() < 1e-12);
+        assert!(
+            cmp.makespan_error_pct.abs() < 5.0,
+            "r-way replay error {:.3}%",
+            cmp.makespan_error_pct
+        );
+    }
+
     #[test]
     fn zero_flop_graph_degenerates_gracefully() {
         let mut b = GraphBuilder::new();

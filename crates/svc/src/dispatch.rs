@@ -40,6 +40,10 @@ pub fn estimate_flops(kind: JobKind, m: usize, n: usize) -> f64 {
         JobKind::Qdwh | JobKind::Batched => base + rect,
         JobKind::QdwhSvd => base + rect + 12.0 * n3,
         JobKind::SvdPolar => 30.0 * n3 + rect,
+        // Zolo-PD trades flops for iterations: cost the worst-case r = 8
+        // two-iteration profile (r stacked QR+orgqr pairs at 10/3 n^3
+        // each plus the rank-n accumulation, + 2 n^3 for the final H)
+        JobKind::Zolo => 2.0 * 8.0 * (10.0 / 3.0 * 2.0 + 2.0) * n3 + 2.0 * n3 + rect,
     }
 }
 
@@ -52,7 +56,7 @@ pub(crate) struct RunnableJob {
 /// ones (each solved independently), or a shape-homogeneous fused group
 /// for the whole-batch engine.
 pub(crate) enum WorkItem {
-    Single(RunnableJob),
+    Single(Box<RunnableJob>),
     Batch(Vec<RunnableJob>),
     /// Same-shape [`crate::job::JobKind::Batched`] jobs, solved as one
     /// `polar_batch::qdwh_batched` call.
@@ -167,7 +171,7 @@ pub(crate) fn run_dispatcher(
             WorkItem::Batch(batch)
         } else {
             metrics.queue_depth.fetch_sub(1, std::sync::atomic::Ordering::Relaxed);
-            WorkItem::Single(RunnableJob { job: top.job })
+            WorkItem::Single(Box::new(RunnableJob { job: top.job }))
         };
 
         if work.send(item).is_err() {

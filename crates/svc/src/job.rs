@@ -2,7 +2,7 @@
 
 use crate::cancel::CancelToken;
 use polar_matrix::Matrix;
-use polar_qdwh::{PolarDecomposition, QdwhError, QdwhOptions, QdwhSvd};
+use polar_qdwh::{PolarDecomposition, QdwhError, QdwhOptions, QdwhSvd, ZoloOptions};
 use std::time::Duration;
 
 /// Monotonically increasing job identifier, assigned at admission.
@@ -34,6 +34,17 @@ pub enum JobKind {
     /// cancellation and deadlines are only honored before the batch
     /// starts (or on the scalar fallback path).
     Batched,
+    /// Zolotarev polar decomposition (`zolo_pd`): trades `r` times the
+    /// flops of QDWH for fewer iterations, with the r shifted stacked-QR
+    /// terms of each iteration running concurrently in one task graph on
+    /// the fused path. Configure via [`JobSpec::zolo`] /
+    /// [`JobSpec::with_zolo_r`].
+    ///
+    /// Same caveat as [`JobKind::Batched`]: the fused r-way graph has no
+    /// between-iteration hook, so cancellation and deadlines are only
+    /// honored before the solve starts (or when the input is small enough
+    /// to route through the serial fallback, which does get the hook).
+    Zolo,
 }
 
 /// A unit of work: solver kind, input matrix, and scheduling knobs.
@@ -50,6 +61,10 @@ pub struct JobSpec {
     pub timeout: Option<Duration>,
     /// Solver options (the service overwrites the `progress` hook).
     pub opts: QdwhOptions,
+    /// Zolotarev options, consulted only by [`JobKind::Zolo`] jobs
+    /// (`zolo.r` picks the degree; the worker leaves `zolo.progress`
+    /// unset so the fused r-way path stays eligible).
+    pub zolo: ZoloOptions,
 }
 
 impl JobSpec {
@@ -62,8 +77,20 @@ impl JobSpec {
         Self::new(JobKind::Batched, matrix)
     }
 
+    /// A Zolotarev polar-decomposition job (see [`JobKind::Zolo`]).
+    pub fn zolo(matrix: Matrix<f64>) -> Self {
+        Self::new(JobKind::Zolo, matrix)
+    }
+
     pub fn new(kind: JobKind, matrix: Matrix<f64>) -> Self {
-        JobSpec { kind, matrix, priority: 0, timeout: None, opts: QdwhOptions::default() }
+        JobSpec {
+            kind,
+            matrix,
+            priority: 0,
+            timeout: None,
+            opts: QdwhOptions::default(),
+            zolo: ZoloOptions::default(),
+        }
     }
 
     pub fn with_priority(mut self, priority: u8) -> Self {
@@ -73,6 +100,12 @@ impl JobSpec {
 
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = Some(timeout);
+        self
+    }
+
+    /// Set the Zolotarev degree `r ∈ 1..=8` for a [`JobKind::Zolo`] job.
+    pub fn with_zolo_r(mut self, r: usize) -> Self {
+        self.zolo.r = r;
         self
     }
 }

@@ -100,6 +100,12 @@ pub struct MetricsRegistry {
     /// Shape-homogeneous groups dispatched to the fused batched engine
     /// (one per `WorkItem::Fused`, regardless of group size).
     pub fused_batches: AtomicU64,
+    /// Completed Zolo-PD jobs.
+    pub zolo_jobs: AtomicU64,
+    /// Total stacked-QR factorizations across completed Zolo jobs
+    /// (`r × iterations` per job). Divided by `zolo_jobs × iterations`
+    /// this is the per-term concurrency the fused r-way graph exposes.
+    pub zolo_qr_total: AtomicU64,
     pub injected_faults: AtomicU64,
     // gauges
     pub queue_depth: AtomicI64,
@@ -139,6 +145,8 @@ impl MetricsRegistry {
             retries: self.retries.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             fused_batches: self.fused_batches.load(Ordering::Relaxed),
+            zolo_jobs: self.zolo_jobs.load(Ordering::Relaxed),
+            zolo_qr_total: self.zolo_qr_total.load(Ordering::Relaxed),
             injected_faults: self.injected_faults.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed).max(0) as u64,
             in_flight: self.in_flight.load(Ordering::Relaxed).max(0) as u64,
@@ -162,6 +170,11 @@ pub struct MetricsSnapshot {
     pub retries: u64,
     pub batches: u64,
     pub fused_batches: u64,
+    /// Completed Zolo-PD jobs.
+    pub zolo_jobs: u64,
+    /// Stacked-QR factorizations across Zolo jobs (see
+    /// [`MetricsRegistry::zolo_qr_total`]).
+    pub zolo_qr_total: u64,
     pub injected_faults: u64,
     pub queue_depth: u64,
     pub in_flight: u64,
@@ -199,6 +212,8 @@ impl MetricsSnapshot {
             ("retries", self.retries as f64),
             ("batches", self.batches as f64),
             ("fused_batches", self.fused_batches as f64),
+            ("zolo_jobs", self.zolo_jobs as f64),
+            ("zolo_qr_total", self.zolo_qr_total as f64),
             ("injected_faults", self.injected_faults as f64),
             ("queue_depth", self.queue_depth as f64),
             ("in_flight", self.in_flight as f64),

@@ -16,7 +16,8 @@ use crossbeam::channel::Receiver;
 use polar_batch::{qdwh_batched, BatchEntry, BatchOptions};
 use polar_lapack::FailureClass;
 use polar_qdwh::{
-    qdwh, qdwh_svd, svd_based_polar, IterationDecision, PolarDecomposition, ProgressHook, QdwhError,
+    qdwh, qdwh_svd, svd_based_polar, zolo_pd, IterationDecision, PolarDecomposition, ProgressHook,
+    QdwhError,
 };
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -38,7 +39,7 @@ pub(crate) struct ExecContext {
 pub(crate) fn run_worker(worker_id: usize, work: Receiver<WorkItem>, ctx: Arc<ExecContext>) {
     while let Ok(item) = work.recv() {
         match item {
-            WorkItem::Single(rj) => execute_job(rj, worker_id, 0, &ctx),
+            WorkItem::Single(rj) => execute_job(*rj, worker_id, 0, &ctx),
             WorkItem::Batch(batch) => run_batch(batch, worker_id, &ctx),
             WorkItem::Fused(batch) => run_fused(batch, worker_id, &ctx),
         }
@@ -155,7 +156,11 @@ fn run_fused(batch: Vec<RunnableJob>, worker_id: usize, ctx: &Arc<ExecContext>) 
     }
 }
 
-fn solve(spec: &JobSpec, hook: ProgressHook) -> Result<JobOutput, QdwhError> {
+fn solve(
+    spec: &JobSpec,
+    hook: ProgressHook,
+    metrics: &MetricsRegistry,
+) -> Result<JobOutput, QdwhError> {
     let mut opts = spec.opts.clone();
     opts.progress = Some(hook);
     match spec.kind {
@@ -168,6 +173,15 @@ fn solve(spec: &JobSpec, hook: ProgressHook) -> Result<JobOutput, QdwhError> {
         // the Jacobi baseline has no iteration hook; cancellation and
         // deadline are checked between attempts only
         crate::job::JobKind::SvdPolar => svd_based_polar(&spec.matrix).map(JobOutput::Polar),
+        // `zolo.progress` is deliberately left as the submitter set it
+        // (normally `None`): installing the service hook would force the
+        // serial fallback and forfeit the fused r-way graph. See the
+        // [`crate::job::JobKind::Zolo`] cancellation caveat.
+        crate::job::JobKind::Zolo => zolo_pd(&spec.matrix, &spec.zolo).map(|out| {
+            MetricsRegistry::inc(&metrics.zolo_jobs);
+            metrics.zolo_qr_total.fetch_add(out.qr_factorizations as u64, Ordering::Relaxed);
+            JobOutput::Polar(out.pd)
+        }),
     }
 }
 
@@ -221,7 +235,7 @@ fn execute_job(rj: RunnableJob, worker_id: usize, lane: usize, ctx: &Arc<ExecCon
             MetricsRegistry::inc(&metrics.injected_faults);
             Err(injected_error())
         } else {
-            solve(&job.spec, hook.clone())
+            solve(&job.spec, hook.clone(), metrics)
         };
 
         match result {

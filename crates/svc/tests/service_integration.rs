@@ -38,12 +38,35 @@ fn normal_jobs_complete_with_correct_factors() {
     assert_eq!(r.attempts, 1);
     assert!(r.run > Duration::ZERO);
 
-    // all three solver kinds work end to end
+    // all solver kinds work end to end
     let (b, _) = generate::<f64>(&MatrixSpec::well_conditioned(24, 6));
-    for kind in [JobKind::Qdwh, JobKind::QdwhSvd, JobKind::SvdPolar] {
+    for kind in [JobKind::Qdwh, JobKind::QdwhSvd, JobKind::SvdPolar, JobKind::Zolo] {
         let h = svc.try_submit(JobSpec::new(kind, b.clone())).unwrap();
         assert!(h.wait().output.is_ok(), "{kind:?}");
     }
+    svc.shutdown();
+}
+
+#[test]
+fn zolo_jobs_run_fused_and_report_qr_metrics() {
+    use polar_qdwh::TiledPath;
+
+    let svc = PolarService::start(ServiceConfig::default());
+    let (a, _) = generate::<f64>(&MatrixSpec::ill_conditioned(32, 9));
+    let mut spec = JobSpec::zolo(a.clone()).with_zolo_r(4);
+    // force the fused r-way graph even at this test-sized n
+    spec.zolo.tiled = TiledPath::Always;
+    spec.zolo.tile_nb = Some(8);
+    let h = svc.try_submit(spec).unwrap();
+    let r = h.wait();
+    let out = r.output.expect("zolo job succeeds");
+    assert!(polar_qdwh::orthogonality_error(out.u()) < 1e-12);
+
+    let m = svc.metrics();
+    assert_eq!(m.zolo_jobs, 1);
+    // per-term concurrency metric: r QR factorizations per iteration
+    assert!(m.zolo_qr_total >= 4, "expected >= r stacked QRs, got {}", m.zolo_qr_total);
+    assert_eq!(m.zolo_qr_total % 4, 0, "QR count must be r x iterations");
     svc.shutdown();
 }
 
