@@ -22,16 +22,21 @@
 //! solves, which keeps failure semantics identical to the unbatched path.
 
 use crate::cache::{cond_class, CondestCache, CondestKey};
-use polar_blas::{gemm, gemm_batched, herk, norm, symmetrize, trsm};
-use polar_lapack::{geqrf, geqrf_stacked, norm2est, orgqr, potrf, tr_sigma_min_est, trcondest};
-use polar_matrix::{BatchedDense, Diag, MatMut, MatRef, Matrix, Norm, Op, Side, Uplo};
+use polar_blas::{gemm, gemm_batched, gemm_batched_packed, herk, norm, symmetrize, trsm};
+use polar_lapack::{
+    geqrf, geqrf_stacked, norm2est, orgqr, potrf, potrf_in, tr_sigma_min_est, trcondest,
+    trtri_lower,
+};
+use polar_matrix::{
+    BatchedDense, BatchedMut, BatchedRef, Diag, MatMut, MatRef, Matrix, Norm, Op, Side, Uplo,
+};
 use polar_qdwh::{
     halley_parameters, update_ell, IterationKind, IterationPath, IterationRecord, L0Strategy,
     QdwhError, QdwhInfo, QdwhOptions,
 };
 use polar_runtime::{KernelKind, TaskDag, TaskStatus, TileRef};
 use polar_scalar::{Real, Scalar};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// One matrix of a batch: the input `A` and, after a successful
 /// [`qdwh_batched`] call, the polar factors `U` (and `H` when
@@ -82,11 +87,29 @@ pub struct BatchOptions {
     pub fast_scale: bool,
     /// Shared condition-estimate cache; `None` disables sharing.
     pub condest_cache: Option<Arc<CondestCache>>,
+    /// QR→Cholesky switch value for entries that declared a
+    /// [`BatchEntry::with_cond_hint`] conditioning class (unhinted entries
+    /// keep `qdwh.qr_switch_threshold`, classically 100). Safe to widen
+    /// regardless of whether the hint is truthful: `Z = I + c XᴴX` has
+    /// eigenvalues in `[1, 1 + c]`, so `κ(Z) ≤ 1 + c` is bounded by the
+    /// switch value alone — the widened window costs at most `~c·ε`
+    /// backward error in the early Gram forms, which the later,
+    /// well-conditioned rounds contract, while converting the expensive
+    /// per-entry stacked-QR rounds into batch-major Cholesky rounds. The
+    /// effective value is capped at `1e-4/ε` per precision (f64: the 1e5
+    /// default binds; f32: ~840, which still covers the κ ≤ 100 serving
+    /// class whose first-round `c ≈ 764`).
+    pub hinted_qr_switch_threshold: f64,
 }
 
 impl Default for BatchOptions {
     fn default() -> Self {
-        Self { qdwh: QdwhOptions::default(), fast_scale: true, condest_cache: None }
+        Self {
+            qdwh: QdwhOptions::default(),
+            fast_scale: true,
+            condest_cache: None,
+            hinted_qr_switch_threshold: 1e5,
+        }
     }
 }
 
@@ -96,6 +119,7 @@ impl std::fmt::Debug for BatchOptions {
             .field("qdwh", &self.qdwh)
             .field("fast_scale", &self.fast_scale)
             .field("condest_cache", &self.condest_cache)
+            .field("hinted_qr_switch_threshold", &self.hinted_qr_switch_threshold)
             .finish()
     }
 }
@@ -149,9 +173,207 @@ impl<S> Copy for BatchPtr<S> {}
 unsafe impl<S: Send> Send for BatchPtr<S> {}
 unsafe impl<S: Send> Sync for BatchPtr<S> {}
 
+/// Route a whole `qdwh_batched` call to the batch-major kernels?
+///
+/// Batch-major wins when the per-entry GEMMs are too small to reach the
+/// packed microkernels on their own (the per-entry path falls back to the
+/// axpy kernel below `PACK_MIN_FLOPS`) and the whole batch still fits one
+/// KC-block pack slab. Large entries already saturate the tiled path.
+///
+/// `POLAR_BATCH_MAJOR=1` / `=0` force the decision either way (read once
+/// per process). The heuristic is shape-keyed only — no timing, no state —
+/// so the same call always takes the same path, including under
+/// `POLAR_DETERMINISTIC=1`.
+fn batch_major_enabled(batch: usize, n: usize) -> bool {
+    static OVERRIDE: OnceLock<Option<bool>> = OnceLock::new();
+    let forced = *OVERRIDE.get_or_init(|| match std::env::var("POLAR_BATCH_MAJOR") {
+        Ok(v) => match v.trim() {
+            "1" | "on" | "true" => Some(true),
+            "0" | "off" | "false" => Some(false),
+            _ => None,
+        },
+        Err(_) => None,
+    });
+    forced.unwrap_or(batch >= 2 && n <= 128)
+}
+
+/// Workspace slabs for the batch-major rounds, allocated at full batch
+/// capacity the first time each iteration family runs and reused by every
+/// later round of the call (active entries occupy a prefix).
+struct BatchArena<S: Scalar> {
+    /// Gathered active iterates, `m x n` each (Cholesky family input).
+    xg: BatchedDense<S>,
+    /// `X T^H` staging, `m x n`.
+    w1: BatchedDense<S>,
+    /// Cholesky-family results `Y = X T^H T`, `m x n`.
+    yc: BatchedDense<S>,
+    /// Gram matrices `G = X^H X`, then in place `Z = I + c G` and its
+    /// Cholesky factor, `n x n`.
+    g: BatchedDense<S>,
+    /// Explicit inverses `T = L^{-1}`, `n x n`.
+    t: BatchedDense<S>,
+    /// QR-family `Q1` blocks, `m x n`.
+    q1: BatchedDense<S>,
+    /// QR-family `Q2` blocks, `n x n`.
+    q2: BatchedDense<S>,
+    /// QR-family results `Y = Q1 Q2^H`, `m x n`.
+    yq: BatchedDense<S>,
+    /// Per-entry stacked `[sqrt(c) X; I]` workspaces, `(m+n) x n`.
+    wq: Vec<Matrix<S>>,
+}
+
+impl<S: Scalar> BatchArena<S> {
+    fn new() -> Self {
+        let empty = || BatchedDense::zeros(0, 0, 0);
+        Self {
+            xg: empty(),
+            w1: empty(),
+            yc: empty(),
+            g: empty(),
+            t: empty(),
+            q1: empty(),
+            q2: empty(),
+            yq: empty(),
+            wq: Vec::new(),
+        }
+    }
+
+    fn ensure_chol(&mut self, m: usize, n: usize, batch: usize) {
+        if self.g.batch() < batch || self.g.nrows() != n || self.xg.nrows() != m {
+            self.xg = BatchedDense::zeros(m, n, batch);
+            self.w1 = BatchedDense::zeros(m, n, batch);
+            self.yc = BatchedDense::zeros(m, n, batch);
+            self.g = BatchedDense::zeros(n, n, batch);
+            self.t = BatchedDense::zeros(n, n, batch);
+        }
+    }
+
+    fn ensure_qr(&mut self, m: usize, n: usize, count: usize) {
+        if self.q1.batch() < count || self.q1.nrows() != m || self.q2.nrows() != n {
+            let cap = count.max(self.q1.batch());
+            self.q1 = BatchedDense::zeros(m, n, cap);
+            self.q2 = BatchedDense::zeros(n, n, cap);
+            self.yq = BatchedDense::zeros(m, n, cap);
+        }
+        if self.wq.first().is_some_and(|w| w.nrows() != m + n || w.ncols() != n) {
+            self.wq.clear();
+        }
+        while self.wq.len() < count {
+            self.wq.push(Matrix::zeros(m + n, n));
+        }
+    }
+}
+
+/// The big per-call slabs: the packed `A` copy, the iterate batch `X`,
+/// the per-entry-path `Y` scratch, the `H` epilogue batch, and the
+/// batch-major arena.
+struct SlabCache<S: Scalar> {
+    ab: BatchedDense<S>,
+    x: BatchedDense<S>,
+    y: BatchedDense<S>,
+    hb: BatchedDense<S>,
+    arena: BatchArena<S>,
+}
+
+fn slab_bytes<S: Scalar>(bd: &BatchedDense<S>) -> usize {
+    bd.nrows() * bd.ncols() * bd.batch() * std::mem::size_of::<S>()
+}
+
+impl<S: Scalar> SlabCache<S> {
+    fn new() -> Self {
+        let empty = || BatchedDense::zeros(0, 0, 0);
+        Self { ab: empty(), x: empty(), y: empty(), hb: empty(), arena: BatchArena::new() }
+    }
+
+    fn bytes(&self) -> usize {
+        let a = &self.arena;
+        slab_bytes(&self.ab)
+            + slab_bytes(&self.x)
+            + slab_bytes(&self.y)
+            + slab_bytes(&self.hb)
+            + slab_bytes(&a.xg)
+            + slab_bytes(&a.w1)
+            + slab_bytes(&a.yc)
+            + slab_bytes(&a.g)
+            + slab_bytes(&a.t)
+            + slab_bytes(&a.q1)
+            + slab_bytes(&a.q2)
+            + slab_bytes(&a.yq)
+            + a.wq.iter().map(|w| w.nrows() * w.ncols() * std::mem::size_of::<S>()).sum::<usize>()
+    }
+}
+
+/// Reallocate only on shape change; a serving stream of same-shape
+/// batches reuses the previous call's pages.
+fn ensure_slab<S: Scalar>(bd: &mut BatchedDense<S>, m: usize, n: usize, batch: usize) {
+    if bd.nrows() != m || bd.ncols() != n || bd.batch() != batch {
+        *bd = BatchedDense::zeros(m, n, batch);
+    }
+}
+
+/// Serving streams call [`qdwh_batched`] over and over with one shape;
+/// reallocating ~10 MB of zeroed slabs per call costs more in page
+/// faults than whole rounds of kernel work at serving sizes. Each
+/// thread keeps its last call's slabs and reuses them when the shape
+/// matches. Every slab entry that is read is fully written first (Gram,
+/// GEMM-with-beta-0, full gathers, `trtri`'s full-triangle writes), so
+/// reuse never leaks values between calls; error paths drop the slabs
+/// instead of recaching them, and oversized calls are never cached.
+const SLAB_CACHE_MAX_BYTES: usize = 32 << 20;
+
+thread_local! {
+    static SLAB_CACHE: std::cell::RefCell<
+        std::collections::HashMap<std::any::TypeId, Box<dyn std::any::Any>>,
+    > = std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+fn slab_cache_take<S: Scalar>() -> SlabCache<S> {
+    SLAB_CACHE.with(|c| {
+        c.borrow_mut()
+            .remove(&std::any::TypeId::of::<SlabCache<S>>())
+            .and_then(|b| b.downcast::<SlabCache<S>>().ok())
+            .map(|b| *b)
+            .unwrap_or_else(SlabCache::new)
+    })
+}
+
+fn slab_cache_put<S: Scalar>(cache: SlabCache<S>) {
+    if cache.bytes() <= SLAB_CACHE_MAX_BYTES {
+        SLAB_CACHE.with(|c| {
+            c.borrow_mut().insert(std::any::TypeId::of::<SlabCache<S>>(), Box::new(cache));
+        });
+    }
+}
+
 impl<S: Scalar> BatchPtr<S> {
     fn new(b: &mut BatchedDense<S>) -> Self {
         Self { data: b.as_mut_slice().as_mut_ptr(), rows: b.nrows(), cols: b.ncols() }
+    }
+
+    /// # Safety
+    /// Same contract as [`BatchPtr::mat`], extended over entries
+    /// `0..count`.
+    unsafe fn batched<'x>(&self, count: usize) -> BatchedRef<'x, S> {
+        let per = self.rows * self.cols;
+        BatchedRef::from_slice(
+            std::slice::from_raw_parts(self.data, per * count),
+            self.rows,
+            self.cols,
+            count,
+        )
+    }
+
+    /// # Safety
+    /// Same contract as [`BatchPtr::mat_mut`], extended over entries
+    /// `0..count`.
+    unsafe fn batched_mut<'x>(&self, count: usize) -> BatchedMut<'x, S> {
+        let per = self.rows * self.cols;
+        BatchedMut::from_slice(
+            std::slice::from_raw_parts_mut(self.data, per * count),
+            self.rows,
+            self.cols,
+            count,
+        )
     }
 
     /// # Safety
@@ -219,6 +441,12 @@ impl<T> SlotsPtr<T> {
     /// Only the task owning index `k` may write it; no concurrent reads.
     unsafe fn set(&self, k: usize, value: T) {
         *self.data.add(k) = value;
+    }
+
+    /// # Safety
+    /// Same exclusivity contract as [`SlotsPtr::set`].
+    unsafe fn get_mut<'x>(&self, k: usize) -> &'x mut T {
+        &mut *self.data.add(k)
     }
 }
 
@@ -289,14 +517,28 @@ pub fn qdwh_batched<S: Scalar>(
     let entry_bytes = (m * n * std::mem::size_of::<S>()) as u64;
     let tf = polar_blas::flops::type_factor(S::IS_COMPLEX);
 
-    // ---- pack: A and the iterate batch (one allocation each) ----
-    let mut a_batch = BatchedDense::<S>::zeros(m, n, batch);
+    // ---- pack: A and the iterate batch (thread-cached slabs) ----
+    let use_batch_major = batch_major_enabled(batch, n);
+    let mut slabs = slab_cache_take::<S>();
+    ensure_slab(&mut slabs.ab, m, n, batch);
+    let mut a_batch = std::mem::replace(&mut slabs.ab, BatchedDense::zeros(0, 0, 0));
     for (k, e) in entries.iter().enumerate() {
         a_batch.set_entry(k, &e.a);
     }
-    let mut x = BatchedDense::<S>::zeros(m, n, batch);
-    // per-entry factor scratch `Y` (Q1 Q2^H or X Z^{-1}), reused each round
-    let mut y = BatchedDense::<S>::zeros(m, n, batch);
+    ensure_slab(&mut slabs.x, m, n, batch);
+    let mut x = std::mem::replace(&mut slabs.x, BatchedDense::zeros(0, 0, 0));
+    // per-entry factor scratch `Y` (Q1 Q2^H or X Z^{-1}), reused each round;
+    // the batch-major path keeps its results in the arena slabs instead
+    if use_batch_major {
+        ensure_slab(&mut slabs.y, 0, 0, 0);
+    } else {
+        ensure_slab(&mut slabs.y, m, n, batch);
+    }
+    let mut y = std::mem::replace(&mut slabs.y, BatchedDense::zeros(0, 0, 0));
+    // batch-major workspace, family slabs allocated on first use and then
+    // reused by every later round of this call (and across calls, via the
+    // thread-local slab cache)
+    let mut arena = std::mem::replace(&mut slabs.arena, BatchArena::new());
 
     // ---- resolve per-entry l0 sources against the cache, batch-start ----
     // Lookups run against the cache as of batch start and folds happen
@@ -306,6 +548,7 @@ pub fn qdwh_batched<S: Scalar>(
         L0Strategy::LuFormula => L0Strategy::PaperFormula,
         s => s,
     };
+    let hinted: Vec<bool> = entries.iter().map(|e| e.cond_hint.is_some()).collect();
     let mut preset_l0: Vec<Option<S::Real>> = vec![None; batch];
     let mut fold_keys: Vec<Option<CondestKey>> = vec![None; batch];
     for (k, e) in entries.iter().enumerate() {
@@ -335,18 +578,29 @@ pub fn qdwh_batched<S: Scalar>(
         let xp = BatchPtr::new(&mut x);
         let pp = SlotsPtr::new(&mut prologue);
         let fast_scale = opts.fast_scale;
-        for (k, e) in entries.iter().enumerate() {
-            let a_ref: &Matrix<S> = &e.a;
-            let need_l0 = preset_l0[k].is_none();
-            let prologue_flops = tf * 2.0 * (m * n) as f64
-                + if need_l0 { tf * polar_blas::flops::geqrf(m, n) } else { 0.0 };
-            dag.add(
-                KernelKind::Norm,
-                1,
-                prologue_flops,
-                Vec::new(),
-                vec![TileRef::new(mx, k, 0, entry_bytes)],
-                move || {
+        // chunked like the round tasks: at most ~2 prologue tasks per
+        // pool worker (per-entry norms are a few microseconds on the
+        // warm-cache path — task overhead would dominate them)
+        let workers = rayon::current_num_threads().max(1);
+        let step = batch.div_ceil((2 * workers).min(batch).max(1));
+        for lo in (0..batch).step_by(step) {
+            let hi = (lo + step).min(batch);
+            let chunk: Vec<(usize, &Matrix<S>, bool)> = entries[lo..hi]
+                .iter()
+                .enumerate()
+                .map(|(d, e)| (lo + d, &e.a, preset_l0[lo + d].is_none()))
+                .collect();
+            let prologue_flops: f64 = chunk
+                .iter()
+                .map(|&(_, _, need_l0)| {
+                    tf * 2.0 * (m * n) as f64
+                        + if need_l0 { tf * polar_blas::flops::geqrf(m, n) } else { 0.0 }
+                })
+                .sum();
+            let writes: Vec<TileRef> =
+                chunk.iter().map(|&(k, _, _)| TileRef::new(mx, k, 0, entry_bytes)).collect();
+            dag.add(KernelKind::Norm, 1, prologue_flops, Vec::new(), writes, move || {
+                for &(k, a_ref, need_l0) in &chunk {
                     let alpha = if fast_scale {
                         let n1: S::Real = norm(Norm::One, a_ref.as_ref());
                         let ni: S::Real = norm(Norm::Inf, a_ref.as_ref());
@@ -355,8 +609,11 @@ pub fn qdwh_batched<S: Scalar>(
                         norm2est(a_ref).estimate
                     };
                     if alpha == S::Real::ZERO {
+                        // the slab may hold a previous call's iterate;
+                        // the H epilogue reads every entry of X
+                        unsafe { xp.slice_mut(k) }.fill(S::ZERO);
                         unsafe { pp.set(k, Prologue { alpha, computed_l0: None }) };
-                        return;
+                        continue;
                     }
                     // X_k := A_k / alpha
                     let inv = alpha.recip();
@@ -380,8 +637,8 @@ pub fn qdwh_batched<S: Scalar>(
                         raw.max(eps * eps).min(S::Real::ONE - eps)
                     });
                     unsafe { pp.set(k, Prologue { alpha, computed_l0 }) };
-                },
-            );
+                }
+            });
         }
         dag.execute();
     }
@@ -446,8 +703,19 @@ pub fn qdwh_batched<S: Scalar>(
             .filter(|(_, s)| !s.done)
             .map(|(k, s)| {
                 let p = halley_parameters(s.ell);
+                // hinted entries opted into the extended Cholesky window
+                // (see [`BatchOptions::hinted_qr_switch_threshold`]); the
+                // stability bound depends only on the realized c, never on
+                // the hint's truthfulness, so no validation is needed here
+                let switch = if hinted[k] {
+                    (1e-4 / S::Real::EPSILON.to_f64())
+                        .min(opts.hinted_qr_switch_threshold)
+                        .max(opts.qdwh.qr_switch_threshold)
+                } else {
+                    opts.qdwh.qr_switch_threshold
+                };
                 let use_qr = match opts.qdwh.path {
-                    IterationPath::Auto => p.c.to_f64() > opts.qdwh.qr_switch_threshold,
+                    IterationPath::Auto => p.c.to_f64() > switch,
                     IterationPath::ForceQr => true,
                     IterationPath::ForceCholesky => false,
                 };
@@ -464,104 +732,383 @@ pub fn qdwh_batched<S: Scalar>(
         let mut dag = TaskDag::new();
         let mx = dag.new_matrix();
         let xp = BatchPtr::new(&mut x);
-        let yp = BatchPtr::new(&mut y);
         let cp = SlotsPtr::new(&mut conv_slots);
         let ep = SlotsPtr::new(&mut err_slots);
         let exploit = opts.qdwh.exploit_structure;
-        for plan in &plans {
-            let k = plan.k;
-            let x_tile = TileRef::new(mx, k, 0, entry_bytes);
-            let y_tile = TileRef::new(mx, k, 1, entry_bytes);
-            // factor task: Y_k := Q1 Q2^H (QR family) or X_k Z^{-1} (Cholesky)
-            if plan.use_qr {
-                let sqrt_c = plan.c.sqrt();
-                let flops = tf
-                    * (polar_blas::flops::geqrf(m + n, n)
-                        + polar_blas::flops::orgqr(m + n, n)
-                        + polar_blas::flops::gemm(m, n, n));
-                dag.add(KernelKind::Geqrt, 1, flops, vec![x_tile], vec![y_tile], move || {
-                    let xk = unsafe { xp.mat(k) };
-                    let sc = S::from_real(sqrt_c);
-                    // W = [sqrt(c) X_k; I]
-                    let mut w = Matrix::<S>::zeros(m + n, n);
-                    for j in 0..n {
-                        for i in 0..m {
-                            w[(i, j)] = xk.at(i, j) * sc;
+        if use_batch_major {
+            // ---- batch-major round ----
+            //
+            // The active entries split by iteration family; each family's
+            // GEMM-shaped work runs as ONE batch-spanning task over compact
+            // arena slabs (gathered prefix), through
+            // [`gemm_batched_packed`]'s single pack sweep. Only the
+            // factorizations (`potrf` + `trtri`, or the stacked QR) stay
+            // per-entry — they are inherently per-matrix and run as
+            // parallel DAG tasks on disjoint slab entries. The Cholesky
+            // family applies `Z^{-1}` through the explicit inverse
+            // `T = L^{-1}` (two batched GEMMs) instead of two per-entry
+            // substitution-kernel `trsm`s.
+            let ma = dag.new_matrix();
+            let chol_plans: Vec<&Plan<S::Real>> = plans.iter().filter(|p| !p.use_qr).collect();
+            let qr_plans: Vec<&Plan<S::Real>> = plans.iter().filter(|p| p.use_qr).collect();
+            if !chol_plans.is_empty() {
+                arena.ensure_chol(m, n, batch);
+            }
+            if !qr_plans.is_empty() {
+                arena.ensure_qr(m, n, qr_plans.len());
+            }
+            let xgp = BatchPtr::new(&mut arena.xg);
+            let w1p = BatchPtr::new(&mut arena.w1);
+            let ycp = BatchPtr::new(&mut arena.yc);
+            let gp = BatchPtr::new(&mut arena.g);
+            let tp = BatchPtr::new(&mut arena.t);
+            let q1p = BatchPtr::new(&mut arena.q1);
+            let q2p = BatchPtr::new(&mut arena.q2);
+            let yqp = BatchPtr::new(&mut arena.yq);
+            let wqp = SlotsPtr::new(&mut arena.wq);
+            let g_tile = |i| TileRef::new(ma, i, 0, entry_bytes);
+            let t_tile = |i| TileRef::new(ma, i, 1, entry_bytes);
+            let yc_tile = |i| TileRef::new(ma, i, 2, entry_bytes);
+            let xg_tile = |i| TileRef::new(ma, i, 3, entry_bytes);
+            let q1_tile = |i| TileRef::new(ma, i, 4, entry_bytes);
+            let q2_tile = |i| TileRef::new(ma, i, 5, entry_bytes);
+            let yq_tile = |i| TileRef::new(ma, i, 6, entry_bytes);
+            // Per-entry work inside a batch-major round is tiny (a few
+            // tens of microseconds at serving sizes), so one DAG task per
+            // entry would drown in spawn/sync overhead — especially on a
+            // single-worker pool, where the round is purely sequential
+            // anyway. Chunk per-entry tasks so the round emits at most
+            // ~2 tasks per pool worker: full parallelism headroom on
+            // multicore, near-zero task overhead on one core.
+            let chunks_of = |cnt: usize| -> Vec<(usize, usize)> {
+                let workers = rayon::current_num_threads().max(1);
+                let step = cnt.div_ceil((2 * workers).min(cnt).max(1));
+                (0..cnt).step_by(step).map(|lo| (lo, (lo + step).min(cnt))).collect()
+            };
+            // scatter-update: X_k := theta Y_i + beta X_k fused with the
+            // convergence norm, compact slab entries -> batch entries
+            let scatter_update =
+                |dag: &mut TaskDag<'_>,
+                 src: BatchPtr<S>,
+                 reads: Vec<TileRef>,
+                 specs: Vec<(usize, usize, S::Real, S::Real)>| {
+                    let flops = tf * 3.0 * (m * n) as f64 * specs.len() as f64;
+                    let writes: Vec<TileRef> = specs
+                        .iter()
+                        .map(|&(_, k, _, _)| TileRef::new(mx, k, 0, entry_bytes))
+                        .collect();
+                    dag.add(KernelKind::Geadd, 0, flops, reads, writes, move || {
+                        for &(i, k, theta, beta) in &specs {
+                            let th = S::from_real(theta);
+                            let be = S::from_real(beta);
+                            let yk = unsafe { src.slice(i) };
+                            let xk = unsafe { xp.slice_mut(k) };
+                            let mut acc = S::Real::ZERO;
+                            for (xi, yi) in xk.iter_mut().zip(yk) {
+                                let old = *xi;
+                                let new = *yi * th + old * be;
+                                acc += (new - old).abs_sq();
+                                *xi = new;
+                            }
+                            unsafe { cp.set(k, acc.sqrt()) };
                         }
-                        w[(m + j, j)] = S::ONE;
-                    }
-                    let f = if exploit { geqrf_stacked(m, &mut w) } else { geqrf(&mut w) };
-                    let q = orgqr(&w, &f);
-                    let q1 = q.submatrix_owned(0, 0, m, n);
-                    let q2 = q.submatrix_owned(m, 0, n, n);
-                    gemm(
-                        Op::NoTrans,
-                        Op::ConjTrans,
-                        S::ONE,
-                        q1.as_ref(),
-                        q2.as_ref(),
-                        S::ZERO,
-                        unsafe { yp.mat_mut(k) },
-                    );
-                });
-            } else {
-                let c = plan.c;
-                let flops = tf
-                    * (polar_blas::flops::herk(n, m)
-                        + polar_blas::flops::potrf(n)
-                        + 2.0 * polar_blas::flops::trsm_right(m, n));
-                dag.add_task(KernelKind::Potrf, 1, flops, vec![x_tile], vec![y_tile], move || {
-                    let xk = unsafe { xp.mat(k) };
-                    // Z = I + c X^H X
-                    let mut z = Matrix::<S>::identity(n, n);
-                    herk(Uplo::Lower, Op::ConjTrans, c, xk, S::Real::ONE, z.as_mut());
-                    if let Err(e) = potrf(Uplo::Lower, &mut z) {
-                        unsafe { ep.set(k, Some(QdwhError::Lapack(e))) };
-                        return TaskStatus::Cancel;
-                    }
-                    // Y := X L^{-H} L^{-1}
-                    let yk = unsafe { yp.slice_mut(k) };
-                    yk.copy_from_slice(unsafe { xp.slice(k) });
-                    for pass in [Op::ConjTrans, Op::NoTrans] {
-                        trsm(
-                            Side::Right,
-                            Uplo::Lower,
-                            pass,
-                            Diag::NonUnit,
+                    });
+                };
+            if !chol_plans.is_empty() {
+                let cnt = chol_plans.len();
+                let gather: Vec<(usize, usize)> =
+                    chol_plans.iter().enumerate().map(|(i, p)| (i, p.k)).collect();
+                // gather + one batched Gram sweep: G_i = X_i^H X_i
+                let reads: Vec<TileRef> =
+                    gather.iter().map(|&(_, k)| TileRef::new(mx, k, 0, entry_bytes)).collect();
+                let writes: Vec<TileRef> = (0..cnt).flat_map(|i| [xg_tile(i), g_tile(i)]).collect();
+                dag.add(
+                    KernelKind::Gemm,
+                    1,
+                    tf * cnt as f64 * polar_blas::flops::gemm(n, n, m),
+                    reads,
+                    writes,
+                    move || {
+                        for &(i, k) in &gather {
+                            unsafe { xgp.slice_mut(i) }.copy_from_slice(unsafe { xp.slice(k) });
+                        }
+                        let xg = unsafe { xgp.batched(cnt) };
+                        gemm_batched_packed(
+                            Op::ConjTrans,
+                            Op::NoTrans,
                             S::ONE,
-                            z.as_ref(),
+                            xg,
+                            xg,
+                            S::ZERO,
+                            unsafe { gp.batched_mut(cnt) },
+                        );
+                    },
+                );
+                // chunked per-entry work: Z = I + c G in place, factor, invert
+                for (lo, hi) in chunks_of(cnt) {
+                    let specs: Vec<(usize, usize, S::Real)> = chol_plans[lo..hi]
+                        .iter()
+                        .enumerate()
+                        .map(|(d, p)| (lo + d, p.k, p.c))
+                        .collect();
+                    let writes: Vec<TileRef> =
+                        (lo..hi).flat_map(|i| [g_tile(i), t_tile(i)]).collect();
+                    dag.add_task(
+                        KernelKind::Potrf,
+                        1,
+                        tf * 2.0 * polar_blas::flops::potrf(n) * specs.len() as f64,
+                        Vec::new(),
+                        writes,
+                        move || {
+                            for &(i, k, c) in &specs {
+                                {
+                                    // only the lower triangle feeds potrf
+                                    let zs = unsafe { gp.slice_mut(i) };
+                                    let cs = S::from_real(c);
+                                    for j in 0..n {
+                                        let col = &mut zs[j * n..(j + 1) * n];
+                                        for v in col.iter_mut().skip(j) {
+                                            *v *= cs;
+                                        }
+                                        col[j] += S::ONE;
+                                    }
+                                }
+                                if let Err(e) = potrf_in(Uplo::Lower, unsafe { gp.mat_mut(i) }) {
+                                    unsafe { ep.set(k, Some(QdwhError::Lapack(e))) };
+                                    return TaskStatus::Cancel;
+                                }
+                                if let Err(e) =
+                                    trtri_lower(unsafe { gp.mat(i) }, unsafe { tp.mat_mut(i) })
+                                {
+                                    unsafe { ep.set(k, Some(QdwhError::Lapack(e))) };
+                                    return TaskStatus::Cancel;
+                                }
+                            }
+                            TaskStatus::Continue
+                        },
+                    );
+                }
+                // two batched sweeps: Y = (X T^H) T = X L^{-H} L^{-1}
+                let reads: Vec<TileRef> = (0..cnt).flat_map(|i| [xg_tile(i), t_tile(i)]).collect();
+                let writes: Vec<TileRef> = (0..cnt).map(yc_tile).collect();
+                dag.add(
+                    KernelKind::Gemm,
+                    1,
+                    tf * cnt as f64 * 2.0 * polar_blas::flops::gemm(m, n, n),
+                    reads,
+                    writes,
+                    move || {
+                        let t = unsafe { tp.batched(cnt) };
+                        gemm_batched_packed(
+                            Op::NoTrans,
+                            Op::ConjTrans,
+                            S::ONE,
+                            unsafe { xgp.batched(cnt) },
+                            t,
+                            S::ZERO,
+                            unsafe { w1p.batched_mut(cnt) },
+                        );
+                        gemm_batched_packed(
+                            Op::NoTrans,
+                            Op::NoTrans,
+                            S::ONE,
+                            unsafe { w1p.batched(cnt) },
+                            t,
+                            S::ZERO,
+                            unsafe { ycp.batched_mut(cnt) },
+                        );
+                    },
+                );
+                for (lo, hi) in chunks_of(cnt) {
+                    let reads: Vec<TileRef> = (lo..hi).map(yc_tile).collect();
+                    let specs: Vec<(usize, usize, S::Real, S::Real)> = chol_plans[lo..hi]
+                        .iter()
+                        .enumerate()
+                        .map(|(d, p)| (lo + d, p.k, p.theta, p.beta))
+                        .collect();
+                    scatter_update(&mut dag, ycp, reads, specs);
+                }
+            }
+            if !qr_plans.is_empty() {
+                let cnt = qr_plans.len();
+                // chunked per-entry stacked QR into the Q1/Q2 slabs
+                for (lo, hi) in chunks_of(cnt) {
+                    let specs: Vec<(usize, usize, S::Real)> = qr_plans[lo..hi]
+                        .iter()
+                        .enumerate()
+                        .map(|(d, p)| (lo + d, p.k, p.c.sqrt()))
+                        .collect();
+                    let flops = tf
+                        * (polar_blas::flops::geqrf(m + n, n) + polar_blas::flops::orgqr(m + n, n))
+                        * specs.len() as f64;
+                    let reads: Vec<TileRef> = specs
+                        .iter()
+                        .map(|&(_, k, _)| TileRef::new(mx, k, 0, entry_bytes))
+                        .collect();
+                    let writes: Vec<TileRef> =
+                        (lo..hi).flat_map(|i| [q1_tile(i), q2_tile(i)]).collect();
+                    dag.add(KernelKind::Geqrt, 1, flops, reads, writes, move || {
+                        for &(i, k, sqrt_c) in &specs {
+                            let xk = unsafe { xp.mat(k) };
+                            let sc = S::from_real(sqrt_c);
+                            let w = unsafe { wqp.get_mut(i) };
+                            // W = [sqrt(c) X_k; I], fully rewritten (reused)
+                            for j in 0..n {
+                                for r in 0..m {
+                                    w[(r, j)] = xk.at(r, j) * sc;
+                                }
+                                for r in 0..n {
+                                    w[(m + r, j)] = if r == j { S::ONE } else { S::ZERO };
+                                }
+                            }
+                            let f = if exploit { geqrf_stacked(m, w) } else { geqrf(w) };
+                            let q = orgqr(w, &f);
+                            let q1s = unsafe { q1p.slice_mut(i) };
+                            let q2s = unsafe { q2p.slice_mut(i) };
+                            for j in 0..n {
+                                let col = q.as_ref().col(j);
+                                q1s[j * m..(j + 1) * m].copy_from_slice(&col[..m]);
+                                q2s[j * n..(j + 1) * n].copy_from_slice(&col[m..]);
+                            }
+                        }
+                    });
+                }
+                // one batched sweep: Y = Q1 Q2^H
+                let reads: Vec<TileRef> = (0..cnt).flat_map(|i| [q1_tile(i), q2_tile(i)]).collect();
+                let writes: Vec<TileRef> = (0..cnt).map(yq_tile).collect();
+                dag.add(
+                    KernelKind::Gemm,
+                    1,
+                    tf * cnt as f64 * polar_blas::flops::gemm(m, n, n),
+                    reads,
+                    writes,
+                    move || {
+                        gemm_batched_packed(
+                            Op::NoTrans,
+                            Op::ConjTrans,
+                            S::ONE,
+                            unsafe { q1p.batched(cnt) },
+                            unsafe { q2p.batched(cnt) },
+                            S::ZERO,
+                            unsafe { yqp.batched_mut(cnt) },
+                        );
+                    },
+                );
+                for (lo, hi) in chunks_of(cnt) {
+                    let reads: Vec<TileRef> = (lo..hi).map(yq_tile).collect();
+                    let specs: Vec<(usize, usize, S::Real, S::Real)> = qr_plans[lo..hi]
+                        .iter()
+                        .enumerate()
+                        .map(|(d, p)| (lo + d, p.k, p.theta, p.beta))
+                        .collect();
+                    scatter_update(&mut dag, yqp, reads, specs);
+                }
+            }
+            dag.execute();
+        } else {
+            let yp = BatchPtr::new(&mut y);
+            for plan in &plans {
+                let k = plan.k;
+                let x_tile = TileRef::new(mx, k, 0, entry_bytes);
+                let y_tile = TileRef::new(mx, k, 1, entry_bytes);
+                // factor task: Y_k := Q1 Q2^H (QR family) or X_k Z^{-1} (Cholesky)
+                if plan.use_qr {
+                    let sqrt_c = plan.c.sqrt();
+                    let flops = tf
+                        * (polar_blas::flops::geqrf(m + n, n)
+                            + polar_blas::flops::orgqr(m + n, n)
+                            + polar_blas::flops::gemm(m, n, n));
+                    dag.add(KernelKind::Geqrt, 1, flops, vec![x_tile], vec![y_tile], move || {
+                        let xk = unsafe { xp.mat(k) };
+                        let sc = S::from_real(sqrt_c);
+                        // W = [sqrt(c) X_k; I]
+                        let mut w = Matrix::<S>::zeros(m + n, n);
+                        for j in 0..n {
+                            for i in 0..m {
+                                w[(i, j)] = xk.at(i, j) * sc;
+                            }
+                            w[(m + j, j)] = S::ONE;
+                        }
+                        let f = if exploit { geqrf_stacked(m, &mut w) } else { geqrf(&mut w) };
+                        let q = orgqr(&w, &f);
+                        let q1 = q.submatrix_owned(0, 0, m, n);
+                        let q2 = q.submatrix_owned(m, 0, n, n);
+                        gemm(
+                            Op::NoTrans,
+                            Op::ConjTrans,
+                            S::ONE,
+                            q1.as_ref(),
+                            q2.as_ref(),
+                            S::ZERO,
                             unsafe { yp.mat_mut(k) },
                         );
-                    }
-                    TaskStatus::Continue
-                });
+                    });
+                } else {
+                    let c = plan.c;
+                    let flops = tf
+                        * (polar_blas::flops::herk(n, m)
+                            + polar_blas::flops::potrf(n)
+                            + 2.0 * polar_blas::flops::trsm_right(m, n));
+                    dag.add_task(
+                        KernelKind::Potrf,
+                        1,
+                        flops,
+                        vec![x_tile],
+                        vec![y_tile],
+                        move || {
+                            let xk = unsafe { xp.mat(k) };
+                            // Z = I + c X^H X
+                            let mut z = Matrix::<S>::identity(n, n);
+                            herk(Uplo::Lower, Op::ConjTrans, c, xk, S::Real::ONE, z.as_mut());
+                            if let Err(e) = potrf(Uplo::Lower, &mut z) {
+                                unsafe { ep.set(k, Some(QdwhError::Lapack(e))) };
+                                return TaskStatus::Cancel;
+                            }
+                            // Y := X L^{-H} L^{-1}
+                            let yk = unsafe { yp.slice_mut(k) };
+                            yk.copy_from_slice(unsafe { xp.slice(k) });
+                            for pass in [Op::ConjTrans, Op::NoTrans] {
+                                trsm(
+                                    Side::Right,
+                                    Uplo::Lower,
+                                    pass,
+                                    Diag::NonUnit,
+                                    S::ONE,
+                                    z.as_ref(),
+                                    unsafe { yp.mat_mut(k) },
+                                );
+                            }
+                            TaskStatus::Continue
+                        },
+                    );
+                }
+                // update task: X_k := theta Y_k + beta X_k, fused with the
+                // ||X_k - X_{k-1}||_F convergence reduction (X still holds the
+                // previous iterate when this runs)
+                let th = S::from_real(plan.theta);
+                let be = S::from_real(plan.beta);
+                dag.add(
+                    KernelKind::Geadd,
+                    0,
+                    tf * 3.0 * (m * n) as f64,
+                    vec![y_tile],
+                    vec![x_tile],
+                    move || {
+                        let yk = unsafe { yp.slice(k) };
+                        let xk = unsafe { xp.slice_mut(k) };
+                        let mut acc = S::Real::ZERO;
+                        for (xi, yi) in xk.iter_mut().zip(yk) {
+                            let old = *xi;
+                            let new = *yi * th + old * be;
+                            acc += (new - old).abs_sq();
+                            *xi = new;
+                        }
+                        unsafe { cp.set(k, acc.sqrt()) };
+                    },
+                );
             }
-            // update task: X_k := theta Y_k + beta X_k, fused with the
-            // ||X_k - X_{k-1}||_F convergence reduction (X still holds the
-            // previous iterate when this runs)
-            let th = S::from_real(plan.theta);
-            let be = S::from_real(plan.beta);
-            dag.add(
-                KernelKind::Geadd,
-                0,
-                tf * 3.0 * (m * n) as f64,
-                vec![y_tile],
-                vec![x_tile],
-                move || {
-                    let yk = unsafe { yp.slice(k) };
-                    let xk = unsafe { xp.slice_mut(k) };
-                    let mut acc = S::Real::ZERO;
-                    for (xi, yi) in xk.iter_mut().zip(yk) {
-                        let old = *xi;
-                        let new = *yi * th + old * be;
-                        acc += (new - old).abs_sq();
-                        *xi = new;
-                    }
-                    unsafe { cp.set(k, acc.sqrt()) };
-                },
-            );
+            dag.execute();
         }
-        dag.execute();
 
         if let Some(k) = err_slots.iter().position(|e| e.is_some()) {
             let source = err_slots[k].clone().expect("error recorded");
@@ -615,13 +1162,27 @@ pub fn qdwh_batched<S: Scalar>(
         }
     }
     if opts.qdwh.compute_h {
-        let mut hb = BatchedDense::<S>::zeros(n, n, batch);
-        gemm_batched(Op::ConjTrans, Op::NoTrans, S::ONE, &x, &a_batch, S::ZERO, &mut hb);
+        ensure_slab(&mut slabs.hb, n, n, batch);
+        let mut hb = std::mem::replace(&mut slabs.hb, BatchedDense::zeros(0, 0, 0));
+        if use_batch_major {
+            gemm_batched_packed(
+                Op::ConjTrans,
+                Op::NoTrans,
+                S::ONE,
+                x.as_batched_ref(),
+                a_batch.as_batched_ref(),
+                S::ZERO,
+                hb.as_batched_mut(),
+            );
+        } else {
+            gemm_batched(Op::ConjTrans, Op::NoTrans, S::ONE, &x, &a_batch, S::ZERO, &mut hb);
+        }
         for (k, e) in entries.iter_mut().enumerate() {
             let mut h = hb.to_matrix(k);
             symmetrize(h.as_mut());
             e.h = h;
         }
+        slabs.hb = hb;
     } else {
         for e in entries.iter_mut() {
             e.h = Matrix::zeros(0, 0);
@@ -634,6 +1195,11 @@ pub fn qdwh_batched<S: Scalar>(
             x.to_matrix(k)
         };
     }
+    slabs.ab = a_batch;
+    slabs.x = x;
+    slabs.y = y;
+    slabs.arena = arena;
+    slab_cache_put(slabs);
     Ok(states.into_iter().map(|s| s.info).collect())
 }
 

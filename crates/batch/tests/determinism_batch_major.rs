@@ -1,0 +1,65 @@
+//! Bitwise determinism of the forced batch-major engine path.
+//!
+//! Its own test binary (like `determinism.rs`) so `POLAR_BATCH_MAJOR=1`
+//! and `POLAR_DETERMINISTIC=1` are set before the engine's `OnceLock`
+//! caches or the global pool are first touched. The batch-major path is
+//! sequential over entries inside each batched kernel and its per-entry
+//! factor tasks run on disjoint arena slabs, so under deterministic
+//! replay two runs over identical inputs must agree bit for bit.
+
+use polar_batch::{qdwh_batched, BatchEntry, BatchOptions, CondestCache};
+use polar_gen::{generate, MatrixSpec, SigmaDistribution};
+use polar_matrix::Matrix;
+use polar_scalar::{Complex64, Scalar};
+use std::sync::Arc;
+
+fn entries<S: Scalar>(m: usize, n: usize, batch: usize, seed: u64, ill: f64) -> Vec<BatchEntry<S>> {
+    (0..batch)
+        .map(|k| {
+            let cond = if k % 2 == 0 { ill } else { 50.0 }; // mix QR and Cholesky rounds
+            let spec = MatrixSpec {
+                m,
+                n,
+                cond,
+                distribution: SigmaDistribution::Geometric,
+                seed: seed + k as u64,
+            };
+            BatchEntry::new(generate::<S>(&spec).0)
+        })
+        .collect()
+}
+
+fn assert_bitwise_equal<S: Scalar>(a: &Matrix<S>, b: &Matrix<S>, what: &str, k: usize) {
+    assert_eq!(a.nrows(), b.nrows());
+    assert_eq!(a.ncols(), b.ncols());
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert!(x == y, "{what} entry {k} element {i}: {x:?} != {y:?} (not bitwise equal)");
+    }
+}
+
+fn run_twice_and_compare<S: Scalar>(m: usize, n: usize, batch: usize, seed: u64, ill: f64) {
+    let opts =
+        BatchOptions { condest_cache: Some(Arc::new(CondestCache::new())), ..Default::default() };
+    let mut first = entries::<S>(m, n, batch, seed, ill);
+    let infos_a = qdwh_batched(&mut first, &opts).expect("first run converged");
+    let mut second = entries::<S>(m, n, batch, seed, ill);
+    let infos_b = qdwh_batched(&mut second, &opts).expect("second run converged");
+    for k in 0..batch {
+        assert_bitwise_equal(&first[k].u, &second[k].u, "U", k);
+        assert_bitwise_equal(&first[k].h, &second[k].h, "H", k);
+        assert_eq!(infos_a[k].iterations, infos_b[k].iterations, "entry {k} iterations");
+        assert_eq!(infos_a[k].kinds, infos_b[k].kinds, "entry {k} kinds");
+    }
+}
+
+#[test]
+fn batch_major_runs_are_bitwise_deterministic() {
+    // Must precede any pool/mode/heuristic initialization in this process.
+    std::env::set_var("POLAR_DETERMINISTIC", "1");
+    std::env::set_var("POLAR_BATCH_MAJOR", "1");
+    run_twice_and_compare::<f64>(48, 48, 6, 11, 1e10);
+    run_twice_and_compare::<f64>(40, 16, 4, 23, 1e10); // rectangular
+    run_twice_and_compare::<Complex64>(24, 24, 3, 31, 1e10);
+    // single precision: keep kappa well inside 1/eps_f32 (~8e6)
+    run_twice_and_compare::<f32>(32, 32, 4, 41, 1e4);
+}

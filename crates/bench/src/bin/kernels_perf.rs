@@ -14,9 +14,9 @@
 //! on hosts with at least two cores.
 
 use polar_bench::Args;
-use polar_blas::{gemm, gemm_axpy, gemm_ref, herk, trsm};
+use polar_blas::{gemm, gemm_axpy, gemm_batched_packed, gemm_ref, herk, trsm};
 use polar_gen::generate;
-use polar_matrix::{Diag, Matrix, Op, Side, Uplo};
+use polar_matrix::{BatchedDense, Diag, Matrix, Op, Side, Uplo};
 use polar_scalar::{Complex32, Complex64, Real, Scalar};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -147,6 +147,139 @@ fn bench_geqrf_pair(n: usize, threads: usize, reps: usize) -> (f64, f64) {
     }
     let gf = |secs: f64| (4.0 / 3.0) * (n as f64).powi(3) / secs / 1e9;
     (gf(flat_best), gf(tiled_best))
+}
+
+struct BatchedGemmRow {
+    tag: &'static str,
+    n: usize,
+    batch: usize,
+    gflops_batch_major: f64,
+    gflops_per_entry: f64,
+    gflops_ref: f64,
+}
+
+/// Batch-major packed GEMM (one KC sweep serves every entry, one hot
+/// pack-buffer pair) vs the per-entry production `gemm` loop vs the
+/// per-entry reference triple loop, on `batch` independent n x n x n
+/// products. Variants are timed rep-by-rep in one interleaved loop (same
+/// drift argument as [`bench_geqrf_pair`]).
+fn bench_gemm_batched<S: Scalar>(n: usize, batch: usize, reps: usize) -> BatchedGemmRow {
+    let mats_a: Vec<Matrix<S>> = (0..batch).map(|k| rand_mat::<S>(n, n, 21 + k as u64)).collect();
+    let mats_b: Vec<Matrix<S>> = (0..batch).map(|k| rand_mat::<S>(n, n, 91 + k as u64)).collect();
+    let a = BatchedDense::from_matrices(&mats_a);
+    let b = BatchedDense::from_matrices(&mats_b);
+    let mut c = BatchedDense::<S>::zeros(n, n, batch);
+    let mut bm_best = f64::INFINITY;
+    let mut pe_best = f64::INFINITY;
+    let mut ref_best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        gemm_batched_packed(
+            Op::NoTrans,
+            Op::NoTrans,
+            S::ONE,
+            a.as_batched_ref(),
+            b.as_batched_ref(),
+            S::ZERO,
+            c.as_batched_mut(),
+        );
+        bm_best = bm_best.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for e in 0..batch {
+            gemm(Op::NoTrans, Op::NoTrans, S::ONE, a.mat(e), b.mat(e), S::ZERO, c.mat_mut(e));
+        }
+        pe_best = pe_best.min(t.elapsed().as_secs_f64());
+        let t = Instant::now();
+        for e in 0..batch {
+            gemm_ref(Op::NoTrans, Op::NoTrans, S::ONE, a.mat(e), b.mat(e), S::ZERO, c.mat_mut(e));
+        }
+        ref_best = ref_best.min(t.elapsed().as_secs_f64());
+    }
+    let gf = |secs: f64| {
+        polar_blas::flops::type_factor(S::IS_COMPLEX) * batch as f64 * 2.0 * (n as f64).powi(3)
+            / secs
+            / 1e9
+    };
+    BatchedGemmRow {
+        tag: S::TYPE_TAG,
+        n,
+        batch,
+        gflops_batch_major: gf(bm_best),
+        gflops_per_entry: gf(pe_best),
+        gflops_ref: gf(ref_best),
+    }
+}
+
+/// The batched GEMM sweep section (`"gemm_batched"`): batch-major vs
+/// per-entry production gemm vs reference across serving sizes. With
+/// `gate`, enforces the batch-major perf floors on 1+ core hosts: at
+/// least 1.5x per-entry at n = 16 (below `PACK_MIN_FLOPS` the per-entry
+/// path cannot pack at all, so the shared pack sweep wins big) and at
+/// least 0.95x (parity within measurement noise) at n = 32/64, where
+/// both paths run the same microkernels and the win is only amortized
+/// pack/dispatch overhead — measured 1.0-1.25x on the reference host,
+/// gated at no-regression rather than at the midpoint of that noise.
+/// Ratios are remeasured best-of-rounds like every other gate here.
+fn run_batched_sweep(j: &mut String, gate: bool, reps: usize) {
+    eprintln!("batched gemm sweep...");
+    let mut rows: Vec<BatchedGemmRow> = Vec::new();
+    for &n in &[16usize, 32, 64] {
+        for &batch in &[1usize, 8, 32, 64] {
+            let mut row = bench_gemm_batched::<f64>(n, batch, reps);
+            let floor = if !gate || batch < 8 {
+                None
+            } else if n == 16 {
+                Some(1.5)
+            } else {
+                Some(0.95)
+            };
+            if let Some(floor) = floor {
+                let mut tries = 1;
+                while row.gflops_batch_major / row.gflops_per_entry + 1e-9 < floor && tries < 5 {
+                    eprintln!(
+                        "perf gate: gemm_batched n={n} batch={batch} measured {:.3}x, remeasuring...",
+                        row.gflops_batch_major / row.gflops_per_entry
+                    );
+                    let r2 = bench_gemm_batched::<f64>(n, batch, 2 * reps);
+                    if r2.gflops_batch_major / r2.gflops_per_entry
+                        > row.gflops_batch_major / row.gflops_per_entry
+                    {
+                        row = r2;
+                    }
+                    tries += 1;
+                }
+                assert!(
+                    row.gflops_batch_major / row.gflops_per_entry + 1e-9 >= floor,
+                    "perf gate: gemm_batched n={n} batch={batch} is {:.3}x per-entry (< {floor}x) \
+                     after {tries} rounds",
+                    row.gflops_batch_major / row.gflops_per_entry
+                );
+            }
+            rows.push(row);
+        }
+    }
+    rows.push(bench_gemm_batched::<f32>(32, 32, reps));
+    rows.push(bench_gemm_batched::<Complex64>(32, 32, reps));
+    j.push_str("  \"gemm_batched\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            j,
+            "    {{\"type\": \"{}\", \"n\": {}, \"batch\": {}, \"gflops_batch_major\": {}, \"gflops_per_entry\": {}, \"gflops_ref\": {}, \"speedup_vs_per_entry\": {}, \"speedup_vs_ref\": {}}}",
+            r.tag,
+            r.n,
+            r.batch,
+            json_f(r.gflops_batch_major),
+            json_f(r.gflops_per_entry),
+            json_f(r.gflops_ref),
+            json_f(r.gflops_batch_major / r.gflops_per_entry),
+            json_f(r.gflops_batch_major / r.gflops_ref),
+        );
+        j.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    j.push_str("  ],\n");
+    if gate {
+        eprintln!("perf gate: gemm_batched floors pass");
+    }
 }
 
 fn zolo_opts(r: usize, tiled: polar_qdwh::TiledPath, nb: Option<usize>) -> polar_qdwh::ZoloOptions {
@@ -466,6 +599,15 @@ fn main() {
         return;
     }
 
+    if args.flag("--batched") {
+        run_batched_sweep(&mut j, gate, 5);
+        let _ = writeln!(j, "  \"mode\": \"batched\"");
+        j.push_str("}\n");
+        std::fs::write(&out, &j).expect("write batched sweep json");
+        println!("{j}");
+        return;
+    }
+
     if smoke {
         smoke_check::<f32>();
         smoke_check::<f64>();
@@ -517,6 +659,9 @@ fn main() {
         j.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     j.push_str("  ],\n");
+
+    // ---- batch-major packed gemm vs the per-entry loop ----
+    run_batched_sweep(&mut j, false, 3);
 
     // ---- level-3 kernels routed through the packed core ----
     eprintln!("trsm/herk/geqrf...");

@@ -15,8 +15,11 @@
 //!   one parallel region.
 
 use crate::gemm::gemm_leaf;
-use crate::params::par_threshold_flops;
-use polar_matrix::{BatchedDense, Op};
+use crate::packed::{
+    gemm_packed_with, macro_kernel, pack_a, pack_b, scale_block, select_kernel, tile_shape,
+};
+use crate::params::{gemm_params, par_threshold_flops};
+use polar_matrix::{BatchedDense, BatchedMut, BatchedRef, Op};
 use polar_scalar::Scalar;
 
 /// Batched GEMM: `C_k := alpha * op_a(A_k) * op_b(B_k) + beta * C_k` for
@@ -64,6 +67,137 @@ pub fn gemm_batched<S: Scalar>(
 
     let ctx = BatchCtx { op_a, op_b, alpha, beta, k: ak };
     batched_rec(&ctx, a, b, EntriesMut::new(c), 0, grain);
+}
+
+/// Cap (in elements per operand) on the batch-spanning pack slabs of
+/// [`gemm_batched_packed`]. Batches whose packed panels exceed it fall
+/// back to the per-entry five-loop with shared (but per-entry-sized)
+/// buffers, which bounds workspace at a few MiB regardless of batch size.
+const BATCH_PACK_CAP: usize = 1 << 20;
+
+/// Batch-major packed GEMM: `C_k := alpha * op_a(A_k) * op_b(B_k) +
+/// beta * C_k` driven through the BLIS microkernels with **one** pack
+/// sweep serving the whole batch.
+///
+/// Where [`gemm_batched`] re-enters the per-entry leaf (re-deciding the
+/// packing threshold, allocating pack buffers, and falling back to the
+/// axpy loop for sub-threshold entries), this path commits to the packed
+/// microkernel once for the batch:
+///
+/// * kernel selection, blocking parameters, and workspace allocation
+///   happen once per call;
+/// * per KC block, the A and B micro-panels of *every* entry are packed
+///   into two contiguous batch-spanning slabs in one sweep, then one
+///   macro-kernel sweep streams those slabs through the SIMD microkernel
+///   entry by entry — pack cost and blocking-loop overhead amortize over
+///   the batch instead of multiplying by it;
+/// * small entries (below the per-entry packing threshold, e.g. `n = 16`)
+///   still get the microkernel, which the per-entry heuristic denies them.
+///
+/// Entries too large for one `(MC, NC)` block (or exceeding
+/// [`BATCH_PACK_CAP`]) run the standard five-loop per entry over shared
+/// buffers — still amortizing allocation, just not the pack sweep.
+///
+/// The sweep is sequential and its operation order is fixed by shape
+/// alone, so results are bitwise reproducible across thread counts
+/// (deterministic replay included).
+pub fn gemm_batched_packed<S: Scalar>(
+    op_a: Op,
+    op_b: Op,
+    alpha: S,
+    a: BatchedRef<'_, S>,
+    b: BatchedRef<'_, S>,
+    beta: S,
+    mut c: BatchedMut<'_, S>,
+) {
+    let batch = c.batch();
+    assert_eq!(a.batch(), batch, "gemm_batched_packed: A batch mismatch");
+    assert_eq!(b.batch(), batch, "gemm_batched_packed: B batch mismatch");
+    let m = c.nrows();
+    let n = c.ncols();
+    let (am, ak) = op_a.apply_dims(a.nrows(), a.ncols());
+    let (bk, bn) = op_b.apply_dims(b.nrows(), b.ncols());
+    assert_eq!(am, m, "gemm_batched_packed: A rows mismatch");
+    assert_eq!(bn, n, "gemm_batched_packed: B cols mismatch");
+    assert_eq!(ak, bk, "gemm_batched_packed: inner dim mismatch");
+    if batch == 0 || m == 0 || n == 0 {
+        return;
+    }
+    let k = ak;
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Gemm,
+        "gemm_batched_packed",
+        batch as f64 * crate::flops::type_factor(S::IS_COMPLEX) * crate::flops::gemm(m, n, k),
+        [m, n, batch],
+    );
+    if k == 0 || alpha == S::ZERO {
+        for e in 0..batch {
+            let mut ce = c.mat_mut(e);
+            scale_block(&mut ce, beta);
+        }
+        return;
+    }
+
+    let p = gemm_params();
+    let (mr, nr) = tile_shape::<S>();
+    let kern = select_kernel::<S>(mr, nr);
+    let kc = p.kc.min(k);
+    // per-entry micro-panel strides within the batch-spanning slabs
+    let a_stride = m.next_multiple_of(mr) * kc;
+    let b_stride = n.next_multiple_of(nr) * kc;
+
+    if m <= p.mc && n <= p.nc && a_stride.max(b_stride) <= BATCH_PACK_CAP {
+        // One pack-buffer pair serves the whole batch: every entry's
+        // panels are packed into the SAME (MR/NR-aligned) buffers and fed
+        // to the microkernels immediately, so the buffers stay resident in
+        // L1/L2 across the entire sweep. A batch-spanning slab (slot per
+        // entry) measures ~2x slower here: each entry then writes and
+        // reads cold lines, and at these sizes the pack traffic dominates.
+        // Allocation, zero-fill, blocking setup, and kernel selection all
+        // happen once per call instead of once per entry.
+        let mut apack = vec![S::ZERO; a_stride];
+        let mut bpack = vec![S::ZERO; b_stride];
+        for pc in (0..k).step_by(kc) {
+            let kcb = kc.min(k - pc);
+            let beta_eff = if pc == 0 { beta } else { S::ONE };
+            let ap = m.next_multiple_of(mr) * kcb;
+            let bp = n.next_multiple_of(nr) * kcb;
+            for e in 0..batch {
+                pack_a(op_a, a.mat(e), 0, pc, m, kcb, mr, &mut apack[..ap]);
+                pack_b(op_b, b.mat(e), pc, 0, kcb, n, nr, &mut bpack[..bp]);
+                macro_kernel(
+                    kern,
+                    alpha,
+                    &apack[..ap],
+                    &bpack[..bp],
+                    beta_eff,
+                    c.mat_mut(e),
+                    kcb,
+                    mr,
+                    nr,
+                );
+            }
+        }
+        return;
+    }
+
+    // entries larger than one (MC, NC) block: standard five-loop per
+    // entry, with the pack buffers hoisted out of the batch loop
+    let mut apack = vec![S::ZERO; p.mc.min(m).next_multiple_of(mr) * kc];
+    let mut bpack = vec![S::ZERO; p.nc.min(n).next_multiple_of(nr) * kc];
+    for e in 0..batch {
+        gemm_packed_with(
+            op_a,
+            op_b,
+            alpha,
+            a.mat(e),
+            b.mat(e),
+            beta,
+            c.mat_mut(e),
+            &mut apack,
+            &mut bpack,
+        );
+    }
 }
 
 struct BatchCtx<S> {
@@ -232,5 +366,109 @@ mod tests {
         let b = BatchedDense::<f64>::zeros(4, 4, 3);
         let mut c = BatchedDense::<f64>::zeros(4, 4, 2);
         gemm_batched(Op::NoTrans, Op::NoTrans, 1.0, &a, &b, 0.0, &mut c);
+    }
+
+    fn check_packed_type<S: Scalar>(
+        m: usize,
+        n: usize,
+        k: usize,
+        batch: usize,
+        op_a: Op,
+        op_b: Op,
+        tol: f64,
+    ) {
+        let (ar, ac) = if op_a == Op::NoTrans { (m, k) } else { (k, m) };
+        let (br, bc) = if op_b == Op::NoTrans { (k, n) } else { (n, k) };
+        let a = rand_batch::<S>(ar, ac, batch, 21);
+        let b = rand_batch::<S>(br, bc, batch, 22);
+        let mut c = rand_batch::<S>(m, n, batch, 23);
+        let alpha = S::from_f64(1.25);
+        let beta = S::from_f64(-0.5);
+
+        let mut expect: Vec<Matrix<S>> = (0..batch).map(|i| c.to_matrix(i)).collect();
+        for i in 0..batch {
+            gemm_ref(op_a, op_b, alpha, a.mat(i), b.mat(i), beta, expect[i].as_mut());
+        }
+        gemm_batched_packed(
+            op_a,
+            op_b,
+            alpha,
+            a.as_batched_ref(),
+            b.as_batched_ref(),
+            beta,
+            c.as_batched_mut(),
+        );
+        for i in 0..batch {
+            for j in 0..n {
+                for r in 0..m {
+                    let d = (c.mat(i).at(r, j) - expect[i][(r, j)]).abs().to_f64();
+                    assert!(
+                        d <= tol,
+                        "{} entry {i} ({r},{j}) diff {d} [{op_a:?} {op_b:?} m={m} n={n} k={k}]",
+                        S::TYPE_TAG
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_major_matches_reference_all_types() {
+        // below the per-entry packing threshold (n = 16) and above it
+        for (m, n, k) in [(16, 16, 16), (32, 32, 32), (17, 13, 29)] {
+            check_packed_type::<f64>(m, n, k, 5, Op::NoTrans, Op::NoTrans, 1e-12);
+            check_packed_type::<f32>(m, n, k, 5, Op::NoTrans, Op::NoTrans, 1e-3);
+            check_packed_type::<Complex64>(m, n, k, 4, Op::NoTrans, Op::NoTrans, 1e-12);
+            check_packed_type::<Complex32>(m, n, k, 4, Op::NoTrans, Op::NoTrans, 1e-3);
+        }
+    }
+
+    #[test]
+    fn batch_major_transposed_operands() {
+        check_packed_type::<f64>(7, 13, 40, 3, Op::Trans, Op::NoTrans, 1e-12);
+        check_packed_type::<f64>(12, 9, 25, 3, Op::NoTrans, Op::Trans, 1e-12);
+        check_packed_type::<Complex64>(10, 8, 12, 3, Op::ConjTrans, Op::NoTrans, 1e-12);
+        check_packed_type::<Complex64>(8, 10, 12, 3, Op::NoTrans, Op::ConjTrans, 1e-12);
+    }
+
+    #[test]
+    fn batch_major_spans_kc_blocks_and_prefix() {
+        // k beyond KC exercises the multi-pass accumulation (beta_eff = 1)
+        let k = crate::params::gemm_params().kc + 11;
+        check_packed_type::<f64>(24, 18, k, 3, Op::NoTrans, Op::NoTrans, 1e-10);
+
+        // a prefix view runs over the leading entries only
+        let a = rand_batch::<f64>(8, 8, 4, 31);
+        let b = rand_batch::<f64>(8, 8, 4, 32);
+        let mut c = rand_batch::<f64>(8, 8, 4, 33);
+        let untouched = c.to_matrix(3);
+        let mut expect: Vec<Matrix<f64>> = (0..3).map(|i| c.to_matrix(i)).collect();
+        for i in 0..3 {
+            gemm_ref(Op::NoTrans, Op::NoTrans, 1.0, a.mat(i), b.mat(i), 0.0, expect[i].as_mut());
+        }
+        gemm_batched_packed(
+            Op::NoTrans,
+            Op::NoTrans,
+            1.0,
+            a.as_batched_ref().prefix(3),
+            b.as_batched_ref().prefix(3),
+            0.0,
+            c.as_batched_mut().prefix(3),
+        );
+        for i in 0..3 {
+            for j in 0..8 {
+                for r in 0..8 {
+                    assert!((c.mat(i).at(r, j) - expect[i][(r, j)]).abs() <= 1e-12);
+                }
+            }
+        }
+        assert_eq!(c.to_matrix(3), untouched, "prefix must not touch trailing entries");
+    }
+
+    #[test]
+    fn batch_major_large_entry_fallback_matches() {
+        // m beyond MC forces the shared-buffer per-entry five-loop
+        let m = crate::params::gemm_params().mc + 19;
+        check_packed_type::<f64>(m, 24, 16, 2, Op::NoTrans, Op::NoTrans, 1e-11);
     }
 }

@@ -57,7 +57,7 @@ pub(crate) fn tile_shape<S: Scalar>() -> (usize, usize) {
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Kern {
+pub(crate) enum Kern {
     Generic,
     #[cfg(target_arch = "x86_64")]
     F64Avx512,
@@ -93,7 +93,7 @@ fn cpu_has_avx512() -> bool {
     false
 }
 
-fn select_kernel<S: Scalar>(mr: usize, nr: usize) -> Kern {
+pub(crate) fn select_kernel<S: Scalar>(mr: usize, nr: usize) -> Kern {
     #[cfg(target_arch = "x86_64")]
     {
         let t = TypeId::of::<S>();
@@ -141,13 +141,51 @@ pub(crate) fn gemm_packed<S: Scalar>(
 
     let p = gemm_params();
     let (mr, nr) = tile_shape::<S>();
-    let kern = select_kernel::<S>(mr, nr);
     let kc = p.kc.min(k);
     let mc = p.mc.min(m);
     let nc = p.nc.min(n);
 
     let mut apack = vec![S::ZERO; mc.next_multiple_of(mr) * kc];
     let mut bpack = vec![S::ZERO; nc.next_multiple_of(nr) * kc];
+    gemm_packed_with(op_a, op_b, alpha, a, b, beta, c, &mut apack, &mut bpack);
+}
+
+/// The five-loop body of [`gemm_packed`] over caller-owned pack buffers
+/// (`apack` >= `min(mc, m).next_multiple_of(mr) * min(kc, k)` elements,
+/// `bpack` likewise with `nc`/`nr`), so batch drivers amortize the buffer
+/// allocation across many calls instead of paying it per entry.
+#[allow(clippy::too_many_arguments)] // internal blocked-gemm plumbing
+pub(crate) fn gemm_packed_with<S: Scalar>(
+    op_a: Op,
+    op_b: Op,
+    alpha: S,
+    a: MatRef<'_, S>,
+    b: MatRef<'_, S>,
+    beta: S,
+    mut c: MatMut<'_, S>,
+    apack: &mut [S],
+    bpack: &mut [S],
+) {
+    let m = c.nrows();
+    let n = c.ncols();
+    let k = match op_a {
+        Op::NoTrans => a.ncols(),
+        _ => a.nrows(),
+    };
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == S::ZERO {
+        scale_block(&mut c, beta);
+        return;
+    }
+
+    let p = gemm_params();
+    let (mr, nr) = tile_shape::<S>();
+    let kern = select_kernel::<S>(mr, nr);
+    let kc = p.kc.min(k);
+    let mc = p.mc.min(m);
+    let nc = p.nc.min(n);
 
     for jc in (0..n).step_by(nc) {
         let ncb = nc.min(n - jc);
@@ -156,12 +194,12 @@ pub(crate) fn gemm_packed<S: Scalar>(
             // beta applies on the first rank-kc update only; later
             // updates accumulate
             let beta_eff = if pc == 0 { beta } else { S::ONE };
-            pack_b(op_b, b, pc, jc, kcb, ncb, nr, &mut bpack);
+            pack_b(op_b, b, pc, jc, kcb, ncb, nr, bpack);
             for ic in (0..m).step_by(mc) {
                 let mcb = mc.min(m - ic);
-                pack_a(op_a, a, ic, pc, mcb, kcb, mr, &mut apack);
+                pack_a(op_a, a, ic, pc, mcb, kcb, mr, apack);
                 let cblk = c.rb().submatrix(ic, jc, mcb, ncb);
-                macro_kernel(kern, alpha, &apack, &bpack, beta_eff, cblk, kcb, mr, nr);
+                macro_kernel(kern, alpha, apack, bpack, beta_eff, cblk, kcb, mr, nr);
             }
         }
     }
@@ -272,7 +310,7 @@ pub(crate) fn scale_block<S: Scalar>(c: &mut MatMut<'_, S>, beta: S) {
 /// Pack `op(A)[i0..i0+mcb, p0..p0+kcb]` into MR-row micro-panels:
 /// `buf[ip*mr*kcb + p*mr + r]`, zero-padding partial panels.
 #[allow(clippy::too_many_arguments)] // internal blocked-gemm plumbing
-fn pack_a<S: Scalar>(
+pub(crate) fn pack_a<S: Scalar>(
     op: Op,
     a: MatRef<'_, S>,
     i0: usize,
@@ -323,7 +361,7 @@ fn pack_a<S: Scalar>(
 /// Pack `op(B)[p0..p0+kcb, j0..j0+ncb]` into NR-column micro-panels:
 /// `buf[jp*nr*kcb + p*nr + c]`, zero-padding partial panels.
 #[allow(clippy::too_many_arguments)] // internal blocked-gemm plumbing
-fn pack_b<S: Scalar>(
+pub(crate) fn pack_b<S: Scalar>(
     op: Op,
     b: MatRef<'_, S>,
     p0: usize,
@@ -376,7 +414,7 @@ fn pack_b<S: Scalar>(
 
 /// Run the microkernel over every MR x NR tile of one packed block pair.
 #[allow(clippy::too_many_arguments)] // internal blocked-gemm plumbing
-fn macro_kernel<S: Scalar>(
+pub(crate) fn macro_kernel<S: Scalar>(
     kern: Kern,
     alpha: S,
     apack: &[S],

@@ -74,22 +74,39 @@ pub fn potrf<S: Scalar>(uplo: Uplo, a: &mut Matrix<S>) -> Result<(), LapackError
 }
 
 fn potrf_lower<S: Scalar>(a: &mut Matrix<S>, nb: usize) -> Result<(), LapackError> {
+    potrf_lower_in(a.as_mut(), nb)
+}
+
+/// View-based lower Cholesky, LAPACK `potrf` on a [`MatMut`]. Same
+/// algorithm and arithmetic as [`potrf`] with `Uplo::Lower`, but the
+/// matrix need not own its storage — the batch-major QDWH engine calls
+/// this on slices of a shared workspace arena.
+pub fn potrf_in<S: Scalar>(uplo: Uplo, a: MatMut<'_, S>) -> Result<(), LapackError> {
+    assert_eq!(uplo, Uplo::Lower, "potrf_in: only the lower algorithm works in place on a view");
+    assert_eq!(a.nrows(), a.ncols(), "potrf_in: square matrices only");
+    let _obs = polar_obs::kernel_span(
+        polar_obs::KernelClass::Potrf,
+        "potrf",
+        polar_blas::flops::type_factor(S::IS_COMPLEX) * polar_blas::flops::potrf(a.nrows()),
+        [a.nrows(), a.nrows(), 0],
+    );
+    potrf_lower_in(a, DEFAULT_BLOCK)
+}
+
+fn potrf_lower_in<S: Scalar>(mut a: MatMut<'_, S>, nb: usize) -> Result<(), LapackError> {
     let n = a.nrows();
     let nb = nb.max(1);
     let mut k = 0;
     while k < n {
         let kb = nb.min(n - k);
         // diagonal block
-        potf2_lower(a.view_mut(k, k, kb, kb), k)?;
+        potf2_lower(a.rb().submatrix(k, k, kb, kb), k)?;
         if k + kb < n {
             let rest = n - k - kb;
             // panel solve: A[k+kb.., k..k+kb] := A[k+kb.., k..k+kb] * L_kk^{-H}
             {
-                let (diag_block, panel);
-                let all = a.as_mut().submatrix(k, k, n - k, kb);
-                let (top, bottom) = all.split_at_row(kb);
-                diag_block = top;
-                panel = bottom;
+                let all = a.rb().submatrix(k, k, n - k, kb);
+                let (diag_block, panel) = all.split_at_row(kb);
                 trsm(
                     Side::Right,
                     Uplo::Lower,
@@ -100,17 +117,11 @@ fn potrf_lower<S: Scalar>(a: &mut Matrix<S>, nb: usize) -> Result<(), LapackErro
                     panel,
                 );
             }
-            // trailing update: A22 -= panel * panel^H
-            let panel_owned = a.submatrix_owned(k + kb, k, rest, kb);
-            let trailing = a.view_mut(k + kb, k + kb, rest, rest);
-            herk(
-                Uplo::Lower,
-                Op::NoTrans,
-                -S::Real::ONE,
-                panel_owned.as_ref(),
-                S::Real::ONE,
-                trailing,
-            );
+            // trailing update: A22 -= panel * panel^H; split_at_col keeps
+            // the panel and the trailing block as disjoint borrows
+            let wide = a.rb().submatrix(k + kb, k, rest, n - k);
+            let (panel, trailing) = wide.split_at_col(kb);
+            herk(Uplo::Lower, Op::NoTrans, -S::Real::ONE, panel.as_ref(), S::Real::ONE, trailing);
         }
         k += kb;
     }
@@ -222,6 +233,25 @@ mod tests {
         let mut a = Matrix::<f64>::identity(3, 3);
         a[(1, 1)] = f64::NAN;
         assert!(potrf(Uplo::Lower, &mut a).is_err());
+    }
+
+    #[test]
+    fn potrf_in_matches_potrf_bitwise() {
+        for n in [7, 40, 100] {
+            let a0 = rand_spd(n, 20 + n as u64);
+            let mut owned = a0.clone();
+            potrf(Uplo::Lower, &mut owned).unwrap();
+            let mut viewed = a0.clone();
+            potrf_in(Uplo::Lower, viewed.as_mut()).unwrap();
+            for j in 0..n {
+                for i in j..n {
+                    assert!(
+                        owned[(i, j)].to_bits() == viewed[(i, j)].to_bits(),
+                        "bitwise mismatch at ({i},{j}), n={n}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -29,9 +29,10 @@ mod qr;
 mod svd;
 mod tile_qr;
 mod tiled;
+mod tri;
 mod tsqr;
 
-pub use chol::{posv, potrf};
+pub use chol::{posv, potrf, potrf_in};
 pub use condest::{gecondest, norm1est, tr_sigma_min_est, trcondest, OneNormOracle};
 pub use eig::{jacobi_eig, EigDecomposition};
 pub use householder::{larf, larfg, Reflector};
@@ -47,6 +48,7 @@ pub use tiled::{
     auto_tile_nb, default_tile_nb, geqrf_tiled, geqrf_tiled_stacked, orgqr_tiled, potrf_tiled,
     stacked_row_limit, SlotPtr, TilePtr, TiledQr,
 };
+pub use tri::trtri_lower;
 pub use tsqr::tsqr;
 
 /// Error type for factorizations.

@@ -156,6 +156,160 @@ impl<S: Scalar> BatchedDense<S> {
     pub fn has_non_finite(&self) -> bool {
         self.data.iter().any(|x| !x.is_finite())
     }
+
+    /// Borrowed batch view over every entry (see [`BatchedRef`]).
+    #[inline]
+    pub fn as_batched_ref(&self) -> BatchedRef<'_, S> {
+        BatchedRef { rows: self.rows, cols: self.cols, batch: self.batch, data: &self.data }
+    }
+
+    /// Mutable batch view over every entry (see [`BatchedMut`]).
+    #[inline]
+    pub fn as_batched_mut(&mut self) -> BatchedMut<'_, S> {
+        BatchedMut { rows: self.rows, cols: self.cols, batch: self.batch, data: &mut self.data }
+    }
+
+    /// Column panel `[j0, j0 + width)` of the wide `m x (n * batch)` view.
+    /// Panels may span entry boundaries: wide column `k * n + j` is column
+    /// `j` of entry `k`, so a batch-spanning kernel can sweep the whole
+    /// batch as consecutive panels of one matrix.
+    #[inline]
+    pub fn wide_panel(&self, j0: usize, width: usize) -> MatRef<'_, S> {
+        self.as_wide().submatrix(0, j0, self.rows, width)
+    }
+
+    /// Mutable wide column panel (see [`BatchedDense::wide_panel`]).
+    #[inline]
+    pub fn wide_panel_mut(&mut self, j0: usize, width: usize) -> MatMut<'_, S> {
+        let rows = self.rows;
+        self.as_wide_mut().submatrix(0, j0, rows, width)
+    }
+
+    /// Copy entry `src_k` of `src` into entry `dst_k` of `self` — the
+    /// gather/scatter primitive batch-major engines use to compact the
+    /// still-active subset of a batch into contiguous slab entries.
+    ///
+    /// # Panics
+    /// If the per-entry shapes differ.
+    pub fn copy_entry_from(&mut self, dst_k: usize, src: &Self, src_k: usize) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (src.rows, src.cols),
+            "copy_entry_from: entry shape mismatch"
+        );
+        self.entry_slice_mut(dst_k).copy_from_slice(src.entry_slice(src_k));
+    }
+}
+
+/// Borrowed view of a prefix of a [`BatchedDense`]: the batch analogue of
+/// [`MatRef`]. Batch-spanning kernels take these so that one packed sweep
+/// can run over *any* contiguous run of slab entries — in particular the
+/// still-active prefix after converged entries drop out — without
+/// reallocating or copying the slab.
+#[derive(Clone, Copy)]
+pub struct BatchedRef<'a, S> {
+    rows: usize,
+    cols: usize,
+    batch: usize,
+    data: &'a [S],
+}
+
+impl<'a, S: Scalar> BatchedRef<'a, S> {
+    /// View over a raw entry-major slice (`len >= rows * cols * batch`).
+    #[inline]
+    pub fn from_slice(data: &'a [S], rows: usize, cols: usize, batch: usize) -> Self {
+        assert!(data.len() >= rows * cols * batch, "BatchedRef: slice too short");
+        Self { rows, cols, batch, data }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The leading `count` entries, as a narrower batch view.
+    #[inline]
+    pub fn prefix(self, count: usize) -> Self {
+        assert!(count <= self.batch, "BatchedRef::prefix: count exceeds batch");
+        Self { batch: count, ..self }
+    }
+
+    /// Borrowed view of entry `k`.
+    #[inline]
+    pub fn mat(&self, k: usize) -> MatRef<'a, S> {
+        assert!(k < self.batch, "BatchedRef::mat: entry out of range");
+        let per = self.rows * self.cols;
+        MatRef::from_slice(&self.data[k * per..(k + 1) * per], self.rows, self.cols, self.rows)
+    }
+}
+
+/// Mutable prefix view of a [`BatchedDense`] (see [`BatchedRef`]).
+pub struct BatchedMut<'a, S> {
+    rows: usize,
+    cols: usize,
+    batch: usize,
+    data: &'a mut [S],
+}
+
+impl<'a, S: Scalar> BatchedMut<'a, S> {
+    /// Mutable view over a raw entry-major slice.
+    #[inline]
+    pub fn from_slice(data: &'a mut [S], rows: usize, cols: usize, batch: usize) -> Self {
+        assert!(data.len() >= rows * cols * batch, "BatchedMut: slice too short");
+        Self { rows, cols, batch, data }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    #[inline]
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// The leading `count` entries, as a narrower batch view.
+    #[inline]
+    pub fn prefix(self, count: usize) -> Self {
+        assert!(count <= self.batch, "BatchedMut::prefix: count exceeds batch");
+        Self { batch: count, ..self }
+    }
+
+    /// Reborrow (so the view can be handed to a callee and used again).
+    #[inline]
+    pub fn rb(&mut self) -> BatchedMut<'_, S> {
+        BatchedMut { rows: self.rows, cols: self.cols, batch: self.batch, data: self.data }
+    }
+
+    /// Read-only view of the same entries.
+    #[inline]
+    pub fn as_batched_ref(&self) -> BatchedRef<'_, S> {
+        BatchedRef { rows: self.rows, cols: self.cols, batch: self.batch, data: self.data }
+    }
+
+    /// Mutable view of entry `k`.
+    #[inline]
+    pub fn mat_mut(&mut self, k: usize) -> MatMut<'_, S> {
+        assert!(k < self.batch, "BatchedMut::mat_mut: entry out of range");
+        let per = self.rows * self.cols;
+        MatMut::from_slice(&mut self.data[k * per..(k + 1) * per], self.rows, self.cols, self.rows)
+    }
 }
 
 impl<S: Scalar> std::fmt::Debug for BatchedDense<S> {
@@ -221,5 +375,51 @@ mod tests {
         let b = BatchedDense::<f64>::from_matrices(&[]);
         assert_eq!(b.batch(), 0);
         assert_eq!(b.as_wide().ncols(), 0);
+    }
+
+    #[test]
+    fn batched_views_prefix_and_panels() {
+        let mats: Vec<Matrix<f64>> =
+            (0..4).map(|k| Matrix::from_fn(3, 2, |i, j| (100 * k + 10 * i + j) as f64)).collect();
+        let mut b = BatchedDense::from_matrices(&mats);
+
+        let r = b.as_batched_ref();
+        assert_eq!(r.batch(), 4);
+        assert_eq!(r.mat(2).at(1, 1), mats[2][(1, 1)]);
+        let p = r.prefix(2);
+        assert_eq!(p.batch(), 2);
+        assert_eq!(p.mat(1).at(0, 0), mats[1][(0, 0)]);
+
+        // a wide panel spanning the boundary between entries 1 and 2
+        let panel = b.wide_panel(3, 2);
+        assert_eq!(panel.at(0, 0), mats[1][(0, 1)]);
+        assert_eq!(panel.at(0, 1), mats[2][(0, 0)]);
+
+        let mut mv = b.as_batched_mut();
+        let mut head = mv.rb().prefix(3);
+        head.mat_mut(1).set(2, 1, -9.0);
+        assert_eq!(mv.as_batched_ref().mat(1).at(2, 1), -9.0);
+        let _ = mv;
+        assert_eq!(b.mat(1).at(2, 1), -9.0);
+    }
+
+    #[test]
+    fn copy_entry_from_gathers_across_batches() {
+        let mats: Vec<Matrix<f64>> =
+            (0..3).map(|k| Matrix::from_fn(2, 2, |i, j| (k * 4 + i * 2 + j) as f64)).collect();
+        let src = BatchedDense::from_matrices(&mats);
+        let mut dst = BatchedDense::<f64>::zeros(2, 2, 2);
+        dst.copy_entry_from(0, &src, 2);
+        dst.copy_entry_from(1, &src, 0);
+        assert_eq!(dst.to_matrix(0), mats[2]);
+        assert_eq!(dst.to_matrix(1), mats[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn copy_entry_from_rejects_shape_mismatch() {
+        let src = BatchedDense::<f64>::zeros(2, 3, 1);
+        let mut dst = BatchedDense::<f64>::zeros(2, 2, 1);
+        dst.copy_entry_from(0, &src, 0);
     }
 }

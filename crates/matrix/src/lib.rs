@@ -19,7 +19,7 @@ mod grid;
 mod tile;
 mod view;
 
-pub use batched::BatchedDense;
+pub use batched::{BatchedDense, BatchedMut, BatchedRef};
 pub use dense::Matrix;
 pub use grid::{BlockCyclic, ProcessGrid};
 pub use tile::{TileIndex, TiledMatrix, Tiling};

@@ -17,9 +17,9 @@ use crate::metrics::MetricsRegistry;
 use crate::queue::AdmittedJob;
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use polar_sim::{qdwh_flops, ILL_CONDITIONED_PROFILE};
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Estimated real flops for a job, used for ordering and batching.
 ///
@@ -94,6 +94,12 @@ impl Ord for Queued {
 pub(crate) struct DispatcherConfig {
     pub batch_max: usize,
     pub small_job_flops: f64,
+    /// How long an under-full same-shape `Batched` group may wait for
+    /// more members before dispatching anyway. `None` (the default)
+    /// dispatches immediately, preserving latency-first behavior; a
+    /// bounded window trades that first job's latency for fuller fused
+    /// batches (higher `batch_fill_ratio`).
+    pub batch_gather_window: Option<Duration>,
 }
 
 /// Dispatcher thread body: runs until the admission channel disconnects
@@ -107,6 +113,9 @@ pub(crate) fn run_dispatcher(
     let mut heap: BinaryHeap<Queued> = BinaryHeap::new();
     let mut seq = 0u64;
     let mut disconnected = false;
+    // per-shape deadline for the bounded batch-gathering window: set when
+    // an under-full Batched group is first held, cleared when it ships
+    let mut gather: HashMap<(usize, usize), Instant> = HashMap::new();
 
     let push = |heap: &mut BinaryHeap<Queued>, seq: &mut u64, job: AdmittedJob| {
         let spec = &job.spec;
@@ -148,9 +157,45 @@ pub(crate) fn run_dispatcher(
         // small jobs, isolate large ones
         let top = heap.pop().unwrap();
         let item = if top.job.spec.kind == JobKind::Batched {
-            let batch = collect_fused(&mut heap, top, cfg.batch_max.max(1));
+            let batch_max = cfg.batch_max.max(1);
+            let key = (top.job.spec.matrix.nrows(), top.job.spec.matrix.ncols());
+            if let Some(window) = cfg.batch_gather_window {
+                // count queued same-shape members (top included); an
+                // under-full group waits until its shape's deadline for
+                // late arrivals instead of shipping a fragment
+                let queued = 1 + heap
+                    .iter()
+                    .filter(|q| {
+                        q.job.spec.kind == JobKind::Batched
+                            && (q.job.spec.matrix.nrows(), q.job.spec.matrix.ncols()) == key
+                    })
+                    .count();
+                if queued < batch_max && !disconnected {
+                    let now = Instant::now();
+                    let deadline = *gather.entry(key).or_insert(now + window);
+                    if now < deadline {
+                        heap.push(top);
+                        // sleep on the admission channel so the hold
+                        // doesn't busy-spin; new arrivals re-enter the
+                        // loop immediately
+                        let wait = (deadline - now).min(Duration::from_millis(1));
+                        match admission.recv_timeout(wait) {
+                            Ok(job) => push(&mut heap, &mut seq, job),
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => disconnected = true,
+                        }
+                        continue;
+                    }
+                }
+                gather.remove(&key);
+            }
+            let batch = collect_fused(&mut heap, top, batch_max);
             MetricsRegistry::inc(&metrics.fused_batches);
             metrics.batch_size.record_ns(batch.len() as u64);
+            metrics.fused_jobs.fetch_add(batch.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            metrics
+                .fused_capacity
+                .fetch_add(batch_max as u64, std::sync::atomic::Ordering::Relaxed);
             metrics.queue_depth.fetch_sub(batch.len() as i64, std::sync::atomic::Ordering::Relaxed);
             WorkItem::Fused(batch)
         } else if top.cost <= cfg.small_job_flops && cfg.batch_max > 1 {

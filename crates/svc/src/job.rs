@@ -65,6 +65,12 @@ pub struct JobSpec {
     /// (`zolo.r` picks the degree; the worker leaves `zolo.progress`
     /// unset so the fused r-way path stays eligible).
     pub zolo: ZoloOptions,
+    /// Client-supplied condition-number estimate for the input (e.g. a
+    /// tensor-network loop that knows its truncation spectra). Consulted
+    /// only on the fused [`JobKind::Batched`] path, where it keys the
+    /// service-wide condition-estimate cache so repeat shapes skip the
+    /// `l_0` prologue. A wrong hint costs iterations, never accuracy.
+    pub cond_hint: Option<f64>,
 }
 
 impl JobSpec {
@@ -90,6 +96,7 @@ impl JobSpec {
             timeout: None,
             opts: QdwhOptions::default(),
             zolo: ZoloOptions::default(),
+            cond_hint: None,
         }
     }
 
@@ -106,6 +113,12 @@ impl JobSpec {
     /// Set the Zolotarev degree `r ∈ 1..=8` for a [`JobKind::Zolo`] job.
     pub fn with_zolo_r(mut self, r: usize) -> Self {
         self.zolo.r = r;
+        self
+    }
+
+    /// Attach a condition-number hint (see [`JobSpec::cond_hint`]).
+    pub fn with_cond_hint(mut self, cond: f64) -> Self {
+        self.cond_hint = Some(cond);
         self
     }
 }

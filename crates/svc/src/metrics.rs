@@ -100,6 +100,13 @@ pub struct MetricsRegistry {
     /// Shape-homogeneous groups dispatched to the fused batched engine
     /// (one per `WorkItem::Fused`, regardless of group size).
     pub fused_batches: AtomicU64,
+    /// Jobs shipped inside fused groups (the numerator of
+    /// `batch_fill_ratio`).
+    pub fused_jobs: AtomicU64,
+    /// Sum of `batch_max` over fused groups — the jobs those dispatch
+    /// slots *could* have carried. `fused_jobs / fused_capacity` is the
+    /// fill ratio the batch-gathering window exists to raise.
+    pub fused_capacity: AtomicU64,
     /// Completed Zolo-PD jobs.
     pub zolo_jobs: AtomicU64,
     /// Total stacked-QR factorizations across completed Zolo jobs
@@ -145,6 +152,10 @@ impl MetricsRegistry {
             retries: self.retries.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             fused_batches: self.fused_batches.load(Ordering::Relaxed),
+            fused_jobs: self.fused_jobs.load(Ordering::Relaxed),
+            fused_capacity: self.fused_capacity.load(Ordering::Relaxed),
+            condest_hits: 0,
+            condest_misses: 0,
             zolo_jobs: self.zolo_jobs.load(Ordering::Relaxed),
             zolo_qr_total: self.zolo_qr_total.load(Ordering::Relaxed),
             injected_faults: self.injected_faults.load(Ordering::Relaxed),
@@ -170,6 +181,16 @@ pub struct MetricsSnapshot {
     pub retries: u64,
     pub batches: u64,
     pub fused_batches: u64,
+    /// Jobs carried by fused groups vs the slots those groups offered
+    /// (see [`MetricsRegistry::fused_capacity`]).
+    pub fused_jobs: u64,
+    pub fused_capacity: u64,
+    /// Condition-estimate cache traffic on the fused path. The cache
+    /// lives on the service, not the registry, so these are zero in a
+    /// bare-registry snapshot and filled in by
+    /// [`crate::PolarService::metrics`].
+    pub condest_hits: u64,
+    pub condest_misses: u64,
     /// Completed Zolo-PD jobs.
     pub zolo_jobs: u64,
     /// Stacked-QR factorizations across Zolo jobs (see
@@ -201,6 +222,16 @@ fn opt_jobs(d: Option<Duration>) -> f64 {
 }
 
 impl MetricsSnapshot {
+    /// Fraction of offered fused-slot capacity actually carried
+    /// (`fused_jobs / fused_capacity`; 0 before any fused dispatch).
+    pub fn batch_fill_ratio(&self) -> f64 {
+        if self.fused_capacity == 0 {
+            0.0
+        } else {
+            self.fused_jobs as f64 / self.fused_capacity as f64
+        }
+    }
+
     fn rows(&self) -> Vec<(&'static str, f64)> {
         vec![
             ("submitted", self.submitted as f64),
@@ -212,6 +243,11 @@ impl MetricsSnapshot {
             ("retries", self.retries as f64),
             ("batches", self.batches as f64),
             ("fused_batches", self.fused_batches as f64),
+            ("fused_jobs", self.fused_jobs as f64),
+            ("fused_capacity", self.fused_capacity as f64),
+            ("batch_fill_ratio", self.batch_fill_ratio()),
+            ("condest_hits", self.condest_hits as f64),
+            ("condest_misses", self.condest_misses as f64),
             ("zolo_jobs", self.zolo_jobs as f64),
             ("zolo_qr_total", self.zolo_qr_total as f64),
             ("injected_faults", self.injected_faults as f64),

@@ -7,6 +7,7 @@ use crate::metrics::{MetricsRegistry, MetricsSnapshot};
 use crate::queue::{AdmissionQueue, SubmitError};
 use crate::trace::SpanLog;
 use crate::worker::{run_worker, ExecContext};
+use polar_batch::CondestCache;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -25,6 +26,13 @@ pub struct ServiceConfig {
     /// are eligible for batching. Default: a 64×64 QDWH (paper cost
     /// model), about 2e7 flops.
     pub small_job_flops: f64,
+    /// Bounded batch-gathering window: how long the dispatcher may hold
+    /// an under-full same-shape `Batched` group open for late arrivals
+    /// before dispatching it anyway. `None` (the default) keeps today's
+    /// dispatch-immediately behavior; setting it trades up to that much
+    /// first-job latency for fuller fused batches (watch the
+    /// `batch_fill_ratio` metric).
+    pub batch_gather_window: Option<Duration>,
     /// Default per-job wall-clock budget; `None` = unlimited.
     pub default_timeout: Option<Duration>,
     /// Retries after the first attempt for transient failures.
@@ -42,6 +50,7 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             batch_max: 4,
             small_job_flops: crate::dispatch::estimate_flops(crate::job::JobKind::Qdwh, 64, 64),
+            batch_gather_window: None,
             default_timeout: None,
             max_retries: 2,
             retry_backoff: Duration::from_millis(1),
@@ -59,6 +68,7 @@ pub struct PolarService {
     queue: Option<AdmissionQueue>,
     accepting: Arc<AtomicBool>,
     metrics: Arc<MetricsRegistry>,
+    condest_cache: Arc<CondestCache>,
     spans: Arc<SpanLog>,
     started: Instant,
     dispatcher: Option<JoinHandle<()>>,
@@ -85,6 +95,7 @@ impl PolarService {
             let dcfg = DispatcherConfig {
                 batch_max: cfg.batch_max.max(1),
                 small_job_flops: cfg.small_job_flops,
+                batch_gather_window: cfg.batch_gather_window,
             };
             std::thread::Builder::new()
                 .name("polar-svc-dispatch".into())
@@ -92,6 +103,10 @@ impl PolarService {
                 .expect("spawn dispatcher")
         };
 
+        // one condition-estimate cache for the whole service: every fused
+        // batch reads and feeds it, so repeat (shape, cond-class) streams
+        // skip the l_0 prologue after their first batch
+        let condest_cache = Arc::new(CondestCache::new());
         let ctx = Arc::new(ExecContext {
             metrics: metrics.clone(),
             spans: spans.clone(),
@@ -99,6 +114,7 @@ impl PolarService {
             default_timeout: cfg.default_timeout,
             max_retries: cfg.max_retries,
             retry_backoff: cfg.retry_backoff,
+            condest_cache: condest_cache.clone(),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -115,6 +131,7 @@ impl PolarService {
             queue: Some(queue),
             accepting,
             metrics,
+            condest_cache,
             spans,
             started: Instant::now(),
             dispatcher: Some(dispatcher),
@@ -179,7 +196,16 @@ impl PolarService {
     /// Point-in-time metrics (counters, gauges, latency quantiles,
     /// throughput over service uptime).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot(self.started.elapsed())
+        let mut s = self.metrics.snapshot(self.started.elapsed());
+        s.condest_hits = self.condest_cache.hits();
+        s.condest_misses = self.condest_cache.misses();
+        s
+    }
+
+    /// The service-wide condition-estimate cache (hit/miss counters are
+    /// also exported through [`PolarService::metrics`]).
+    pub fn condest_cache(&self) -> &Arc<CondestCache> {
+        &self.condest_cache
     }
 
     /// Per-job spans recorded so far (Chrome-trace export via

@@ -13,7 +13,7 @@ use crate::job::{JobError, JobOutput, JobResult, JobSpec};
 use crate::metrics::MetricsRegistry;
 use crate::trace::SpanLog;
 use crossbeam::channel::Receiver;
-use polar_batch::{qdwh_batched, BatchEntry, BatchOptions};
+use polar_batch::{qdwh_batched, BatchEntry, BatchOptions, CondestCache};
 use polar_lapack::FailureClass;
 use polar_qdwh::{
     qdwh, qdwh_svd, svd_based_polar, zolo_pd, IterationDecision, PolarDecomposition, ProgressHook,
@@ -33,6 +33,8 @@ pub(crate) struct ExecContext {
     pub max_retries: u32,
     /// First-retry backoff; doubles per subsequent retry.
     pub retry_backoff: Duration,
+    /// Service-wide condition-estimate cache fed to every fused batch.
+    pub condest_cache: Arc<CondestCache>,
 }
 
 /// Worker thread body.
@@ -93,8 +95,16 @@ fn run_fused(batch: Vec<RunnableJob>, worker_id: usize, ctx: &Arc<ExecContext>) 
     metrics.in_flight.fetch_add(lanes as i64, Ordering::Relaxed);
     let start = Instant::now();
 
-    let mut entries: Vec<BatchEntry<f64>> =
-        fused.iter().map(|rj| BatchEntry::new(rj.job.spec.matrix.clone())).collect();
+    let mut entries: Vec<BatchEntry<f64>> = fused
+        .iter()
+        .map(|rj| {
+            let a = rj.job.spec.matrix.clone();
+            match rj.job.spec.cond_hint {
+                Some(c) => BatchEntry::with_cond_hint(a, c),
+                None => BatchEntry::new(a),
+            }
+        })
+        .collect();
     // one option set drives the whole group; the first member's solver
     // knobs apply (the dispatcher only guarantees shape homogeneity)
     let opts = BatchOptions {
@@ -103,6 +113,7 @@ fn run_fused(batch: Vec<RunnableJob>, worker_id: usize, ctx: &Arc<ExecContext>) 
             o.progress = None; // no between-iteration hook in fused mode
             o
         },
+        condest_cache: Some(ctx.condest_cache.clone()),
         ..Default::default()
     };
     let result = qdwh_batched(&mut entries, &opts);

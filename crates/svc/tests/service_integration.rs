@@ -420,3 +420,87 @@ fn cancelled_batched_job_takes_scalar_path_and_reports_cancelled() {
     assert_eq!(r0.output.unwrap_err(), JobError::Cancelled);
     svc.shutdown();
 }
+
+#[test]
+fn gather_window_coalesces_staggered_batched_submissions() {
+    // without a window the first Batched job ships alone the instant a
+    // worker frees up; the bounded window holds the under-full group open
+    // so the stragglers ride the same fused dispatch
+    let svc = PolarService::start(ServiceConfig {
+        workers: 1,
+        batch_max: 4,
+        batch_gather_window: Some(Duration::from_millis(500)),
+        ..Default::default()
+    });
+    let mk = |s: u64| {
+        let (a, _) = generate::<f64>(&MatrixSpec::well_conditioned(16, 300 + s));
+        JobSpec::batched(a)
+    };
+    let first = svc.try_submit(mk(0)).unwrap();
+    std::thread::sleep(Duration::from_millis(30));
+    let mut handles = vec![first];
+    for s in 1..4u64 {
+        handles.push(svc.try_submit(mk(s)).unwrap());
+    }
+    for h in handles {
+        assert!(h.wait().output.is_ok());
+    }
+    svc.drain();
+    let m = svc.metrics();
+    assert_eq!(m.fused_batches, 1, "staggered jobs split across fused dispatches: {m:?}");
+    assert_eq!(m.fused_jobs, 4);
+    assert_eq!(m.fused_capacity, 4);
+    assert!((m.batch_fill_ratio() - 1.0).abs() < 1e-12);
+    assert!(m.to_json().contains("batch_fill_ratio"));
+    svc.shutdown();
+}
+
+#[test]
+fn gather_window_expiry_ships_underfull_group() {
+    // a lone Batched job must not wait forever for company: once the
+    // window lapses the fragment dispatches, and the fill ratio records
+    // the unused capacity
+    let svc = PolarService::start(ServiceConfig {
+        workers: 1,
+        batch_max: 4,
+        batch_gather_window: Some(Duration::from_millis(20)),
+        ..Default::default()
+    });
+    let (a, _) = generate::<f64>(&MatrixSpec::well_conditioned(16, 400));
+    let h = svc.try_submit(JobSpec::batched(a)).unwrap();
+    assert!(h.wait().output.is_ok());
+    svc.drain();
+    let m = svc.metrics();
+    assert_eq!(m.fused_batches, 1);
+    assert_eq!(m.fused_jobs, 1);
+    assert!((m.batch_fill_ratio() - 0.25).abs() < 1e-12, "{}", m.batch_fill_ratio());
+    svc.shutdown();
+}
+
+#[test]
+fn cond_hints_feed_the_service_condest_cache() {
+    // two same-shape hinted batches: the first misses and seeds the
+    // service-wide cache, the second reuses its l_0 bound (hits) — and
+    // the factors stay accurate either way
+    let svc = PolarService::start(ServiceConfig { workers: 1, batch_max: 8, ..Default::default() });
+    for round in 0..2u64 {
+        let specs: Vec<JobSpec> = (0..4)
+            .map(|s| {
+                let (a, _) =
+                    generate::<f64>(&MatrixSpec::ill_conditioned(24, 500 + 10 * round + s));
+                JobSpec::batched(a).with_cond_hint(1e3)
+            })
+            .collect();
+        for h in svc.submit_batch(specs).unwrap() {
+            let r = h.wait();
+            let out = r.output.expect("hinted fused job succeeds");
+            assert!(polar_qdwh::orthogonality_error(out.u()) < 1e-12);
+        }
+    }
+    svc.drain();
+    let m = svc.metrics();
+    assert!(m.condest_misses >= 1, "first hinted batch must miss: {m:?}");
+    assert!(m.condest_hits >= 1, "second hinted batch must hit the cached bound: {m:?}");
+    assert!(m.to_json().contains("condest_hits"));
+    svc.shutdown();
+}
